@@ -1,0 +1,78 @@
+"""F10 — §4.1 / Figure 7: ADT function and operator dispatch.
+
+Compares built-in arithmetic, ADT operator invocation (Complex +), and
+the symmetric function-call syntax (Add). Shape claim: operator and
+function syntax cost the same (they resolve to the same registered
+function), and ADT dispatch adds only a table-lookup over built-ins.
+"""
+
+import pytest
+
+from repro import Database
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    db = Database()
+    db.execute(
+        """
+        define type Measurement as (label: char(10), val: Complex,
+                                    scale: float8)
+        create {own ref Measurement} Measurements
+        """
+    )
+    for i in range(300):
+        db.execute(
+            f'append to Measurements (label = "m{i}", '
+            f"val = Complex({float(i)}, {float(i % 7)}), "
+            f"scale = {float(i % 13)})"
+        )
+    return db
+
+
+@pytest.mark.benchmark(group="f10-dispatch")
+def test_builtin_arithmetic_baseline(measurements, benchmark):
+    result = benchmark(
+        measurements.execute,
+        "retrieve (x = M.scale + M.scale) from M in Measurements",
+    )
+    assert len(result.rows) == 300
+
+
+@pytest.mark.benchmark(group="f10-dispatch")
+def test_adt_operator_syntax(measurements, benchmark):
+    result = benchmark(
+        measurements.execute,
+        "retrieve (x = M.val + M.val) from M in Measurements",
+    )
+    assert len(result.rows) == 300
+
+
+@pytest.mark.benchmark(group="f10-dispatch")
+def test_adt_function_syntax(measurements, benchmark):
+    result = benchmark(
+        measurements.execute,
+        "retrieve (x = Add(M.val, M.val)) from M in Measurements",
+    )
+    assert len(result.rows) == 300
+
+
+@pytest.mark.benchmark(group="f10-dispatch")
+def test_adt_scalar_function(measurements, benchmark):
+    result = benchmark(
+        measurements.execute,
+        "retrieve (m = Magnitude(M.val)) from M in Measurements "
+        "where Magnitude(M.val) > 10.0",
+    )
+    assert len(result.rows) > 0
+
+
+def test_operator_and_function_agree(measurements):
+    """Shape: both syntaxes invoke the same registered function."""
+    ops = measurements.execute(
+        "retrieve (x = M.val + M.val) from M in Measurements"
+    ).rows
+    fns = measurements.execute(
+        "retrieve (x = Add(M.val, M.val)) from M in Measurements"
+    ).rows
+    assert ops == fns

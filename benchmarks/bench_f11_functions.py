@@ -1,0 +1,72 @@
+"""F11 — §4.2.1 EXCESS functions: derived-data call overhead.
+
+Compares an inline expression against the same computation through an
+EXCESS function (virtual dispatch) and a `fixed` function (static
+dispatch). Shape claim: the function adds per-call overhead (body
+evaluation machinery) but identical results; fixed dispatch saves the
+runtime type lookup.
+"""
+
+import pytest
+
+from conftest import fresh_company
+
+
+@pytest.fixture(scope="module")
+def db_with_functions():
+    db = fresh_company()
+    db.execute(
+        "define function Pay (E in Employee) returns float8 as "
+        "retrieve (E.salary * 1.1 + 500.0)"
+    )
+    db.execute(
+        "define fixed function PayFixed (E in Employee) returns float8 as "
+        "retrieve (E.salary * 1.1 + 500.0)"
+    )
+    return db
+
+
+@pytest.mark.benchmark(group="f11-functions")
+def test_inline_expression_baseline(db_with_functions, benchmark):
+    result = benchmark(
+        db_with_functions.execute,
+        "retrieve (x = E.salary * 1.1 + 500.0) from E in Employees",
+    )
+    assert len(result.rows) == 300
+
+
+@pytest.mark.benchmark(group="f11-functions")
+def test_virtual_function_call(db_with_functions, benchmark):
+    result = benchmark(
+        db_with_functions.execute,
+        "retrieve (x = Pay(E)) from E in Employees",
+    )
+    assert len(result.rows) == 300
+
+
+@pytest.mark.benchmark(group="f11-functions")
+def test_fixed_function_call(db_with_functions, benchmark):
+    result = benchmark(
+        db_with_functions.execute,
+        "retrieve (x = PayFixed(E)) from E in Employees",
+    )
+    assert len(result.rows) == 300
+
+
+@pytest.mark.benchmark(group="f11-functions")
+def test_function_in_predicate(db_with_functions, benchmark):
+    result = benchmark(
+        db_with_functions.execute,
+        "retrieve (E.name) from E in Employees where Pay(E) > 80000.0",
+    )
+    assert len(result.rows) >= 0
+
+
+def test_all_forms_agree(db_with_functions):
+    db = db_with_functions
+    inline = db.execute(
+        "retrieve (x = E.salary * 1.1 + 500.0) from E in Employees"
+    ).rows
+    virtual = db.execute("retrieve (x = Pay(E)) from E in Employees").rows
+    fixed = db.execute("retrieve (x = PayFixed(E)) from E in Employees").rows
+    assert inline == virtual == fixed

@@ -1,0 +1,78 @@
+"""F12 — §4.2.2 procedures: stored-command invocation overhead.
+
+Compares a direct replace against the same update through ``execute``
+with where-clause parameter binding. Shape claim: the procedure pays a
+constant per-invocation binding cost; the per-row work is identical.
+"""
+
+import pytest
+
+from conftest import fresh_company
+
+
+def setup_db():
+    db = fresh_company()
+    db.execute(
+        "define procedure Raise (E in Employee, amt: float8) as "
+        "replace E (salary = E.salary + amt)"
+    )
+    return db
+
+
+@pytest.mark.benchmark(group="f12-procedures")
+def test_direct_replace(benchmark):
+    def setup():
+        return (setup_db(),), {}
+
+    def run(db):
+        db.execute(
+            "replace E (salary = E.salary + 100.0) from E in Employees "
+            "where E.dept.floor = 2"
+        )
+
+    benchmark.pedantic(run, setup=setup, rounds=5)
+
+
+@pytest.mark.benchmark(group="f12-procedures")
+def test_procedure_execute(benchmark):
+    def setup():
+        return (setup_db(),), {}
+
+    def run(db):
+        db.execute(
+            "execute Raise (E, 100.0) from E in Employees "
+            "where E.dept.floor = 2"
+        )
+
+    benchmark.pedantic(run, setup=setup, rounds=5)
+
+
+@pytest.mark.benchmark(group="f12-procedures")
+def test_procedure_single_binding(benchmark):
+    """IDM-style single constant invocation."""
+
+    def setup():
+        return (setup_db(),), {}
+
+    def run(db):
+        db.execute(
+            'execute Raise (E, 1.0) from E in Employees where E.name = "Sue0"'
+        )
+
+    benchmark.pedantic(run, setup=setup, rounds=10)
+
+
+def test_procedure_and_direct_agree():
+    direct = setup_db()
+    procedural = setup_db()
+    direct.execute(
+        "replace E (salary = E.salary + 100.0) from E in Employees "
+        "where E.dept.floor = 2"
+    )
+    procedural.execute(
+        "execute Raise (E, 100.0) from E in Employees where E.dept.floor = 2"
+    )
+    query = "retrieve (E.name, E.salary) from E in Employees"
+    assert sorted(direct.execute(query).rows) == sorted(
+        procedural.execute(query).rows
+    )

@@ -1,0 +1,65 @@
+"""F13 — §4.2.3 authorization: privilege-check overhead.
+
+Times the same query with authorization disabled, enabled via direct
+grant, and enabled via (transitive) group membership. Shape claim:
+enforcement adds a small constant per statement (checks are per named
+object, not per row).
+"""
+
+import pytest
+
+from conftest import fresh_company
+
+
+def secured_db(group_depth: int = 0):
+    db = fresh_company()
+    db.authz.enabled = True
+    db.execute("create user reader")
+    principal = "reader"
+    for level in range(group_depth):
+        db.execute(f"create group g{level}")
+        db.execute(f"add {principal} to group g{level}")
+        principal = f"g{level}"
+    db.execute(f"grant select on Employees to {principal}")
+    return db
+
+
+QUERY = "retrieve (E.name) from E in Employees where E.age > 40"
+
+
+@pytest.mark.benchmark(group="f13-authz")
+def test_disabled_baseline(benchmark):
+    db = fresh_company()
+    result = benchmark(db.execute, QUERY)
+    assert len(result.rows) > 0
+
+
+@pytest.mark.benchmark(group="f13-authz")
+def test_direct_grant(benchmark):
+    db = secured_db(group_depth=0)
+    session = db.session("reader")
+    result = benchmark(session.execute, QUERY)
+    assert len(result.rows) > 0
+
+
+@pytest.mark.benchmark(group="f13-authz")
+def test_transitive_group_grant(benchmark):
+    db = secured_db(group_depth=5)
+    session = db.session("reader")
+    result = benchmark(session.execute, QUERY)
+    assert len(result.rows) > 0
+
+
+@pytest.mark.benchmark(group="f13-authz")
+def test_denial_cost(benchmark):
+    """Denied statements fail fast (before any scanning)."""
+    from repro.errors import AuthorizationError
+
+    db = secured_db()
+    session = db.session("stranger")
+
+    def run():
+        with pytest.raises(AuthorizationError):
+            session.execute(QUERY)
+
+    benchmark(run)

@@ -1,0 +1,59 @@
+"""F2 — Figure 2: inheritance in queries.
+
+Times retrieval through inherited attributes (Employee inherits
+Person.name/.age) versus locally declared attributes, and measures how
+lattice depth affects attribute access — the shape claim being that
+inheritance resolution is a *definition-time* cost, so query cost should
+be flat in lattice depth.
+"""
+
+import pytest
+
+from repro import Database
+
+DEPTHS = [1, 4, 8, 16]
+
+
+def build_chain(depth: int) -> Database:
+    """T0 <- T1 <- ... <- T{depth}; instances of the deepest type."""
+    db = Database()
+    db.execute("define type T0 as (a0: int4)")
+    for level in range(1, depth + 1):
+        db.execute(
+            f"define type T{level} as (a{level}: int4) inherits T{level - 1}"
+        )
+    db.execute(f"create {{own ref T{depth}}} Things")
+    for i in range(200):
+        db.insert("Things", **{f"a{level}": i for level in range(depth + 1)})
+    return db
+
+
+@pytest.mark.benchmark(group="f2-inheritance")
+def test_query_inherited_attribute(company, benchmark):
+    """Inherited attribute (name comes from Person)."""
+    result = benchmark(
+        company.execute,
+        "retrieve (E.name) from E in Employees where E.age > 40",
+    )
+    assert len(result.rows) > 0
+
+
+@pytest.mark.benchmark(group="f2-inheritance")
+def test_query_local_attribute(company, benchmark):
+    """Locally declared attribute (salary is Employee's own)."""
+    result = benchmark(
+        company.execute,
+        "retrieve (E.salary) from E in Employees where E.age > 40",
+    )
+    assert len(result.rows) > 0
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+@pytest.mark.benchmark(group="f2-depth")
+def test_lattice_depth_sweep(benchmark, depth):
+    """Access to the ROOT type's attribute from depth-N instances."""
+    db = build_chain(depth)
+    result = benchmark(
+        db.execute, "retrieve (T.a0) from T in Things where T.a0 > 100"
+    )
+    assert len(result.rows) == 99

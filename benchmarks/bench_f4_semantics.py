@@ -1,0 +1,62 @@
+"""F4 — §2.2 deletion semantics: cascade cost of own-ref components.
+
+Measures delete throughput for employees *with* owned kids (cascade
+required) versus *without* (flat delete), and ref-nulling behaviour.
+Shape claim: cascade cost is linear in owned-component count; dangling
+references cost nothing until vacuumed.
+"""
+
+import pytest
+
+from repro.util.workload import CompanyWorkload, build_company_database
+
+
+def company_with_kids(max_kids: int):
+    return build_company_database(
+        CompanyWorkload(departments=5, employees=150, max_kids=max_kids,
+                        seed=77)
+    )
+
+
+@pytest.mark.parametrize("max_kids", [0, 3, 8])
+@pytest.mark.benchmark(group="f4-cascade")
+def test_delete_all_employees(benchmark, max_kids):
+    """Delete every employee; kids multiply the cascade work."""
+
+    def setup():
+        return (company_with_kids(max_kids),), {}
+
+    def run(db):
+        result = db.execute("delete E from E in Employees")
+        assert result.count == 150
+
+    benchmark.pedantic(run, setup=setup, rounds=5)
+
+
+@pytest.mark.benchmark(group="f4-vacuum")
+def test_vacuum_after_mass_delete(benchmark):
+    """Eager scrub of dangling references (GEM-style lazy nulls are free;
+    this is the optional eager pass)."""
+
+    def setup():
+        db = company_with_kids(2)
+        db.execute("create {ref Employee} Watch")
+        db.execute("append to Watch (E) from E in Employees")
+        db.execute("delete E from E in Employees where E.age > 30")
+        return (db,), {}
+
+    def run(db):
+        db.vacuum()
+
+    benchmark.pedantic(run, setup=setup, rounds=5)
+
+
+def test_cascade_shape():
+    """Cascades delete exactly owner + owned, nothing else."""
+    db = company_with_kids(3)
+    employees = len(db.named("Employees").value)
+    total = len(db.objects)
+    kids = total - employees - len(db.named("Departments").value)
+    result = db.execute("delete E from E in Employees")
+    assert result.count == employees
+    assert len(db.objects) == total - employees - kids

@@ -1,0 +1,52 @@
+"""F5 — §3.1 basic retrieves: named singletons, arrays, scans.
+
+The paper's first queries: ``retrieve (Today)``,
+``retrieve (StarEmployee.name, ...)``, ``retrieve (TopTen[1].name, ...)``.
+Shape claim: singleton and array-slot access are O(1) regardless of
+database size; scans are linear.
+"""
+
+import pytest
+
+from repro.util.workload import CompanyWorkload, build_company_database
+
+
+@pytest.mark.benchmark(group="f5-singleton")
+def test_retrieve_today(company, benchmark):
+    result = benchmark(company.execute, "retrieve (Today)")
+    assert len(result.rows) == 1
+
+
+@pytest.mark.benchmark(group="f5-singleton")
+def test_retrieve_star_employee(company, benchmark):
+    result = benchmark(
+        company.execute, "retrieve (StarEmployee.name, StarEmployee.salary)"
+    )
+    assert len(result.rows) == 1
+
+
+@pytest.mark.benchmark(group="f5-singleton")
+def test_retrieve_topten_slot(company, benchmark):
+    result = benchmark(
+        company.execute, "retrieve (TopTen[1].name, TopTen[1].salary)"
+    )
+    assert len(result.rows) == 1
+
+
+@pytest.mark.benchmark(group="f5-scan")
+def test_full_scan(company, benchmark):
+    result = benchmark(
+        company.execute, "retrieve (E.name, E.salary) from E in Employees"
+    )
+    assert len(result.rows) == 300
+
+
+@pytest.mark.parametrize("n", [100, 400, 1600])
+@pytest.mark.benchmark(group="f5-singleton-scaling")
+def test_singleton_access_flat_in_database_size(benchmark, n):
+    """O(1) shape: singleton reads should not grow with N."""
+    db = build_company_database(
+        CompanyWorkload(departments=5, employees=n, seed=5)
+    )
+    result = benchmark(db.execute, "retrieve (StarEmployee.salary)")
+    assert len(result.rows) == 1

@@ -1,0 +1,60 @@
+"""F6 — §3.2–3.3 path expressions: implicit joins and nested sets.
+
+Times predicate evaluation through reference paths of increasing depth
+and the paper's kids-of-second-floor-employees nested-set query. Shape
+claim: each extra hop adds a constant dereference cost per row.
+"""
+
+import pytest
+
+from repro import Database
+
+
+def build_deep_chain(depth: int, rows: int = 200) -> Database:
+    """L0 objects point to L1 point to ... L{depth}, which has `v`."""
+    db = Database()
+    db.execute(f"define type L{depth} as (v: int4)")
+    for level in reversed(range(depth)):
+        db.execute(
+            f"define type L{level} as (nxt: ref L{level + 1})"
+        )
+    for level in range(depth + 1):
+        db.execute(f"create {{own ref L{level}}} S{level}")
+    for i in range(rows):
+        member = db.insert(f"S{depth}", v=i)
+        for level in reversed(range(depth)):
+            member = db.insert(f"S{level}", nxt=member)
+    return db
+
+
+@pytest.mark.parametrize("depth", [1, 2, 4])
+@pytest.mark.benchmark(group="f6-depth")
+def test_path_depth_sweep(benchmark, depth):
+    db = build_deep_chain(depth)
+    path = "X" + ".nxt" * depth + ".v"
+    result = benchmark(
+        db.execute, f"retrieve ({path}) from X in S0 where {path} >= 100"
+    )
+    assert len(result.rows) == 100
+
+
+@pytest.mark.benchmark(group="f6-nested")
+def test_kids_of_second_floor(company, benchmark):
+    """The paper's flagship nested-set query."""
+    result = benchmark(
+        company.execute,
+        "retrieve (C.name) from C in Employees.kids "
+        "where Employees.dept.floor = 2",
+    )
+    assert len(result.rows) > 0
+
+
+@pytest.mark.benchmark(group="f6-nested")
+def test_explicit_variable_equivalent(company, benchmark):
+    """Same query with an explicit parent variable (same cost shape)."""
+    result = benchmark(
+        company.execute,
+        "retrieve (C.name) from E in Employees, C in E.kids "
+        "where E.dept.floor = 2",
+    )
+    assert len(result.rows) > 0

@@ -1,0 +1,76 @@
+"""F7 — §3.4 aggregates: global, partitioned (`over`), and correlated
+nested-set aggregates, plus the generic `median`.
+
+Shape claims: a partitioned aggregate costs one pass over the inner
+range (not one pass per outer row); correlated aggregates are memoized
+per outer binding.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="f7-aggregates")
+def test_global_aggregate(company, benchmark):
+    result = benchmark(
+        company.execute,
+        "retrieve (a = avg(E.salary), m = max(E.salary)) from E in Employees",
+    )
+    assert len(result.rows) == 1
+
+
+@pytest.mark.benchmark(group="f7-aggregates")
+def test_partitioned_aggregate(company, benchmark):
+    result = benchmark(
+        company.execute,
+        "retrieve unique (E.dept.dname, p = avg(E.salary over E.dept)) "
+        "from E in Employees",
+    )
+    assert len(result.rows) == 10
+
+
+@pytest.mark.benchmark(group="f7-aggregates")
+def test_correlated_aggregate(company, benchmark):
+    result = benchmark(
+        company.execute,
+        "retrieve (E.name, n = count(E.kids)) from E in Employees",
+    )
+    assert len(result.rows) == 300
+
+
+@pytest.mark.benchmark(group="f7-aggregates")
+def test_generic_median_over_dates(company, benchmark):
+    """The paper's generic-function motivation: median over an ordered ADT."""
+    result = benchmark(
+        company.execute,
+        "retrieve (m = median(E.birthday)) from E in Employees",
+    )
+    assert len(result.rows) == 1
+
+
+@pytest.mark.benchmark(group="f7-aggregates")
+def test_aggregate_with_inner_where(company, benchmark):
+    result = benchmark(
+        company.execute,
+        "retrieve unique (E.dept.dname, "
+        "n = count(E.salary over E.dept where E.age > 40)) "
+        "from E in Employees",
+    )
+    assert len(result.rows) == 10
+
+
+def test_partition_one_pass_shape(company):
+    """The partitioned aggregate must not rescan per outer row: compare
+    the partition query against the same report computed with per-group
+    scalar aggregates — both must agree (correctness side of the claim)."""
+    partitioned = dict(
+        company.execute(
+            "retrieve unique (E.dept.dname, p = avg(E.salary over E.dept)) "
+            "from E in Employees"
+        ).rows
+    )
+    for dname, expected in partitioned.items():
+        scalar = company.execute(
+            f'retrieve (p = avg(E.salary where E.dept.dname = "{dname}")) '
+            "from E in Employees"
+        ).scalar()
+        assert scalar == pytest.approx(expected)

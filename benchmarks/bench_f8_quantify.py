@@ -1,0 +1,64 @@
+"""F8 — §3.2 universal quantification and object equality.
+
+Times ∀-queries against their aggregate reformulation and `is`-joins
+against value joins. Shape claim: the ∀ evaluation short-circuits on the
+first counterexample, so highly-false predicates are cheap.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="f8-universal")
+def test_forall_query(company, benchmark):
+    result = benchmark(
+        company.execute,
+        "retrieve (D.dname) from D in Departments, E in every Employees "
+        "where E.dept isnot D or E.salary > 25000.0",
+    )
+    assert len(result.rows) >= 0
+
+
+@pytest.mark.benchmark(group="f8-universal")
+def test_equivalent_aggregate_formulation(company, benchmark):
+    """The same report via counting violations per department — the
+    QUEL-idiom workaround users would write without ∀ support (the
+    over-key variable is shared with the outer query)."""
+    result = benchmark(
+        company.execute,
+        "retrieve unique (D.dname) from D in Departments, E in Employees "
+        "where E.dept is D and "
+        "count(E.salary over E.dept where E.salary <= 25000.0) = 0",
+    )
+    assert len(result.rows) >= 0
+
+
+@pytest.mark.benchmark(group="f8-universal")
+def test_forall_with_early_counterexample(company, benchmark):
+    """Nearly-always-false ∀ predicate: short-circuiting shape."""
+    result = benchmark(
+        company.execute,
+        "retrieve (D.dname) from D in Departments, E in every Employees "
+        "where E.salary > 99999999.0",
+    )
+    assert result.rows == []
+
+
+@pytest.mark.benchmark(group="f8-identity")
+def test_is_join(company, benchmark):
+    """Object-identity join (is compares OIDs, no dereference needed)."""
+    result = benchmark(
+        company.execute,
+        "retrieve unique (E.name) from E in Employees, D in Departments "
+        "where E.dept is D and D.floor = 2",
+    )
+    assert len(result.rows) > 0
+
+
+@pytest.mark.benchmark(group="f8-identity")
+def test_value_join_same_report(company, benchmark):
+    result = benchmark(
+        company.execute,
+        "retrieve unique (E.name) from E in Employees, D in Departments "
+        "where E.dept.dname = D.dname and D.floor = 2",
+    )
+    assert len(result.rows) > 0

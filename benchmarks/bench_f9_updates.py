@@ -1,0 +1,102 @@
+"""F9 — §3.5 updates: append / replace / delete throughput.
+
+Shape claims: appends are O(1) amortized per member (plus index
+maintenance when indexes exist); qualified replaces pay the scan plus
+per-row mutation; snapshot semantics (collect-then-apply) doubles
+neither.
+"""
+
+import pytest
+
+from conftest import fresh_company
+
+
+@pytest.mark.benchmark(group="f9-append")
+def test_append_throughput(benchmark):
+    counter = {"i": 0}
+
+    def setup():
+        counter["i"] = 0
+        return (fresh_company(employees=10),), {}
+
+    def run(db):
+        for i in range(100):
+            db.execute(
+                f'append to Employees (name = "N{i}", age = 30, '
+                f"salary = 1000.0)"
+            )
+
+    benchmark.pedantic(run, setup=setup, rounds=5)
+
+
+@pytest.mark.benchmark(group="f9-append")
+def test_append_throughput_with_indexes(benchmark):
+    def setup():
+        db = fresh_company(employees=10)
+        db.execute("create index on Employees (age) using hash")
+        db.execute("create index on Employees (salary) using btree")
+        return (db,), {}
+
+    def run(db):
+        for i in range(100):
+            db.execute(
+                f'append to Employees (name = "N{i}", age = {20 + i % 40}, '
+                f"salary = {float(1000 + i)})"
+            )
+
+    benchmark.pedantic(run, setup=setup, rounds=5)
+
+
+@pytest.mark.benchmark(group="f9-replace")
+def test_replace_all(benchmark):
+    def setup():
+        return (fresh_company(),), {}
+
+    def run(db):
+        result = db.execute(
+            "replace E (salary = E.salary * 1.01) from E in Employees"
+        )
+        assert result.count == 300
+
+    benchmark.pedantic(run, setup=setup, rounds=5)
+
+
+@pytest.mark.benchmark(group="f9-replace")
+def test_replace_selective(benchmark):
+    def setup():
+        return (fresh_company(),), {}
+
+    def run(db):
+        db.execute(
+            "replace E (salary = E.salary * 1.01) from E in Employees "
+            "where E.dept.floor = 2"
+        )
+
+    benchmark.pedantic(run, setup=setup, rounds=5)
+
+
+@pytest.mark.benchmark(group="f9-delete")
+def test_delete_selective(benchmark):
+    def setup():
+        return (fresh_company(),), {}
+
+    def run(db):
+        db.execute("delete E from E in Employees where E.age > 50")
+
+    benchmark.pedantic(run, setup=setup, rounds=5)
+
+
+def test_snapshot_semantics_shape():
+    """replace must read the pre-update state for every row."""
+    db = fresh_company(employees=50)
+    before = db.execute(
+        "retrieve (m = max(E.salary)) from E in Employees"
+    ).scalar()
+    db.execute(
+        "replace E (salary = max(F.salary)) from E in Employees, "
+        "F in Employees"
+    )
+    after = db.execute(
+        "retrieve unique (E.salary) from E in Employees"
+    ).rows
+    assert after == [(before,)]

@@ -1,0 +1,117 @@
+"""P3 — design claim: table-driven access-method selection for ADTs and
+base types (paper §4.1.3).
+
+Sweeps predicate selectivity and compares full scans against hash and
+B+-tree access, including range predicates over the ordered `Date` ADT.
+Shape claims: index wins at low selectivity; the crossover moves toward
+scans as selectivity rises; hash serves only equality; Date predicates
+use the B+-tree because the ADT registered ordered rows.
+"""
+
+import pytest
+
+from repro.util.workload import CompanyWorkload, build_company_database
+
+N = 1000
+
+
+def build(indexed: bool):
+    db = build_company_database(
+        CompanyWorkload(departments=10, employees=N, seed=13)
+    )
+    if indexed:
+        db.execute("create index on Employees (salary) using btree")
+        db.execute("create index on Employees (age) using hash")
+        db.execute("create index on Employees (birthday) using btree")
+    return db
+
+
+@pytest.fixture(scope="module")
+def indexed():
+    return build(True)
+
+
+@pytest.fixture(scope="module")
+def unindexed():
+    return build(False)
+
+
+#: salary thresholds chosen to give ~2%, ~25%, ~75% selectivity
+SELECTIVITY_POINTS = [
+    ("low", "E.salary >= 99000.0"),
+    ("mid", "E.salary >= 75000.0"),
+    ("high", "E.salary >= 30000.0"),
+]
+
+
+@pytest.mark.parametrize("label,predicate", SELECTIVITY_POINTS)
+@pytest.mark.benchmark(group="p3-selectivity")
+def test_btree_range(indexed, benchmark, label, predicate):
+    result = benchmark(
+        indexed.execute,
+        f"retrieve (E.name) from E in Employees where {predicate}",
+    )
+    assert result.plan.index_scans
+
+
+@pytest.mark.parametrize("label,predicate", SELECTIVITY_POINTS)
+@pytest.mark.benchmark(group="p3-selectivity")
+def test_full_scan(unindexed, benchmark, label, predicate):
+    result = benchmark(
+        unindexed.execute,
+        f"retrieve (E.name) from E in Employees where {predicate}",
+    )
+    assert not result.plan.index_scans
+
+
+@pytest.mark.benchmark(group="p3-equality")
+def test_hash_equality(indexed, benchmark):
+    result = benchmark(
+        indexed.execute,
+        "retrieve (E.name) from E in Employees where E.age = 40",
+    )
+    assert any("hash" in s for s in result.plan.index_scans)
+
+
+@pytest.mark.benchmark(group="p3-equality")
+def test_equality_scan_baseline(unindexed, benchmark):
+    result = benchmark(
+        unindexed.execute,
+        "retrieve (E.name) from E in Employees where E.age = 40",
+    )
+    assert not result.plan.index_scans
+
+
+@pytest.mark.benchmark(group="p3-adt")
+def test_date_adt_range_uses_btree(indexed, benchmark):
+    """The ADT table registered Date as ordered: range predicates over an
+    ADT attribute pick up the B+-tree, exactly as §4.1.3 prescribes."""
+    result = benchmark(
+        indexed.execute,
+        'retrieve (E.name) from E in Employees '
+        'where E.birthday < Date("1/1/1930")',
+    )
+    assert any("birthday" in s for s in result.plan.index_scans)
+
+
+def test_index_and_scan_agree(indexed, unindexed):
+    for _label, predicate in SELECTIVITY_POINTS:
+        query = f"retrieve (E.name) from E in Employees where {predicate}"
+        assert sorted(indexed.execute(query).rows) == sorted(
+            unindexed.execute(query).rows
+        )
+
+
+def test_low_selectivity_index_wins(indexed, unindexed):
+    """The headline crossover shape."""
+    import time
+
+    query = "retrieve (E.name) from E in Employees where E.salary >= 99000.0"
+
+    def measure(db) -> float:
+        start = time.perf_counter()
+        for _ in range(10):
+            db.execute(query)
+        return (time.perf_counter() - start) / 10
+
+    assert measure(indexed) < measure(unindexed)

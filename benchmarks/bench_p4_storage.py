@@ -1,0 +1,78 @@
+"""P4 — substrate behaviour: the paged object store and buffer pool.
+
+Measures cold-scan cost as the buffer pool shrinks relative to the data,
+and reports hit ratios. Shape claims: when the data fits in the pool the
+second scan is all hits; when it doesn't, LRU thrashes on sequential
+scans and the hit ratio collapses — classic buffer-pool behaviour the
+EXODUS storage manager exhibits.
+"""
+
+import pytest
+
+from repro.util.workload import CompanyWorkload, build_company_database
+
+N = 400
+
+
+def paged_db():
+    return build_company_database(
+        CompanyWorkload(departments=5, employees=N, seed=41, storage="paged")
+    )
+
+
+def cold_scan(db) -> None:
+    for oid in list(db.objects.oids()):
+        db.store.fetch_cold(oid)
+
+
+@pytest.mark.parametrize("capacity", [4, 16, 256])
+@pytest.mark.benchmark(group="p4-pool-size")
+def test_cold_scan_by_pool_size(benchmark, capacity):
+    db = paged_db()
+    db.store.pool.capacity = capacity
+    db.store.evict_live_cache()
+    cold_scan(db)  # warm the pool as far as it can warm
+    benchmark(cold_scan, db)
+
+
+@pytest.mark.benchmark(group="p4-live-cache")
+def test_live_cache_scan_baseline(benchmark):
+    """Scans through the live-object cache (no page access at all)."""
+    db = paged_db()
+
+    def run():
+        for oid in list(db.objects.oids()):
+            db.store.fetch(oid)
+
+    benchmark(run)
+
+
+def test_hit_ratio_shape():
+    """Big pool → ~100% hits on rescan; tiny pool → mostly misses."""
+    db = paged_db()
+    pages = db.store.page_count
+
+    db.store.pool.capacity = pages + 8
+    cold_scan(db)
+    db.store.pool.stats.reset()
+    cold_scan(db)
+    big_pool_ratio = db.store.pool.stats.hit_ratio
+
+    db2 = paged_db()
+    db2.store.pool.capacity = max(2, pages // 10)
+    cold_scan(db2)
+    db2.store.pool.stats.reset()
+    cold_scan(db2)
+    small_pool_ratio = db2.store.pool.stats.hit_ratio
+
+    assert big_pool_ratio > 0.95
+    assert small_pool_ratio < big_pool_ratio
+
+
+def test_query_engine_over_pages_counts_io():
+    db = paged_db()
+    assert db.execute(
+        "retrieve (count(E.salary)) from E in Employees"
+    ).scalar() == N
+    stats = db.stats()["buffer"]
+    assert stats["pages"] > 1

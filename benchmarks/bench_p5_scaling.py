@@ -1,0 +1,79 @@
+"""P5 — scaling: query cost versus database size and structure depth.
+
+Sweeps the employee count for scans, indexed lookups, joins, and
+partitioned aggregates. Shape claims: scans and aggregates are linear in
+N; indexed point lookups are near-flat; two-variable joins without
+pushdown are superlinear, and pushdown restores linearity.
+"""
+
+import pytest
+
+from repro.util.workload import CompanyWorkload, build_company_database
+
+SIZES = [100, 400, 1600]
+
+
+def sized(n: int, indexed: bool = False):
+    db = build_company_database(
+        CompanyWorkload(departments=10, employees=n, seed=59)
+    )
+    if indexed:
+        db.execute("create index on Employees (salary) using btree")
+    return db
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.benchmark(group="p5-scan")
+def test_scan_scaling(benchmark, n):
+    db = sized(n)
+    result = benchmark(
+        db.execute, "retrieve (E.name) from E in Employees where E.age > 40"
+    )
+    assert len(result.rows) > 0
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.benchmark(group="p5-indexed-lookup")
+def test_indexed_lookup_scaling(benchmark, n):
+    db = sized(n, indexed=True)
+    result = benchmark(
+        db.execute,
+        "retrieve (E.name) from E in Employees where E.salary = 50000.0",
+    )
+    assert result.plan.index_scans
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.benchmark(group="p5-join")
+def test_join_scaling(benchmark, n):
+    db = sized(n)
+    result = benchmark(
+        db.execute,
+        "retrieve (E.name) from E in Employees, D in Departments "
+        "where E.dept is D and D.floor = 2",
+    )
+    assert len(result.rows) >= 0
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.benchmark(group="p5-aggregate")
+def test_partitioned_aggregate_scaling(benchmark, n):
+    db = sized(n)
+    result = benchmark(
+        db.execute,
+        "retrieve unique (E.dept.dname, p = avg(E.salary over E.dept)) "
+        "from E in Employees",
+    )
+    assert len(result.rows) == 10
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.benchmark(group="p5-nested")
+def test_nested_set_scaling(benchmark, n):
+    db = sized(n)
+    result = benchmark(
+        db.execute,
+        "retrieve (C.name) from C in Employees.kids "
+        "where Employees.dept.floor = 2",
+    )
+    assert len(result.rows) >= 0

@@ -1,0 +1,72 @@
+"""X1 — schema evolution cost (the §6 future-work extension).
+
+Measures ``alter type ... add`` as the instance population grows, and the
+lattice-ripple cost as the subtype tree deepens. Shape claims: instance
+patching is linear in the number of live instances; re-resolving the
+lattice is linear in the number of affected subtypes and independent of
+data volume.
+"""
+
+import pytest
+
+from repro import Database
+from repro.util.workload import CompanyWorkload, build_company_database
+
+
+@pytest.mark.parametrize("n", [50, 200, 800])
+@pytest.mark.benchmark(group="x1-instances")
+def test_add_attribute_by_population(benchmark, n):
+    counter = {"i": 0}
+
+    def setup():
+        counter["i"] += 1
+        db = build_company_database(
+            CompanyWorkload(departments=5, employees=n, seed=7)
+        )
+        return (db, counter["i"]), {}
+
+    def run(db, i):
+        db.execute(f"alter type Employee add (extra{i}: float8)")
+
+    benchmark.pedantic(run, setup=setup, rounds=5)
+
+
+@pytest.mark.parametrize("depth", [1, 8, 32])
+@pytest.mark.benchmark(group="x1-lattice")
+def test_add_attribute_by_lattice_depth(benchmark, depth):
+    counter = {"i": 0}
+
+    def setup():
+        counter["i"] += 1
+        db = Database()
+        db.execute("define type T0 as (a0: int4)")
+        for level in range(1, depth + 1):
+            db.execute(
+                f"define type T{level} as (a{level}: int4) "
+                f"inherits T{level - 1}"
+            )
+        return (db, counter["i"]), {}
+
+    def run(db, i):
+        db.execute(f"alter type T0 add (extra{i}: int4)")
+
+    benchmark.pedantic(run, setup=setup, rounds=5)
+
+
+def test_evolution_shape():
+    """Added attributes are immediately queryable at every lattice level
+    and on every pre-existing instance."""
+    db = build_company_database(
+        CompanyWorkload(departments=3, employees=60, seed=7)
+    )
+    db.execute("alter type Person add (flag: boolean)")
+    assert db.execute(
+        "retrieve (n = count(E.name where E.flag is null)) "
+        "from E in Employees"
+    ).scalar() == 60
+    db.execute("replace E (flag = true) from E in Employees "
+               "where E.dept.floor = 2")
+    flagged = db.execute(
+        "retrieve (n = count(E.name where E.flag = true)) from E in Employees"
+    ).scalar()
+    assert flagged > 0

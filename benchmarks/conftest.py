@@ -1,0 +1,52 @@
+"""Shared benchmark fixtures: sized company databases.
+
+Benchmarks use the same deterministic generator as the tests so runs are
+reproducible; database construction happens once per module where
+possible (the benchmarked operations are read-only unless noted).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+from repro.util.workload import CompanyWorkload, build_company_database
+
+#: standard scale used by most experiments
+N_EMPLOYEES = 300
+N_DEPARTMENTS = 10
+
+
+@pytest.fixture(scope="module")
+def company():
+    """A read-only company database at the standard benchmark scale."""
+    return build_company_database(
+        CompanyWorkload(
+            departments=N_DEPARTMENTS, employees=N_EMPLOYEES, seed=1988
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def indexed_company():
+    """Standard scale, with hash(age) + btree(salary) indexes."""
+    db = build_company_database(
+        CompanyWorkload(
+            departments=N_DEPARTMENTS, employees=N_EMPLOYEES, seed=1988
+        )
+    )
+    db.execute("create index on Employees (age) using hash")
+    db.execute("create index on Employees (salary) using btree")
+    return db
+
+
+def fresh_company(employees: int = N_EMPLOYEES, **kwargs) -> Database:
+    """A fresh company database (for mutating benchmarks)."""
+    return build_company_database(
+        CompanyWorkload(
+            departments=kwargs.pop("departments", N_DEPARTMENTS),
+            employees=employees,
+            seed=kwargs.pop("seed", 1988),
+            **kwargs,
+        )
+    )

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Banking scenario: transactions, procedures, and auditing.
+
+Shows the extensions a downstream user needs for transactional work:
+``begin``/``commit``/``abort`` snapshot transactions, a transfer
+procedure that keeps balances consistent, set combinators for an audit
+report, and ``explain`` on the audit query.
+"""
+
+from repro import Database
+
+
+def main() -> None:
+    db = Database()
+    db.execute(
+        """
+        define type Customer as (cname: char(30), vip: boolean)
+        define type Account as (number: int4, balance: float8,
+                                owner: ref Customer)
+        create {own ref Customer} Customers
+        create {own ref Account} Accounts key (number)
+        define procedure Deposit (A in Account, amt: float8) as
+            replace A (balance = A.balance + amt)
+        """
+    )
+    for cname, vip in [("Ada", True), ("Ben", False), ("Cy", False)]:
+        db.execute(f'append to Customers (cname = "{cname}", vip = {str(vip).lower()})')
+    for number, balance, owner in [(1, 900.0, "Ada"), (2, 150.0, "Ben"),
+                                   (3, 25.0, "Cy")]:
+        db.execute(
+            f"append to Accounts (number = {number}, balance = {balance}, "
+            f'owner = C) from C in Customers where C.cname = "{owner}"'
+        )
+
+    print("Initial balances:")
+    print(db.execute(
+        "retrieve (A.number, A.owner.cname, A.balance) from A in Accounts"
+    ).pretty(), end="\n\n")
+
+    # --- a transfer inside a transaction, aborted on failure -------------
+    def transfer(src: int, dst: int, amount: float) -> bool:
+        db.execute("begin transaction")
+        db.execute(
+            f"execute Deposit (A, {-amount}) from A in Accounts "
+            f"where A.number = {src}"
+        )
+        db.execute(
+            f"execute Deposit (A, {amount}) from A in Accounts "
+            f"where A.number = {dst}"
+        )
+        overdrawn = db.execute(
+            f"retrieve (A.balance) from A in Accounts "
+            f"where A.number = {src} and A.balance < 0.0"
+        ).rows
+        if overdrawn:
+            db.execute("abort")
+            return False
+        db.execute("commit")
+        return True
+
+    print("transfer 100 from #1 to #3:", "ok" if transfer(1, 3, 100.0) else "aborted")
+    print("transfer 999 from #3 to #2:", "ok" if transfer(3, 2, 999.0) else "aborted")
+    print()
+    print("Balances after (second transfer rolled back):")
+    print(db.execute(
+        "retrieve (A.number, A.balance) from A in Accounts"
+    ).pretty(), end="\n\n")
+
+    # --- audit report via set combinators ----------------------------------
+    print("Audit: VIP accounts union low-balance accounts:")
+    report = db.execute(
+        "retrieve (A.number, A.owner.cname) from A in Accounts "
+        "where A.owner.vip = true "
+        "union "
+        "retrieve (A.number, A.owner.cname) from A in Accounts "
+        "where A.balance < 130.0"
+    )
+    print(report.pretty(), end="\n\n")
+
+    print("Plan for the audit's first branch:")
+    db.execute("create index on Accounts (balance) using btree")
+    plan = db.execute(
+        "explain retrieve (A.number) from A in Accounts "
+        "where A.balance < 130.0"
+    )
+    print(plan.pretty())
+    print(plan.message)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Engineering-design scenario: complex objects for a CAD database.
+
+The paper's introduction motivates EXTRA with engineering applications —
+the same DBMS should support "both business and engineering data,
+supporting queries such as those needed to compute design costs or to
+order parts for assembling a design object" [Ston87c]. This example
+models a small VLSI-ish design library:
+
+* a ``Part`` owns its ``pins`` (weak entities — own ref) and references
+  a shared ``Library`` cell (ref);
+* an ``Assembly`` owns a variable-length array of ``slots`` placing parts;
+* design-cost queries aggregate through the object structure;
+* a B+-tree index on part cost accelerates range predicates.
+"""
+
+from repro import Database
+
+
+def main() -> None:
+    db = Database()
+    db.execute(
+        """
+        define type Library as (lname: char(30), vendor: char(30))
+        define type Pin as (pname: char(10), signal: char(10))
+        define type Part as (pname: char(30), cost: float8,
+                             cell: ref Library,
+                             pins: {own ref Pin})
+        define type Placement as (x: int4, y: int4, part: ref Part)
+        define type Assembly as (aname: char(30),
+                                 slots: [] own Placement)
+        create {own ref Library} Cells
+        create {own ref Part} Parts
+        create {own ref Assembly} Assemblies
+        """
+    )
+
+    # Library cells shared by reference.
+    db.execute(
+        """
+        append to Cells (lname = "nand2", vendor = "Acme")
+        append to Cells (lname = "dff", vendor = "Acme")
+        """
+    )
+
+    # Parts own their pins; inline construction creates the weak entities.
+    parts = [
+        ("nand_a", 0.12, "nand2", ["a", "b", "y"]),
+        ("nand_b", 0.12, "nand2", ["a", "b", "y"]),
+        ("ff_main", 0.55, "dff", ["d", "clk", "q"]),
+        ("ff_shadow", 0.60, "dff", ["d", "clk", "q"]),
+    ]
+    for pname, cost, cell, pins in parts:
+        db.execute(
+            f'append to Parts (pname = "{pname}", cost = {cost}, cell = C) '
+            f'from C in Cells where C.lname = "{cell}"'
+        )
+        for pin in pins:
+            db.execute(
+                f'append to P.pins (pname = "{pin}", signal = "net_{pin}") '
+                f'from P in Parts where P.pname = "{pname}"'
+            )
+
+    # Assemblies place parts at coordinates in an owned variable array.
+    db.execute('append to Assemblies (aname = "counter")')
+    for index, pname in enumerate(["nand_a", "nand_b", "ff_main"]):
+        db.execute(
+            f"append to A.slots (x = {index * 10}, y = 0, part = P) "
+            f'from A in Assemblies, P in Parts '
+            f'where A.aname = "counter" and P.pname = "{pname}"'
+        )
+
+    print("Pins per part (correlated aggregate over owned sets):")
+    print(db.execute(
+        "retrieve (P.pname, pins = count(P.pins)) from P in Parts"
+    ).pretty(), end="\n\n")
+
+    print("Parts by vendor (implicit join through the shared cell):")
+    print(db.execute(
+        'retrieve (P.pname, P.cell.vendor) from P in Parts '
+        'where P.cell.vendor = "Acme"'
+    ).pretty(), end="\n\n")
+
+    print("Design cost of the counter assembly (path through array slots):")
+    print(db.execute(
+        'retrieve (total = sum(S.part.cost)) '
+        'from A in Assemblies, S in A.slots where A.aname = "counter"'
+    ).pretty(), end="\n\n")
+
+    # Index the cost attribute and show a range query uses it.
+    db.execute("create index on Parts (cost) using btree")
+    result = db.execute(
+        "retrieve (P.pname, P.cost) from P in Parts where P.cost > 0.5"
+    )
+    print("Expensive parts (B+-tree range scan):")
+    print(result.pretty())
+    print("plan:", result.plan.describe(), end="\n\n")
+
+    # Deleting a part cascades to its pins but leaves the shared cell.
+    pins_before = db.execute(
+        "retrieve (total = count(C.pname)) from C in Parts.pins"
+    ).scalar()
+    db.execute('delete P from P in Parts where P.pname = "ff_shadow"')
+    pins_after = db.execute(
+        "retrieve (total = count(C.pname)) from C in Parts.pins"
+    ).scalar()
+    cells = db.execute("retrieve (count(C.lname)) from C in Cells").scalar()
+    print(
+        f"pins before delete: {pins_before}, after: {pins_after}; "
+        f"library cells still shared: {cells}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""The full paper walkthrough: every construct the paper presents, live.
+
+Sections mirror the paper: §2 EXTRA data model (schema types, own / ref /
+own ref, inheritance with renaming, separate type/instance), §3 EXCESS
+queries (named singletons, arrays, implicit joins, nested sets,
+aggregates with ``over``, universal quantification, is/isnot, updates),
+§4 extensibility (the Complex ADT of Figure 7, EXCESS functions and
+procedures, authorization-based encapsulation).
+"""
+
+from repro import Database, OwnershipError
+
+
+def banner(text: str) -> None:
+    print(f"\n=== {text} " + "=" * max(0, 60 - len(text)))
+
+
+def main() -> None:
+    db = Database()
+
+    banner("§2 EXTRA: schema definition (Figures 1 and 2)")
+    db.execute(
+        """
+        define type Department as (dname: char(20), floor: int4,
+                                   budget: float8)
+        define type Person as (name: char(30), age: int4, birthday: Date,
+                               kids: {own ref Person})
+        define type Employee as (salary: float8, dept: ref Department)
+            inherits Person
+        create {own ref Department} Departments
+        create {own ref Employee} Employees
+        create {own ref Person} Friends      -- second collection of Persons
+        create Date Today
+        create ref Employee StarEmployee
+        create [10] ref Employee TopTen
+        """
+    )
+    print("types:", ", ".join(db.catalog.type_names()))
+    print("named objects:", ", ".join(db.catalog.named_names()))
+
+    banner("§2 multiple inheritance conflicts resolved by renaming (Fig 3)")
+    db.execute(
+        """
+        define type Student as (name: char(30), gpa: float8,
+                                dept: ref Department)
+        """
+    )
+    try:
+        db.execute(
+            "define type TA1 as (hours: int4) inherits Employee, Student"
+        )
+        print("unexpected: conflict not detected")
+    except Exception as exc:
+        print("conflict detected as the paper requires:", exc)
+    db.execute(
+        """
+        define type TA as (hours: int4) inherits Employee, Student
+            with rename Employee.dept to work_dept,
+                 rename Student.dept to school_dept,
+                 rename Student.name to student_name
+        """
+    )
+    ta = db.type("TA")
+    print("TA attributes:", ", ".join(a.name for a in ta.resolved_attributes()))
+
+    banner("§2 data: own ref kids, ref dept")
+    db.execute(
+        """
+        append to Departments (dname = "Toys", floor = 2, budget = 100000.0)
+        append to Departments (dname = "Shoes", floor = 1, budget = 80000.0)
+        append to Employees (name = "Sue", age = 40, salary = 50000.0,
+                             birthday = Date("7/4/1948"), dept = D)
+            from D in Departments where D.dname = "Toys"
+        append to Employees (name = "Bob", age = 30, salary = 40000.0,
+                             dept = D)
+            from D in Departments where D.dname = "Shoes"
+        append to Employees (name = "Ann", age = 50, salary = 60000.0,
+                             dept = D)
+            from D in Departments where D.dname = "Toys"
+        append to E.kids (name = "Tim", age = 10)
+            from E in Employees where E.name = "Sue"
+        append to E.kids (name = "Zoe", age = 7)
+            from E in Employees where E.name = "Sue"
+        """
+    )
+    print(db.execute("retrieve (E.name, E.age, E.salary) from E in Employees").pretty())
+
+    banner("§2 own-ref exclusivity (ORION composite objects)")
+    sue_kid = db.execute(
+        'retrieve (C) from C in Employees.kids where C.name = "Tim"'
+    ).rows[0][0]
+    try:
+        db.objects.claim(sue_kid.oid, owner_name="Friends")
+        print("unexpected: exclusivity not enforced")
+    except OwnershipError as exc:
+        print("exclusivity enforced:", exc)
+
+    banner("§3 basic retrieves: named singleton, named ref, array slot")
+    db.execute('set Today = Date("7/4/1988")')
+    db.execute('set StarEmployee = E from E in Employees where E.name = "Ann"')
+    db.execute('set TopTen[1] = E from E in Employees where E.name = "Ann"')
+    db.execute('set TopTen[2] = E from E in Employees where E.name = "Sue"')
+    print(db.execute("retrieve (Today)").pretty())
+    print(db.execute("retrieve (StarEmployee.name, StarEmployee.salary)").pretty())
+    print(db.execute("retrieve (TopTen[1].name, TopTen[1].salary)").pretty())
+
+    banner("§3 implicit joins and nested sets")
+    print(db.execute(
+        "retrieve (E.name) from E in Employees where E.dept.floor = 2"
+    ).pretty())
+    print(db.execute(
+        "retrieve (C.name) from C in Employees.kids "
+        "where Employees.dept.floor = 2"
+    ).pretty())
+    db.execute("range of C is Employees.kids")
+    print(db.execute(
+        "retrieve (C.name) where Employees.dept.floor = 2"
+    ).pretty())
+
+    banner("§3 aggregates with over (partitioned at different levels)")
+    print(db.execute(
+        "retrieve unique (D.dname, pay = avg(E.salary over E.dept), "
+        "kids = count(E2.kids)) "
+        "from D in Departments, E in Employees, E2 in Employees "
+        "where E.dept is D and E2.dept is D and E2.name = E.name"
+    ).pretty())
+    print(db.execute(
+        "retrieve (total = count(E.salary), high = max(E.salary), "
+        "mid = median(E.salary)) from E in Employees"
+    ).pretty())
+
+    banner("§3 universal quantification")
+    print(db.execute(
+        "retrieve (D.dname) from D in Departments, E in every Employees "
+        "where E.dept isnot D or E.salary > 45000.0"
+    ).pretty())
+
+    banner("§3 object equality: is / isnot")
+    print(db.execute(
+        "retrieve (E.name, F.name) from E in Employees, F in Employees "
+        "where E.dept is F.dept and E.name < F.name"
+    ).pretty())
+
+    banner("§3 updates: append / replace / delete with cascade")
+    db.execute(
+        "replace E (salary = E.salary * 1.1) from E in Employees "
+        "where E.dept.floor = 2"
+    )
+    before = db.execute("retrieve (count(C.age)) from C in Employees.kids").rows
+    db.execute('delete E from E in Employees where E.name = "Sue"')
+    after = db.execute("retrieve (count(C.age)) from C in Employees.kids").rows
+    print(f"kids before deleting Sue: {before[0][0]}, after: {after[0][0]} "
+          "(owned components die with their owner)")
+
+    banner("§4.1 ADTs: the Complex dbclass of Figure 7")
+    db.execute("create Complex Cnum")
+    db.execute("set Cnum = Complex(1.0, 2.0)")
+    print(db.execute(
+        "retrieve (sum = Cnum + Complex(3.0, 4.0), "
+        "alt = Add(Cnum, Complex(3.0, 4.0)), mag = Magnitude(Cnum))"
+    ).pretty())
+
+    banner("§4.2 EXCESS functions: derived data, inherited, virtual")
+    db.execute(
+        "define function Pay (E in Employee) returns float8 as "
+        "retrieve (E.salary * 1.02)"
+    )
+    print(db.execute(
+        "retrieve (E.name, Pay(E)) from E in Employees"
+    ).pretty())
+
+    banner("§4.2 procedures: IDM stored commands with where-binding")
+    db.execute(
+        "define procedure Raise (E in Employee, amt: float8) as "
+        "replace E (salary = E.salary + amt)"
+    )
+    result = db.execute(
+        "execute Raise (E, 500.0) from E in Employees "
+        "where E.dept.floor = 2"
+    )
+    print(result.message)
+    print(db.execute("retrieve (E.name, E.salary) from E in Employees").pretty())
+
+    banner("§4.2.3 authorization: encapsulation via execute-only access")
+    db.authz.enabled = True
+    db.execute("create user clerk")
+    db.execute("grant execute on Raise to clerk")
+    session = db.session("clerk")
+    try:
+        session.execute("retrieve (E.salary) from E in Employees")
+        print("unexpected: clerk read salaries directly")
+    except Exception as exc:
+        print("direct read denied:", exc)
+    result = session.execute(
+        'execute Raise (E, 1.0) from E in Employees where E.name = "Ann"'
+    )
+    print("but the procedure runs with definer rights:", result.message)
+
+
+if __name__ == "__main__":
+    main()

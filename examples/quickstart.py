@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Quickstart: define a schema, load data, and query it with EXCESS.
+
+Run with ``python examples/quickstart.py`` after installing the package.
+This walks the shortest useful path through the engine: DDL, appends,
+path-expression retrieves (implicit joins), an aggregate, and an update.
+"""
+
+from repro import Database
+
+
+def main() -> None:
+    db = Database()
+
+    # --- schema: the paper's running example (Figures 1 and 2) ----------
+    db.execute(
+        """
+        define type Department as (dname: char(20), floor: int4)
+        define type Person as (name: char(30), age: int4,
+                               kids: {own ref Person})
+        define type Employee as (salary: float8, dept: ref Department)
+            inherits Person
+        create {own ref Department} Departments
+        create {own ref Employee} Employees
+        """
+    )
+
+    # --- data ------------------------------------------------------------
+    db.execute(
+        """
+        append to Departments (dname = "Toys", floor = 2)
+        append to Departments (dname = "Shoes", floor = 1)
+        append to Employees (name = "Sue", age = 40, salary = 50000.0,
+                             dept = D)
+            from D in Departments where D.dname = "Toys"
+        append to Employees (name = "Bob", age = 30, salary = 40000.0,
+                             dept = D)
+            from D in Departments where D.dname = "Shoes"
+        append to E.kids (name = "Tim", age = 10)
+            from E in Employees where E.name = "Sue"
+        """
+    )
+
+    # --- queries -----------------------------------------------------------
+    print("Employees on the second floor (implicit join through dept):")
+    result = db.execute(
+        "retrieve (E.name, E.salary) from E in Employees "
+        "where E.dept.floor = 2"
+    )
+    print(result.pretty(), end="\n\n")
+
+    print("Children of second-floor employees (nested-set path):")
+    result = db.execute(
+        "retrieve (C.name) from C in Employees.kids "
+        "where Employees.dept.floor = 2"
+    )
+    print(result.pretty(), end="\n\n")
+
+    print("Average salary per department (partitioned aggregate):")
+    result = db.execute(
+        "retrieve unique (D.dname, pay = avg(E.salary over E.dept)) "
+        "from D in Departments, E in Employees where E.dept is D"
+    )
+    print(result.pretty(), end="\n\n")
+
+    # --- an update ------------------------------------------------------------
+    db.execute(
+        "replace E (salary = E.salary * 1.1) from E in Employees "
+        "where E.dept.floor = 2"
+    )
+    print("After the second-floor raise:")
+    print(db.execute("retrieve (E.name, E.salary) from E in Employees").pretty())
+
+
+if __name__ == "__main__":
+    main()

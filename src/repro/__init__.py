@@ -1,0 +1,123 @@
+"""EXTRA/EXCESS — a full reimplementation of the EXODUS data model and
+query language (Carey, DeWitt, Vandenberg, SIGMOD 1988).
+
+Quickstart::
+
+    from repro import Database
+
+    db = Database()
+    db.execute('''
+        define type Person as (name: char(30), age: int4)
+        create {own ref Person} People
+        append to People (name = "Sue", age = 40)
+    ''')
+    result = db.execute('retrieve (P.name) from P in People where P.age > 30')
+    print(result.pretty())
+
+Public surface:
+
+* :class:`Database` — the engine facade (Python API + ``execute``);
+* :class:`Result` — query results;
+* the EXTRA type constructors (``own``/``ref``/``own_ref``, base types,
+  ``SetType``/``ArrayType``/``TupleType``) for the Python-level API;
+* the built-in ADTs ``Date`` and ``Complex``;
+* the exception hierarchy under :class:`~repro.errors.ExtraError`.
+"""
+
+from repro.core.database import Database, Session
+from repro.core.schema import Rename, SchemaType
+from repro.core.types import (
+    ArrayType,
+    BOOLEAN,
+    ComponentSpec,
+    EnumType,
+    FLOAT4,
+    FLOAT8,
+    INT1,
+    INT2,
+    INT4,
+    Semantics,
+    SetType,
+    TEXT,
+    TupleType,
+    Type,
+    char,
+    enumeration,
+    own,
+    own_ref,
+    ref,
+)
+from repro.core.values import (
+    NULL,
+    ArrayInstance,
+    Ref,
+    SetInstance,
+    TupleInstance,
+)
+from repro.adt.builtin import Complex, Date
+from repro.errors import (
+    AuthorizationError,
+    BindError,
+    CatalogError,
+    EvaluationError,
+    ExcessError,
+    ExtraError,
+    IntegrityError,
+    LexicalError,
+    OwnershipError,
+    ParseError,
+    SchemaError,
+    StorageError,
+    TypeSystemError,
+)
+from repro.excess.result import Result
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "Session",
+    "Result",
+    "SchemaType",
+    "Rename",
+    "ArrayType",
+    "SetType",
+    "TupleType",
+    "Type",
+    "ComponentSpec",
+    "EnumType",
+    "Semantics",
+    "BOOLEAN",
+    "FLOAT4",
+    "FLOAT8",
+    "INT1",
+    "INT2",
+    "INT4",
+    "TEXT",
+    "char",
+    "enumeration",
+    "own",
+    "own_ref",
+    "ref",
+    "NULL",
+    "Ref",
+    "TupleInstance",
+    "SetInstance",
+    "ArrayInstance",
+    "Date",
+    "Complex",
+    "ExtraError",
+    "TypeSystemError",
+    "SchemaError",
+    "CatalogError",
+    "IntegrityError",
+    "OwnershipError",
+    "ExcessError",
+    "LexicalError",
+    "ParseError",
+    "BindError",
+    "EvaluationError",
+    "StorageError",
+    "AuthorizationError",
+    "__version__",
+]

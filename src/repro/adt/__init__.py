@@ -1,0 +1,30 @@
+"""The EXTRA abstract-data-type facility (paper §4.1).
+
+In EXODUS, new base types are written in the E language and registered
+with the system together with their functions, operators (with precedence
+and associativity), and tabular optimizer information. Here Python stands
+in for E:
+
+* :mod:`repro.adt.registry` — ADT, function, and operator registration;
+* :mod:`repro.adt.builtin` — the paper's example ADTs: ``Date``
+  (Figure 1) and ``Complex`` (Figure 7);
+* :mod:`repro.adt.generics` — generic set functions (the E generic
+  function facility: e.g. a ``median`` that works for *any* totally
+  ordered type, which the paper contrasts with POSTGRES's per-type
+  aggregates) and iterator functions.
+"""
+
+from repro.adt.builtin import Complex, Date, register_builtin_adts
+from repro.adt.generics import GenericSetFunction, SetFunctionRegistry
+from repro.adt.registry import AdtFunction, AdtRegistry, OperatorDef
+
+__all__ = [
+    "AdtFunction",
+    "AdtRegistry",
+    "OperatorDef",
+    "Date",
+    "Complex",
+    "register_builtin_adts",
+    "GenericSetFunction",
+    "SetFunctionRegistry",
+]

@@ -1,0 +1,237 @@
+"""The paper's example ADTs: ``Date`` (Figure 1) and ``Complex`` (Figure 7).
+
+Figure 7 of the paper gives a simplified E interface for a ``Complex``
+dbclass with component accessors, an ``Add`` function, and an overloaded
+``+`` operator; Figure 1 uses a ``Date`` ADT for ``Person.birthday``.
+Both are implemented here as plain Python classes and registered with
+an :class:`~repro.adt.registry.AdtRegistry` by
+:func:`register_builtin_adts`, which also fills in the tabular access-
+method information (``Date`` is totally ordered, so B+-tree rows are
+registered for it; ``Complex`` is hashable-for-equality only).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.types import FLOAT8, INT4, TEXT, AdtType
+from repro.errors import TypeSystemError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.adt.registry import AdtRegistry
+    from repro.storage.access import AccessMethodTable
+
+__all__ = [
+    "Date",
+    "Complex",
+    "register_builtin_adts",
+    "date_from_string",
+    "complex_add",
+]
+
+_DAYS_IN_MONTH = (31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31)
+
+
+def _is_leap(year: int) -> bool:
+    return year % 4 == 0 and (year % 100 != 0 or year % 400 == 0)
+
+
+def _days_in_month(year: int, month: int) -> int:
+    if month == 2 and _is_leap(year):
+        return 29
+    return _DAYS_IN_MONTH[month - 1]
+
+
+@dataclass(frozen=True, order=True)
+class Date:
+    """The ``Date`` ADT of paper Figure 1: a calendar date.
+
+    Dates order chronologically (field order year, month, day makes the
+    dataclass ordering correct) and validate on construction.
+    """
+
+    year: int
+    month: int
+    day: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.month <= 12:
+            raise TypeSystemError(f"invalid month {self.month}")
+        if not 1 <= self.day <= _days_in_month(self.year, self.month):
+            raise TypeSystemError(
+                f"invalid day {self.day} for {self.month}/{self.year}"
+            )
+
+    def to_ordinal(self) -> int:
+        """Days since 1/1/1 (proleptic Gregorian), for date arithmetic."""
+        days = 0
+        year = self.year - 1
+        days += year * 365 + year // 4 - year // 100 + year // 400
+        for month in range(1, self.month):
+            days += _days_in_month(self.year, month)
+        return days + self.day
+
+    def __str__(self) -> str:
+        return f"{self.month}/{self.day}/{self.year}"
+
+
+def date_from_string(text: str) -> Date:
+    """Parse ``"m/d/yyyy"`` into a :class:`Date` (the EXCESS constructor
+    syntax ``Date("7/4/1988")``)."""
+    parts = text.split("/")
+    if len(parts) != 3:
+        raise TypeSystemError(f"bad date literal {text!r}; expected m/d/yyyy")
+    try:
+        month, day, year = (int(p) for p in parts)
+    except ValueError:
+        raise TypeSystemError(f"bad date literal {text!r}") from None
+    return Date(year=year, month=month, day=day)
+
+
+def date_year(d: Date) -> int:
+    """Accessor: the year component."""
+    return d.year
+
+
+def date_month(d: Date) -> int:
+    """Accessor: the month component."""
+    return d.month
+
+
+def date_day(d: Date) -> int:
+    """Accessor: the day component."""
+    return d.day
+
+
+def date_diff(a: Date, b: Date) -> int:
+    """Days from ``b`` to ``a`` (positive when ``a`` is later)."""
+    return a.to_ordinal() - b.to_ordinal()
+
+
+def date_add_days(d: Date, days: int) -> Date:
+    """The date ``days`` after ``d`` (negative moves backwards)."""
+    target = d.to_ordinal() + days
+    if target < 1:
+        raise TypeSystemError("date arithmetic before 1/1/1")
+    year = max(1, target // 366)
+    while Date(year + 1, 1, 1).to_ordinal() <= target:
+        year += 1
+    remaining = target - (Date(year, 1, 1).to_ordinal() - 1)
+    month = 1
+    while remaining > _days_in_month(year, month):
+        remaining -= _days_in_month(year, month)
+        month += 1
+    return Date(year=year, month=month, day=remaining)
+
+
+@dataclass(frozen=True)
+class Complex:
+    """The ``Complex`` ADT of paper Figure 7: a complex number dbclass."""
+
+    re: float
+    im: float
+
+    def __str__(self) -> str:
+        sign = "+" if self.im >= 0 else "-"
+        return f"({self.re} {sign} {abs(self.im)}i)"
+
+
+def complex_make(re: float, im: float) -> Complex:
+    """Constructor: ``Complex(1.0, 2.0)``."""
+    return Complex(float(re), float(im))
+
+
+def complex_add(a: Complex, b: Complex) -> Complex:
+    """Figure 7's ``Add`` member function, also registered as ``+``."""
+    return Complex(a.re + b.re, a.im + b.im)
+
+
+def complex_subtract(a: Complex, b: Complex) -> Complex:
+    """Complex subtraction, registered as ``-``."""
+    return Complex(a.re - b.re, a.im - b.im)
+
+
+def complex_multiply(a: Complex, b: Complex) -> Complex:
+    """Complex multiplication, registered as ``*``."""
+    return Complex(a.re * b.re - a.im * b.im, a.re * b.im + a.im * b.re)
+
+
+def complex_magnitude(a: Complex) -> float:
+    """The modulus |a|."""
+    return math.hypot(a.re, a.im)
+
+
+def complex_re(a: Complex) -> float:
+    """Accessor: the real component."""
+    return a.re
+
+
+def complex_im(a: Complex) -> float:
+    """Accessor: the imaginary component."""
+    return a.im
+
+
+def register_builtin_adts(
+    registry: "AdtRegistry",
+    access_table: Optional["AccessMethodTable"] = None,
+) -> tuple[AdtType, AdtType]:
+    """Register ``Date`` and ``Complex`` with ``registry`` (and their
+    access-method rows with ``access_table`` when given).
+
+    Returns ``(date_type, complex_type)``.
+    """
+    date_type = registry.define_adt("Date", Date)
+    complex_type = registry.define_adt("Complex", Complex)
+
+    # Date: constructor, accessors, arithmetic. The constructor shares the
+    # ADT's name, giving the EXCESS literal syntax Date("7/4/1988").
+    registry.define_function("Date", "Date", date_from_string, [TEXT], date_type)
+    registry.define_function("Date", "Year", date_year, [date_type], INT4)
+    registry.define_function("Date", "Month", date_month, [date_type], INT4)
+    registry.define_function("Date", "Day", date_day, [date_type], INT4)
+    registry.define_function(
+        "Date", "DateDiff", date_diff, [date_type, date_type], INT4
+    )
+    registry.define_function(
+        "Date", "AddDays", date_add_days, [date_type, INT4], date_type
+    )
+
+    # Complex: Figure 7's interface plus convenience accessors.
+    registry.define_function(
+        "Complex", "Complex", complex_make, [FLOAT8, FLOAT8], complex_type
+    )
+    registry.define_function(
+        "Complex", "Add", complex_add, [complex_type, complex_type], complex_type
+    )
+    registry.define_function(
+        "Complex", "Subtract", complex_subtract, [complex_type, complex_type],
+        complex_type,
+    )
+    registry.define_function(
+        "Complex", "Multiply", complex_multiply, [complex_type, complex_type],
+        complex_type,
+    )
+    registry.define_function(
+        "Complex", "Magnitude", complex_magnitude, [complex_type], FLOAT8
+    )
+    registry.define_function("Complex", "Re", complex_re, [complex_type], FLOAT8)
+    registry.define_function("Complex", "Im", complex_im, [complex_type], FLOAT8)
+
+    # Operator registrations: overloading existing EXCESS operators, as in
+    # the paper's Figure 7 discussion ("Existing EXCESS operators can be
+    # overloaded, as illustrated here").
+    registry.register_operator("+", "Complex", "Add", precedence=50)
+    registry.register_operator("-", "Complex", "Subtract", precedence=50)
+    registry.register_operator("*", "Complex", "Multiply", precedence=60)
+
+    if access_table is not None:
+        # Date is totally ordered: B+-tree rows let indexed range
+        # predicates over Date attributes use an index. Complex supports
+        # only hashed equality.
+        access_table.register_ordered("Date")
+        access_table.register_hashable("Date")
+        access_table.register_hashable("Complex")
+
+    return date_type, complex_type

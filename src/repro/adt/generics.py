@@ -1,0 +1,275 @@
+"""Generic set functions and iterator functions.
+
+Paper §4.1.4: POSTGRES could add a ``median`` aggregate for *sets of
+integers* but not one "that works for any totally ordered type"; EXCESS
+bases such extensions on E's generic functions, which constrain the
+generic type (e.g. "any type that has boolean less_than and equals member
+functions"). Here a :class:`GenericSetFunction` declares its constraint
+(``requires`` = "ordered" / "numeric" / "any") and the registry checks
+the element type at bind time, so one ``median`` really does serve every
+ordered type — integers, floats, strings, and ordered ADTs like ``Date``.
+
+E iterator functions ("a construct, called an iterator function, for
+returning sequences of values of a given type") are modelled by
+:class:`IteratorFunction`: a registered generator usable as an EXCESS
+range specification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Optional
+
+from repro.core.types import (
+    FLOAT8,
+    INT4,
+    AdtType,
+    CharType,
+    EnumType,
+    FloatType,
+    IntegerType,
+    TextType,
+    Type,
+)
+from repro.errors import CatalogError, FunctionError
+
+__all__ = [
+    "GenericSetFunction",
+    "IteratorFunction",
+    "SetFunctionRegistry",
+    "element_is_ordered",
+    "element_is_numeric",
+]
+
+#: ADTs known to be totally ordered (extended via SetFunctionRegistry).
+_ORDERED_ADTS = {"Date"}
+
+
+def element_is_numeric(element_type: Type) -> bool:
+    """True when the element type supports arithmetic aggregation."""
+    return isinstance(element_type, (IntegerType, FloatType))
+
+
+def element_is_ordered(element_type: Type, extra_ordered: Iterable[str] = ()) -> bool:
+    """True when the element type is totally ordered (has less_than and
+    equals, in the paper's E-constraint phrasing)."""
+    if isinstance(element_type, (IntegerType, FloatType, CharType, TextType, EnumType)):
+        return True
+    if isinstance(element_type, AdtType):
+        return element_type.name in _ORDERED_ADTS or element_type.name in set(
+            extra_ordered
+        )
+    return False
+
+
+@dataclass(frozen=True)
+class GenericSetFunction:
+    """A set function applicable to any element type meeting a constraint.
+
+    ``impl`` receives the list of (non-null) element values; ``requires``
+    is one of ``"any"``, ``"ordered"``, ``"numeric"``. ``result_type``
+    maps the element type to the function's result type (e.g. identity
+    for ``median``, ``FLOAT8`` for ``avg``).
+    """
+
+    name: str
+    impl: Callable[[list], Any] = field(compare=False)
+    requires: str = "any"
+    result_type: Callable[[Type], Type] = field(
+        default=None, compare=False  # type: ignore[assignment]
+    )
+    #: value returned for an empty input (None means "null")
+    empty_value: Any = None
+
+    def check_applicable(self, element_type: Type, ordered_adts: Iterable[str]) -> None:
+        """Raise :class:`FunctionError` when the constraint fails."""
+        if self.requires == "numeric" and not element_is_numeric(element_type):
+            raise FunctionError(
+                f"set function {self.name!r} requires a numeric element type, "
+                f"got {element_type}"
+            )
+        if self.requires == "ordered" and not element_is_ordered(
+            element_type, ordered_adts
+        ):
+            raise FunctionError(
+                f"set function {self.name!r} requires a totally ordered element "
+                f"type, got {element_type}"
+            )
+
+
+@dataclass(frozen=True)
+class IteratorFunction:
+    """A registered iterator function usable as a range specification.
+
+    ``impl(*args)`` must return an iterable of values of ``element_type``.
+    """
+
+    name: str
+    impl: Callable[..., Iterable[Any]] = field(compare=False)
+    element_type: Type = INT4
+    arity: int = 0
+
+
+# -- built-in set function implementations ------------------------------------
+
+
+def _agg_count(values: list) -> int:
+    return len(values)
+
+
+def _agg_sum(values: list) -> Any:
+    return sum(values) if values else 0
+
+
+def _agg_avg(values: list) -> Any:
+    return sum(values) / len(values) if values else None
+
+
+def _agg_min(values: list) -> Any:
+    return min(values) if values else None
+
+
+def _agg_max(values: list) -> Any:
+    return max(values) if values else None
+
+
+def _agg_median(values: list) -> Any:
+    """Median for any totally ordered type: the lower-middle element (so
+    the result is always an actual element value, which keeps the result
+    type equal to the element type for non-numeric ordered types)."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    return ordered[(len(ordered) - 1) // 2]
+
+
+def _agg_stddev(values: list) -> Any:
+    if len(values) < 2:
+        return 0.0 if values else None
+    mean = sum(values) / len(values)
+    return (sum((v - mean) ** 2 for v in values) / (len(values) - 1)) ** 0.5
+
+
+def _identity_result(element: Type) -> Type:
+    """Result type = element type (used by min/max/median/sum)."""
+    return element
+
+
+def _int_result(_element: Type) -> Type:
+    """Result type is always int4 (used by count)."""
+    return INT4
+
+
+def _float_result(_element: Type) -> Type:
+    """Result type is always float8 (used by avg/stddev)."""
+    return FLOAT8
+
+
+def _iter_interval(low: int, high: int) -> Iterator[int]:
+    """Built-in iterator function: integers low..high inclusive."""
+    return iter(range(low, high + 1))
+
+
+class SetFunctionRegistry:
+    """Registry of generic set functions and iterator functions.
+
+    Pre-populated with the QUEL aggregates (count, sum, avg, min, max)
+    plus the paper's motivating generic example, ``median``, and a
+    ``stddev`` extension. ``count`` is special-cased by the binder to
+    accept any element type; the rest carry constraints.
+    """
+
+    def __init__(self) -> None:
+        self._functions: dict[str, GenericSetFunction] = {}
+        self._iterators: dict[str, IteratorFunction] = {}
+        self._ordered_adts: set[str] = set(_ORDERED_ADTS)
+        self._install_builtins()
+
+    def _install_builtins(self) -> None:
+        self.register(
+            GenericSetFunction(
+                "count", _agg_count, requires="any",
+                result_type=_int_result, empty_value=0,
+            )
+        )
+        self.register(
+            GenericSetFunction(
+                "sum", _agg_sum, requires="numeric",
+                result_type=_identity_result, empty_value=0,
+            )
+        )
+        self.register(
+            GenericSetFunction(
+                "avg", _agg_avg, requires="numeric",
+                result_type=_float_result,
+            )
+        )
+        self.register(
+            GenericSetFunction("min", _agg_min, requires="ordered",
+                               result_type=_identity_result)
+        )
+        self.register(
+            GenericSetFunction("max", _agg_max, requires="ordered",
+                               result_type=_identity_result)
+        )
+        self.register(
+            GenericSetFunction("median", _agg_median, requires="ordered",
+                               result_type=_identity_result)
+        )
+        self.register(
+            GenericSetFunction(
+                "stddev", _agg_stddev, requires="numeric",
+                result_type=_float_result,
+            )
+        )
+        self.register_iterator(
+            IteratorFunction("Interval", _iter_interval, element_type=INT4, arity=2)
+        )
+
+    # -- set functions -----------------------------------------------------------
+
+    def register(self, function: GenericSetFunction) -> None:
+        """Add a generic set function; duplicate names are rejected."""
+        if function.result_type is None:
+            function = GenericSetFunction(
+                name=function.name,
+                impl=function.impl,
+                requires=function.requires,
+                result_type=_identity_result,
+                empty_value=function.empty_value,
+            )
+        if function.name in self._functions:
+            raise CatalogError(f"set function {function.name!r} already defined")
+        self._functions[function.name] = function
+
+    def lookup(self, name: str) -> Optional[GenericSetFunction]:
+        """The set function named ``name`` (case-insensitive), or None."""
+        return self._functions.get(name.lower())
+
+    def names(self) -> list[str]:
+        """All registered set-function names, sorted."""
+        return sorted(self._functions)
+
+    def declare_ordered_adt(self, adt_name: str) -> None:
+        """Declare that an ADT is totally ordered so that ordered generic
+        functions (min/max/median) apply to sets of it."""
+        self._ordered_adts.add(adt_name)
+
+    @property
+    def ordered_adts(self) -> frozenset[str]:
+        """ADTs declared totally ordered."""
+        return frozenset(self._ordered_adts)
+
+    # -- iterator functions --------------------------------------------------------
+
+    def register_iterator(self, function: IteratorFunction) -> None:
+        """Add an iterator function; duplicate names are rejected."""
+        if function.name in self._iterators:
+            raise CatalogError(
+                f"iterator function {function.name!r} already defined"
+            )
+        self._iterators[function.name] = function
+
+    def lookup_iterator(self, name: str) -> Optional[IteratorFunction]:
+        """The iterator function named ``name``, or None."""
+        return self._iterators.get(name)

@@ -1,0 +1,21 @@
+"""Authorization: System R / IDM-style protection (paper §4.2.3).
+
+Users and user groups (including the special all-users group) hold
+privileges granted on named objects, schema types, functions, and
+procedures. Granting access *only* to a type's EXCESS functions and
+procedures makes the type an abstract data type in its own right — the
+paper's encapsulation-through-authorization design.
+"""
+
+from repro.authz.grants import AuthorizationManager, Grant, Privilege
+from repro.authz.users import ALL_USERS, Group, User, UserDirectory
+
+__all__ = [
+    "ALL_USERS",
+    "User",
+    "Group",
+    "UserDirectory",
+    "Privilege",
+    "Grant",
+    "AuthorizationManager",
+]

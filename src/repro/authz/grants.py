@@ -1,0 +1,164 @@
+"""Privileges and grants.
+
+Privileges mirror the EXCESS statement forms: ``select`` (retrieve),
+``append``, ``delete``, ``replace`` on named objects and schema types,
+``execute`` on functions and procedures, plus ``define`` (create types /
+functions on a type) and ``all``. The creator of an object holds every
+privilege implicitly; the DBA holds every privilege on everything.
+
+Encapsulation (paper §4.2.3): "one could choose to grant access to a
+given schema type only via its EXCESS functions and procedures,
+effectively making the schema type an abstract data type in its own
+right" — granting ``execute`` on a function without ``select`` on the
+underlying object achieves exactly that here, because function bodies are
+evaluated with *definer* rights.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.authz.users import UserDirectory
+from repro.errors import AuthorizationError, CatalogError
+
+__all__ = ["Privilege", "Grant", "AuthorizationManager"]
+
+
+class Privilege(enum.Enum):
+    """A grantable privilege."""
+
+    SELECT = "select"
+    APPEND = "append"
+    DELETE = "delete"
+    REPLACE = "replace"
+    EXECUTE = "execute"
+    DEFINE = "define"
+    ALL = "all"
+
+    @classmethod
+    def parse(cls, text: str) -> "Privilege":
+        """Parse a privilege keyword (case-insensitive)."""
+        try:
+            return cls(text.lower())
+        except ValueError:
+            valid = ", ".join(p.value for p in cls)
+            raise CatalogError(
+                f"unknown privilege {text!r} (valid: {valid})"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Grant:
+    """One grant: a principal holds a privilege on a named object."""
+
+    principal: str
+    privilege: Privilege
+    object_name: str
+    grantor: str = "dba"
+
+
+class AuthorizationManager:
+    """Stores grants and answers privilege checks."""
+
+    def __init__(self, directory: Optional[UserDirectory] = None):
+        self.directory = directory if directory is not None else UserDirectory()
+        self._grants: set[Grant] = set()
+        #: object name → creating user (creators hold all privileges)
+        self._owners: dict[str, str] = {}
+        self.enabled = True
+
+    # -- ownership ---------------------------------------------------------------
+
+    def record_owner(self, object_name: str, user: str) -> None:
+        """Record that ``user`` created ``object_name``."""
+        self._owners[object_name] = user
+
+    def owner_of(self, object_name: str) -> Optional[str]:
+        """The creating user of ``object_name``, if recorded."""
+        return self._owners.get(object_name)
+
+    # -- grant / revoke -------------------------------------------------------------
+
+    def grant(
+        self,
+        principal: str,
+        privilege: Privilege,
+        object_name: str,
+        grantor: str = "dba",
+    ) -> Grant:
+        """Grant ``privilege`` on ``object_name`` to ``principal``.
+
+        Only the DBA or a holder of the privilege (owner included) may
+        grant it onwards.
+        """
+        if not self._may_administer(grantor, privilege, object_name):
+            raise AuthorizationError(grantor, privilege.value, object_name)
+        record = Grant(principal, privilege, object_name, grantor)
+        self._grants.add(record)
+        return record
+
+    def revoke(
+        self,
+        principal: str,
+        privilege: Privilege,
+        object_name: str,
+        revoker: str = "dba",
+    ) -> bool:
+        """Revoke a grant; returns True when a matching grant existed."""
+        if not self._may_administer(revoker, privilege, object_name):
+            raise AuthorizationError(revoker, privilege.value, object_name)
+        matches = [
+            g for g in self._grants
+            if g.principal == principal
+            and g.object_name == object_name
+            and (g.privilege is privilege or privilege is Privilege.ALL)
+        ]
+        for grant in matches:
+            self._grants.discard(grant)
+        return bool(matches)
+
+    def _may_administer(
+        self, user: str, privilege: Privilege, object_name: str
+    ) -> bool:
+        if user == self.directory.dba:
+            return True
+        if self._owners.get(object_name) == user:
+            return True
+        return self._holds(user, privilege, object_name)
+
+    # -- checks ---------------------------------------------------------------------
+
+    def _holds(self, user: str, privilege: Privilege, object_name: str) -> bool:
+        principals = self.directory.principals_of(user)
+        for grant in self._grants:
+            if grant.object_name != object_name:
+                continue
+            if grant.principal not in principals:
+                continue
+            if grant.privilege is privilege or grant.privilege is Privilege.ALL:
+                return True
+        return False
+
+    def allowed(self, user: str, privilege: Privilege, object_name: str) -> bool:
+        """True when ``user`` may exercise ``privilege`` on the object."""
+        if not self.enabled:
+            return True
+        if user == self.directory.dba:
+            return True
+        if self._owners.get(object_name) == user:
+            return True
+        return self._holds(user, privilege, object_name)
+
+    def check(self, user: str, privilege: Privilege, object_name: str) -> None:
+        """Raise :class:`AuthorizationError` unless allowed."""
+        if not self.allowed(user, privilege, object_name):
+            raise AuthorizationError(user, privilege.value, object_name)
+
+    def grants_for(self, object_name: str) -> list[Grant]:
+        """All grants on ``object_name`` (sorted, for display)."""
+        return sorted(
+            (g for g in self._grants if g.object_name == object_name),
+            key=lambda g: (g.principal, g.privilege.value),
+        )

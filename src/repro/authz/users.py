@@ -1,0 +1,120 @@
+"""Users and user groups.
+
+"Both individual users and user groups (including a special 'all-users'
+group) will be recognized" (paper §4.2.3). The directory tracks users,
+groups, and membership; a user's *principals* are the user itself plus
+every group it belongs to (transitively) plus the all-users group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CatalogError
+
+__all__ = ["ALL_USERS", "User", "Group", "UserDirectory"]
+
+#: The special group every user implicitly belongs to.
+ALL_USERS = "all-users"
+
+
+@dataclass(frozen=True)
+class User:
+    """A database user."""
+
+    name: str
+
+
+@dataclass
+class Group:
+    """A user group; members may be users or other groups."""
+
+    name: str
+    members: set[str] = field(default_factory=set)
+
+
+class UserDirectory:
+    """Tracks users, groups, and group membership."""
+
+    def __init__(self, dba: str = "dba"):
+        self._users: dict[str, User] = {}
+        self._groups: dict[str, Group] = {ALL_USERS: Group(ALL_USERS)}
+        self.dba = dba
+        self.add_user(dba)
+
+    # -- users ---------------------------------------------------------------
+
+    def add_user(self, name: str) -> User:
+        """Register a user; idempotent."""
+        if name in self._groups:
+            raise CatalogError(f"{name!r} already names a group")
+        user = self._users.get(name)
+        if user is None:
+            user = User(name)
+            self._users[name] = user
+        return user
+
+    def has_user(self, name: str) -> bool:
+        """True when ``name`` is a registered user."""
+        return name in self._users
+
+    def users(self) -> list[str]:
+        """All user names, sorted."""
+        return sorted(self._users)
+
+    # -- groups ------------------------------------------------------------------
+
+    def add_group(self, name: str) -> Group:
+        """Register a group; idempotent."""
+        if name in self._users:
+            raise CatalogError(f"{name!r} already names a user")
+        group = self._groups.get(name)
+        if group is None:
+            group = Group(name)
+            self._groups[name] = group
+        return group
+
+    def has_group(self, name: str) -> bool:
+        """True when ``name`` is a registered group."""
+        return name in self._groups
+
+    def groups(self) -> list[str]:
+        """All group names, sorted."""
+        return sorted(self._groups)
+
+    def add_member(self, group_name: str, member: str) -> None:
+        """Add a user or group to a group."""
+        try:
+            group = self._groups[group_name]
+        except KeyError:
+            raise CatalogError(f"unknown group {group_name!r}") from None
+        if member not in self._users and member not in self._groups:
+            raise CatalogError(f"unknown user or group {member!r}")
+        if member == group_name:
+            raise CatalogError("a group cannot contain itself")
+        group.members.add(member)
+
+    def remove_member(self, group_name: str, member: str) -> None:
+        """Remove a member from a group."""
+        try:
+            self._groups[group_name].members.discard(member)
+        except KeyError:
+            raise CatalogError(f"unknown group {group_name!r}") from None
+
+    # -- principal resolution --------------------------------------------------------
+
+    def principals_of(self, user: str) -> frozenset[str]:
+        """The user plus every group containing it (transitively), plus
+        the all-users group. Unknown users still carry all-users, letting
+        an open database serve anonymous reads if so granted."""
+        principals = {user, ALL_USERS}
+        changed = True
+        while changed:
+            changed = False
+            for group in self._groups.values():
+                if group.name in principals:
+                    continue
+                if group.members & principals:
+                    principals.add(group.name)
+                    changed = True
+        return frozenset(principals)

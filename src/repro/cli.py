@@ -1,0 +1,223 @@
+"""An interactive EXCESS shell and script runner.
+
+Usage::
+
+    python -m repro                      # interactive REPL
+    python -m repro script.excess        # run a script file
+    python -m repro --database db.snap   # open (and save on exit) a snapshot
+
+Inside the REPL, statements may span lines; a statement is executed when
+it parses completely (end with ``;`` to force a boundary). Meta commands
+start with a backslash:
+
+==============  =====================================================
+``\\help``       show this help
+``\\quit``       exit (saving the snapshot when one was opened)
+``\\stats``      engine statistics
+``\\save PATH``  snapshot the database to PATH
+``\\load PATH``  replace the session database with a snapshot
+``\\user NAME``  switch the session user (authorization applies)
+``\\authz on|off``      toggle authorization enforcement
+``\\optimizer on|off``  toggle the query optimizer (for comparisons)
+``\\schema``     list types and named objects
+==============  =====================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import IO, Optional
+
+from repro.core.database import Database
+from repro.errors import ExtraError, LexicalError, ParseError
+from repro.excess.result import Result
+
+__all__ = ["Shell", "main"]
+
+_PROMPT = "excess> "
+_CONTINUATION = "   ...> "
+
+
+class Shell:
+    """The REPL engine, separated from I/O for testability."""
+
+    def __init__(
+        self,
+        database: Optional[Database] = None,
+        out: IO[str] = sys.stdout,
+        snapshot_path: Optional[str] = None,
+    ):
+        self.db = database if database is not None else Database()
+        self.out = out
+        self.snapshot_path = snapshot_path
+        self.user = self.db.authz.directory.dba
+        self.done = False
+
+    # -- output -----------------------------------------------------------------
+
+    def _write(self, text: str) -> None:
+        self.out.write(text + "\n")
+
+    def show_result(self, result: Result) -> None:
+        """Print a statement result."""
+        if result.columns:
+            self._write(result.pretty())
+            self._write(f"({len(result.rows)} row(s))")
+        elif result.message:
+            self._write(result.message)
+        else:
+            self._write(f"{result.kind}: {result.count}")
+
+    # -- statement handling ----------------------------------------------------------
+
+    def execute(self, text: str) -> None:
+        """Run one complete EXCESS input (may hold several statements)."""
+        try:
+            result = self.db.execute(text, user=self.user)
+        except ExtraError as exc:
+            self._write(f"error: {exc}")
+            return
+        self.show_result(result)
+
+    def is_complete(self, text: str) -> bool:
+        """Heuristic: does ``text`` parse as complete statement(s)?
+
+        Incomplete input (errors at end-of-input) returns False so the
+        REPL keeps reading; any other parse error counts as complete —
+        executing it will surface the error to the user.
+        """
+        from repro.excess.lexer import Lexer
+        from repro.excess.parser import Parser
+
+        stripped = text.strip()
+        if not stripped:
+            return False
+        if stripped.endswith(";"):
+            return True
+        try:
+            table = self.db.interpreter._operator_table()
+            lexer = Lexer(text, extra_symbols=table.punctuation_symbols())
+            tokens = lexer.tokens()
+            Parser(tokens, table).parse_script()
+            return True
+        except (ParseError, LexicalError) as exc:
+            eof_line = text.count("\n") + 1
+            # an error on the last line usually means "keep typing"
+            return getattr(exc, "line", 0) < eof_line
+
+    # -- meta commands ------------------------------------------------------------------
+
+    def meta(self, line: str) -> None:
+        """Handle a backslash meta command."""
+        parts = line[1:].split()
+        command = parts[0] if parts else ""
+        args = parts[1:]
+        if command in ("quit", "q", "exit"):
+            if self.snapshot_path:
+                size = self.db.save(self.snapshot_path)
+                self._write(f"saved {size} bytes to {self.snapshot_path}")
+            self.done = True
+        elif command == "help":
+            self._write(__doc__ or "")
+        elif command == "stats":
+            for key, value in self.db.stats().items():
+                self._write(f"{key}: {value}")
+        elif command == "save" and args:
+            size = self.db.save(args[0])
+            self._write(f"saved {size} bytes to {args[0]}")
+        elif command == "load" and args:
+            self.db = Database.load(args[0])
+            self._write(f"loaded {args[0]}")
+        elif command == "user" and args:
+            self.db.authz.directory.add_user(args[0])
+            self.user = args[0]
+            self._write(f"now acting as {args[0]}")
+        elif command == "authz" and args:
+            self.db.authz.enabled = args[0] == "on"
+            self._write(f"authorization {'on' if self.db.authz.enabled else 'off'}")
+        elif command == "optimizer" and args:
+            self.db.interpreter.optimize = args[0] == "on"
+            state = "on" if self.db.interpreter.optimize else "off"
+            self._write(f"optimizer {state}")
+        elif command == "schema":
+            for name in self.db.catalog.type_names():
+                self._write(f"type {self.db.type(name).describe_full()}")
+            for name in self.db.catalog.named_names():
+                named = self.db.named(name)
+                self._write(f"object {name}: {named.spec.describe()}")
+        else:
+            self._write(f"unknown meta command \\{command} (try \\help)")
+
+    # -- loops ---------------------------------------------------------------------------
+
+    def run_script(self, text: str) -> None:
+        """Execute a whole script, printing each statement's result."""
+        self.execute(text)
+
+    def repl(self, stdin: IO[str] = sys.stdin, interactive: bool = True) -> None:
+        """Read-eval-print until EOF or \\quit."""
+        buffer: list[str] = []
+        while not self.done:
+            if interactive:
+                prompt = _CONTINUATION if buffer else _PROMPT
+                self.out.write(prompt)
+                self.out.flush()
+            line = stdin.readline()
+            if not line:
+                break
+            if not buffer and line.strip().startswith("\\"):
+                self.meta(line.strip())
+                continue
+            buffer.append(line)
+            text = "".join(buffer)
+            if self.is_complete(text):
+                buffer = []
+                self.execute(text.rstrip().rstrip(";"))
+
+
+def main(argv: Optional[list[str]] = None, stdin: IO[str] = sys.stdin,
+         stdout: IO[str] = sys.stdout) -> int:
+    """Entry point for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EXTRA/EXCESS interactive shell (EXODUS reproduction)",
+    )
+    parser.add_argument(
+        "script", nargs="?", help="EXCESS script file to execute"
+    )
+    parser.add_argument(
+        "--database", "-d", metavar="PATH",
+        help="snapshot to load (created on \\quit if missing)",
+    )
+    parser.add_argument(
+        "--storage", choices=["memory", "paged"], default="memory",
+        help="object store for a fresh database",
+    )
+    options = parser.parse_args(argv)
+
+    import os
+
+    if options.database and os.path.exists(options.database):
+        database = Database.load(options.database)
+    else:
+        database = Database(storage=options.storage)
+    shell = Shell(
+        database=database, out=stdout, snapshot_path=options.database
+    )
+    if options.script:
+        try:
+            with open(options.script) as handle:
+                shell.run_script(handle.read())
+        except OSError as exc:
+            stdout.write(f"error: cannot read {options.script}: {exc}\n")
+            return 1
+        if options.database:
+            database.save(options.database)
+        return 0
+    stdout.write(
+        "EXTRA/EXCESS shell — the EXODUS data model and query language.\n"
+        "Type \\help for meta commands, \\quit to exit.\n"
+    )
+    shell.repl(stdin=stdin, interactive=stdin.isatty())
+    return 0

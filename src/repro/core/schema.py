@@ -1,0 +1,250 @@
+"""Schema types and the EXTRA inheritance lattice.
+
+A **schema type** is a named tuple type created with ``define type``
+(paper §2.1, Figure 1). Schema types participate in a multiple-inheritance
+lattice: ``define type Employee as (...) inherits Person`` makes every
+Employee usable wherever a Person is expected, and Employee inherits all
+of Person's attributes (and, one layer up, its EXCESS functions and
+procedures).
+
+Conflict handling follows paper Figure 3: when two parents contribute
+*different* attributes under the same name, the definition is rejected
+unless the user resolves the conflict with explicit renaming — EXTRA is
+"closest to ORION in its handling of conflicts, except that we provide no
+automatic resolution". Attributes that reach a type twice through a
+diamond (same origin type, same original name) are merged silently: they
+are the same attribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.types import ComponentSpec, TupleType, Type
+from repro.errors import InheritanceConflictError, SchemaError
+
+__all__ = ["Rename", "ResolvedAttribute", "SchemaType"]
+
+
+@dataclass(frozen=True)
+class Rename:
+    """An explicit inheritance renaming clause.
+
+    ``rename Employee.dept to work_dept`` becomes
+    ``Rename(parent="Employee", attribute="dept", new_name="work_dept")``.
+    The ``parent`` names the *direct* parent contributing the attribute.
+    """
+
+    parent: str
+    attribute: str
+    new_name: str
+
+
+@dataclass(frozen=True)
+class ResolvedAttribute:
+    """One attribute in a schema type's fully resolved attribute map.
+
+    ``origin`` / ``original_name`` identify where the attribute was first
+    declared, which is what lets diamond-inherited attributes merge: two
+    inheritance paths delivering the same ``(origin, original_name)`` pair
+    carry the same attribute, not a conflict.
+    """
+
+    name: str
+    spec: ComponentSpec
+    origin: str
+    original_name: str
+
+
+class SchemaType(TupleType):
+    """A named tuple type in the inheritance lattice.
+
+    Construction fully resolves the attribute map (local declarations +
+    inherited attributes after renaming) and computes the ancestor set and
+    a method-resolution linearization used for EXCESS function dispatch.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Sequence[tuple[str, ComponentSpec]],
+        parents: Sequence["SchemaType"] = (),
+        renames: Sequence[Rename] = (),
+    ):
+        self.name = name
+        self.parents: tuple[SchemaType, ...] = tuple(parents)
+        self.renames: tuple[Rename, ...] = tuple(renames)
+        self._local_names = [attr_name for attr_name, _ in attributes]
+        resolved = self._resolve(attributes)
+        super().__init__([(ra.name, ra.spec) for ra in resolved])
+        self._resolved: dict[str, ResolvedAttribute] = {ra.name: ra for ra in resolved}
+        self._ancestors: frozenset[str] = frozenset(
+            ancestor.name for ancestor in self._collect_ancestors()
+        )
+        self._linearization: tuple[SchemaType, ...] = tuple(self._linearize())
+
+    # -- resolution ----------------------------------------------------------
+
+    def _resolve(
+        self, local: Sequence[tuple[str, ComponentSpec]]
+    ) -> list[ResolvedAttribute]:
+        """Merge inherited attributes (after renaming) with local ones."""
+        rename_map: dict[tuple[str, str], str] = {}
+        parent_names = {p.name for p in self.parents}
+        for rn in self.renames:
+            if rn.parent not in parent_names:
+                raise SchemaError(
+                    f"type {self.name!r}: rename names unknown parent {rn.parent!r}"
+                )
+            key = (rn.parent, rn.attribute)
+            if key in rename_map:
+                raise SchemaError(
+                    f"type {self.name!r}: duplicate rename for {rn.parent}.{rn.attribute}"
+                )
+            rename_map[key] = rn.new_name
+        for (parent, attribute), _ in rename_map.items():
+            parent_type = next(p for p in self.parents if p.name == parent)
+            if not parent_type.has_attribute(attribute):
+                raise SchemaError(
+                    f"type {self.name!r}: rename of unknown attribute "
+                    f"{parent}.{attribute}"
+                )
+
+        merged: dict[str, ResolvedAttribute] = {}
+        conflicts: set[str] = set()
+        for parent in self.parents:
+            for inherited in parent.resolved_attributes():
+                new_name = rename_map.get((parent.name, inherited.name), inherited.name)
+                candidate = ResolvedAttribute(
+                    name=new_name,
+                    spec=inherited.spec,
+                    origin=inherited.origin,
+                    original_name=inherited.original_name,
+                )
+                existing = merged.get(new_name)
+                if existing is None:
+                    merged[new_name] = candidate
+                elif (existing.origin, existing.original_name) != (
+                    candidate.origin,
+                    candidate.original_name,
+                ):
+                    # Two genuinely different attributes collide under one
+                    # name: a Figure-3 conflict requiring explicit renaming.
+                    conflicts.add(new_name)
+                # else: the same attribute arrived via a diamond — merge.
+
+        local_resolved: list[ResolvedAttribute] = []
+        for attr_name, spec in local:
+            if attr_name in merged:
+                conflicts.add(attr_name)
+            local_resolved.append(
+                ResolvedAttribute(
+                    name=attr_name,
+                    spec=spec,
+                    origin=self.name,
+                    original_name=attr_name,
+                )
+            )
+        if conflicts:
+            raise InheritanceConflictError(self.name, sorted(conflicts))
+
+        ordered = list(merged.values()) + local_resolved
+        return ordered
+
+    def _collect_ancestors(self) -> set["SchemaType"]:
+        out: set[SchemaType] = set()
+        stack = list(self.parents)
+        while stack:
+            parent = stack.pop()
+            if parent in out:
+                continue
+            out.add(parent)
+            stack.extend(parent.parents)
+        return out
+
+    def _linearize(self) -> list["SchemaType"]:
+        """Method-resolution order: self, then parents left-to-right,
+        breadth-first, deduplicated (used for function dispatch)."""
+        order: list[SchemaType] = []
+        seen: set[str] = set()
+        queue: list[SchemaType] = [self]
+        while queue:
+            current = queue.pop(0)
+            if current.name in seen:
+                continue
+            seen.add(current.name)
+            order.append(current)
+            queue.extend(current.parents)
+        return order
+
+    # -- introspection --------------------------------------------------------
+
+    def resolved_attributes(self) -> list[ResolvedAttribute]:
+        """All attributes (inherited and local) with origin information."""
+        return list(self._resolved.values())
+
+    def attribute_origin(self, name: str) -> ResolvedAttribute:
+        """Return the resolved record for attribute ``name``."""
+        try:
+            return self._resolved[name]
+        except KeyError:
+            raise SchemaError(
+                f"type {self.name!r} has no attribute {name!r}"
+            ) from None
+
+    def local_attribute_names(self) -> list[str]:
+        """Names of the attributes declared directly on this type."""
+        return list(self._local_names)
+
+    def ancestors(self) -> frozenset[str]:
+        """Names of all (transitive) supertypes."""
+        return self._ancestors
+
+    def linearization(self) -> tuple["SchemaType", ...]:
+        """Dispatch order for inherited EXCESS functions: self first, then
+        ancestors breadth-first in parent declaration order."""
+        return self._linearization
+
+    def is_subtype_of(self, other: "SchemaType") -> bool:
+        """Nominal subtyping through the lattice (reflexive)."""
+        return other.name == self.name or other.name in self._ancestors
+
+    # -- Type protocol ---------------------------------------------------------
+
+    @property
+    def tag(self) -> str:  # type: ignore[override]
+        return self.name
+
+    def is_assignable_from(self, other: Type) -> bool:
+        """A schema-typed slot accepts instances of the type itself or any
+        of its subtypes (nominal subtyping, unlike anonymous tuples)."""
+        if isinstance(other, SchemaType):
+            return other.is_subtype_of(self)
+        return False
+
+    def describe(self) -> str:
+        return self.name
+
+    def describe_full(self) -> str:
+        """Long rendering including parents and the attribute map."""
+        inherit = (
+            " inherits " + ", ".join(p.name for p in self.parents)
+            if self.parents
+            else ""
+        )
+        body = ", ".join(
+            f"{ra.name}: {ra.spec.describe()}" for ra in self.resolved_attributes()
+        )
+        return f"{self.name}({body}){inherit}"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SchemaType):
+            return other.name == self.name
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("schema", self.name))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SchemaType {self.name}>"

@@ -1,0 +1,594 @@
+"""The EXTRA type system.
+
+EXTRA (paper §2) provides:
+
+* predefined **base types**: integers of several sizes, single and double
+  precision floats, booleans, fixed-length character strings, variable
+  length text, and enumerations;
+* **abstract data types** (ADTs) added through a registration facility
+  (paper §4.1; here the ADT implementation language is Python standing in
+  for E);
+* **type constructors**: tuple, set, fixed-length array, variable-length
+  array, and references;
+* three kinds of **attribute value semantics**: ``own`` (an embedded value
+  with no identity, in the sense of [Khos86]), ``ref`` (a reference to an
+  independently existing first-class object, as in GEM), and ``own ref``
+  (an owned component that is nevertheless a first-class object, like
+  ORION composite objects / E-R weak entities).
+
+Types are immutable descriptions; runtime data lives in
+:mod:`repro.core.values`. Named tuple types created with ``define type``
+(schema types, which participate in the inheritance lattice) are built in
+:mod:`repro.core.schema` on top of :class:`TupleType`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional, Sequence
+
+from repro.errors import TypeSystemError
+
+__all__ = [
+    "Semantics",
+    "Type",
+    "BaseType",
+    "IntegerType",
+    "FloatType",
+    "BooleanType",
+    "CharType",
+    "TextType",
+    "EnumType",
+    "AdtType",
+    "ComponentSpec",
+    "TupleType",
+    "SetType",
+    "ArrayType",
+    "INT1",
+    "INT2",
+    "INT4",
+    "FLOAT4",
+    "FLOAT8",
+    "BOOLEAN",
+    "TEXT",
+    "char",
+    "enumeration",
+    "own",
+    "ref",
+    "own_ref",
+    "is_numeric",
+    "common_numeric_type",
+]
+
+
+class Semantics(enum.Enum):
+    """The three attribute value semantics of EXTRA (paper §2.2).
+
+    ``OWN``
+        The component is a pure value embedded in its parent. It lacks
+        identity, is copied on assignment, cannot be referenced from
+        elsewhere, and dies with its parent.
+    ``REF``
+        The component is a reference to a first-class object that exists
+        independently elsewhere in the database (or is null). Deleting the
+        target leaves dangling references that read as null (GEM-style
+        referential integrity).
+    ``OWN_REF``
+        The component is a first-class object (it has identity and may be
+        the target of ``ref`` attributes elsewhere) but is exclusively
+        owned: it can have only one owner and is deleted when its owner is
+        deleted (ORION composite-object semantics).
+    """
+
+    OWN = "own"
+    REF = "ref"
+    OWN_REF = "own ref"
+
+    @property
+    def is_owned(self) -> bool:
+        """True when the parent's deletion destroys the component."""
+        return self is not Semantics.REF
+
+    @property
+    def is_object(self) -> bool:
+        """True when the component is a first-class object with identity."""
+        return self is not Semantics.OWN
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class Type:
+    """Abstract base for all EXTRA types.
+
+    Concrete types implement :meth:`accepts` (does a raw Python value
+    conform?) and :meth:`is_assignable_from` (static compatibility between
+    types, used by the EXCESS binder).
+    """
+
+    #: short structural tag, e.g. "int4" or "tuple"; set by subclasses
+    tag: str = "type"
+
+    def accepts(self, value: Any) -> bool:
+        """Return True when the raw Python ``value`` conforms to this type."""
+        raise NotImplementedError
+
+    def is_assignable_from(self, other: "Type") -> bool:
+        """Return True when a value of type ``other`` may be stored in a
+        slot of this type (used for static checking of appends/replaces)."""
+        return self == other
+
+    def coerce(self, value: Any) -> Any:
+        """Normalize a conforming raw value into canonical stored form.
+
+        Raises :class:`TypeSystemError` when the value does not conform.
+        """
+        if not self.accepts(value):
+            raise TypeSystemError(f"value {value!r} does not conform to {self}")
+        return value
+
+    def describe(self) -> str:
+        """Human-readable rendering used in error messages and catalogs."""
+        return self.tag
+
+    def __str__(self) -> str:
+        return self.describe()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+class BaseType(Type):
+    """Marker superclass for the predefined scalar base types."""
+
+
+@dataclass(frozen=True)
+class IntegerType(BaseType):
+    """A signed integer of ``size`` bytes (paper: int1, int2, int4)."""
+
+    size: int = 4
+
+    def __post_init__(self) -> None:
+        if self.size not in (1, 2, 4, 8):
+            raise TypeSystemError(f"unsupported integer size {self.size}")
+
+    @property
+    def tag(self) -> str:  # type: ignore[override]
+        return f"int{self.size}"
+
+    @property
+    def min_value(self) -> int:
+        """Smallest representable value."""
+        return -(1 << (8 * self.size - 1))
+
+    @property
+    def max_value(self) -> int:
+        """Largest representable value."""
+        return (1 << (8 * self.size - 1)) - 1
+
+    def accepts(self, value: Any) -> bool:
+        return (
+            isinstance(value, int)
+            and not isinstance(value, bool)
+            and self.min_value <= value <= self.max_value
+        )
+
+    def is_assignable_from(self, other: Type) -> bool:
+        return isinstance(other, IntegerType) and other.size <= self.size
+
+
+@dataclass(frozen=True)
+class FloatType(BaseType):
+    """An IEEE float of ``size`` bytes (paper: single/double precision)."""
+
+    size: int = 8
+
+    def __post_init__(self) -> None:
+        if self.size not in (4, 8):
+            raise TypeSystemError(f"unsupported float size {self.size}")
+
+    @property
+    def tag(self) -> str:  # type: ignore[override]
+        return f"float{self.size}"
+
+    def accepts(self, value: Any) -> bool:
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+    def coerce(self, value: Any) -> Any:
+        if not self.accepts(value):
+            raise TypeSystemError(f"value {value!r} does not conform to {self}")
+        return float(value)
+
+    def is_assignable_from(self, other: Type) -> bool:
+        if isinstance(other, FloatType):
+            return other.size <= self.size
+        return isinstance(other, IntegerType)
+
+
+@dataclass(frozen=True)
+class BooleanType(BaseType):
+    """The boolean base type."""
+
+    tag = "boolean"
+
+    def accepts(self, value: Any) -> bool:
+        return isinstance(value, bool)
+
+
+@dataclass(frozen=True)
+class CharType(BaseType):
+    """A fixed-capacity character string, ``char(n)``.
+
+    Stored values are plain Python strings of length at most ``length``
+    (we do not blank-pad; capacity is enforced, matching the intent of the
+    paper's ``char[20]`` attributes without imposing padding artifacts).
+    """
+
+    length: int = 1
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise TypeSystemError(f"char length must be positive, got {self.length}")
+
+    @property
+    def tag(self) -> str:  # type: ignore[override]
+        return f"char({self.length})"
+
+    def accepts(self, value: Any) -> bool:
+        return isinstance(value, str) and len(value) <= self.length
+
+    def is_assignable_from(self, other: Type) -> bool:
+        if isinstance(other, CharType):
+            return other.length <= self.length
+        return False
+
+
+@dataclass(frozen=True)
+class TextType(BaseType):
+    """An unbounded character string (variable-length text)."""
+
+    tag = "text"
+
+    def accepts(self, value: Any) -> bool:
+        return isinstance(value, str)
+
+    def is_assignable_from(self, other: Type) -> bool:
+        return isinstance(other, (TextType, CharType))
+
+
+@dataclass(frozen=True)
+class EnumType(BaseType):
+    """An enumeration over a fixed set of string labels.
+
+    The paper lists enumerations among EXTRA's predefined base types;
+    values are the labels themselves and compare by declaration order.
+    """
+
+    labels: tuple[str, ...] = ()
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.labels:
+            raise TypeSystemError("enumeration requires at least one label")
+        if len(set(self.labels)) != len(self.labels):
+            raise TypeSystemError("enumeration labels must be distinct")
+
+    @property
+    def tag(self) -> str:  # type: ignore[override]
+        if self.name:
+            return f"enum {self.name}"
+        return "enum(" + ", ".join(self.labels) + ")"
+
+    def accepts(self, value: Any) -> bool:
+        return isinstance(value, str) and value in self.labels
+
+    def ordinal(self, label: str) -> int:
+        """Position of ``label`` in declaration order (for comparisons)."""
+        try:
+            return self.labels.index(label)
+        except ValueError:
+            raise TypeSystemError(f"{label!r} is not a label of {self}") from None
+
+
+@dataclass(frozen=True)
+class AdtType(Type):
+    """An abstract data type added through the ADT facility (paper §4.1).
+
+    In EXODUS, ADTs are written in the E language; here the implementation
+    language is Python. ``py_class`` is the class whose instances carry the
+    ADT's representation; conformance is an ``isinstance`` check plus an
+    optional extra ``validator``. The ADT's functions and operators are
+    held by the :class:`repro.adt.registry.AdtRegistry`, not by the type
+    object, mirroring the paper's separation between a type and the
+    tabular optimizer/function information about it.
+    """
+
+    name: str
+    py_class: type
+    validator: Optional[Callable[[Any], bool]] = field(default=None, compare=False)
+
+    @property
+    def tag(self) -> str:  # type: ignore[override]
+        return self.name
+
+    def accepts(self, value: Any) -> bool:
+        if not isinstance(value, self.py_class):
+            return False
+        if self.validator is not None:
+            return bool(self.validator(value))
+        return True
+
+    def is_assignable_from(self, other: Type) -> bool:
+        return isinstance(other, AdtType) and other.name == self.name
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """A component declaration: value semantics plus a component type.
+
+    Used uniformly for tuple attributes, set elements, and array elements,
+    e.g. ``own ref Person`` in ``kids: { own ref Person }``. ``REF`` and
+    ``OWN_REF`` semantics require the component type to be an identity-
+    bearing tuple type (only first-class objects can be referenced).
+    """
+
+    semantics: Semantics
+    type: Type
+
+    def __post_init__(self) -> None:
+        if self.semantics.is_object and not isinstance(self.type, TupleType):
+            raise TypeSystemError(
+                f"{self.semantics} components must have a tuple (schema) type, "
+                f"got {self.type}"
+            )
+
+    def describe(self) -> str:
+        """Render as it would appear in a ``define type`` statement."""
+        if self.semantics is Semantics.OWN:
+            return self.type.describe()
+        return f"{self.semantics} {self.type.describe()}"
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+class TupleType(Type):
+    """The tuple type constructor.
+
+    An ordered mapping from attribute names to :class:`ComponentSpec`.
+    Anonymous tuple types are legal anywhere a type may appear; *named*
+    tuple types (schema types, created with ``define type``) are modelled
+    by :class:`repro.core.schema.SchemaType`, a subclass that adds the
+    inheritance lattice.
+    """
+
+    tag = "tuple"
+
+    def __init__(self, attributes: Sequence[tuple[str, ComponentSpec]]):
+        names = [name for name, _ in attributes]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise TypeSystemError(f"duplicate attribute names: {', '.join(dupes)}")
+        self._attributes: dict[str, ComponentSpec] = dict(attributes)
+
+    @property
+    def attributes(self) -> dict[str, ComponentSpec]:
+        """Attribute name → component spec, in declaration order."""
+        return dict(self._attributes)
+
+    def attribute(self, name: str) -> ComponentSpec:
+        """Look up one attribute; raises :class:`TypeSystemError` if absent."""
+        try:
+            return self._attributes[name]
+        except KeyError:
+            raise TypeSystemError(
+                f"type {self.describe()} has no attribute {name!r}"
+            ) from None
+
+    def has_attribute(self, name: str) -> bool:
+        """True when ``name`` is an attribute of this tuple type."""
+        return name in self._attributes
+
+    def attribute_names(self) -> list[str]:
+        """Attribute names in declaration order."""
+        return list(self._attributes)
+
+    def __iter__(self) -> Iterator[tuple[str, ComponentSpec]]:
+        return iter(self._attributes.items())
+
+    def accepts(self, value: Any) -> bool:
+        # Raw conformance is handled by values.TupleInstance construction;
+        # a bare dict with exactly the right keys also conforms.
+        from repro.core.values import TupleInstance
+
+        if isinstance(value, TupleInstance):
+            return value.type is self or self.is_assignable_from(value.type)
+        if isinstance(value, dict):
+            return set(value) <= set(self._attributes)
+        return False
+
+    def is_assignable_from(self, other: Type) -> bool:
+        if other is self:
+            return True
+        if not isinstance(other, TupleType):
+            return False
+        # Structural compatibility for anonymous tuples; schema types
+        # override this with lattice-based (nominal) subtyping.
+        if set(self._attributes) != set(other._attributes):
+            return False
+        return all(
+            spec.semantics == other._attributes[name].semantics
+            and spec.type.is_assignable_from(other._attributes[name].type)
+            for name, spec in self._attributes.items()
+        )
+
+    def describe(self) -> str:
+        inner = ", ".join(
+            f"{name}: {spec.describe()}" for name, spec in self._attributes.items()
+        )
+        return f"({inner})"
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if type(other) is not TupleType:
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._attributes.items()))
+
+
+class SetType(Type):
+    """The set type constructor, ``{ <component-spec> }``.
+
+    Sets are the collections queried by EXCESS. A set instance may carry a
+    **key** (paper §2.2: "we also intend to support keys, the
+    specification of which will be associated with set instances"); the
+    key lives on the instance, not the type, so it is declared at
+    ``create`` time — see :class:`repro.core.values.SetInstance`.
+    """
+
+    tag = "set"
+
+    def __init__(self, element: ComponentSpec):
+        self.element = element
+
+    def accepts(self, value: Any) -> bool:
+        from repro.core.values import SetInstance
+
+        return isinstance(value, SetInstance) and self.is_assignable_from(value.type)
+
+    def is_assignable_from(self, other: Type) -> bool:
+        if not isinstance(other, SetType):
+            return False
+        return (
+            self.element.semantics == other.element.semantics
+            and self.element.type.is_assignable_from(other.element.type)
+        )
+
+    def describe(self) -> str:
+        return "{" + self.element.describe() + "}"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SetType):
+            return NotImplemented
+        return self.element == other.element
+
+    def __hash__(self) -> int:
+        return hash(("set", self.element))
+
+
+class ArrayType(Type):
+    """The array type constructors.
+
+    ``length`` is an ``int`` for fixed-length arrays (``[10] ref Employee``)
+    and ``None`` for variable-length arrays (``[] own Quantity``). Array
+    indexing in EXCESS is 1-based, following the paper's ``TopTen [1]``.
+    """
+
+    def __init__(self, element: ComponentSpec, length: Optional[int] = None):
+        if length is not None and length < 1:
+            raise TypeSystemError(f"array length must be positive, got {length}")
+        self.element = element
+        self.length = length
+
+    @property
+    def tag(self) -> str:  # type: ignore[override]
+        return "array" if self.length is None else f"array[{self.length}]"
+
+    @property
+    def is_fixed(self) -> bool:
+        """True for fixed-length arrays."""
+        return self.length is not None
+
+    def accepts(self, value: Any) -> bool:
+        from repro.core.values import ArrayInstance
+
+        return isinstance(value, ArrayInstance) and self.is_assignable_from(value.type)
+
+    def is_assignable_from(self, other: Type) -> bool:
+        if not isinstance(other, ArrayType):
+            return False
+        if self.length is not None and other.length != self.length:
+            return False
+        return (
+            self.element.semantics == other.element.semantics
+            and self.element.type.is_assignable_from(other.element.type)
+        )
+
+    def describe(self) -> str:
+        bracket = "[]" if self.length is None else f"[{self.length}]"
+        return f"{bracket} {self.element.describe()}"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ArrayType):
+            return NotImplemented
+        return self.element == other.element and self.length == other.length
+
+    def __hash__(self) -> int:
+        return hash(("array", self.element, self.length))
+
+
+# ---------------------------------------------------------------------------
+# Singleton instances of the predefined base types, and small constructors.
+# ---------------------------------------------------------------------------
+
+INT1 = IntegerType(1)
+INT2 = IntegerType(2)
+INT4 = IntegerType(4)
+FLOAT4 = FloatType(4)
+FLOAT8 = FloatType(8)
+BOOLEAN = BooleanType()
+TEXT = TextType()
+
+
+def char(length: int) -> CharType:
+    """Construct a ``char(length)`` type."""
+    return CharType(length)
+
+
+def enumeration(*labels: str, name: str = "") -> EnumType:
+    """Construct an enumeration base type over ``labels``."""
+    return EnumType(tuple(labels), name=name)
+
+
+def own(component_type: Type) -> ComponentSpec:
+    """Shorthand for an ``own`` component spec."""
+    return ComponentSpec(Semantics.OWN, component_type)
+
+
+def ref(component_type: Type) -> ComponentSpec:
+    """Shorthand for a ``ref`` component spec."""
+    return ComponentSpec(Semantics.REF, component_type)
+
+
+def own_ref(component_type: Type) -> ComponentSpec:
+    """Shorthand for an ``own ref`` component spec."""
+    return ComponentSpec(Semantics.OWN_REF, component_type)
+
+
+def is_numeric(t: Type) -> bool:
+    """True for integer and float base types."""
+    return isinstance(t, (IntegerType, FloatType))
+
+
+def common_numeric_type(left: Type, right: Type) -> Type:
+    """The result type of an arithmetic operation over two numeric types.
+
+    Integer op integer widens to the larger integer; any float operand
+    promotes the result to the wider float involved (mirroring QUEL).
+    """
+    if not (is_numeric(left) and is_numeric(right)):
+        raise TypeSystemError(
+            f"arithmetic requires numeric operands, got {left} and {right}"
+        )
+    if isinstance(left, FloatType) or isinstance(right, FloatType):
+        size = max(
+            left.size if isinstance(left, FloatType) else 4,
+            right.size if isinstance(right, FloatType) else 4,
+        )
+        return FloatType(size)
+    assert isinstance(left, IntegerType) and isinstance(right, IntegerType)
+    return IntegerType(max(left.size, right.size))

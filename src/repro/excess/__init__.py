@@ -1,0 +1,17 @@
+"""EXCESS: the QUEL-derived query language of EXODUS (paper §3–§4).
+
+Pipeline: :mod:`lexer` → :mod:`parser` (AST in :mod:`ast_nodes`) →
+:mod:`binder` (name/type resolution, implicit-join and nested-set
+expansion) → :mod:`planner` (logical plan) → :mod:`optimizer` (rule-based
+rewrites + table-driven access-method selection) → :mod:`evaluator`
+(nested-loop execution with precomputed aggregate partitions).
+
+:mod:`interpreter` drives whole statements, :mod:`functions` and
+:mod:`procedures` implement EXCESS functions (derived data) and stored
+procedures, and :mod:`result` carries query output.
+"""
+
+from repro.excess.interpreter import Interpreter
+from repro.excess.result import Result
+
+__all__ = ["Interpreter", "Result"]

@@ -1,0 +1,986 @@
+"""The EXCESS evaluator: nested-loop execution over range bindings.
+
+Executes bound (and optimized) statements against a
+:class:`~repro.core.database.Database`:
+
+* range bindings become nested loops (set scans, index scans, nested-set
+  expansions, iterator functions), with optimizer-pushed residual
+  predicates applied as soon as their variable is bound;
+* universal (``every``) bindings are checked with ∀ semantics per
+  surviving existential binding;
+* aggregates are precomputed into partition tables (global and
+  partitioned modes) or evaluated per-row with memoization (correlated
+  mode);
+* comparison and boolean logic follow QUEL-style three-valued semantics:
+  any comparison with null is unknown, Kleene logic connects unknowns,
+  and a row qualifies only when the where clause is definitely true;
+* dangling references (targets deleted since the reference was stored)
+  read as null everywhere, implementing GEM referential integrity.
+
+Update statements collect their qualifying bindings first and apply
+mutations afterwards, so an update never observes its own effects
+(QUEL's snapshot semantics) and iteration never races with mutation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+from repro.core.database import Database
+from repro.core.schema import SchemaType
+from repro.core.types import (
+    BOOLEAN,
+    ComponentSpec,
+    FLOAT8,
+    IntegerType,
+    Semantics,
+    SetType,
+    TEXT,
+    TupleType,
+    Type,
+    own,
+    ref as ref_spec,
+)
+from repro.core.values import (
+    NULL,
+    ArrayInstance,
+    Ref,
+    SetInstance,
+    TupleInstance,
+    check_slot,
+    copy_value,
+    value_equal,
+)
+from repro.errors import EvaluationError, IntegrityError
+from repro.excess.binder import (
+    AdtCall,
+    AggregateRef,
+    AttrStep,
+    Binary,
+    BoundAggregate,
+    BoundAppend,
+    BoundDelete,
+    BoundExpr,
+    BoundQuery,
+    BoundReplace,
+    BoundRetrieve,
+    BoundSetStatement,
+    CollectionTarget,
+    Const,
+    ExcessCall,
+    IndexStepB,
+    IteratorSource,
+    Membership,
+    NamedSetSource,
+    NamedValue,
+    PathSource,
+    RangeBinding,
+    Unary,
+    VarRef,
+)
+from repro.excess.result import Result
+
+__all__ = ["Evaluator", "canonical_key"]
+
+Env = dict
+
+
+def canonical_key(value: Any) -> Any:
+    """A hashable canonical form for grouping and duplicate elimination."""
+    if value is NULL:
+        return ("null",)
+    if isinstance(value, Ref):
+        return ("ref", value.oid)
+    if isinstance(value, TupleInstance):
+        if value.oid is not None:
+            return ("ref", value.oid)
+        return tuple(
+            (name, canonical_key(slot))
+            for name, slot in value.attributes().items()
+        )
+    if isinstance(value, SetInstance):
+        return ("set",) + tuple(sorted(canonical_key(m) for m in value))
+    if isinstance(value, ArrayInstance):
+        return ("array",) + tuple(canonical_key(s) for s in value)
+    try:
+        hash(value)
+    except TypeError:
+        return ("repr", repr(value))
+    return value
+
+
+class Evaluator:
+    """Executes bound statements against one database."""
+
+    MAX_FUNCTION_DEPTH = 32
+
+    def __init__(self, database: Database, user: str = "dba"):
+        self.db = database
+        self.user = user
+        self._function_depth = 0
+
+    # ------------------------------------------------------------------
+    # Retrieve
+    # ------------------------------------------------------------------
+
+    def run_retrieve(
+        self, bound: BoundRetrieve, base_env: Optional[Env] = None
+    ) -> Result:
+        """Execute a retrieve; returns rows (and creates the ``into``
+        result object when requested)."""
+        env0: Env = dict(base_env or {})
+        tables = self._precompute_aggregates(bound.query, env0)
+        rows: list[tuple] = []
+        sort_keys: list[tuple] = []
+        seen: set = set()
+        for env in self._iterate(bound.query, env0, tables):
+            row = tuple(
+                self._eval(t.expression, env, tables) for t in bound.targets
+            )
+            if bound.unique:
+                key = tuple(canonical_key(v) for v in row)
+                if key in seen:
+                    continue
+                seen.add(key)
+            if bound.order:
+                sort_keys.append(
+                    tuple(
+                        self._eval(expr, env, tables)
+                        for expr, _desc in bound.order
+                    )
+                )
+            rows.append(row)
+        if bound.order:
+            rows = self._sort_rows(rows, sort_keys, bound.order)
+        columns = [t.label for t in bound.targets]
+        result = Result(kind="retrieve", columns=columns, rows=rows)
+        if bound.into:
+            self._store_into(bound, result)
+        return result
+
+    @staticmethod
+    def _sort_rows(
+        rows: list[tuple], sort_keys: list[tuple], order: list
+    ) -> list[tuple]:
+        """Stable multi-key sort; nulls sort last regardless of direction
+        (sorting is applied key by key, least significant first)."""
+        decorated = list(zip(sort_keys, rows))
+        for position in reversed(range(len(order))):
+            _expr, descending = order[position]
+            nulls = [pair for pair in decorated if pair[0][position] is NULL]
+            rest = [pair for pair in decorated if pair[0][position] is not NULL]
+
+            def key_of(pair, position=position):
+                value = pair[0][position]
+                if isinstance(value, Ref):
+                    return value.oid
+                if isinstance(value, bool):
+                    return int(value)
+                return value
+
+            try:
+                rest.sort(key=key_of, reverse=descending)
+            except TypeError as exc:
+                raise EvaluationError(
+                    f"sort keys are not mutually comparable: {exc}"
+                ) from exc
+            decorated = rest + nulls
+        return [row for _keys, row in decorated]
+
+    def _store_into(self, bound: BoundRetrieve, result: Result) -> None:
+        """Materialize a retrieve-into result as a named set of tuples."""
+        specs: list[tuple[str, ComponentSpec]] = []
+        for index, target in enumerate(bound.targets):
+            expr = target.expression
+            if expr.is_object and isinstance(expr.type, SchemaType):
+                spec = ref_spec(expr.type)
+            elif expr.type is not None:
+                spec = own(expr.type)
+            else:
+                spec = own(self._infer_type(result.rows, index))
+            specs.append((target.label, spec))
+        row_type = TupleType(specs)
+        named = self.db.create_named(
+            bound.into, own(SetType(own(row_type))), user=self.user
+        )
+        collection: SetInstance = named.value
+        for row in result.rows:
+            instance = TupleInstance(row_type)
+            for (label, spec), value in zip(specs, row):
+                instance._slots[label] = (
+                    copy_value(value)
+                    if spec.semantics is Semantics.OWN and value is not NULL
+                    else value
+                )
+            collection.insert(instance)
+        result.message = f"stored {len(result.rows)} row(s) into {bound.into!r}"
+
+    @staticmethod
+    def _infer_type(rows: list[tuple], index: int) -> Type:
+        for row in rows:
+            value = row[index]
+            if value is NULL:
+                continue
+            if isinstance(value, bool):
+                return BOOLEAN
+            if isinstance(value, int):
+                return IntegerType(8)
+            if isinstance(value, float):
+                return FLOAT8
+            if isinstance(value, str):
+                return TEXT
+            break
+        return TEXT
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def run_append(
+        self, bound: BoundAppend, base_env: Optional[Env] = None
+    ) -> Result:
+        """Execute an append statement."""
+        env0: Env = dict(base_env or {})
+        tables = self._precompute_aggregates(bound.query, env0)
+        pending: list[tuple[Env, Any]] = []
+        for env in self._iterate(bound.query, env0, tables):
+            if bound.assignments:
+                raw = {
+                    attribute: self._eval(expression, env, tables)
+                    for attribute, expression in bound.assignments
+                }
+                raw = {k: v for k, v in raw.items() if v is not NULL}
+                pending.append((env, raw))
+            else:
+                assert bound.expression is not None
+                pending.append((env, self._eval(bound.expression, env, tables)))
+        count = 0
+        for env, payload in pending:
+            if self._append_one(bound.target, payload, env, tables):
+                count += 1
+        return Result(kind="append", count=count, message=f"appended {count}")
+
+    def _append_one(
+        self, target: CollectionTarget, payload: Any, env: Env, tables: dict
+    ) -> bool:
+        if target.kind == "named":
+            named = self.db.named(target.name)
+            collection = named.value
+            if isinstance(collection, ArrayInstance):
+                collection.append(self._array_payload(collection, payload))
+                return True
+            if isinstance(payload, dict):
+                return self.db.insert(target.name, **payload) is not None
+            return self.db.insert(target.name, payload) is not None
+        # path collection: resolve the owner instance per env
+        owner, collection = self._resolve_collection(target, env, tables)
+        if collection is None:
+            return False
+        if isinstance(collection, ArrayInstance):
+            collection.append(self._array_payload(collection, payload))
+            self._mark_owner_dirty(owner)
+            return True
+        element = collection.element
+        if element.semantics is Semantics.OWN:
+            member = self.db.integrity._build_own_value(element.type, payload)
+            added = collection.insert(member)
+        elif isinstance(payload, dict):
+            if element.semantics is Semantics.REF:
+                raise IntegrityError(
+                    "inline construction requires an own ref collection"
+                )
+            assert isinstance(element.type, SchemaType)
+            owner_oid = owner.oid if isinstance(owner, TupleInstance) else None
+            member = self.db.integrity.create_object(
+                element.type, payload, owner=owner_oid
+            )
+            added = collection.insert(member)
+        else:
+            if not isinstance(payload, Ref):
+                raise EvaluationError(
+                    f"cannot append {payload!r} to a reference collection"
+                )
+            self.db.integrity.check_ref_target(element, payload)
+            if element.semantics is Semantics.OWN_REF:
+                owner_oid = owner.oid if isinstance(owner, TupleInstance) else None
+                if owner_oid is not None:
+                    self.db.objects.claim(payload.oid, owner=owner_oid)
+            added = collection.insert(payload)
+        self._mark_owner_dirty(owner)
+        return added
+
+    def _array_payload(self, collection: ArrayInstance, payload: Any) -> Any:
+        if isinstance(payload, dict):
+            element = collection.element
+            if element.semantics is Semantics.OWN:
+                return self.db.integrity._build_own_value(element.type, payload)
+            raise EvaluationError(
+                "inline construction into reference arrays is not supported"
+            )
+        return payload
+
+    def _mark_owner_dirty(self, owner: Any) -> None:
+        if isinstance(owner, TupleInstance) and owner.oid is not None:
+            self.db.objects.mark_dirty(owner.oid)
+
+    def _resolve_collection(
+        self, target: CollectionTarget, env: Env, tables: dict
+    ) -> tuple[Any, Optional[Any]]:
+        """Resolve a path collection target to (owner_instance, collection)."""
+        assert target.base is not None
+        base_value = self._eval(target.base, env, tables)
+        instance = self._resolve_instance(base_value)
+        if instance is None:
+            return None, None
+        current: Any = instance
+        owner: Any = instance
+        for index, step in enumerate(target.steps):
+            if not isinstance(current, TupleInstance):
+                return None, None
+            owner = current
+            value = current.get(step)
+            if value is NULL:
+                return None, None
+            if isinstance(value, Ref):
+                value = self._deref(value)
+                if value is None:
+                    return None, None
+            current = value
+        if isinstance(current, (SetInstance, ArrayInstance)):
+            return owner, current
+        return None, None
+
+    def run_delete(
+        self, bound: BoundDelete, base_env: Optional[Env] = None
+    ) -> Result:
+        """Execute a delete statement."""
+        env0: Env = dict(base_env or {})
+        tables = self._precompute_aggregates(bound.query, env0)
+        binding = next(
+            b for b in bound.query.bindings if b.name == bound.variable
+        )
+        victims: list[tuple[Any, Optional[SetInstance], Optional[str]]] = []
+        seen: set = set()
+        for env in self._iterate(bound.query, env0, tables):
+            member = env[bound.variable]
+            key = canonical_key(member)
+            if key in seen:
+                continue
+            seen.add(key)
+            collection, set_name = self._binding_collection(binding, env)
+            victims.append((member, collection, set_name))
+        deleted = 0
+        for member, collection, set_name in victims:
+            if isinstance(member, Ref):
+                deleted += 1 if self.db.delete(member) else 0
+            elif collection is not None:
+                if set_name is not None:
+                    named = self.db.named(set_name)
+                    self.db.integrity.remove_member(named, collection, member)
+                else:
+                    collection.remove(member)
+                deleted += 1
+        return Result(kind="delete", count=deleted, message=f"deleted {deleted}")
+
+    def _binding_collection(
+        self, binding: RangeBinding, env: Env
+    ) -> tuple[Optional[SetInstance], Optional[str]]:
+        source = binding.source
+        if isinstance(source, NamedSetSource):
+            named = self.db.named(source.set_name)
+            value = named.value
+            return (value if isinstance(value, SetInstance) else None), source.set_name
+        if isinstance(source, PathSource):
+            parent = env.get(source.parent)
+            instance = self._resolve_instance(parent)
+            current: Any = instance
+            for step in source.steps:
+                if not isinstance(current, TupleInstance):
+                    return None, None
+                value = current.get(step)
+                if isinstance(value, Ref):
+                    value = self._deref(value)
+                current = value
+            if isinstance(current, SetInstance):
+                return current, None
+        return None, None
+
+    def run_replace(
+        self, bound: BoundReplace, base_env: Optional[Env] = None
+    ) -> Result:
+        """Execute a replace statement."""
+        env0: Env = dict(base_env or {})
+        tables = self._precompute_aggregates(bound.query, env0)
+        pending: list[tuple[Any, dict[str, Any]]] = []
+        for env in self._iterate(bound.query, env0, tables):
+            target_value = self._eval(bound.target, env, tables)
+            if target_value is NULL:
+                continue
+            changes = {
+                attribute: self._eval(expression, env, tables)
+                for attribute, expression in bound.assignments
+            }
+            pending.append((target_value, changes))
+        count = 0
+        for target_value, changes in pending:
+            if isinstance(target_value, Ref):
+                self._apply_indexed_changes(target_value, changes)
+                count += 1
+            elif isinstance(target_value, TupleInstance):
+                self.db.apply_changes(target_value, changes)
+                count += 1
+        return Result(kind="replace", count=count, message=f"replaced {count}")
+
+    def _apply_indexed_changes(self, reference: Ref, changes: dict) -> None:
+        """Apply changes to an object, maintaining indexes of every named
+        set the object belongs to."""
+        instance = self._deref(reference)
+        if instance is None:
+            return
+        containing: list[str] = []
+        for descriptor in self.db.catalog.indexes.all_indexes():
+            named = self.db.named(descriptor.set_name)
+            if isinstance(named.value, SetInstance) and named.value.contains(reference):
+                if descriptor.set_name not in containing:
+                    containing.append(descriptor.set_name)
+        snapshots = {
+            name: self.db._key_snapshot(name, instance) for name in containing
+        }
+        self.db.apply_changes(instance, changes)
+        for name in containing:
+            new_snapshot = self.db._key_snapshot(name, instance)
+            self.db.catalog.indexes.on_update(
+                name, reference.oid, snapshots[name].get, new_snapshot.get
+            )
+
+    def run_set(
+        self, bound: BoundSetStatement, base_env: Optional[Env] = None
+    ) -> Result:
+        """Execute a set (slot assignment) statement."""
+        env0: Env = dict(base_env or {})
+        tables = self._precompute_aggregates(bound.query, env0)
+        pending: list[tuple[Env, Any]] = []
+        for env in self._iterate(bound.query, env0, tables):
+            pending.append((env, self._eval(bound.expression, env, tables)))
+        count = 0
+        for env, value in pending:
+            kind = bound.location[0]
+            if kind == "named":
+                named = self.db.named(bound.location[1])
+                canonical = check_slot(named.spec, value)
+                if named.spec.semantics is Semantics.OWN and canonical is not NULL:
+                    canonical = copy_value(canonical)
+                if isinstance(canonical, Ref):
+                    self.db.integrity.check_ref_target(named.spec, canonical)
+                named.value = canonical
+                count += 1
+            elif kind == "slot":
+                base = self._eval(bound.location[1], env, tables)
+                instance = self._resolve_instance(base)
+                if instance is None:
+                    continue
+                self.db.apply_changes(
+                    instance, {bound.location[2]: value}
+                )
+                count += 1
+            else:  # index
+                base = self._eval(bound.location[1], env, tables)
+                index = self._eval(bound.location[2], env, tables)
+                if base is NULL or index is NULL:
+                    continue
+                if not isinstance(base, ArrayInstance):
+                    raise EvaluationError("set target is not an array")
+                if isinstance(value, Ref):
+                    self.db.integrity.check_ref_target(base.element, value)
+                base.set(index, value)
+                count += 1
+        return Result(kind="set", count=count, message=f"set {count}")
+
+    # ------------------------------------------------------------------
+    # Binding iteration
+    # ------------------------------------------------------------------
+
+    def _iterate(
+        self, query: BoundQuery, base_env: Env, tables: dict
+    ) -> Iterator[Env]:
+        existential = [b for b in query.bindings if not b.universal]
+        universal = [b for b in query.bindings if b.universal]
+
+        def qualifies(env: Env) -> bool:
+            if universal:
+                return self._check_universal(universal, 0, env, query, tables)
+            if query.where is None:
+                return True
+            return self._eval(query.where, env, tables) is True
+
+        def recurse(index: int, env: Env) -> Iterator[Env]:
+            if index == len(existential):
+                if qualifies(env):
+                    yield env
+                return
+            binding = existential[index]
+            for member in self._source_values(binding, env, tables):
+                child = dict(env)
+                child[binding.name] = member
+                if all(
+                    self._eval(residual, child, tables) is True
+                    for residual in binding.residual
+                ):
+                    yield from recurse(index + 1, child)
+
+        yield from recurse(0, dict(base_env))
+
+    def _check_universal(
+        self,
+        universal: list[RangeBinding],
+        index: int,
+        env: Env,
+        query: BoundQuery,
+        tables: dict,
+    ) -> bool:
+        if index == len(universal):
+            if query.where is None:
+                return True
+            return self._eval(query.where, env, tables) is True
+        binding = universal[index]
+        for member in self._source_values(binding, env, tables):
+            child = dict(env)
+            child[binding.name] = member
+            if not self._check_universal(universal, index + 1, child, query, tables):
+                return False
+        return True
+
+    def _source_values(
+        self, binding: RangeBinding, env: Env, tables: dict
+    ) -> Iterator[Any]:
+        source = binding.source
+        if isinstance(source, NamedSetSource):
+            named = self.db.named(source.set_name)
+            collection = named.value
+            if isinstance(collection, ArrayInstance):
+                # named arrays iterate their non-null, live slots in order
+                for slot in collection:
+                    if slot is NULL:
+                        continue
+                    if isinstance(slot, Ref) and not self.db.objects.is_live(
+                        slot.oid
+                    ):
+                        continue
+                    yield slot
+                return
+            if not isinstance(collection, SetInstance):
+                raise EvaluationError(
+                    f"{source.set_name!r} is not a collection"
+                )
+            if binding.access == "index" and binding.index_descriptor is not None:
+                yield from self._index_scan(binding, env, tables)
+                return
+            yield from self.db.integrity.live_members(collection)
+            return
+        if isinstance(source, PathSource):
+            parent_value = env.get(source.parent)
+            instance = self._resolve_instance(parent_value)
+            current: Any = instance
+            for step in source.steps:
+                if not isinstance(current, TupleInstance):
+                    return
+                value = current.get(step)
+                if value is NULL:
+                    return
+                if isinstance(value, Ref):
+                    value = self._deref(value)
+                    if value is None:
+                        return
+                current = value
+            if isinstance(current, SetInstance):
+                yield from self.db.integrity.live_members(current)
+            elif isinstance(current, ArrayInstance):
+                for slot in current:
+                    if slot is NULL:
+                        continue
+                    if isinstance(slot, Ref) and not self.db.objects.is_live(slot.oid):
+                        continue
+                    yield slot
+            return
+        if isinstance(source, IteratorSource):
+            args = [self._eval(a, env, tables) for a in source.args]
+            if any(a is NULL for a in args):
+                return
+            yield from source.function.impl(*args)
+            return
+        raise EvaluationError(f"unknown binding source {type(source).__name__}")
+
+    def _index_scan(
+        self, binding: RangeBinding, env: Env, tables: dict
+    ) -> Iterator[Ref]:
+        descriptor = binding.index_descriptor
+        key = self._eval(binding.index_key, env, tables)
+        if key is NULL:
+            return
+        index = descriptor.index
+        op = binding.index_op
+        if op == "=":
+            oids = index.search(key)
+        else:
+            if not getattr(index, "supports_range", False):
+                raise EvaluationError("index does not support range scans")
+            if op in ("<", "<="):
+                pairs = index.range_scan(None, key, include_high=(op == "<="))
+            else:
+                pairs = index.range_scan(key, None, include_low=(op == ">="))
+            oids = [oid for _key, oid in pairs]
+        for oid in oids:
+            if self.db.objects.is_live(oid):
+                yield Ref(oid)
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+
+    def _precompute_aggregates(self, query: BoundQuery, base_env: Env) -> dict:
+        """Build evaluation tables for global and partitioned aggregates;
+        correlated ones get a memo dict filled on demand."""
+        tables: dict[int, Any] = {}
+        for aggregate in query.aggregates:
+            if aggregate.mode == "correlated":
+                tables[aggregate.aggregate_id] = ("correlated", aggregate, {})
+                continue
+            groups: dict[Any, list] = {}
+            inner = BoundQuery(
+                bindings=aggregate.inner_bindings, where=aggregate.where
+            )
+            for env in self._iterate(inner, dict(base_env), tables):
+                value = self._eval(aggregate.argument, env, tables)
+                if value is NULL:
+                    continue
+                if aggregate.mode == "partition":
+                    assert aggregate.inner_key is not None
+                    key = canonical_key(
+                        self._eval(aggregate.inner_key, env, tables)
+                    )
+                else:
+                    key = ()
+                groups.setdefault(key, []).append(value)
+            computed = {
+                key: aggregate.function.impl(values)
+                for key, values in groups.items()
+            }
+            tables[aggregate.aggregate_id] = (aggregate.mode, aggregate, computed)
+        return tables
+
+    def _eval_aggregate_ref(
+        self, node: AggregateRef, env: Env, tables: dict
+    ) -> Any:
+        mode, aggregate, computed = tables[node.aggregate_id]
+        if mode == "global":
+            if () in computed:
+                return self._null_if_none(computed[()])
+            return self._empty_aggregate(aggregate)
+        if mode == "partition":
+            assert node.outer_key is not None
+            key = canonical_key(self._eval(node.outer_key, env, tables))
+            if key in computed:
+                return self._null_if_none(computed[key])
+            return self._empty_aggregate(aggregate)
+        # correlated: evaluate over nested sets under the current env
+        memo_key = tuple(
+            canonical_key(env.get(dep, NULL)) for dep in aggregate.outer_deps
+        )
+        memo = computed
+        if memo_key in memo:
+            return memo[memo_key]
+        values: list = []
+        inner = BoundQuery(bindings=aggregate.inner_bindings, where=aggregate.where)
+        for inner_env in self._iterate(inner, dict(env), tables):
+            value = self._eval(aggregate.argument, inner_env, tables)
+            if value is not NULL:
+                values.append(value)
+        if values:
+            result = self._null_if_none(aggregate.function.impl(values))
+        else:
+            result = self._empty_aggregate(aggregate)
+        memo[memo_key] = result
+        return result
+
+    def _empty_aggregate(self, aggregate: BoundAggregate) -> Any:
+        if aggregate.function.empty_value is not None:
+            return aggregate.function.empty_value
+        return NULL
+
+    @staticmethod
+    def _null_if_none(value: Any) -> Any:
+        return NULL if value is None else value
+
+    # ------------------------------------------------------------------
+    # Expression evaluation
+    # ------------------------------------------------------------------
+
+    def _deref(self, reference: Ref) -> Optional[TupleInstance]:
+        return self.db.objects.deref(reference.oid)
+
+    def _resolve_instance(self, value: Any) -> Optional[TupleInstance]:
+        if isinstance(value, Ref):
+            return self._deref(value)
+        if isinstance(value, TupleInstance):
+            return value
+        return None
+
+    def _normalize_ref(self, value: Any) -> Any:
+        """A dangling reference reads as null (GEM semantics)."""
+        if isinstance(value, Ref) and not self.db.objects.is_live(value.oid):
+            return NULL
+        return value
+
+    def _eval(self, node: BoundExpr, env: Env, tables: dict) -> Any:
+        """Evaluate a bound expression; unknowns surface as NULL."""
+        if isinstance(node, Const):
+            return node.value
+        if isinstance(node, VarRef):
+            value = env.get(node.name, NULL)
+            return self._normalize_ref(value)
+        if isinstance(node, NamedValue):
+            named = self.db.named(node.name)
+            return self._normalize_ref(named.value)
+        if isinstance(node, AttrStep):
+            base = self._eval(node.base, env, tables)
+            instance = self._resolve_instance(base)
+            if instance is None:
+                return NULL
+            value = instance.get(node.attribute)
+            return self._normalize_ref(value)
+        if isinstance(node, IndexStepB):
+            base = self._eval(node.base, env, tables)
+            index = self._eval(node.index, env, tables)
+            if base is NULL or index is NULL:
+                return NULL
+            if not isinstance(base, ArrayInstance):
+                raise EvaluationError(f"indexing a non-array value {base!r}")
+            if not isinstance(index, int) or isinstance(index, bool):
+                raise EvaluationError(f"array index must be an integer")
+            if index < 1 or index > len(base):
+                return NULL  # reads beyond the end are null; writes error
+            return self._normalize_ref(base.get(index))
+        if isinstance(node, Binary):
+            return self._eval_binary(node, env, tables)
+        if isinstance(node, Unary):
+            return self._eval_unary(node, env, tables)
+        if isinstance(node, AdtCall):
+            return self._eval_adt_call(node, env, tables)
+        if isinstance(node, ExcessCall):
+            return self._eval_excess_call(node, env, tables)
+        if isinstance(node, AggregateRef):
+            return self._eval_aggregate_ref(node, env, tables)
+        if isinstance(node, Membership):
+            return self._eval_membership(node, env, tables)
+        raise EvaluationError(f"cannot evaluate {type(node).__name__}")
+
+    def _eval_binary(self, node: Binary, env: Env, tables: dict) -> Any:
+        if node.kind == "bool":
+            return self._eval_bool(node, env, tables)
+        if node.kind == "object":
+            return self._eval_object_equality(node, env, tables)
+        left = self._eval(node.left, env, tables)
+        right = self._eval(node.right, env, tables)
+        if node.kind == "concat":
+            if left is NULL or right is NULL:
+                return NULL
+            return str(left) + str(right)
+        if left is NULL or right is NULL:
+            return NULL
+        if node.kind == "compare":
+            if node.enum_labels is not None:
+                left, right = self._enum_ordinals(node.enum_labels, left, right)
+            return self._compare(node.op, left, right)
+        # arithmetic
+        try:
+            if node.op == "+":
+                return left + right
+            if node.op == "-":
+                return left - right
+            if node.op == "*":
+                return left * right
+            if node.op == "/":
+                if right == 0:
+                    raise EvaluationError("division by zero")
+                if isinstance(left, int) and isinstance(right, int):
+                    return left // right if left % right == 0 else left / right
+                return left / right
+            if node.op == "%":
+                if right == 0:
+                    raise EvaluationError("modulo by zero")
+                return left % right
+        except TypeError as exc:
+            raise EvaluationError(f"bad arithmetic operands: {exc}") from exc
+        raise EvaluationError(f"unknown arithmetic operator {node.op!r}")
+
+    @staticmethod
+    def _enum_ordinals(labels: tuple, left: Any, right: Any) -> tuple:
+        """Map enum labels to their declaration-order ordinals so that
+        comparisons follow the enumeration's order."""
+        def ordinal(value: Any) -> Any:
+            if isinstance(value, str):
+                try:
+                    return labels.index(value)
+                except ValueError:
+                    raise EvaluationError(
+                        f"{value!r} is not a label of the enumeration"
+                    ) from None
+            return value
+
+        return ordinal(left), ordinal(right)
+
+    def _compare(self, op: str, left: Any, right: Any) -> Any:
+        try:
+            if op == "=":
+                return value_equal(left, right)
+            if op == "!=":
+                return not value_equal(left, right)
+            if op == "<":
+                return left < right
+            if op == "<=":
+                return left <= right
+            if op == ">":
+                return left > right
+            if op == ">=":
+                return left >= right
+        except TypeError as exc:
+            raise EvaluationError(f"incomparable values: {exc}") from exc
+        raise EvaluationError(f"unknown comparison {op!r}")
+
+    def _eval_bool(self, node: Binary, env: Env, tables: dict) -> Any:
+        """Kleene three-valued and/or (NULL = unknown)."""
+        left = self._as_truth(self._eval(node.left, env, tables))
+        if node.op == "and":
+            if left is False:
+                return False
+            right = self._as_truth(self._eval(node.right, env, tables))
+            if right is False:
+                return False
+            if left is None or right is None:
+                return NULL
+            return True
+        if node.op == "or":
+            if left is True:
+                return True
+            right = self._as_truth(self._eval(node.right, env, tables))
+            if right is True:
+                return True
+            if left is None or right is None:
+                return NULL
+            return False
+        raise EvaluationError(f"unknown boolean operator {node.op!r}")
+
+    @staticmethod
+    def _as_truth(value: Any) -> Optional[bool]:
+        if value is NULL:
+            return None
+        if isinstance(value, bool):
+            return value
+        raise EvaluationError(f"boolean operand expected, got {value!r}")
+
+    def _eval_object_equality(self, node: Binary, env: Env, tables: dict) -> Any:
+        left = self._normalize_ref(self._eval(node.left, env, tables))
+        right = self._normalize_ref(self._eval(node.right, env, tables))
+        if left is NULL or right is NULL:
+            # `X is null` tests for null-ness; two nulls are the same
+            # (both denote no object), a null and anything else are not.
+            same = left is NULL and right is NULL
+        else:
+            same = self._object_oid(left) == self._object_oid(right)
+        return same if node.op == "is" else not same
+
+    @staticmethod
+    def _object_oid(value: Any) -> Optional[int]:
+        if value is NULL:
+            return None
+        if isinstance(value, Ref):
+            return value.oid
+        if isinstance(value, TupleInstance) and value.oid is not None:
+            return value.oid
+        raise EvaluationError(
+            f"'is'/'isnot' compares object references, got {value!r}"
+        )
+
+    def _eval_unary(self, node: Unary, env: Env, tables: dict) -> Any:
+        value = self._eval(node.operand, env, tables)
+        if node.op == "not":
+            truth = self._as_truth(value)
+            if truth is None:
+                return NULL
+            return not truth
+        if node.op == "-":
+            if value is NULL:
+                return NULL
+            try:
+                return -value
+            except TypeError as exc:
+                raise EvaluationError(f"cannot negate {value!r}") from exc
+        raise EvaluationError(f"unknown unary operator {node.op!r}")
+
+    def _eval_adt_call(self, node: AdtCall, env: Env, tables: dict) -> Any:
+        args = [self._eval(a, env, tables) for a in node.args]
+        if any(a is NULL for a in args):
+            return NULL
+        try:
+            result = node.function.impl(*args)
+        except EvaluationError:
+            raise
+        except Exception as exc:
+            raise EvaluationError(
+                f"ADT function {node.function.name!r} failed: {exc}"
+            ) from exc
+        return NULL if result is None else result
+
+    def _eval_excess_call(self, node: ExcessCall, env: Env, tables: dict) -> Any:
+        from repro.excess.functions import call_function
+
+        args = [self._eval(a, env, tables) for a in node.args]
+        if self._function_depth >= self.MAX_FUNCTION_DEPTH:
+            raise EvaluationError(
+                f"EXCESS function recursion deeper than {self.MAX_FUNCTION_DEPTH}"
+            )
+        self._function_depth += 1
+        try:
+            return call_function(self, node.name, node.fixed_function, args)
+        finally:
+            self._function_depth -= 1
+
+    def _eval_membership(self, node: Membership, env: Env, tables: dict) -> Any:
+        element = self._normalize_ref(self._eval(node.element, env, tables))
+        collection = self._membership_collection(node.collection, env, tables)
+        if collection is None:
+            return NULL
+        if element is NULL:
+            return NULL
+        found = self._collection_contains(collection, element)
+        return (not found) if node.negated else found
+
+    def _membership_collection(
+        self, target: CollectionTarget, env: Env, tables: dict
+    ) -> Optional[Any]:
+        if target.kind == "named":
+            value = self.db.named(target.name).value
+            return value if isinstance(value, (SetInstance, ArrayInstance)) else None
+        _owner, collection = self._resolve_collection(target, env, tables)
+        return collection
+
+    def _collection_contains(self, collection: Any, element: Any) -> bool:
+        probe = element
+        if isinstance(element, TupleInstance) and element.oid is not None:
+            probe = Ref(element.oid)
+        if isinstance(collection, SetInstance):
+            if isinstance(probe, Ref):
+                return collection.contains(probe) and self.db.objects.is_live(
+                    probe.oid
+                )
+            return collection.contains(probe)
+        if isinstance(collection, ArrayInstance):
+            for slot in collection:
+                if isinstance(probe, Ref):
+                    if isinstance(slot, Ref) and slot.oid == probe.oid:
+                        return self.db.objects.is_live(probe.oid)
+                elif value_equal(slot, probe):
+                    return True
+            return False
+        return False

@@ -1,0 +1,670 @@
+"""The EXCESS statement interpreter.
+
+Drives whole statements end to end: tokenize with the catalog's operator
+symbols, parse with the catalog's operator precedences, dispatch DDL
+directly against the catalog, and run DML through binder → optimizer →
+evaluator. The interpreter holds the session's QUEL-style ``range of``
+declarations (they persist until redefined) and enforces authorization
+when the database has it enabled.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.authz.grants import Privilege
+from repro.core.database import Database
+from repro.core.schema import Rename, SchemaType
+from repro.core.types import (
+    ArrayType,
+    BOOLEAN,
+    ComponentSpec,
+    CharType,
+    EnumType,
+    FLOAT4,
+    FLOAT8,
+    INT1,
+    INT2,
+    INT4,
+    IntegerType,
+    Semantics,
+    SetType,
+    TEXT,
+    TupleType,
+    Type,
+)
+from repro.errors import (
+    BindError,
+    ExcessError,
+    FunctionError,
+    ProcedureError,
+    SchemaError,
+)
+from repro.excess import ast_nodes as ast
+from repro.excess.binder import (
+    Binder,
+    BoundQuery,
+    NamedSetSource,
+    NamedValue,
+    Scope,
+)
+from repro.excess.evaluator import Evaluator
+from repro.excess.functions import (
+    ExcessFunction,
+    FunctionParam,
+    bind_function_body,
+)
+from repro.excess.optimizer import Optimizer
+from repro.excess.parser import OperatorTable, parse_script
+from repro.excess.procedures import Procedure, bind_procedure_body, run_procedure
+from repro.excess.result import Result
+
+__all__ = ["Interpreter"]
+
+_BASE_TYPES: dict[str, Type] = {
+    "int1": INT1,
+    "int2": INT2,
+    "int4": INT4,
+    "int8": IntegerType(8),
+    "float4": FLOAT4,
+    "float8": FLOAT8,
+    "boolean": BOOLEAN,
+    "text": TEXT,
+}
+
+
+class Interpreter:
+    """Executes EXCESS statements against one database."""
+
+    def __init__(self, database: Database, optimize: bool = True):
+        self.db = database
+        self.optimize = optimize
+        #: session-level `range of` declarations, QUEL-style
+        self.session_ranges: dict[str, ast.RangeDecl] = {}
+
+    # -- operator table ------------------------------------------------------------
+
+    def _operator_table(self) -> OperatorTable:
+        table = OperatorTable()
+        adts = self.db.catalog.adts
+        for symbol in adts.operator_symbols():
+            info = adts.operator_parse_info(symbol)
+            if info is not None:
+                table.add_operator(
+                    symbol, info.precedence, info.associativity, info.fixity
+                )
+        return table
+
+    # -- entry point -----------------------------------------------------------------
+
+    def execute(self, text: str, user: str = "dba") -> Result:
+        """Run one or more statements; returns the last statement's result."""
+        table = self._operator_table()
+        script = parse_script(text, table)
+        if not script.statements:
+            return Result(kind="empty", message="no statements")
+        result = Result(kind="empty")
+        for statement in script.statements:
+            result = self.execute_statement(statement, user)
+        return result
+
+    def execute_statement(self, statement: ast.Statement, user: str) -> Result:
+        """Dispatch one parsed statement."""
+        handler = self._HANDLERS.get(type(statement))
+        if handler is None:
+            raise ExcessError(
+                f"no handler for statement {type(statement).__name__}"
+            )
+        return handler(self, statement, user)
+
+    # -- type expression builder ---------------------------------------------------------
+
+    def build_type(
+        self, expr: ast.TypeExpr, self_type: Optional[SchemaType] = None
+    ) -> Type:
+        """Resolve a type expression against the catalog.
+
+        ``self_type`` supports self-referential definitions like
+        ``Person.kids: {own ref Person}``.
+        """
+        if isinstance(expr, ast.BaseTypeExpr):
+            if expr.name == "char":
+                return CharType(expr.param or 1)
+            return _BASE_TYPES[expr.name]
+        if isinstance(expr, ast.EnumTypeExpr):
+            return EnumType(tuple(expr.labels))
+        if isinstance(expr, ast.NamedTypeExpr):
+            name = expr.name
+            if self_type is not None and name == self_type.name:
+                return self_type
+            if self.db.catalog.has_type(name):
+                return self.db.catalog.schema_type(name)
+            if self.db.catalog.adts.has_adt(name):
+                return self.db.catalog.adts.adt(name)
+            raise SchemaError(f"unknown type {name!r}")
+        if isinstance(expr, ast.SetTypeExpr):
+            return SetType(self.build_component(expr.element, self_type))
+        if isinstance(expr, ast.ArrayTypeExpr):
+            return ArrayType(
+                self.build_component(expr.element, self_type), length=expr.length
+            )
+        if isinstance(expr, ast.TupleTypeExpr):
+            return TupleType(
+                [
+                    (decl.name, self.build_component(decl.component, self_type))
+                    for decl in expr.attributes
+                ]
+            )
+        raise SchemaError(f"cannot build type from {type(expr).__name__}")
+
+    def build_component(
+        self, expr: ast.ComponentExpr, self_type: Optional[SchemaType] = None
+    ) -> ComponentSpec:
+        """Resolve a component (semantics + type) expression."""
+        semantics = {
+            "own": Semantics.OWN,
+            "ref": Semantics.REF,
+            "own ref": Semantics.OWN_REF,
+        }[expr.semantics]
+        return ComponentSpec(semantics, self.build_type(expr.type, self_type))
+
+    # -- DDL handlers ------------------------------------------------------------------------
+
+    def _do_define_type(self, statement: ast.DefineType, user: str) -> Result:
+        # Two-phase construction so a type may reference itself (Person's
+        # kids are Persons): allocate the SchemaType shell first, resolve
+        # attribute types (self-references point at the shell), then run
+        # the real initializer into the shell.
+        shell = SchemaType.__new__(SchemaType)
+        shell.name = statement.name  # visible to build_type during resolution
+        attributes = [
+            (decl.name, self.build_component(decl.component, self_type=shell))
+            for decl in statement.attributes
+        ]
+        parents = [self.db.catalog.schema_type(p) for p in statement.parents]
+        renames = [
+            Rename(parent=r.parent, attribute=r.attribute, new_name=r.new_name)
+            for r in statement.renames
+        ]
+        SchemaType.__init__(
+            shell, statement.name, attributes, parents=parents, renames=renames
+        )
+        self.db.catalog.register_type(shell)
+        return Result(
+            kind="define", message=f"defined type {statement.name}"
+        )
+
+    def _do_create_named(self, statement: ast.CreateNamed, user: str) -> Result:
+        spec = self.build_component(statement.component)
+        key = tuple(statement.key) if statement.key else None
+        self.db.create_named(statement.name, spec, key=key, user=user)
+        return Result(kind="create", message=f"created {statement.name}")
+
+    def _do_destroy(self, statement: ast.DestroyNamed, user: str) -> Result:
+        self._check(user, Privilege.DELETE, statement.name)
+        deleted = self.db.destroy_named(statement.name)
+        return Result(
+            kind="destroy",
+            count=deleted,
+            message=f"destroyed {statement.name} ({deleted} object(s) deleted)",
+        )
+
+    def _do_create_index(self, statement: ast.CreateIndex, user: str) -> Result:
+        self._check(user, Privilege.DEFINE, statement.set_name)
+        self.db.create_index(statement.set_name, statement.attribute, statement.kind)
+        return Result(
+            kind="index",
+            message=(
+                f"created {statement.kind} index on "
+                f"{statement.set_name}.{statement.attribute}"
+            ),
+        )
+
+    def _do_drop_index(self, statement: ast.DropIndex, user: str) -> Result:
+        self._check(user, Privilege.DEFINE, statement.set_name)
+        self.db.catalog.indexes.drop(
+            statement.set_name, statement.attribute, statement.kind
+        )
+        return Result(
+            kind="index",
+            message=(
+                f"dropped {statement.kind} index on "
+                f"{statement.set_name}.{statement.attribute}"
+            ),
+        )
+
+    def _do_range(self, statement: ast.RangeDecl, user: str) -> Result:
+        # Validate the source binds before remembering the declaration.
+        binder = self._binder()
+        scope = Scope()
+        query = BoundQuery()
+        binder._bind_range_source(statement.source, scope, query)
+        self.session_ranges[statement.variable] = statement
+        kind = "universal range" if statement.universal else "range"
+        return Result(
+            kind="range",
+            message=f"declared {kind} variable {statement.variable}",
+        )
+
+    def _do_grant(self, statement: ast.GrantStatement, user: str) -> Result:
+        privilege = Privilege.parse(statement.privilege)
+        if not self.db.authz.directory.has_group(statement.principal):
+            self.db.authz.directory.add_user(statement.principal)
+        self.db.authz.grant(
+            statement.principal, privilege, statement.object_name, grantor=user
+        )
+        return Result(
+            kind="grant",
+            message=(
+                f"granted {privilege.value} on {statement.object_name} to "
+                f"{statement.principal}"
+            ),
+        )
+
+    def _do_revoke(self, statement: ast.RevokeStatement, user: str) -> Result:
+        privilege = Privilege.parse(statement.privilege)
+        revoked = self.db.authz.revoke(
+            statement.principal, privilege, statement.object_name, revoker=user
+        )
+        return Result(
+            kind="revoke",
+            message=(
+                f"revoked {privilege.value} on {statement.object_name} from "
+                f"{statement.principal}"
+                if revoked
+                else "no matching grant"
+            ),
+        )
+
+    def _do_create_user(self, statement: ast.CreateUser, user: str) -> Result:
+        self.db.authz.directory.add_user(statement.name)
+        return Result(kind="user", message=f"created user {statement.name}")
+
+    def _do_create_group(self, statement: ast.CreateGroup, user: str) -> Result:
+        self.db.authz.directory.add_group(statement.name)
+        return Result(kind="group", message=f"created group {statement.name}")
+
+    def _do_add_to_group(self, statement: ast.AddToGroup, user: str) -> Result:
+        self.db.authz.directory.add_member(statement.group, statement.member)
+        return Result(
+            kind="group",
+            message=f"added {statement.member} to group {statement.group}",
+        )
+
+    # -- functions and procedures -----------------------------------------------------------------
+
+    def _build_params(self, decls: list[ast.ParamDecl]) -> list[FunctionParam]:
+        params: list[FunctionParam] = []
+        for decl in decls:
+            if decl.type_name is not None:
+                schema_type = self.db.catalog.schema_type(decl.type_name)
+                spec = ComponentSpec(Semantics.REF, schema_type)
+            else:
+                assert decl.component is not None
+                spec = self.build_component(decl.component)
+            params.append(FunctionParam(name=decl.name, spec=spec))
+        return params
+
+    def _do_define_function(self, statement: ast.DefineFunction, user: str) -> Result:
+        params = self._build_params(statement.params)
+        if not params or not params[0].is_object or not isinstance(
+            params[0].spec.type, SchemaType
+        ):
+            raise FunctionError(
+                "the first parameter of an EXCESS function must be "
+                "'<var> in <SchemaType>'"
+            )
+        returns = self.build_component(statement.returns)
+        function = ExcessFunction(
+            name=statement.name,
+            type_name=params[0].spec.type.name,
+            params=params,
+            returns=returns,
+            body=statement.body,
+            fixed=statement.fixed,
+            replace=statement.replace,
+        )
+        # Register before validating the body so recursive functions can
+        # reference themselves; roll back if the body fails to bind.
+        self.db.catalog.define_function(function)
+        try:
+            bind_function_body(function, self._binder())
+        except Exception:
+            self.db.catalog.undefine_function(function.type_name, function.name)
+            raise
+        self.db.authz.record_owner(statement.name, user)
+        return Result(
+            kind="define",
+            message=(
+                f"defined function {statement.name} on {function.type_name}"
+            ),
+        )
+
+    def _do_define_procedure(
+        self, statement: ast.DefineProcedure, user: str
+    ) -> Result:
+        params = self._build_params(statement.params)
+        procedure = Procedure(
+            name=statement.name, params=params, body=statement.body, definer=user
+        )
+        bind_procedure_body(procedure, self._binder())  # validate now
+        self.db.catalog.define_procedure(procedure)
+        self.db.authz.record_owner(statement.name, user)
+        return Result(
+            kind="define", message=f"defined procedure {statement.name}"
+        )
+
+    def _do_execute(self, statement: ast.ExecuteProcedure, user: str) -> Result:
+        procedure = self.db.catalog.procedure(statement.name)
+        self._check(user, Privilege.EXECUTE, statement.name)
+        if len(statement.args) != len(procedure.params):
+            raise ProcedureError(
+                f"procedure {statement.name!r} takes {len(procedure.params)} "
+                f"arguments, got {len(statement.args)}"
+            )
+        binder = self._binder()
+        scope, query = binder._new_query_scope(statement.from_clauses, None)
+        bound_args = [
+            binder.bind_expression(arg, scope, query) for arg in statement.args
+        ]
+        if statement.where is not None:
+            query.where = binder._bind_predicate(statement.where, scope, query)
+        binder._finalize(scope, query)
+        Optimizer(self.db.catalog, enabled=self.optimize).optimize(query)
+        evaluator = Evaluator(self.db, user=procedure.definer)
+        tables = evaluator._precompute_aggregates(query, {})
+        bindings: list[dict] = []
+        for env in evaluator._iterate(query, {}, tables):
+            values = [evaluator._eval(a, env, tables) for a in bound_args]
+            bindings.append(
+                {
+                    f"@{param.name}": value
+                    for param, value in zip(procedure.params, values)
+                }
+            )
+        return run_procedure(evaluator, procedure, bindings, binder)
+
+    # -- DML handlers ------------------------------------------------------------------------------
+
+    def _binder(self) -> Binder:
+        return Binder(self.db.catalog, self.session_ranges)
+
+    def _run_query_statement(
+        self, statement: ast.Statement, user: str
+    ) -> Result:
+        binder = self._binder()
+        evaluator = Evaluator(self.db, user=user)
+        optimizer = Optimizer(self.db.catalog, enabled=self.optimize)
+        if isinstance(statement, ast.Retrieve):
+            bound = binder.bind_retrieve(statement)
+            self._check_query_reads(user, bound.query)
+            report = optimizer.optimize(bound.query)
+            result = evaluator.run_retrieve(bound)
+        elif isinstance(statement, ast.Append):
+            bound = binder.bind_append(statement)
+            self._check_query_reads(user, bound.query)
+            self._check_collection_write(user, Privilege.APPEND, bound.target)
+            report = optimizer.optimize(bound.query)
+            result = evaluator.run_append(bound)
+        elif isinstance(statement, ast.Delete):
+            bound = binder.bind_delete(statement)
+            self._check_query_reads(user, bound.query)
+            self._check_binding_write(
+                user, Privilege.DELETE, bound.query, bound.variable
+            )
+            report = optimizer.optimize(bound.query)
+            result = evaluator.run_delete(bound)
+        elif isinstance(statement, ast.Replace):
+            bound = binder.bind_replace(statement)
+            self._check_query_reads(user, bound.query)
+            self._check_replace_write(user, bound)
+            report = optimizer.optimize(bound.query)
+            result = evaluator.run_replace(bound)
+        elif isinstance(statement, ast.SetStatement):
+            bound = binder.bind_set(statement)
+            self._check_query_reads(user, bound.query)
+            if bound.location[0] == "named":
+                self._check(user, Privilege.REPLACE, bound.location[1])
+            report = optimizer.optimize(bound.query)
+            result = evaluator.run_set(bound)
+        else:  # pragma: no cover
+            raise ExcessError(f"not a query statement: {type(statement).__name__}")
+        result.plan = report
+        return result
+
+    def _do_alter_type(self, statement: ast.AlterType, user: str) -> Result:
+        from repro.core.evolution import alter_type
+
+        self._check(user, Privilege.DEFINE, statement.name)
+        adds = [
+            (decl.name, self.build_component(decl.component))
+            for decl in statement.adds
+        ]
+        message = alter_type(self.db, statement.name, adds, statement.drops)
+        return Result(kind="alter", message=message)
+
+    def _do_begin(self, statement: ast.BeginTransaction, user: str) -> Result:
+        self.db.begin()
+        return Result(kind="transaction", message="transaction started")
+
+    def _do_commit(self, statement: ast.CommitTransaction, user: str) -> Result:
+        self.db.commit()
+        return Result(kind="transaction", message="committed")
+
+    def _do_abort(self, statement: ast.AbortTransaction, user: str) -> Result:
+        self.db.abort()
+        return Result(kind="transaction", message="aborted")
+
+    def _do_set_operation(self, statement: ast.SetOperation, user: str) -> Result:
+        """Evaluate retrieves and combine their row sets.
+
+        ``union`` eliminates duplicates (set semantics); ``intersect``
+        keeps rows present in both; ``minus`` removes the right side's
+        rows from the left. Column labels come from the first retrieve;
+        arity must match.
+        """
+        from repro.excess.evaluator import canonical_key
+
+        def run(retrieve: ast.Retrieve) -> Result:
+            return self._run_query_statement(retrieve, user)
+
+        left = run(statement.left)
+        rows = list(left.rows)
+        keys = [tuple(canonical_key(v) for v in row) for row in rows]
+        for op, term in statement.terms:
+            right = run(term)
+            if right.columns and left.columns and len(right.columns) != len(
+                left.columns
+            ):
+                raise BindError(
+                    f"{op}: operand arities differ "
+                    f"({len(left.columns)} vs {len(right.columns)})"
+                )
+            right_keys = {
+                tuple(canonical_key(v) for v in row) for row in right.rows
+            }
+            if op == "union":
+                seen = set(keys)
+                for row in right.rows:
+                    key = tuple(canonical_key(v) for v in row)
+                    if key not in seen:
+                        seen.add(key)
+                        rows.append(row)
+                        keys.append(key)
+                # dedupe the left side too (set semantics)
+                deduped: list[tuple] = []
+                deduped_keys: list[tuple] = []
+                seen2: set = set()
+                for row, key in zip(rows, keys):
+                    if key not in seen2:
+                        seen2.add(key)
+                        deduped.append(row)
+                        deduped_keys.append(key)
+                rows, keys = deduped, deduped_keys
+            elif op == "intersect":
+                filtered = [
+                    (row, key) for row, key in zip(rows, keys)
+                    if key in right_keys
+                ]
+                rows = [r for r, _k in filtered]
+                keys = [k for _r, k in filtered]
+            else:  # minus
+                filtered = [
+                    (row, key) for row, key in zip(rows, keys)
+                    if key not in right_keys
+                ]
+                rows = [r for r, _k in filtered]
+                keys = [k for _r, k in filtered]
+        return Result(kind="retrieve", columns=left.columns, rows=rows)
+
+    def _do_explain(self, statement: ast.Explain, user: str) -> Result:
+        """Bind and optimize the inner statement; report the plan."""
+        from repro.excess.binder import (
+            IteratorSource,
+            NamedSetSource,
+            PathSource,
+        )
+
+        inner = statement.statement
+        binder = self._binder()
+        if isinstance(inner, ast.Retrieve):
+            bound = binder.bind_retrieve(inner)
+            query = bound.query
+        elif isinstance(inner, ast.Append):
+            query = binder.bind_append(inner).query
+        elif isinstance(inner, ast.Delete):
+            query = binder.bind_delete(inner).query
+        elif isinstance(inner, ast.Replace):
+            query = binder.bind_replace(inner).query
+        elif isinstance(inner, ast.SetStatement):
+            query = binder.bind_set(inner).query
+        else:
+            raise ExcessError(
+                f"explain supports query statements, not "
+                f"{type(inner).__name__}"
+            )
+        report = Optimizer(self.db.catalog, enabled=self.optimize).optimize(query)
+        rows: list[tuple] = []
+        for position, binding in enumerate(query.bindings, start=1):
+            source = binding.source
+            if isinstance(source, NamedSetSource):
+                origin = f"set {source.set_name}"
+            elif isinstance(source, PathSource):
+                origin = f"path {source.parent}.{'.'.join(source.steps)}"
+            elif isinstance(source, IteratorSource):
+                origin = f"iterator {source.function.name}"
+            else:  # pragma: no cover
+                origin = "?"
+            access = binding.access
+            if binding.access == "index" and binding.index_descriptor is not None:
+                access = (
+                    f"index {binding.index_descriptor.name} ({binding.index_op})"
+                )
+            quantifier = "forall" if binding.universal else "exists"
+            rows.append(
+                (
+                    position,
+                    binding.name,
+                    origin,
+                    access,
+                    quantifier,
+                    len(binding.residual),
+                )
+            )
+        result = Result(
+            kind="explain",
+            columns=["step", "variable", "source", "access", "quantifier",
+                     "residual_predicates"],
+            rows=rows,
+            message=report.describe(),
+        )
+        result.plan = report
+        return result
+
+    # -- authorization helpers ----------------------------------------------------------------------
+
+    def _check(self, user: str, privilege: Privilege, object_name: str) -> None:
+        if self.db.authz.enabled:
+            self.db.authz.check(user, privilege, object_name)
+
+    def _check_query_reads(self, user: str, query: BoundQuery) -> None:
+        if not self.db.authz.enabled:
+            return
+        for name in self._read_names(query):
+            self.db.authz.check(user, Privilege.SELECT, name)
+
+    def _read_names(self, query: BoundQuery) -> set[str]:
+        names: set[str] = set()
+        for binding in query.bindings:
+            if isinstance(binding.source, NamedSetSource):
+                names.add(binding.source.set_name)
+        for aggregate in query.aggregates:
+            for binding in aggregate.inner_bindings:
+                if isinstance(binding.source, NamedSetSource):
+                    names.add(binding.source.set_name)
+        return names
+
+    def _check_collection_write(self, user: str, privilege: Privilege, target) -> None:
+        if not self.db.authz.enabled:
+            return
+        if target.kind == "named":
+            self.db.authz.check(user, privilege, target.name)
+
+    def _check_binding_write(
+        self, user: str, privilege: Privilege, query: BoundQuery, variable: str
+    ) -> None:
+        if not self.db.authz.enabled:
+            return
+        for binding in query.bindings:
+            if binding.name == variable and isinstance(
+                binding.source, NamedSetSource
+            ):
+                self.db.authz.check(user, privilege, binding.source.set_name)
+
+    def _check_replace_write(self, user: str, bound) -> None:
+        if not self.db.authz.enabled:
+            return
+        from repro.excess.binder import AttrStep, VarRef
+
+        probe = bound.target
+        while isinstance(probe, AttrStep):
+            probe = probe.base
+        if isinstance(probe, VarRef):
+            self._check_binding_write(
+                user, Privilege.REPLACE, bound.query, probe.name
+            )
+        elif isinstance(probe, NamedValue):
+            self._check(user, Privilege.REPLACE, probe.name)
+
+    # -- dispatch table --------------------------------------------------------------------------------
+
+    _HANDLERS: dict[type, Any] = {}
+
+
+Interpreter._HANDLERS = {
+    ast.DefineType: Interpreter._do_define_type,
+    ast.CreateNamed: Interpreter._do_create_named,
+    ast.DestroyNamed: Interpreter._do_destroy,
+    ast.CreateIndex: Interpreter._do_create_index,
+    ast.DropIndex: Interpreter._do_drop_index,
+    ast.RangeDecl: Interpreter._do_range,
+    ast.GrantStatement: Interpreter._do_grant,
+    ast.RevokeStatement: Interpreter._do_revoke,
+    ast.CreateUser: Interpreter._do_create_user,
+    ast.CreateGroup: Interpreter._do_create_group,
+    ast.AddToGroup: Interpreter._do_add_to_group,
+    ast.DefineFunction: Interpreter._do_define_function,
+    ast.DefineProcedure: Interpreter._do_define_procedure,
+    ast.ExecuteProcedure: Interpreter._do_execute,
+    ast.Retrieve: Interpreter._run_query_statement,
+    ast.SetOperation: Interpreter._do_set_operation,
+    ast.AlterType: Interpreter._do_alter_type,
+    ast.BeginTransaction: Interpreter._do_begin,
+    ast.CommitTransaction: Interpreter._do_commit,
+    ast.AbortTransaction: Interpreter._do_abort,
+    ast.Explain: Interpreter._do_explain,
+    ast.Append: Interpreter._run_query_statement,
+    ast.Delete: Interpreter._run_query_statement,
+    ast.Replace: Interpreter._run_query_statement,
+    ast.SetStatement: Interpreter._run_query_statement,
+}

@@ -1,0 +1,334 @@
+"""Rule-based query optimization.
+
+The EXODUS optimizer was generated from rewrite rules ([Grae87]); EXCESS
+feeds it tabular access-method applicability information so ADTs can be
+added dynamically (paper §4.1.3). This module reproduces that
+architecture at small scale with three rule families:
+
+1. **Conjunct normalization** — the where clause is flattened into
+   conjuncts; constant-on-left comparisons are flipped using the
+   operator-properties table (``5 < E.age`` → ``E.age > 5``) so index
+   selection can fire.
+2. **Predicate pushdown** — conjuncts mentioning exactly one (existential)
+   range variable become *residual* filters on that variable's binding,
+   applied as soon as the binding produces a value instead of after the
+   full cross product.
+3. **Access-method selection** — for a residual of shape ``V.attr op
+   constant`` over a named-set binding, the access-method table is
+   consulted for index kinds able to evaluate ``op`` over the attribute's
+   type; if a matching physical index exists, the binding's scan becomes
+   an index scan (equality preferred over range).
+
+Finally bindings are **reordered** greedily: indexed bindings first, then
+filtered scans, then bare scans — respecting nested-path dependencies.
+The optimizer is switchable (``enabled=False``) so benchmarks can measure
+its effect (experiment P1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core.catalog import Catalog
+from repro.core.types import TupleType
+from repro.excess.binder import (
+    AggregateRef,
+    AttrStep,
+    Binary,
+    BoundExpr,
+    BoundQuery,
+    Const,
+    ExcessCall,
+    AdtCall,
+    IndexStepB,
+    Membership,
+    NamedSetSource,
+    PathSource,
+    RangeBinding,
+    Unary,
+    VarRef,
+)
+
+__all__ = ["OptimizerReport", "Optimizer"]
+
+
+@dataclass
+class OptimizerReport:
+    """What the optimizer did to one query (for EXPLAIN-style output)."""
+
+    pushed_down: int = 0
+    index_scans: list[str] = field(default_factory=list)
+    normalized: int = 0
+    binding_order: list[str] = field(default_factory=list)
+    enabled: bool = True
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        if not self.enabled:
+            return "optimizer disabled: nested-loop scan in declaration order"
+        parts = [
+            f"pushdown={self.pushed_down}",
+            f"normalized={self.normalized}",
+            "index=[" + ", ".join(self.index_scans) + "]",
+            "order=[" + ", ".join(self.binding_order) + "]",
+        ]
+        return "; ".join(parts)
+
+
+class Optimizer:
+    """Optimizes a bound query in place and returns a report.
+
+    The rule families can be toggled individually (``normalize``,
+    ``pushdown``, ``index_selection``, ``reorder``) for ablation
+    experiments; ``enabled=False`` disables everything.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        enabled: bool = True,
+        normalize: bool = True,
+        pushdown: bool = True,
+        index_selection: bool = True,
+        reorder: bool = True,
+    ):
+        self.catalog = catalog
+        self.enabled = enabled
+        self.normalize_rule = normalize
+        self.pushdown_rule = pushdown
+        self.index_rule = index_selection
+        self.reorder_rule = reorder
+
+    def optimize(self, query: BoundQuery) -> OptimizerReport:
+        """Apply the rule families to ``query`` (mutating it)."""
+        report = OptimizerReport(enabled=self.enabled)
+        if not self.enabled:
+            report.binding_order = [b.name for b in query.bindings]
+            return report
+        conjuncts = self._flatten_conjuncts(query.where)
+        if self.normalize_rule:
+            conjuncts = [self._normalize(c, report) for c in conjuncts]
+        remaining: list[BoundExpr] = []
+        for conjunct in conjuncts:
+            variables = self._variables_of(conjunct)
+            target = (
+                self._pushdown_target(conjunct, variables, query)
+                if self.pushdown_rule
+                else None
+            )
+            if target is not None:
+                target.residual.append(conjunct)
+                report.pushed_down += 1
+            else:
+                remaining.append(conjunct)
+        query.where = self._rebuild_conjunction(remaining)
+        if self.index_rule:
+            for binding in query.bindings:
+                self._select_access(binding, report)
+        if self.reorder_rule:
+            self._order_bindings(query)
+        report.binding_order = [b.name for b in query.bindings]
+        # Optimize aggregate inner iterations the same way.
+        for aggregate in query.aggregates:
+            inner = BoundQuery(
+                bindings=aggregate.inner_bindings, where=aggregate.where
+            )
+            self.optimize(inner)
+            aggregate.inner_bindings = inner.bindings
+            aggregate.where = inner.where
+        return report
+
+    # -- conjunct handling -------------------------------------------------------
+
+    def _flatten_conjuncts(self, where: Optional[BoundExpr]) -> list[BoundExpr]:
+        if where is None:
+            return []
+        if isinstance(where, Binary) and where.kind == "bool" and where.op == "and":
+            return self._flatten_conjuncts(where.left) + self._flatten_conjuncts(
+                where.right
+            )
+        return [where]
+
+    def _rebuild_conjunction(
+        self, conjuncts: list[BoundExpr]
+    ) -> Optional[BoundExpr]:
+        if not conjuncts:
+            return None
+        out = conjuncts[0]
+        from repro.core.types import BOOLEAN
+
+        for conjunct in conjuncts[1:]:
+            out = Binary(
+                op="and", left=out, right=conjunct, kind="bool", type=BOOLEAN
+            )
+        return out
+
+    def _normalize(self, conjunct: BoundExpr, report: OptimizerReport) -> BoundExpr:
+        """Flip constant-on-left comparisons using the converse table."""
+        if (
+            isinstance(conjunct, Binary)
+            and conjunct.kind == "compare"
+            and isinstance(conjunct.left, Const)
+            and not isinstance(conjunct.right, Const)
+        ):
+            properties = self.catalog.access_table.operator_properties(conjunct.op)
+            converse = properties.converse
+            if converse:
+                report.normalized += 1
+                return Binary(
+                    op=converse,
+                    left=conjunct.right,
+                    right=conjunct.left,
+                    kind="compare",
+                    type=conjunct.type,
+                    enum_labels=conjunct.enum_labels,
+                )
+        return conjunct
+
+    # -- pushdown ------------------------------------------------------------------
+
+    def _variables_of(self, expression: BoundExpr) -> set[str]:
+        out: set[str] = set()
+        stack = [expression]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, VarRef):
+                out.add(node.name)
+            elif isinstance(node, AttrStep):
+                stack.append(node.base)
+            elif isinstance(node, IndexStepB):
+                stack.extend([node.base, node.index])
+            elif isinstance(node, Binary):
+                stack.extend([node.left, node.right])
+            elif isinstance(node, Unary):
+                stack.append(node.operand)
+            elif isinstance(node, (AdtCall, ExcessCall)):
+                stack.extend(node.args)
+            elif isinstance(node, Membership):
+                stack.append(node.element)
+                if node.collection.base is not None:
+                    stack.append(node.collection.base)
+            elif isinstance(node, AggregateRef):
+                # aggregate values are only available after their tables are
+                # built; treat as multi-variable (never pushed down)
+                out.add("$aggregate")
+                if node.outer_key is not None:
+                    stack.append(node.outer_key)
+        return out
+
+    def _pushdown_target(
+        self,
+        conjunct: BoundExpr,
+        variables: set[str],
+        query: BoundQuery,
+    ) -> Optional[RangeBinding]:
+        if "$aggregate" in variables:
+            return None
+        if len(variables) != 1:
+            return None
+        name = next(iter(variables))
+        for binding in query.bindings:
+            if binding.name == name:
+                if binding.universal:
+                    return None  # ∀-variables keep the full predicate
+                # A residual on a nested binding still only fires once the
+                # parent produced a value, which the evaluator guarantees.
+                return binding
+        return None
+
+    # -- access selection ------------------------------------------------------------
+
+    def _select_access(self, binding: RangeBinding, report: OptimizerReport) -> None:
+        if not isinstance(binding.source, NamedSetSource):
+            return
+        set_name = binding.source.set_name
+        element = binding.element_type
+        if not isinstance(element, TupleType):
+            return
+        best: Optional[tuple[int, BoundExpr, str, str, Any, BoundExpr]] = None
+        for conjunct in binding.residual:
+            probe = self._indexable_probe(conjunct, binding.name, element)
+            if probe is None:
+                continue
+            attribute, op, key_expr = probe
+            attr_type = element.attribute(attribute).type
+            kinds = self.catalog.access_table.applicable(attr_type.tag, op)
+            if not kinds:
+                continue
+            descriptor = self.catalog.indexes.find(set_name, attribute, kinds)
+            if descriptor is None:
+                continue
+            rank = 0 if op == "=" else 1
+            if descriptor.kind == "hash" and op != "=":
+                continue
+            candidate = (rank, conjunct, attribute, op, descriptor, key_expr)
+            if best is None or candidate[0] < best[0]:
+                best = candidate
+        if best is None:
+            return
+        _rank, conjunct, attribute, op, descriptor, key_expr = best
+        binding.access = "index"
+        binding.index_descriptor = descriptor
+        binding.index_op = op
+        binding.index_key = key_expr
+        binding.residual.remove(conjunct)
+        report.index_scans.append(
+            f"{binding.name}:{descriptor.set_name}.{attribute}:{descriptor.kind}:{op}"
+        )
+
+    def _indexable_probe(
+        self, conjunct: BoundExpr, variable: str, element: TupleType
+    ) -> Optional[tuple[str, str, BoundExpr]]:
+        """Match ``V.attr op <constant expression>`` patterns.
+
+        The probe key may be any variable-free expression — a literal or
+        e.g. an ADT constructor call like ``Date("1/1/1930")`` — since it
+        can be evaluated once before the scan.
+        """
+        if not isinstance(conjunct, Binary) or conjunct.kind != "compare":
+            return None
+        left, right = conjunct.left, conjunct.right
+        if self._variables_of(right):
+            return None
+        if not isinstance(left, AttrStep):
+            return None
+        if not isinstance(left.base, VarRef) or left.base.name != variable:
+            return None
+        if not element.has_attribute(left.attribute):
+            return None
+        if conjunct.op not in ("=", "<", "<=", ">", ">="):
+            return None
+        return left.attribute, conjunct.op, right
+
+    # -- ordering ----------------------------------------------------------------------
+
+    def _order_bindings(self, query: BoundQuery) -> None:
+        """Greedy order: indexed < filtered < bare scans, dependencies and
+        universality respected (∀ bindings stay last)."""
+
+        def score(binding: RangeBinding) -> tuple[int, int]:
+            if binding.universal:
+                return (3, 0)
+            if binding.access == "index":
+                return (0, -len(binding.residual))
+            if binding.residual:
+                return (1, -len(binding.residual))
+            return (2, 0)
+
+        ordered: list[RangeBinding] = []
+        placed: set[str] = set()
+        pending = list(query.bindings)
+        while pending:
+            candidates = [
+                b for b in pending
+                if not isinstance(b.source, PathSource)
+                or b.source.parent in placed
+                or all(p.name != b.source.parent for p in pending)
+            ]
+            candidates.sort(key=score)
+            chosen = candidates[0]
+            ordered.append(chosen)
+            placed.add(chosen.name)
+            pending.remove(chosen)
+        query.bindings = ordered

@@ -1,0 +1,403 @@
+"""An unparser for EXCESS syntax trees.
+
+``unparse(node)`` renders any statement or expression back to concrete
+EXCESS syntax that re-parses to an equivalent tree (verified by the
+round-trip property tests). Expression operands are parenthesized
+conservatively, so output is unambiguous regardless of user-registered
+operator precedences.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.errors import ExcessError
+from repro.excess import ast_nodes as ast
+
+__all__ = ["unparse"]
+
+
+def unparse(node: ast.Node) -> str:
+    """Render an AST node as EXCESS source text."""
+    handler = _HANDLERS.get(type(node))
+    if handler is None:
+        raise ExcessError(f"cannot unparse {type(node).__name__}")
+    return handler(node)
+
+
+# -- expressions ---------------------------------------------------------------
+
+
+def _string_literal(value: str) -> str:
+    escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+    escaped = escaped.replace("\n", "\\n").replace("\t", "\\t")
+    return f'"{escaped}"'
+
+
+def _literal(node: ast.Literal) -> str:
+    value = node.value
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        return _string_literal(value)
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def _null(_node: ast.NullLiteral) -> str:
+    return "null"
+
+
+def _steps(steps: list[ast.PathStep]) -> str:
+    out = []
+    for step in steps:
+        if isinstance(step, ast.AttributeStep):
+            out.append(f".{step.name}")
+        else:
+            assert isinstance(step, ast.IndexStep)
+            out.append(f"[{_expr(step.index)}]")
+    return "".join(out)
+
+
+def _path(node: ast.Path) -> str:
+    return node.root + _steps(node.steps)
+
+
+def _suffix_path(node: ast.SuffixPath) -> str:
+    return _operand(node.base) + _steps(node.steps)
+
+
+def _expr(node: ast.Expression) -> str:
+    return unparse(node)
+
+
+def _operand(node: ast.Expression) -> str:
+    """Render a subexpression, parenthesized unless atomic."""
+    text = _expr(node)
+    if isinstance(
+        node,
+        (ast.Literal, ast.NullLiteral, ast.Path, ast.FunctionCall,
+         ast.Aggregate, ast.SuffixPath),
+    ):
+        return text
+    return f"({text})"
+
+
+def _binary(node: ast.BinaryOp) -> str:
+    return f"{_operand(node.left)} {node.op} {_operand(node.right)}"
+
+
+def _unary(node: ast.UnaryOp) -> str:
+    separator = " " if node.op[0].isalpha() else ""
+    return f"{node.op}{separator}{_operand(node.operand)}"
+
+
+def _call(node: ast.FunctionCall) -> str:
+    return f"{node.name}({', '.join(_expr(a) for a in node.args)})"
+
+
+def _aggregate(node: ast.Aggregate) -> str:
+    inner = _expr(node.argument)
+    if node.over is not None:
+        inner += f" over {_path(node.over)}"
+    if node.where is not None:
+        inner += f" where {_expr(node.where)}"
+    return f"{node.name}({inner})"
+
+
+def _membership(node: ast.SetMembership) -> str:
+    keyword = "not in" if node.negated else "in"
+    return f"{_operand(node.element)} {keyword} {_path(node.collection)}"
+
+
+# -- type expressions -------------------------------------------------------------
+
+
+def _component(node: ast.ComponentExpr) -> str:
+    prefix = "" if node.semantics == "own" else f"{node.semantics} "
+    return prefix + _type_expr(node.type)
+
+
+def _type_expr(node: ast.TypeExpr) -> str:
+    if isinstance(node, ast.BaseTypeExpr):
+        if node.name == "char":
+            return f"char({node.param})"
+        return node.name
+    if isinstance(node, ast.NamedTypeExpr):
+        return node.name
+    if isinstance(node, ast.EnumTypeExpr):
+        return "enum (" + ", ".join(node.labels) + ")"
+    if isinstance(node, ast.SetTypeExpr):
+        return "{" + _component(node.element) + "}"
+    if isinstance(node, ast.ArrayTypeExpr):
+        bracket = f"[{node.length}]" if node.length is not None else "[]"
+        return f"{bracket} {_component(node.element)}"
+    if isinstance(node, ast.TupleTypeExpr):
+        inner = ", ".join(
+            f"{decl.name}: {_component(decl.component)}"
+            for decl in node.attributes
+        )
+        return f"({inner})"
+    raise ExcessError(f"cannot unparse type {type(node).__name__}")
+
+
+# -- clauses -----------------------------------------------------------------------
+
+
+def _from_where(
+    from_clauses: list[ast.FromClause],
+    where: Union[ast.Expression, None],
+) -> str:
+    out = ""
+    if from_clauses:
+        rendered = []
+        for clause in from_clauses:
+            source = unparse(clause.source)
+            every = "every " if clause.universal else ""
+            rendered.append(f"{clause.variable} in {every}{source}")
+        out += " from " + ", ".join(rendered)
+    if where is not None:
+        out += f" where {_expr(where)}"
+    return out
+
+
+def _assignments(assignments: list[ast.Assignment]) -> str:
+    return ", ".join(
+        f"{a.attribute} = {_expr(a.expression)}" for a in assignments
+    )
+
+
+# -- statements ----------------------------------------------------------------------
+
+
+def _define_type(node: ast.DefineType) -> str:
+    attrs = ", ".join(
+        f"{decl.name}: {_component(decl.component)}"
+        for decl in node.attributes
+    )
+    out = f"define type {node.name} as ({attrs})"
+    if node.parents:
+        out += " inherits " + ", ".join(node.parents)
+    if node.renames:
+        clauses = ", ".join(
+            f"rename {r.parent}.{r.attribute} to {r.new_name}"
+            for r in node.renames
+        )
+        out += f" with {clauses}"
+    return out
+
+
+def _create_named(node: ast.CreateNamed) -> str:
+    out = f"create {_component(node.component)} {node.name}"
+    if node.key:
+        out += " key (" + ", ".join(node.key) + ")"
+    return out
+
+
+def _retrieve(node: ast.Retrieve) -> str:
+    out = "retrieve"
+    if node.unique:
+        out += " unique"
+    if node.into:
+        out += f" into {node.into}"
+    targets = ", ".join(
+        (f"{t.label} = " if t.label else "") + _expr(t.expression)
+        for t in node.targets
+    )
+    out += f" ({targets})"
+    out += _from_where(node.from_clauses, node.where)
+    if node.order:
+        keys = ", ".join(
+            _expr(key.expression) + (" desc" if key.descending else "")
+            for key in node.order
+        )
+        out += f" sort by {keys}"
+    return out
+
+
+def _set_operation(node: ast.SetOperation) -> str:
+    out = _retrieve(node.left)
+    for op, term in node.terms:
+        out += f" {op} {_retrieve(term)}"
+    return out
+
+
+def _append(node: ast.Append) -> str:
+    body = (
+        _assignments(node.assignments)
+        if node.assignments
+        else _expr(node.expression)
+    )
+    return (
+        f"append to {_path(node.target)} ({body})"
+        + _from_where(node.from_clauses, node.where)
+    )
+
+
+def _delete(node: ast.Delete) -> str:
+    return f"delete {node.variable}" + _from_where(
+        node.from_clauses, node.where
+    )
+
+
+def _replace(node: ast.Replace) -> str:
+    return (
+        f"replace {_path(node.target)} ({_assignments(node.assignments)})"
+        + _from_where(node.from_clauses, node.where)
+    )
+
+
+def _set_statement(node: ast.SetStatement) -> str:
+    return (
+        f"set {_path(node.target)} = {_expr(node.expression)}"
+        + _from_where(node.from_clauses, node.where)
+    )
+
+
+def _params(params: list[ast.ParamDecl]) -> str:
+    rendered = []
+    for param in params:
+        if param.type_name is not None:
+            rendered.append(f"{param.name} in {param.type_name}")
+        else:
+            rendered.append(f"{param.name}: {_component(param.component)}")
+    return ", ".join(rendered)
+
+
+def _define_function(node: ast.DefineFunction) -> str:
+    fixed = "fixed " if node.fixed else ""
+    return (
+        f"define {fixed}function {node.name} ({_params(node.params)}) "
+        f"returns {_component(node.returns)} as {_retrieve(node.body)}"
+    )
+
+
+def _define_procedure(node: ast.DefineProcedure) -> str:
+    return (
+        f"define procedure {node.name} ({_params(node.params)}) as "
+        f"{unparse(node.body)}"
+    )
+
+
+def _execute(node: ast.ExecuteProcedure) -> str:
+    args = ", ".join(_expr(a) for a in node.args)
+    return f"execute {node.name} ({args})" + _from_where(
+        node.from_clauses, node.where
+    )
+
+
+def _range_decl(node: ast.RangeDecl) -> str:
+    every = "every " if node.universal else ""
+    return f"range of {node.variable} is {every}{unparse(node.source)}"
+
+
+def _destroy(node: ast.DestroyNamed) -> str:
+    return f"destroy {node.name}"
+
+
+def _create_index(node: ast.CreateIndex) -> str:
+    return (
+        f"create index on {node.set_name} ({node.attribute}) "
+        f"using {node.kind}"
+    )
+
+
+def _drop_index(node: ast.DropIndex) -> str:
+    return (
+        f"drop index on {node.set_name} ({node.attribute}) using {node.kind}"
+    )
+
+
+def _grant(node: ast.GrantStatement) -> str:
+    return f"grant {node.privilege} on {node.object_name} to {node.principal}"
+
+
+def _revoke(node: ast.RevokeStatement) -> str:
+    return (
+        f"revoke {node.privilege} on {node.object_name} from {node.principal}"
+    )
+
+
+def _create_user(node: ast.CreateUser) -> str:
+    return f"create user {node.name}"
+
+
+def _create_group(node: ast.CreateGroup) -> str:
+    return f"create group {node.name}"
+
+
+def _add_to_group(node: ast.AddToGroup) -> str:
+    return f"add {node.member} to group {node.group}"
+
+
+def _alter_type(node: ast.AlterType) -> str:
+    out = f"alter type {node.name}"
+    if node.adds:
+        attrs = ", ".join(
+            f"{decl.name}: {_component(decl.component)}"
+            for decl in node.adds
+        )
+        out += f" add ({attrs})"
+    if node.drops:
+        out += " drop (" + ", ".join(node.drops) + ")"
+    return out
+
+
+def _begin(_node: ast.BeginTransaction) -> str:
+    return "begin transaction"
+
+
+def _commit(_node: ast.CommitTransaction) -> str:
+    return "commit"
+
+
+def _abort(_node: ast.AbortTransaction) -> str:
+    return "abort"
+
+
+def _explain(node: ast.Explain) -> str:
+    return f"explain {unparse(node.statement)}"
+
+
+def _script(node: ast.Script) -> str:
+    return "\n".join(unparse(s) for s in node.statements)
+
+
+_HANDLERS = {
+    ast.Literal: _literal,
+    ast.NullLiteral: _null,
+    ast.Path: _path,
+    ast.SuffixPath: _suffix_path,
+    ast.BinaryOp: _binary,
+    ast.UnaryOp: _unary,
+    ast.FunctionCall: _call,
+    ast.Aggregate: _aggregate,
+    ast.SetMembership: _membership,
+    ast.DefineType: _define_type,
+    ast.CreateNamed: _create_named,
+    ast.DestroyNamed: _destroy,
+    ast.CreateIndex: _create_index,
+    ast.DropIndex: _drop_index,
+    ast.RangeDecl: _range_decl,
+    ast.Retrieve: _retrieve,
+    ast.SetOperation: _set_operation,
+    ast.Append: _append,
+    ast.Delete: _delete,
+    ast.Replace: _replace,
+    ast.SetStatement: _set_statement,
+    ast.DefineFunction: _define_function,
+    ast.DefineProcedure: _define_procedure,
+    ast.ExecuteProcedure: _execute,
+    ast.GrantStatement: _grant,
+    ast.RevokeStatement: _revoke,
+    ast.CreateUser: _create_user,
+    ast.CreateGroup: _create_group,
+    ast.AddToGroup: _add_to_group,
+    ast.AlterType: _alter_type,
+    ast.Explain: _explain,
+    ast.BeginTransaction: _begin,
+    ast.CommitTransaction: _commit,
+    ast.AbortTransaction: _abort,
+    ast.Script: _script,
+}

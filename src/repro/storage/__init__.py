@@ -1,0 +1,39 @@
+"""Storage substrate standing in for the EXODUS storage manager.
+
+The EXODUS storage manager provided files of storage objects, page-level
+buffering, and identifier-based object access. This package reproduces
+those abstractions in Python:
+
+* :mod:`repro.storage.pages` — slotted pages and record identifiers;
+* :mod:`repro.storage.disk` — a simulated disk with I/O accounting;
+* :mod:`repro.storage.buffer` — a pinning buffer pool with LRU
+  replacement and hit/miss statistics;
+* :mod:`repro.storage.heap` — heap files of variable-length records;
+* :mod:`repro.storage.object_store` — the paged object store that backs
+  :class:`repro.core.identity.ObjectTable`;
+* :mod:`repro.storage.index` — hash and B+-tree access methods;
+* :mod:`repro.storage.access` — the access-method registry and the
+  tabular ADT/operator applicability information the paper's optimizer
+  design calls for;
+* :mod:`repro.storage.persistence` — whole-database snapshots.
+"""
+
+from repro.storage.buffer import BufferPool, BufferStats
+from repro.storage.disk import DiskManager
+from repro.storage.heap import HeapFile
+from repro.storage.index import BTreeIndex, HashIndex
+from repro.storage.object_store import PagedObjectStore
+from repro.storage.pages import PAGE_SIZE, Page, Rid
+
+__all__ = [
+    "PAGE_SIZE",
+    "Page",
+    "Rid",
+    "DiskManager",
+    "BufferPool",
+    "BufferStats",
+    "HeapFile",
+    "HashIndex",
+    "BTreeIndex",
+    "PagedObjectStore",
+]

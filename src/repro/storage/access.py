@@ -1,0 +1,234 @@
+"""Access-method registry and tabular optimizer information.
+
+Paper §4.1.3: "optimizer-specific information will not be specified via
+the EXCESS/EXTRA interface. Instead, it will be given in tabular form to a
+utility responsible for managing optimizer information. The EXCESS query
+optimizer ... will do table lookup to determine method applicability for
+ADTs (so that ADTs can be easily added dynamically). ... expression-level
+optimizer information (e.g., associativity, commutativity, complementary
+function pairs, etc.) will also be represented in tabular form."
+
+This module is that utility. It holds:
+
+* :class:`AccessMethodTable` — which index kinds can evaluate which
+  operator over which type (extensible at runtime when an ADT is added);
+* :class:`OperatorProperties` — expression-level facts (commutativity,
+  complement pairs, selectivity estimates) used by rewrite rules;
+* :class:`IndexManager` — the physical indexes maintained over named sets,
+  kept in sync by the database layer on every append/delete/replace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+from repro.errors import CatalogError, StorageError
+from repro.storage.index import BTreeIndex, HashIndex
+
+__all__ = [
+    "OperatorProperties",
+    "AccessMethodTable",
+    "IndexDescriptor",
+    "IndexManager",
+]
+
+
+@dataclass(frozen=True)
+class OperatorProperties:
+    """Expression-level optimizer facts for one operator.
+
+    ``complement`` names the operator with the complementary truth value
+    (``=`` ↔ ``!=``); ``converse`` names the operator with swapped
+    operands (``<`` ↔ ``>``), used to normalize constant-on-left
+    predicates so that index selection can fire.
+    """
+
+    name: str
+    commutative: bool = False
+    associative: bool = False
+    complement: Optional[str] = None
+    converse: Optional[str] = None
+    #: crude selectivity estimate in [0, 1] used to order selections
+    selectivity: float = 0.5
+
+
+#: Built-in expression-level table (extended per-ADT at registration time).
+_DEFAULT_OPERATOR_PROPERTIES: dict[str, OperatorProperties] = {
+    "=": OperatorProperties("=", commutative=True, complement="!=", converse="=", selectivity=0.05),
+    "!=": OperatorProperties("!=", commutative=True, complement="=", converse="!=", selectivity=0.95),
+    "<": OperatorProperties("<", complement=">=", converse=">", selectivity=0.33),
+    "<=": OperatorProperties("<=", complement=">", converse=">=", selectivity=0.33),
+    ">": OperatorProperties(">", complement="<=", converse="<", selectivity=0.33),
+    ">=": OperatorProperties(">=", complement="<", converse="<=", selectivity=0.33),
+    "+": OperatorProperties("+", commutative=True, associative=True),
+    "*": OperatorProperties("*", commutative=True, associative=True),
+    "and": OperatorProperties("and", commutative=True, associative=True),
+    "or": OperatorProperties("or", commutative=True, associative=True),
+}
+
+
+class AccessMethodTable:
+    """Table mapping ``(type_tag, operator)`` to applicable index kinds.
+
+    Base types come pre-registered: equality is answerable by hash or
+    B+-tree, ordering comparisons by B+-tree only. Registering an ADT adds
+    rows for whichever of its operators are hashable/ordered, which is how
+    "ADTs can be easily added dynamically" without touching the optimizer.
+    """
+
+    _ORDERED = ("<", "<=", ">", ">=")
+
+    def __init__(self) -> None:
+        self._rows: dict[tuple[str, str], list[str]] = {}
+        self._operator_properties: dict[str, OperatorProperties] = dict(
+            _DEFAULT_OPERATOR_PROPERTIES
+        )
+        for tag in ("int1", "int2", "int4", "int8", "float4", "float8",
+                    "boolean", "text"):
+            self.register_hashable(tag)
+            if tag != "boolean":
+                self.register_ordered(tag)
+        # char(n) rows are registered per-length on demand via normalize.
+
+    @staticmethod
+    def _normalize_tag(tag: str) -> str:
+        """Collapse parameterized tags (char(20) → char) for table rows."""
+        return tag.split("(")[0]
+
+    def register_hashable(self, type_tag: str) -> None:
+        """Declare that equality over ``type_tag`` can use hash or B+-tree."""
+        tag = self._normalize_tag(type_tag)
+        self._rows[(tag, "=")] = ["hash", "btree"]
+
+    def register_ordered(self, type_tag: str) -> None:
+        """Declare that ordering comparisons over ``type_tag`` can use a
+        B+-tree (and register the range row for equality too)."""
+        tag = self._normalize_tag(type_tag)
+        self._rows.setdefault((tag, "="), ["btree"])
+        for op in self._ORDERED:
+            self._rows[(tag, op)] = ["btree"]
+
+    def register_row(self, type_tag: str, operator: str, methods: Iterable[str]) -> None:
+        """Add an explicit applicability row (expert/DBI extension hook)."""
+        self._rows[(self._normalize_tag(type_tag), operator)] = list(methods)
+
+    def applicable(self, type_tag: str, operator: str) -> list[str]:
+        """Index kinds able to evaluate ``operator`` over ``type_tag``
+        (empty when the predicate can only be evaluated by scanning)."""
+        tag = self._normalize_tag(type_tag)
+        if tag == "char":
+            # Fixed-length strings behave like text for access purposes.
+            tag = "text"
+        return list(self._rows.get((tag, operator), ()))
+
+    def set_operator_properties(self, props: OperatorProperties) -> None:
+        """Install expression-level facts for an operator."""
+        self._operator_properties[props.name] = props
+
+    def operator_properties(self, name: str) -> OperatorProperties:
+        """Expression-level facts for ``name`` (defaults when unknown)."""
+        return self._operator_properties.get(name, OperatorProperties(name))
+
+
+@dataclass
+class IndexDescriptor:
+    """Catalog entry for one physical index over a named set."""
+
+    set_name: str
+    attribute: str
+    kind: str  # "hash" | "btree"
+    index: Any = field(repr=False)
+
+    @property
+    def name(self) -> str:
+        """Canonical index name, e.g. ``Employees.salary:btree``."""
+        return f"{self.set_name}.{self.attribute}:{self.kind}"
+
+
+class IndexManager:
+    """Creates and maintains physical indexes over named sets.
+
+    The database layer calls :meth:`on_insert` / :meth:`on_delete` /
+    :meth:`on_update` with extracted key values whenever members of an
+    indexed set change; the planner asks :meth:`find` for a usable index.
+    """
+
+    def __init__(self) -> None:
+        self._indexes: dict[tuple[str, str, str], IndexDescriptor] = {}
+
+    def create(self, set_name: str, attribute: str, kind: str = "btree") -> IndexDescriptor:
+        """Create an (initially empty) index of ``kind`` over
+        ``set_name.attribute``; the caller backfills existing members."""
+        if kind not in ("hash", "btree"):
+            raise StorageError(f"unknown index kind {kind!r}")
+        key = (set_name, attribute, kind)
+        if key in self._indexes:
+            raise CatalogError(
+                f"index on {set_name}.{attribute} of kind {kind} already exists"
+            )
+        index = HashIndex() if kind == "hash" else BTreeIndex()
+        descriptor = IndexDescriptor(set_name, attribute, kind, index)
+        self._indexes[key] = descriptor
+        return descriptor
+
+    def drop(self, set_name: str, attribute: str, kind: str) -> None:
+        """Remove an index."""
+        try:
+            del self._indexes[(set_name, attribute, kind)]
+        except KeyError:
+            raise CatalogError(
+                f"no index on {set_name}.{attribute} of kind {kind}"
+            ) from None
+
+    def find(self, set_name: str, attribute: str, kinds: Iterable[str]) -> Optional[IndexDescriptor]:
+        """The first existing index over ``set_name.attribute`` whose kind
+        appears in ``kinds`` (the applicability row from the table)."""
+        for kind in kinds:
+            descriptor = self._indexes.get((set_name, attribute, kind))
+            if descriptor is not None:
+                return descriptor
+        return None
+
+    def indexes_on(self, set_name: str) -> list[IndexDescriptor]:
+        """All indexes over members of ``set_name``."""
+        return [d for (s, _a, _k), d in self._indexes.items() if s == set_name]
+
+    def all_indexes(self) -> list[IndexDescriptor]:
+        """Every index in the system."""
+        return list(self._indexes.values())
+
+    # -- maintenance hooks ---------------------------------------------------------
+
+    def on_insert(self, set_name: str, oid: int, key_of: Callable[[str], Any]) -> None:
+        """Index a new member; ``key_of(attribute)`` extracts key values.
+        Null keys are skipped (nulls never satisfy indexed predicates)."""
+        for descriptor in self.indexes_on(set_name):
+            key = key_of(descriptor.attribute)
+            if key is not None:
+                descriptor.index.insert(key, oid)
+
+    def on_delete(self, set_name: str, oid: int, key_of: Callable[[str], Any]) -> None:
+        """Remove a member from all indexes over its set."""
+        for descriptor in self.indexes_on(set_name):
+            key = key_of(descriptor.attribute)
+            if key is not None:
+                descriptor.index.delete(key, oid)
+
+    def on_update(
+        self,
+        set_name: str,
+        oid: int,
+        old_key_of: Callable[[str], Any],
+        new_key_of: Callable[[str], Any],
+    ) -> None:
+        """Re-index a member whose attributes changed."""
+        for descriptor in self.indexes_on(set_name):
+            old_key = old_key_of(descriptor.attribute)
+            new_key = new_key_of(descriptor.attribute)
+            if old_key == new_key:
+                continue
+            if old_key is not None:
+                descriptor.index.delete(old_key, oid)
+            if new_key is not None:
+                descriptor.index.insert(new_key, oid)

@@ -1,0 +1,157 @@
+"""A pinning buffer pool with LRU replacement.
+
+The buffer pool mediates all page access for heap files. Pages are pinned
+while in use and unpinned afterwards; only unpinned pages are eligible for
+eviction, and dirty pages are written back on eviction and at
+:meth:`BufferPool.flush_all`. Hit/miss/eviction statistics feed the
+storage benchmarks (experiment P4 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+from repro.storage.disk import DiskManager
+from repro.storage.pages import Page
+
+__all__ = ["BufferStats", "Frame", "BufferPool"]
+
+
+@dataclass
+class BufferStats:
+    """Cache behaviour counters for one buffer pool."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    dirty_writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total page requests."""
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of requests served from the pool (0.0 when idle)."""
+        if not self.accesses:
+            return 0.0
+        return self.hits / self.accesses
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.dirty_writebacks = 0
+
+
+@dataclass
+class Frame:
+    """A buffer frame: a cached page plus its pin count."""
+
+    page: Page
+    pin_count: int = 0
+
+
+class BufferPool:
+    """Caches up to ``capacity`` pages with LRU replacement.
+
+    Typical use::
+
+        page = pool.fetch_page(page_no)   # pins the page
+        ... read/modify page ...
+        pool.unpin(page_no, dirty=True)
+    """
+
+    def __init__(self, disk: DiskManager, capacity: int = 64):
+        if capacity < 1:
+            raise StorageError(f"buffer pool capacity must be positive: {capacity}")
+        self.disk = disk
+        self.capacity = capacity
+        #: LRU order: oldest first. Re-inserting on access keeps recency.
+        self._frames: "OrderedDict[int, Frame]" = OrderedDict()
+        self.stats = BufferStats()
+
+    # -- page access -----------------------------------------------------------
+
+    def fetch_page(self, page_no: int) -> Page:
+        """Return the page, pinned. Faults it in from disk on a miss."""
+        frame = self._frames.get(page_no)
+        if frame is not None:
+            self.stats.hits += 1
+            self._frames.move_to_end(page_no)
+            frame.pin_count += 1
+            return frame.page
+        self.stats.misses += 1
+        self._make_room()
+        page = self.disk.read_page(page_no)
+        self._frames[page_no] = Frame(page=page, pin_count=1)
+        return page
+
+    def new_page(self) -> Page:
+        """Allocate a fresh page on disk and cache it, pinned."""
+        self._make_room()
+        page = self.disk.allocate_page()
+        self._frames[page.page_no] = Frame(page=page, pin_count=1)
+        return page
+
+    def unpin(self, page_no: int, dirty: bool = False) -> None:
+        """Release one pin on ``page_no``; mark dirty when modified."""
+        frame = self._frames.get(page_no)
+        if frame is None:
+            raise StorageError(f"unpin of page {page_no} not in pool")
+        if frame.pin_count <= 0:
+            raise StorageError(f"unpin of unpinned page {page_no}")
+        frame.pin_count -= 1
+        if dirty:
+            frame.page.dirty = True
+
+    # -- replacement -------------------------------------------------------------
+
+    def _make_room(self) -> None:
+        """Evict the LRU unpinned page when the pool is full."""
+        if len(self._frames) < self.capacity:
+            return
+        for page_no, frame in self._frames.items():
+            if frame.pin_count == 0:
+                if frame.page.dirty:
+                    self.disk.write_page(frame.page)
+                    self.stats.dirty_writebacks += 1
+                del self._frames[page_no]
+                self.stats.evictions += 1
+                return
+        raise StorageError(
+            f"buffer pool exhausted: all {self.capacity} frames are pinned"
+        )
+
+    def flush_all(self) -> None:
+        """Write every dirty cached page back to disk."""
+        for frame in self._frames.values():
+            if frame.page.dirty:
+                self.disk.write_page(frame.page)
+                self.stats.dirty_writebacks += 1
+
+    def clear(self) -> None:
+        """Flush and drop every frame (used between benchmark runs)."""
+        self.flush_all()
+        for frame in self._frames.values():
+            if frame.pin_count:
+                raise StorageError("cannot clear buffer pool with pinned pages")
+        self._frames.clear()
+
+    # -- introspection -------------------------------------------------------------
+
+    def cached_pages(self) -> list[int]:
+        """Page numbers currently in the pool, LRU-first."""
+        return list(self._frames)
+
+    def pin_count(self, page_no: int) -> int:
+        """Current pin count for ``page_no`` (0 when not cached)."""
+        frame = self._frames.get(page_no)
+        return frame.pin_count if frame else 0
+
+    def __len__(self) -> int:
+        return len(self._frames)

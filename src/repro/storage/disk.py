@@ -1,0 +1,78 @@
+"""A simulated disk for the storage manager.
+
+Holds pages keyed by page number and counts physical reads and writes so
+the buffer-pool benchmarks can report I/O behaviour. The "disk" keeps
+:class:`~repro.storage.pages.Page` objects directly (the byte-level cost
+accounting lives inside the page), which keeps the simulation honest about
+*when* I/O happens without paying Python serialization costs on every
+page transfer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+from repro.storage.pages import PAGE_SIZE, Page
+
+__all__ = ["DiskStats", "DiskManager"]
+
+
+@dataclass
+class DiskStats:
+    """Physical I/O counters for one simulated disk."""
+
+    reads: int = 0
+    writes: int = 0
+    allocations: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.reads = 0
+        self.writes = 0
+        self.allocations = 0
+
+
+class DiskManager:
+    """Allocates pages and services page-level reads and writes."""
+
+    def __init__(self, page_size: int = PAGE_SIZE):
+        self.page_size = page_size
+        self._pages: dict[int, Page] = {}
+        self._next_page_no = 0
+        self.stats = DiskStats()
+
+    def allocate_page(self) -> Page:
+        """Create a fresh empty page and return it (counted as a write)."""
+        page = Page(self._next_page_no, size=self.page_size)
+        self._pages[page.page_no] = page
+        self._next_page_no += 1
+        self.stats.allocations += 1
+        self.stats.writes += 1
+        return page
+
+    def read_page(self, page_no: int) -> Page:
+        """Fetch a page from disk (counted as a physical read)."""
+        try:
+            page = self._pages[page_no]
+        except KeyError:
+            raise StorageError(f"no such page {page_no}") from None
+        self.stats.reads += 1
+        return page
+
+    def write_page(self, page: Page) -> None:
+        """Flush a page to disk (counted as a physical write)."""
+        if page.page_no not in self._pages:
+            raise StorageError(f"cannot write unallocated page {page.page_no}")
+        self._pages[page.page_no] = page
+        page.dirty = False
+        self.stats.writes += 1
+
+    def page_exists(self, page_no: int) -> bool:
+        """True when ``page_no`` has been allocated."""
+        return page_no in self._pages
+
+    @property
+    def page_count(self) -> int:
+        """Total pages allocated so far."""
+        return len(self._pages)

@@ -1,0 +1,139 @@
+"""Heap files of variable-length records, layered on the buffer pool.
+
+A :class:`HeapFile` owns a growing set of pages and supports insert /
+read / update / delete / scan by :class:`~repro.storage.pages.Rid`. All
+page access goes through the buffer pool so the file's behaviour shows up
+in buffer statistics. Records larger than a standard page are stored in a
+dedicated oversized page, simulating the EXODUS storage manager's large
+storage objects.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.storage.buffer import BufferPool
+from repro.storage.pages import PAGE_SIZE, SLOT_OVERHEAD, Rid
+
+__all__ = ["HeapFile"]
+
+
+class HeapFile:
+    """A file of byte records with stable-until-update RIDs.
+
+    ``update`` keeps the RID when the new record still fits in its page
+    and otherwise relocates the record, returning the new RID — callers
+    (the paged object store) maintain their own OID → RID directory, so no
+    forwarding pointers are needed.
+    """
+
+    def __init__(self, name: str, pool: BufferPool):
+        self.name = name
+        self._pool = pool
+        #: page numbers belonging to this file, in allocation order
+        self._page_nos: list[int] = []
+        #: approximate free-bytes hints to speed insert placement
+        self._free_hints: dict[int, int] = {}
+        self._record_count = 0
+
+    # -- operations -------------------------------------------------------------
+
+    def insert(self, record: bytes) -> Rid:
+        """Store ``record`` and return its RID."""
+        needed = len(record) + SLOT_OVERHEAD
+        if needed > PAGE_SIZE:
+            return self._insert_large(record)
+        for page_no, free in self._free_hints.items():
+            if free >= needed:
+                page = self._pool.fetch_page(page_no)
+                try:
+                    if page.fits(record):
+                        slot_no = page.insert(record)
+                        self._free_hints[page_no] = page.free_bytes
+                        self._record_count += 1
+                        return Rid(page_no, slot_no)
+                    self._free_hints[page_no] = page.free_bytes
+                finally:
+                    self._pool.unpin(page_no, dirty=True)
+        page = self._pool.new_page()
+        try:
+            self._page_nos.append(page.page_no)
+            slot_no = page.insert(record)
+            self._free_hints[page.page_no] = page.free_bytes
+            self._record_count += 1
+            return Rid(page.page_no, slot_no)
+        finally:
+            self._pool.unpin(page.page_no, dirty=True)
+
+    def _insert_large(self, record: bytes) -> Rid:
+        """Store an oversized record in a page sized to fit it."""
+        page = self._pool.disk.allocate_page()
+        # Resize the fresh page to hold the large object (EXODUS large
+        # storage objects lived outside the normal page geometry).
+        page.size = len(record) + SLOT_OVERHEAD
+        self._page_nos.append(page.page_no)
+        slot_no = page.insert(record)
+        self._free_hints[page.page_no] = 0
+        self._record_count += 1
+        return Rid(page.page_no, slot_no)
+
+    def read(self, rid: Rid) -> bytes:
+        """Return the record stored at ``rid``."""
+        page = self._pool.fetch_page(rid.page_no)
+        try:
+            return page.read(rid.slot_no)
+        finally:
+            self._pool.unpin(rid.page_no)
+
+    def update(self, rid: Rid, record: bytes) -> Rid:
+        """Replace the record at ``rid``; returns the (possibly new) RID."""
+        page = self._pool.fetch_page(rid.page_no)
+        try:
+            if page.update(rid.slot_no, record):
+                self._free_hints[rid.page_no] = page.free_bytes
+                return rid
+            # Does not fit in place: delete here, insert elsewhere.
+            page.delete(rid.slot_no)
+            self._free_hints[rid.page_no] = page.free_bytes
+        finally:
+            self._pool.unpin(rid.page_no, dirty=True)
+        self._record_count -= 1
+        return self.insert(record)
+
+    def delete(self, rid: Rid) -> None:
+        """Remove the record at ``rid``."""
+        page = self._pool.fetch_page(rid.page_no)
+        try:
+            page.delete(rid.slot_no)
+            self._free_hints[rid.page_no] = page.free_bytes
+            self._record_count -= 1
+        finally:
+            self._pool.unpin(rid.page_no, dirty=True)
+
+    # -- scans ---------------------------------------------------------------------
+
+    def scan(self) -> Iterator[tuple[Rid, bytes]]:
+        """Yield every ``(rid, record)`` in page order (a full file scan)."""
+        for page_no in list(self._page_nos):
+            page = self._pool.fetch_page(page_no)
+            try:
+                for slot_no, record in page.records():
+                    yield Rid(page_no, slot_no), record
+            finally:
+                self._pool.unpin(page_no)
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def record_count(self) -> int:
+        """Number of live records in the file."""
+        return self._record_count
+
+    @property
+    def page_count(self) -> int:
+        """Number of pages the file occupies."""
+        return len(self._page_nos)
+
+    def page_numbers(self) -> list[int]:
+        """The file's page numbers in allocation order."""
+        return list(self._page_nos)

@@ -1,0 +1,131 @@
+"""The paged object store backing the EXTRA object table.
+
+Implements the :class:`repro.core.identity.ObjectStore` protocol on top
+of a heap file: object records are pickled into slotted pages and a
+directory maps OID → RID. Because EXTRA objects are mutable Python
+structures that callers hold live references to, the store also keeps a
+**live-object cache** (OID → deserialized record). ``fetch`` serves from
+the cache; every ``insert``/``update`` re-serializes through the heap
+file so page- and I/O-level accounting stays faithful; and
+:meth:`fetch_cold` bypasses the cache entirely, deserializing from pages
+through the buffer pool — the storage benchmarks use it to measure real
+page behaviour.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Iterator, Optional
+
+from repro.core.identity import Oid, StoredObject
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager
+from repro.storage.heap import HeapFile
+from repro.storage.pages import Rid
+
+__all__ = ["PagedObjectStore"]
+
+
+class PagedObjectStore:
+    """Object store with slotted-page persistence and a live-object cache."""
+
+    def __init__(
+        self,
+        disk: Optional[DiskManager] = None,
+        pool: Optional[BufferPool] = None,
+        pool_capacity: int = 64,
+    ):
+        self.disk = disk if disk is not None else DiskManager()
+        self.pool = pool if pool is not None else BufferPool(self.disk, pool_capacity)
+        self.file = HeapFile("objects", self.pool)
+        self._directory: dict[Oid, Rid] = {}
+        self._live: dict[Oid, StoredObject] = {}
+
+    # -- ObjectStore protocol ------------------------------------------------------
+
+    def insert(self, oid: Oid, record: StoredObject) -> None:
+        """Serialize ``record`` into the heap file and cache it live."""
+        if oid in self._directory:
+            raise StorageError(f"oid {oid} already present")
+        rid = self.file.insert(self._serialize(record))
+        self._directory[oid] = rid
+        self._live[oid] = record
+
+    def fetch(self, oid: Oid) -> StoredObject:
+        """Return the live record for ``oid`` (KeyError when absent)."""
+        if oid not in self._directory:
+            raise KeyError(oid)
+        record = self._live.get(oid)
+        if record is None:
+            record = self.fetch_cold(oid)
+            self._live[oid] = record
+        return record
+
+    def update(self, oid: Oid, record: StoredObject) -> None:
+        """Re-serialize ``record`` to its page (relocating if it grew)."""
+        rid = self._directory.get(oid)
+        if rid is None:
+            raise StorageError(f"cannot update unknown oid {oid}")
+        new_rid = self.file.update(rid, self._serialize(record))
+        self._directory[oid] = new_rid
+        self._live[oid] = record
+
+    def delete(self, oid: Oid) -> None:
+        """Drop the record and free its page slot."""
+        rid = self._directory.pop(oid, None)
+        self._live.pop(oid, None)
+        if rid is not None:
+            self.file.delete(rid)
+
+    def __contains__(self, oid: Oid) -> bool:
+        return oid in self._directory
+
+    def oids(self) -> Iterator[Oid]:
+        """All live OIDs (directory order = insertion order)."""
+        return iter(list(self._directory))
+
+    def __len__(self) -> int:
+        return len(self._directory)
+
+    # -- cold access for benchmarking -------------------------------------------------
+
+    def fetch_cold(self, oid: Oid) -> StoredObject:
+        """Deserialize ``oid`` from its page through the buffer pool,
+        bypassing the live-object cache (used to benchmark real page I/O)."""
+        rid = self._directory.get(oid)
+        if rid is None:
+            raise KeyError(oid)
+        return self._deserialize(self.file.read(rid))
+
+    def evict_live_cache(self) -> None:
+        """Drop the live-object cache so subsequent fetches hit pages.
+
+        Only safe when no outside code holds references it expects to
+        share mutations with; benchmarks call it between phases.
+        """
+        self._live.clear()
+
+    # -- serialization -----------------------------------------------------------------
+
+    @staticmethod
+    def _serialize(record: StoredObject) -> bytes:
+        return pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @staticmethod
+    def _deserialize(data: bytes) -> StoredObject:
+        return pickle.loads(data)
+
+    # -- introspection -----------------------------------------------------------------
+
+    @property
+    def page_count(self) -> int:
+        """Pages occupied by the object file."""
+        return self.file.page_count
+
+    def rid_of(self, oid: Oid) -> Rid:
+        """The current RID of ``oid`` (for tests and diagnostics)."""
+        try:
+            return self._directory[oid]
+        except KeyError:
+            raise StorageError(f"unknown oid {oid}") from None

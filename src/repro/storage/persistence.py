@@ -1,0 +1,68 @@
+"""Whole-database snapshots.
+
+EXODUS delegated durability to its storage manager; here a database is
+made durable by snapshotting the complete engine state (catalog, object
+table, named objects, indexes, grants) with :mod:`pickle`. Snapshots are
+atomic: the new image is written to a temporary file and renamed over the
+target, so a crash mid-save never corrupts an existing snapshot.
+
+Limitations (documented, inherent to pickling): ADT classes and any
+Python callables registered with the engine (ADT function
+implementations, user-defined aggregates) must be importable module-level
+objects — lambdas or REPL-local classes will fail to pickle.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from typing import TYPE_CHECKING
+
+from repro.errors import StorageError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.database import Database
+
+__all__ = ["save_snapshot", "load_snapshot"]
+
+#: magic header guarding against loading arbitrary pickles as databases
+_MAGIC = b"EXTRA-EXCESS-SNAPSHOT-v1\n"
+
+
+def save_snapshot(database: "Database", path: str) -> int:
+    """Atomically write ``database`` to ``path``; returns bytes written."""
+    payload = _MAGIC + pickle.dumps(database, protocol=pickle.HIGHEST_PROTOCOL)
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp_path = tempfile.mkstemp(prefix=".snapshot-", dir=directory)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+        os.replace(tmp_path, path)
+    except OSError as exc:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise StorageError(f"snapshot write failed: {exc}") from exc
+    return len(payload)
+
+
+def load_snapshot(path: str) -> "Database":
+    """Load a database previously written by :func:`save_snapshot`."""
+    try:
+        with open(path, "rb") as handle:
+            payload = handle.read()
+    except OSError as exc:
+        raise StorageError(f"cannot read snapshot {path!r}: {exc}") from exc
+    if not payload.startswith(_MAGIC):
+        raise StorageError(f"{path!r} is not an EXTRA/EXCESS snapshot")
+    try:
+        database = pickle.loads(payload[len(_MAGIC):])
+    except Exception as exc:  # pickle raises many types
+        raise StorageError(f"snapshot {path!r} is corrupt: {exc}") from exc
+    from repro.core.database import Database
+
+    if not isinstance(database, Database):
+        raise StorageError(f"snapshot {path!r} does not contain a database")
+    return database

@@ -1,0 +1,5 @@
+"""Utilities: deterministic workload generation and display helpers."""
+
+from repro.util.workload import CompanyWorkload, build_company_database
+
+__all__ = ["CompanyWorkload", "build_company_database"]

@@ -1,0 +1,128 @@
+"""Deterministic workload generation for tests, examples, and benchmarks.
+
+The generator builds the paper's running example — a company database of
+Departments, Employees (inheriting Person, with owned ``kids`` sets and
+``dept`` references), plus the named singletons the paper queries
+(``Today``, ``StarEmployee``, ``TopTen``) — at a configurable scale with
+a seeded RNG so every run and every benchmark sees identical data.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.adt.builtin import Date
+from repro.core.database import Database
+
+__all__ = ["CompanyWorkload", "build_company_database"]
+
+_FIRST_NAMES = [
+    "Sue", "Bob", "Ann", "Joe", "Eva", "Max", "Ida", "Ray", "Amy", "Ned",
+    "Zoe", "Tim", "Kim", "Lee", "Mia", "Art", "Fay", "Gil", "Hal", "Ivy",
+]
+_DEPT_NAMES = [
+    "Toys", "Shoes", "Books", "Garden", "Sports", "Music", "Tools",
+    "Food", "Auto", "Photo", "Games", "Travel", "Health", "Crafts",
+]
+
+
+@dataclass
+class CompanyWorkload:
+    """Parameters for one company-database instance."""
+
+    departments: int = 4
+    employees: int = 40
+    max_kids: int = 3
+    seed: int = 1988
+    #: storage kind passed to Database
+    storage: str = "memory"
+
+    def name_of(self, index: int) -> str:
+        """Deterministic unique employee name for ``index``."""
+        base = _FIRST_NAMES[index % len(_FIRST_NAMES)]
+        return f"{base}{index}"
+
+    def dept_name_of(self, index: int) -> str:
+        """Deterministic unique department name for ``index``."""
+        base = _DEPT_NAMES[index % len(_DEPT_NAMES)]
+        return f"{base}{index}"
+
+
+def build_company_database(
+    workload: Optional[CompanyWorkload] = None,
+) -> Database:
+    """Create and populate the paper's company schema.
+
+    Schema (paper Figures 1 and 2):
+
+    * ``Department(dname, floor, budget)``
+    * ``Person(name, age, birthday: Date, kids: {own ref Person})``
+    * ``Employee inherits Person (salary, dept: ref Department)``
+    * named objects: ``Departments``, ``Employees``, ``Today``,
+      ``StarEmployee``, ``TopTen`` (a 10-slot ref array)
+
+    Data is generated with ``random.Random(workload.seed)``: floors 1–5,
+    ages 21–65, salaries 20k–100k, 0..max_kids kids each. The star
+    employee is the highest paid; TopTen holds the ten highest paid.
+    """
+    spec = workload if workload is not None else CompanyWorkload()
+    db = Database(storage=spec.storage)
+    db.execute(
+        """
+        define type Department as (dname: char(40), floor: int4, budget: float8)
+        define type Person as (name: char(40), age: int4, birthday: Date,
+                               kids: {own ref Person})
+        define type Employee as (salary: float8, dept: ref Department)
+            inherits Person
+        create {own ref Department} Departments
+        create {own ref Employee} Employees
+        create Date Today
+        create ref Employee StarEmployee
+        create [10] ref Employee TopTen
+        """
+    )
+    rng = random.Random(spec.seed)
+    dept_refs = []
+    for d in range(spec.departments):
+        dept_refs.append(
+            db.insert(
+                "Departments",
+                dname=spec.dept_name_of(d),
+                floor=rng.randint(1, 5),
+                budget=float(rng.randint(50, 500)) * 1000.0,
+            )
+        )
+    employees = []
+    for e in range(spec.employees):
+        kid_count = rng.randint(0, spec.max_kids)
+        kids = [
+            {
+                "name": f"{spec.name_of(e)}-kid{k}",
+                "age": rng.randint(1, 18),
+            }
+            for k in range(kid_count)
+        ]
+        birth_year = rng.randint(1925, 1968)
+        salary = float(rng.randint(20, 100)) * 1000.0
+        member = db.insert(
+            "Employees",
+            name=spec.name_of(e),
+            age=rng.randint(21, 65),
+            birthday=Date(birth_year, rng.randint(1, 12), rng.randint(1, 28)),
+            salary=salary,
+            dept=dept_refs[e % len(dept_refs)],
+            kids=kids,
+        )
+        employees.append((member, salary))
+    db.execute('set Today = Date("7/4/1988")')
+    ranked = sorted(employees, key=lambda pair: -pair[1])
+    if ranked:
+        star = ranked[0][0]
+        named = db.named("StarEmployee")
+        named.value = star
+        top_ten = db.named("TopTen").value
+        for slot, (member, _salary) in enumerate(ranked[:10], start=1):
+            top_ten.set(slot, member)
+    return db

@@ -1,0 +1,97 @@
+"""Unit tests for the built-in Date and Complex ADTs."""
+
+import pytest
+
+from repro.adt.builtin import (
+    Complex,
+    Date,
+    complex_add,
+    complex_magnitude,
+    complex_multiply,
+    date_add_days,
+    date_diff,
+    date_from_string,
+)
+from repro.errors import TypeSystemError
+
+
+class TestDate:
+    def test_construction_validates(self):
+        Date(1988, 7, 4)
+        with pytest.raises(TypeSystemError):
+            Date(1988, 13, 1)
+        with pytest.raises(TypeSystemError):
+            Date(1988, 2, 30)
+
+    def test_leap_years(self):
+        Date(2000, 2, 29)  # divisible by 400: leap
+        Date(1988, 2, 29)  # divisible by 4: leap
+        with pytest.raises(TypeSystemError):
+            Date(1900, 2, 29)  # divisible by 100, not 400: not leap
+
+    def test_ordering_chronological(self):
+        assert Date(1988, 7, 4) < Date(1988, 7, 5)
+        assert Date(1988, 7, 4) < Date(1988, 8, 1)
+        assert Date(1988, 7, 4) < Date(1989, 1, 1)
+        assert Date(1987, 12, 31) < Date(1988, 1, 1)
+
+    def test_parse(self):
+        assert date_from_string("7/4/1988") == Date(1988, 7, 4)
+        with pytest.raises(TypeSystemError):
+            date_from_string("1988-07-04")
+        with pytest.raises(TypeSystemError):
+            date_from_string("7/4")
+
+    def test_diff(self):
+        assert date_diff(Date(1988, 7, 14), Date(1988, 7, 4)) == 10
+        assert date_diff(Date(1988, 7, 4), Date(1988, 7, 14)) == -10
+        assert date_diff(Date(1989, 1, 1), Date(1988, 1, 1)) == 366  # leap
+
+    def test_add_days(self):
+        assert date_add_days(Date(1988, 12, 31), 1) == Date(1989, 1, 1)
+        assert date_add_days(Date(1988, 3, 1), -1) == Date(1988, 2, 29)
+        assert date_add_days(Date(1988, 7, 4), 365) == Date(1989, 7, 4)
+
+    def test_add_days_round_trip(self):
+        base = Date(1987, 6, 15)
+        for days in (-500, -1, 0, 1, 59, 365, 1000):
+            moved = date_add_days(base, days)
+            assert date_diff(moved, base) == days
+
+    def test_str(self):
+        assert str(Date(1988, 7, 4)) == "7/4/1988"
+
+
+class TestComplex:
+    def test_add(self):
+        assert complex_add(Complex(1, 2), Complex(3, 4)) == Complex(4, 6)
+
+    def test_multiply(self):
+        assert complex_multiply(Complex(0, 1), Complex(0, 1)) == Complex(-1, 0)
+
+    def test_magnitude(self):
+        assert complex_magnitude(Complex(3, 4)) == 5.0
+
+    def test_str(self):
+        assert str(Complex(1.0, -2.0)) == "(1.0 - 2.0i)"
+        assert str(Complex(1.0, 2.0)) == "(1.0 + 2.0i)"
+
+
+class TestRegistration:
+    def test_register_builtin_adts(self):
+        from repro.adt.registry import AdtRegistry
+        from repro.storage.access import AccessMethodTable
+        from repro.adt.builtin import register_builtin_adts
+
+        registry = AdtRegistry()
+        table = AccessMethodTable()
+        date_t, complex_t = register_builtin_adts(registry, table)
+        assert date_t.name == "Date"
+        assert complex_t.name == "Complex"
+        # Date is ordered: btree rows exist
+        assert table.applicable("Date", "<") == ["btree"]
+        # Complex: hash only
+        assert "hash" in table.applicable("Complex", "=")
+        assert table.applicable("Complex", "<") == []
+        # Figure 7's + operator
+        assert registry.resolve_operator("+", [complex_t, complex_t]) is not None

@@ -1,0 +1,142 @@
+"""Unit tests for generic set functions and iterator functions."""
+
+import pytest
+
+from repro.adt.builtin import Date
+from repro.adt.generics import (
+    GenericSetFunction,
+    IteratorFunction,
+    SetFunctionRegistry,
+    element_is_numeric,
+    element_is_ordered,
+)
+from repro.core.types import BOOLEAN, FLOAT8, INT4, TEXT, AdtType, char
+from repro.errors import CatalogError, FunctionError
+
+
+class TestConstraints:
+    def test_numeric(self):
+        assert element_is_numeric(INT4)
+        assert element_is_numeric(FLOAT8)
+        assert not element_is_numeric(TEXT)
+
+    def test_ordered(self):
+        assert element_is_ordered(INT4)
+        assert element_is_ordered(TEXT)
+        assert element_is_ordered(char(5))
+        date_t = AdtType("Date", Date)
+        assert element_is_ordered(date_t)
+        other = AdtType("Blob", bytes)
+        assert not element_is_ordered(other)
+        assert element_is_ordered(other, extra_ordered=["Blob"])
+
+
+class TestBuiltins:
+    def test_names(self):
+        registry = SetFunctionRegistry()
+        assert set(registry.names()) >= {
+            "count", "sum", "avg", "min", "max", "median", "stddev",
+        }
+
+    def test_lookup_case_insensitive(self):
+        registry = SetFunctionRegistry()
+        assert registry.lookup("COUNT") is registry.lookup("count")
+        assert registry.lookup("nothing") is None
+
+    def test_median_lower_middle(self):
+        registry = SetFunctionRegistry()
+        median = registry.lookup("median")
+        assert median.impl([3, 1, 2]) == 2
+        assert median.impl([4, 1, 3, 2]) == 2  # lower middle of even count
+        assert median.impl(["b", "a", "c"]) == "b"
+        assert median.impl([]) is None
+
+    def test_median_over_dates(self):
+        registry = SetFunctionRegistry()
+        median = registry.lookup("median")
+        dates = [Date(1988, 7, 4), Date(1948, 7, 4), Date(1970, 1, 1)]
+        assert median.impl(dates) == Date(1970, 1, 1)
+
+    def test_stddev(self):
+        registry = SetFunctionRegistry()
+        stddev = registry.lookup("stddev")
+        assert stddev.impl([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(2.138, abs=1e-3)
+        assert stddev.impl([5]) == 0.0
+        assert stddev.impl([]) is None
+
+    def test_constraint_enforcement(self):
+        registry = SetFunctionRegistry()
+        with pytest.raises(FunctionError):
+            registry.lookup("sum").check_applicable(TEXT, [])
+        with pytest.raises(FunctionError):
+            registry.lookup("min").check_applicable(BOOLEAN, [])
+        registry.lookup("count").check_applicable(BOOLEAN, [])  # any type
+
+    def test_result_types(self):
+        registry = SetFunctionRegistry()
+        assert registry.lookup("count").result_type(TEXT) == INT4
+        assert registry.lookup("avg").result_type(INT4) == FLOAT8
+        assert registry.lookup("median").result_type(TEXT) == TEXT
+        assert registry.lookup("sum").result_type(INT4) == INT4
+
+
+class TestRegistration:
+    def test_custom_function(self):
+        registry = SetFunctionRegistry()
+
+        def product(values):
+            out = 1
+            for value in values:
+                out *= value
+            return out
+
+        registry.register(GenericSetFunction("product", product, requires="numeric"))
+        assert registry.lookup("product").impl([2, 3, 4]) == 24
+
+    def test_duplicate_rejected(self):
+        registry = SetFunctionRegistry()
+        with pytest.raises(CatalogError):
+            registry.register(GenericSetFunction("count", len))
+
+    def test_declare_ordered_adt(self):
+        registry = SetFunctionRegistry()
+        registry.declare_ordered_adt("Money")
+        assert "Money" in registry.ordered_adts
+
+
+class TestIterators:
+    def test_builtin_interval(self):
+        registry = SetFunctionRegistry()
+        interval = registry.lookup_iterator("Interval")
+        assert list(interval.impl(1, 5)) == [1, 2, 3, 4, 5]
+        assert interval.arity == 2
+
+    def test_custom_iterator(self):
+        registry = SetFunctionRegistry()
+
+        def evens(n):
+            return range(0, n * 2, 2)
+
+        registry.register_iterator(
+            IteratorFunction("Evens", evens, element_type=INT4, arity=1)
+        )
+        assert list(registry.lookup_iterator("Evens").impl(3)) == [0, 2, 4]
+
+    def test_duplicate_iterator_rejected(self):
+        registry = SetFunctionRegistry()
+        with pytest.raises(CatalogError):
+            registry.register_iterator(
+                IteratorFunction("Interval", lambda a, b: [], arity=2)
+            )
+
+    def test_iterator_in_query(self, db):
+        result = db.execute(
+            "retrieve (x = I * I) from I in Interval(1, 4)"
+        )
+        assert [r[0] for r in result.rows] == [1, 4, 9, 16]
+
+    def test_iterator_with_where(self, db):
+        result = db.execute(
+            "retrieve (I) from I in Interval(1, 10) where I % 3 = 0"
+        )
+        assert [r[0] for r in result.rows] == [3, 6, 9]

@@ -1,0 +1,151 @@
+"""Unit tests for the ADT registry."""
+
+import pytest
+
+from repro.adt.registry import AdtRegistry, is_valid_operator_symbol
+from repro.core.types import FLOAT8, INT4, TEXT
+from repro.errors import CatalogError
+
+
+class Money:
+    def __init__(self, cents: int):
+        self.cents = cents
+
+
+class TestAdtDefinition:
+    def test_define_and_lookup(self):
+        registry = AdtRegistry()
+        t = registry.define_adt("Money", Money)
+        assert registry.adt("Money") is t
+        assert registry.has_adt("Money")
+        assert t.accepts(Money(5))
+        assert not t.accepts(5)
+
+    def test_duplicate_rejected(self):
+        registry = AdtRegistry()
+        registry.define_adt("Money", Money)
+        with pytest.raises(CatalogError):
+            registry.define_adt("Money", Money)
+
+    def test_unknown_adt(self):
+        registry = AdtRegistry()
+        with pytest.raises(CatalogError):
+            registry.adt("Nothing")
+
+    def test_validator(self):
+        registry = AdtRegistry()
+        t = registry.define_adt(
+            "PosMoney", Money, validator=lambda m: m.cents >= 0
+        )
+        assert t.accepts(Money(1))
+        assert not t.accepts(Money(-1))
+
+    def test_adt_of_value(self):
+        registry = AdtRegistry()
+        registry.define_adt("Money", Money)
+        assert registry.adt_of_value(Money(1)).name == "Money"
+        assert registry.adt_of_value(42) is None
+
+
+class TestFunctions:
+    def test_define_and_resolve(self):
+        registry = AdtRegistry()
+        t = registry.define_adt("Money", Money)
+        registry.define_function(
+            "Money", "Cents", lambda m: m.cents, [t], INT4
+        )
+        fn = registry.resolve_function("Cents", [t])
+        assert fn is not None
+        assert fn.impl(Money(7)) == 7
+
+    def test_overloads_by_signature(self):
+        registry = AdtRegistry()
+        t = registry.define_adt("Money", Money)
+        registry.define_function("Money", "Mk", lambda c: Money(c), [INT4], t)
+        registry.define_function(
+            "Money", "Mk", lambda c, f: Money(c), [INT4, FLOAT8], t
+        )
+        assert registry.resolve_function("Mk", [INT4]).arity == 1
+        assert registry.resolve_function("Mk", [INT4, FLOAT8]).arity == 2
+
+    def test_identical_signature_rejected(self):
+        registry = AdtRegistry()
+        t = registry.define_adt("Money", Money)
+        registry.define_function("Money", "F", lambda m: m, [t], t)
+        with pytest.raises(CatalogError):
+            registry.define_function("Money", "F", lambda m: m, [t], t)
+
+    def test_parameter_widening(self):
+        from repro.core.types import INT2
+
+        registry = AdtRegistry()
+        t = registry.define_adt("Money", Money)
+        registry.define_function("Money", "Mk", lambda c: Money(c), [INT4], t)
+        # an int2 argument widens into the int4 parameter
+        assert registry.resolve_function("Mk", [INT2]) is not None
+
+    def test_ambiguity_detected(self):
+        registry = AdtRegistry()
+        t1 = registry.define_adt("A1", Money)
+        t2 = registry.define_adt("A2", str)
+        registry.define_function("A1", "F", lambda x: x, [TEXT], t1)
+        registry.define_function("A2", "F", lambda x: x, [TEXT], t2)
+        with pytest.raises(CatalogError):
+            registry.resolve_function("F", [TEXT])
+
+    def test_function_for_unknown_adt_rejected(self):
+        registry = AdtRegistry()
+        with pytest.raises(CatalogError):
+            registry.define_function("Nothing", "F", lambda: 1, [], INT4)
+
+
+class TestOperatorSymbols:
+    def test_identifier_symbols(self):
+        assert is_valid_operator_symbol("cross")
+        assert is_valid_operator_symbol("x_1")
+        assert not is_valid_operator_symbol("1x")
+
+    def test_punctuation_symbols(self):
+        assert is_valid_operator_symbol("+")
+        assert is_valid_operator_symbol("~+~")
+        assert is_valid_operator_symbol("<=>")
+        assert not is_valid_operator_symbol("a b")
+        assert not is_valid_operator_symbol("")
+
+    def test_operator_resolution(self):
+        registry = AdtRegistry()
+        t = registry.define_adt("Money", Money)
+        registry.define_function(
+            "Money", "MAdd", lambda a, b: Money(a.cents + b.cents), [t, t], t
+        )
+        registry.register_operator("+", "Money", "MAdd")
+        fn = registry.resolve_operator("+", [t, t])
+        assert fn.name == "MAdd"
+        assert registry.resolve_operator("+", [INT4, INT4]) is None
+
+    def test_operator_parse_info(self):
+        registry = AdtRegistry()
+        t = registry.define_adt("Money", Money)
+        registry.define_function("Money", "MAdd", lambda a, b: a, [t, t], t)
+        registry.register_operator(
+            "~~", "Money", "MAdd", precedence=42, associativity="right"
+        )
+        info = registry.operator_parse_info("~~")
+        assert info.precedence == 42
+        assert info.associativity == "right"
+        assert registry.operator_parse_info("??") is None
+
+    def test_symbols_listing(self):
+        registry = AdtRegistry()
+        t = registry.define_adt("Money", Money)
+        registry.define_function("Money", "MAdd", lambda a, b: a, [t, t], t)
+        registry.register_operator("~~", "Money", "MAdd")
+        assert "~~" in registry.operator_symbols()
+
+    def test_bad_associativity(self):
+        from repro.adt.registry import OperatorDef
+
+        with pytest.raises(CatalogError):
+            OperatorDef("x", "A", "F", associativity="middle")
+        with pytest.raises(CatalogError):
+            OperatorDef("x", "A", "F", fixity="circumfix")

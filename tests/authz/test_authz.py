@@ -1,0 +1,238 @@
+"""Tests for authorization: users, groups, grants, query enforcement,
+and the paper's encapsulation-through-authorization design (§4.2.3)."""
+
+import pytest
+
+from repro import Database
+from repro.authz.grants import AuthorizationManager, Privilege
+from repro.authz.users import ALL_USERS, UserDirectory
+from repro.errors import AuthorizationError, CatalogError
+
+
+class TestUserDirectory:
+    def test_users_and_groups(self):
+        directory = UserDirectory()
+        directory.add_user("alice")
+        directory.add_group("staff")
+        assert directory.has_user("alice")
+        assert directory.has_group("staff")
+        assert directory.has_group(ALL_USERS)
+
+    def test_name_collision(self):
+        directory = UserDirectory()
+        directory.add_user("x")
+        with pytest.raises(CatalogError):
+            directory.add_group("x")
+        directory.add_group("g")
+        with pytest.raises(CatalogError):
+            directory.add_user("g")
+
+    def test_membership(self):
+        directory = UserDirectory()
+        directory.add_user("alice")
+        directory.add_group("staff")
+        directory.add_member("staff", "alice")
+        assert "staff" in directory.principals_of("alice")
+
+    def test_transitive_membership(self):
+        directory = UserDirectory()
+        directory.add_user("alice")
+        directory.add_group("staff")
+        directory.add_group("everyone")
+        directory.add_member("staff", "alice")
+        directory.add_member("everyone", "staff")
+        principals = directory.principals_of("alice")
+        assert {"alice", "staff", "everyone", ALL_USERS} <= principals
+
+    def test_all_users_implicit(self):
+        directory = UserDirectory()
+        assert ALL_USERS in directory.principals_of("stranger")
+
+    def test_group_cannot_contain_itself(self):
+        directory = UserDirectory()
+        directory.add_group("g")
+        with pytest.raises(CatalogError):
+            directory.add_member("g", "g")
+
+    def test_unknown_member_rejected(self):
+        directory = UserDirectory()
+        directory.add_group("g")
+        with pytest.raises(CatalogError):
+            directory.add_member("g", "nobody")
+
+    def test_remove_member(self):
+        directory = UserDirectory()
+        directory.add_user("a")
+        directory.add_group("g")
+        directory.add_member("g", "a")
+        directory.remove_member("g", "a")
+        assert "g" not in directory.principals_of("a")
+
+
+class TestGrants:
+    def make_manager(self):
+        manager = AuthorizationManager()
+        manager.directory.add_user("alice")
+        manager.directory.add_user("bob")
+        return manager
+
+    def test_dba_always_allowed(self):
+        manager = self.make_manager()
+        assert manager.allowed("dba", Privilege.SELECT, "X")
+
+    def test_owner_always_allowed(self):
+        manager = self.make_manager()
+        manager.record_owner("X", "alice")
+        assert manager.allowed("alice", Privilege.DELETE, "X")
+        assert not manager.allowed("bob", Privilege.DELETE, "X")
+
+    def test_grant_and_check(self):
+        manager = self.make_manager()
+        manager.grant("bob", Privilege.SELECT, "X")
+        assert manager.allowed("bob", Privilege.SELECT, "X")
+        assert not manager.allowed("bob", Privilege.APPEND, "X")
+
+    def test_all_privilege(self):
+        manager = self.make_manager()
+        manager.grant("bob", Privilege.ALL, "X")
+        for privilege in (Privilege.SELECT, Privilege.APPEND, Privilege.DELETE):
+            assert manager.allowed("bob", privilege, "X")
+
+    def test_group_grant(self):
+        manager = self.make_manager()
+        manager.directory.add_group("staff")
+        manager.directory.add_member("staff", "bob")
+        manager.grant("staff", Privilege.SELECT, "X")
+        assert manager.allowed("bob", Privilege.SELECT, "X")
+        assert not manager.allowed("alice", Privilege.SELECT, "X")
+
+    def test_all_users_grant(self):
+        manager = self.make_manager()
+        manager.grant(ALL_USERS, Privilege.SELECT, "X")
+        assert manager.allowed("anyone_at_all", Privilege.SELECT, "X")
+
+    def test_revoke(self):
+        manager = self.make_manager()
+        manager.grant("bob", Privilege.SELECT, "X")
+        assert manager.revoke("bob", Privilege.SELECT, "X")
+        assert not manager.allowed("bob", Privilege.SELECT, "X")
+        assert not manager.revoke("bob", Privilege.SELECT, "X")
+
+    def test_grant_requires_authority(self):
+        manager = self.make_manager()
+        with pytest.raises(AuthorizationError):
+            manager.grant("bob", Privilege.SELECT, "X", grantor="alice")
+
+    def test_holder_may_grant_onwards(self):
+        manager = self.make_manager()
+        manager.grant("alice", Privilege.SELECT, "X")
+        manager.grant("bob", Privilege.SELECT, "X", grantor="alice")
+        assert manager.allowed("bob", Privilege.SELECT, "X")
+
+    def test_check_raises(self):
+        manager = self.make_manager()
+        with pytest.raises(AuthorizationError):
+            manager.check("bob", Privilege.SELECT, "X")
+
+    def test_disabled_allows_everything(self):
+        manager = self.make_manager()
+        manager.enabled = False
+        assert manager.allowed("bob", Privilege.DELETE, "anything")
+
+    def test_privilege_parse(self):
+        assert Privilege.parse("SELECT") is Privilege.SELECT
+        assert Privilege.parse("all") is Privilege.ALL
+        with pytest.raises(CatalogError):
+            Privilege.parse("fly")
+
+
+class TestStatementEnforcement:
+    @pytest.fixture
+    def secured(self, small_company):
+        db = small_company
+        db.authz.enabled = True
+        db.execute("create user reader")
+        db.execute("create user writer")
+        db.execute("grant select on Employees to reader")
+        db.execute("grant select on Employees to writer")
+        db.execute("grant select on Departments to reader")
+        db.execute("grant replace on Employees to writer")
+        return db
+
+    def test_select_enforced(self, secured):
+        session = secured.session("reader")
+        rows = session.execute("retrieve (E.name) from E in Employees").rows
+        assert len(rows) == 3
+        with pytest.raises(AuthorizationError):
+            secured.session("stranger").execute(
+                "retrieve (E.name) from E in Employees"
+            )
+
+    def test_select_covers_aggregate_inner_sets(self, secured):
+        with pytest.raises(AuthorizationError):
+            secured.session("stranger").execute(
+                "retrieve (n = count(E.name)) from E in Employees"
+            )
+
+    def test_replace_enforced(self, secured):
+        secured.session("writer").execute(
+            'replace E (age = 31) from E in Employees where E.name = "Bob"'
+        )
+        with pytest.raises(AuthorizationError):
+            secured.session("reader").execute(
+                "replace E (age = 31) from E in Employees"
+            )
+
+    def test_append_enforced(self, secured):
+        with pytest.raises(AuthorizationError):
+            secured.session("reader").execute(
+                'append to Employees (name = "X", age = 1, salary = 1.0)'
+            )
+
+    def test_delete_enforced(self, secured):
+        with pytest.raises(AuthorizationError):
+            secured.session("writer").execute(
+                "delete E from E in Employees"
+            )
+
+    def test_grant_statement_flow(self, secured):
+        secured.execute("grant delete on Employees to writer")
+        result = secured.session("writer").execute(
+            'delete E from E in Employees where E.name = "Bob"'
+        )
+        assert result.count == 1
+
+    def test_revoke_statement_flow(self, secured):
+        secured.execute("revoke select on Employees from reader")
+        with pytest.raises(AuthorizationError):
+            secured.session("reader").execute(
+                "retrieve (E.name) from E in Employees"
+            )
+
+    def test_group_statement_flow(self, secured):
+        secured.execute("create group analysts")
+        secured.execute("create user dana")
+        secured.execute("add dana to group analysts")
+        secured.execute("grant select on Employees to analysts")
+        rows = secured.session("dana").execute(
+            "retrieve (E.name) from E in Employees"
+        ).rows
+        assert len(rows) == 3
+
+    def test_creator_owns_named_objects(self, secured):
+        session = secured.session("writer")
+        session.execute("create {ref Employee} MyTeam")
+        # writer can do anything to MyTeam without explicit grants
+        session.execute("append to MyTeam (E) from E in Employees "
+                        'where E.name = "Bob"')
+        rows = session.execute("retrieve (T.name) from T in MyTeam").rows
+        assert rows == [("Bob",)]
+        # but a stranger cannot read it
+        with pytest.raises(AuthorizationError):
+            secured.session("stranger").execute(
+                "retrieve (T.name) from T in MyTeam"
+            )
+
+    def test_destroy_requires_privilege(self, secured):
+        with pytest.raises(AuthorizationError):
+            secured.session("reader").execute("destroy Employees")

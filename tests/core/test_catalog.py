@@ -1,0 +1,193 @@
+"""Unit tests for the system catalog."""
+
+import pytest
+
+from repro.core.catalog import Catalog, NamedObject
+from repro.core.schema import SchemaType
+from repro.core.types import INT4, SetType, char, own, own_ref, ref
+from repro.core.values import SetInstance
+from repro.errors import CatalogError, SchemaError
+
+
+def make_catalog() -> Catalog:
+    return Catalog()
+
+
+class TestTypes:
+    def test_define_and_lookup(self):
+        catalog = make_catalog()
+        t = catalog.define_type("Person", [("name", own(char(10)))])
+        assert catalog.schema_type("Person") is t
+        assert catalog.has_type("Person")
+        assert "Person" in catalog.type_names()
+
+    def test_unknown_type(self):
+        catalog = make_catalog()
+        with pytest.raises(CatalogError):
+            catalog.schema_type("Nope")
+
+    def test_duplicate_type_rejected(self):
+        catalog = make_catalog()
+        catalog.define_type("Person", [])
+        with pytest.raises(CatalogError):
+            catalog.define_type("Person", [])
+
+    def test_parents_by_name(self):
+        catalog = make_catalog()
+        catalog.define_type("Person", [("name", own(char(10)))])
+        e = catalog.define_type("Employee", [("pay", own(INT4))], parents=["Person"])
+        assert "Person" in e.ancestors()
+
+    def test_subtypes_of(self):
+        catalog = make_catalog()
+        catalog.define_type("Person", [])
+        catalog.define_type("Employee", [], parents=["Person"])
+        catalog.define_type("Manager", [], parents=["Employee"])
+        subtypes = {t.name for t in catalog.subtypes_of("Person")}
+        assert subtypes == {"Employee", "Manager"}
+
+    def test_drop_type_with_subtypes_refused(self):
+        catalog = make_catalog()
+        catalog.define_type("Person", [])
+        catalog.define_type("Employee", [], parents=["Person"])
+        with pytest.raises(SchemaError):
+            catalog.drop_type("Person")
+
+    def test_drop_type_used_by_named_object_refused(self):
+        catalog = make_catalog()
+        person = catalog.define_type("Person", [])
+        spec = own(SetType(own_ref(person)))
+        catalog.create_named(
+            NamedObject(name="People", spec=spec, value=SetInstance(spec.type))
+        )
+        with pytest.raises(SchemaError):
+            catalog.drop_type("Person")
+
+    def test_drop_unused_type(self):
+        catalog = make_catalog()
+        catalog.define_type("Person", [])
+        catalog.drop_type("Person")
+        assert not catalog.has_type("Person")
+
+    def test_type_name_cannot_collide_with_adt(self):
+        catalog = make_catalog()
+        catalog.adts.define_adt("Money", float)
+        with pytest.raises(CatalogError):
+            catalog.define_type("Money", [])
+
+
+class TestNamedObjects:
+    def test_create_and_lookup(self):
+        catalog = make_catalog()
+        person = catalog.define_type("Person", [])
+        spec = own(SetType(own_ref(person)))
+        named = NamedObject(name="People", spec=spec, value=SetInstance(spec.type))
+        catalog.create_named(named)
+        assert catalog.named("People") is named
+        assert catalog.has_named("People")
+        assert named.is_set
+
+    def test_name_collision_with_type(self):
+        catalog = make_catalog()
+        catalog.define_type("Person", [])
+        with pytest.raises(CatalogError):
+            catalog.create_named(
+                NamedObject(name="Person", spec=own(INT4), value=None)
+            )
+
+    def test_destroy(self):
+        catalog = make_catalog()
+        catalog.create_named(NamedObject(name="X", spec=own(INT4), value=None))
+        catalog.destroy_named("X")
+        assert not catalog.has_named("X")
+        with pytest.raises(CatalogError):
+            catalog.destroy_named("X")
+
+    def test_scalar_named_object_is_not_set(self):
+        catalog = make_catalog()
+        named = NamedObject(name="Today", spec=own(INT4), value=None)
+        assert not named.is_set
+
+
+class TestFunctionLookup:
+    def _function(self, type_name, fn_name, replace=False):
+        from repro.excess.functions import ExcessFunction, FunctionParam
+        from repro.core.types import ComponentSpec, Semantics, FLOAT8
+        from repro.excess import ast_nodes as ast
+
+        return ExcessFunction(
+            name=fn_name,
+            type_name=type_name,
+            params=[],
+            returns=ComponentSpec(Semantics.OWN, FLOAT8),
+            body=ast.Retrieve(),
+            replace=replace,
+        )
+
+    def test_lookup_walks_lattice(self):
+        catalog = make_catalog()
+        catalog.define_type("Person", [])
+        catalog.define_type("Employee", [], parents=["Person"])
+        catalog.define_function(self._function("Person", "Describe"))
+        employee = catalog.schema_type("Employee")
+        found = catalog.lookup_function(employee, "Describe")
+        assert found is not None
+        assert found.type_name == "Person"
+
+    def test_subtype_override_shadows(self):
+        catalog = make_catalog()
+        catalog.define_type("Person", [])
+        catalog.define_type("Employee", [], parents=["Person"])
+        catalog.define_function(self._function("Person", "Describe"))
+        catalog.define_function(self._function("Employee", "Describe"))
+        employee = catalog.schema_type("Employee")
+        person = catalog.schema_type("Person")
+        assert catalog.lookup_function(employee, "Describe").type_name == "Employee"
+        assert catalog.lookup_function(person, "Describe").type_name == "Person"
+
+    def test_redefinition_requires_replace(self):
+        catalog = make_catalog()
+        catalog.define_type("Person", [])
+        catalog.define_function(self._function("Person", "F"))
+        with pytest.raises(CatalogError):
+            catalog.define_function(self._function("Person", "F"))
+        catalog.define_function(self._function("Person", "F", replace=True))
+
+    def test_missing_function_is_none(self):
+        catalog = make_catalog()
+        catalog.define_type("Person", [])
+        person = catalog.schema_type("Person")
+        assert catalog.lookup_function(person, "Nope") is None
+
+    def test_functions_of(self):
+        catalog = make_catalog()
+        catalog.define_type("Person", [])
+        catalog.define_function(self._function("Person", "A"))
+        catalog.define_function(self._function("Person", "B"))
+        assert {f.name for f in catalog.functions_of("Person")} == {"A", "B"}
+
+
+class TestProcedures:
+    def _procedure(self, name):
+        from repro.excess.procedures import Procedure
+        from repro.excess import ast_nodes as ast
+
+        return Procedure(name=name, params=[], body=ast.Retrieve())
+
+    def test_define_and_lookup(self):
+        catalog = make_catalog()
+        catalog.define_procedure(self._procedure("P"))
+        assert catalog.procedure("P").name == "P"
+        assert catalog.has_procedure("P")
+        assert catalog.procedure_names() == ["P"]
+
+    def test_duplicate_rejected(self):
+        catalog = make_catalog()
+        catalog.define_procedure(self._procedure("P"))
+        with pytest.raises(CatalogError):
+            catalog.define_procedure(self._procedure("P"))
+
+    def test_unknown_procedure(self):
+        catalog = make_catalog()
+        with pytest.raises(CatalogError):
+            catalog.procedure("Nope")

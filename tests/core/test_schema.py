@@ -1,0 +1,199 @@
+"""Unit tests for schema types and the inheritance lattice (paper §2,
+Figure 3 conflict handling)."""
+
+import pytest
+
+from repro.core.schema import Rename, SchemaType
+from repro.core.types import FLOAT8, INT4, char, own, ref
+from repro.errors import InheritanceConflictError, SchemaError
+
+
+def person() -> SchemaType:
+    return SchemaType(
+        "Person", [("name", own(char(30))), ("age", own(INT4))]
+    )
+
+
+def department() -> SchemaType:
+    return SchemaType(
+        "Department", [("dname", own(char(20))), ("floor", own(INT4))]
+    )
+
+
+class TestBasicInheritance:
+    def test_child_has_inherited_and_local_attributes(self):
+        p = person()
+        e = SchemaType("Employee", [("salary", own(FLOAT8))], parents=[p])
+        names = [a.name for a in e.resolved_attributes()]
+        assert names == ["name", "age", "salary"]
+
+    def test_origin_tracking(self):
+        p = person()
+        e = SchemaType("Employee", [("salary", own(FLOAT8))], parents=[p])
+        assert e.attribute_origin("name").origin == "Person"
+        assert e.attribute_origin("salary").origin == "Employee"
+
+    def test_subtyping_reflexive_and_transitive(self):
+        p = person()
+        e = SchemaType("Employee", [("salary", own(FLOAT8))], parents=[p])
+        m = SchemaType("Manager", [("bonus", own(FLOAT8))], parents=[e])
+        assert p.is_subtype_of(p)
+        assert e.is_subtype_of(p)
+        assert m.is_subtype_of(p)
+        assert m.is_subtype_of(e)
+        assert not p.is_subtype_of(e)
+
+    def test_assignability_is_nominal(self):
+        p = person()
+        clone = SchemaType(
+            "Clone", [("name", own(char(30))), ("age", own(INT4))]
+        )
+        assert not p.is_assignable_from(clone)  # same shape, different name
+        e = SchemaType("Employee", [], parents=[p])
+        assert p.is_assignable_from(e)
+        assert not e.is_assignable_from(p)
+
+    def test_ancestors(self):
+        p = person()
+        e = SchemaType("Employee", [], parents=[p])
+        m = SchemaType("Manager", [], parents=[e])
+        assert m.ancestors() == frozenset({"Employee", "Person"})
+
+    def test_local_attribute_names(self):
+        p = person()
+        e = SchemaType("Employee", [("salary", own(FLOAT8))], parents=[p])
+        assert e.local_attribute_names() == ["salary"]
+
+
+class TestConflicts:
+    def make_conflicting_parents(self):
+        d = department()
+        p = person()
+        employee = SchemaType(
+            "Employee", [("dept", ref(d)), ("salary", own(FLOAT8))], parents=[p]
+        )
+        student = SchemaType(
+            "Student", [("dept", ref(d)), ("gpa", own(FLOAT8))], parents=[p]
+        )
+        return employee, student
+
+    def test_unresolved_conflict_rejected(self):
+        employee, student = self.make_conflicting_parents()
+        with pytest.raises(InheritanceConflictError) as info:
+            SchemaType("TA", [("hours", own(INT4))], parents=[employee, student])
+        assert "dept" in info.value.conflicts
+
+    def test_conflict_resolved_by_renaming(self):
+        employee, student = self.make_conflicting_parents()
+        ta = SchemaType(
+            "TA",
+            [("hours", own(INT4))],
+            parents=[employee, student],
+            renames=[
+                Rename("Employee", "dept", "work_dept"),
+                Rename("Student", "dept", "school_dept"),
+            ],
+        )
+        names = {a.name for a in ta.resolved_attributes()}
+        assert {"work_dept", "school_dept", "hours"} <= names
+        assert "dept" not in names
+
+    def test_renamed_attribute_keeps_origin(self):
+        employee, student = self.make_conflicting_parents()
+        ta = SchemaType(
+            "TA",
+            [],
+            parents=[employee, student],
+            renames=[
+                Rename("Employee", "dept", "work_dept"),
+                Rename("Student", "dept", "school_dept"),
+            ],
+        )
+        assert ta.attribute_origin("work_dept").origin == "Employee"
+        assert ta.attribute_origin("work_dept").original_name == "dept"
+
+    def test_diamond_is_not_a_conflict(self):
+        # name/age reach TA twice through Person — same origin, merged.
+        employee, student = self.make_conflicting_parents()
+        ta = SchemaType(
+            "TA",
+            [],
+            parents=[employee, student],
+            renames=[
+                Rename("Employee", "dept", "work_dept"),
+                Rename("Student", "dept", "school_dept"),
+            ],
+        )
+        names = [a.name for a in ta.resolved_attributes()]
+        assert names.count("name") == 1
+        assert names.count("age") == 1
+
+    def test_local_shadowing_is_a_conflict(self):
+        p = person()
+        with pytest.raises(InheritanceConflictError):
+            SchemaType("Employee", [("name", own(char(10)))], parents=[p])
+
+    def test_rename_unknown_parent_rejected(self):
+        p = person()
+        with pytest.raises(SchemaError):
+            SchemaType(
+                "X", [], parents=[p],
+                renames=[Rename("Nobody", "name", "n")],
+            )
+
+    def test_rename_unknown_attribute_rejected(self):
+        p = person()
+        with pytest.raises(SchemaError):
+            SchemaType(
+                "X", [], parents=[p],
+                renames=[Rename("Person", "shoe_size", "s")],
+            )
+
+    def test_duplicate_rename_rejected(self):
+        p = person()
+        with pytest.raises(SchemaError):
+            SchemaType(
+                "X", [], parents=[p],
+                renames=[
+                    Rename("Person", "name", "a"),
+                    Rename("Person", "name", "b"),
+                ],
+            )
+
+    def test_rename_onto_colliding_name_is_conflict(self):
+        p = person()
+        with pytest.raises(InheritanceConflictError):
+            SchemaType(
+                "X", [], parents=[p],
+                renames=[Rename("Person", "name", "age")],
+            )
+
+
+class TestLinearization:
+    def test_self_first(self):
+        p = person()
+        e = SchemaType("Employee", [], parents=[p])
+        assert [t.name for t in e.linearization()] == ["Employee", "Person"]
+
+    def test_breadth_first_parent_order(self):
+        p = person()
+        a = SchemaType("A", [], parents=[p])
+        b = SchemaType("B", [], parents=[p])
+        c = SchemaType(
+            "C", [], parents=[a, b],
+        )
+        assert [t.name for t in c.linearization()] == ["C", "A", "B", "Person"]
+
+    def test_describe_full_mentions_parents(self):
+        p = person()
+        e = SchemaType("Employee", [("salary", own(FLOAT8))], parents=[p])
+        text = e.describe_full()
+        assert "inherits Person" in text
+        assert "salary" in text
+
+
+class TestEquality:
+    def test_schema_types_equal_by_name(self):
+        assert person() == person()
+        assert person() != department()
+        assert hash(person()) == hash(person())

@@ -1,0 +1,256 @@
+"""Unit tests for the EXTRA type system."""
+
+import pytest
+
+from repro.core.types import (
+    ArrayType,
+    BOOLEAN,
+    CharType,
+    ComponentSpec,
+    EnumType,
+    FLOAT4,
+    FLOAT8,
+    FloatType,
+    INT1,
+    INT2,
+    INT4,
+    IntegerType,
+    Semantics,
+    SetType,
+    TEXT,
+    TupleType,
+    char,
+    common_numeric_type,
+    enumeration,
+    is_numeric,
+    own,
+    own_ref,
+    ref,
+)
+from repro.errors import TypeSystemError
+
+
+class TestIntegerType:
+    def test_sizes(self):
+        assert INT1.size == 1
+        assert INT2.size == 2
+        assert INT4.size == 4
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(TypeSystemError):
+            IntegerType(3)
+
+    def test_range_bounds(self):
+        assert INT1.accepts(127)
+        assert not INT1.accepts(128)
+        assert INT1.accepts(-128)
+        assert not INT1.accepts(-129)
+        assert INT2.accepts(32767)
+        assert not INT2.accepts(32768)
+
+    def test_rejects_bool_and_float(self):
+        assert not INT4.accepts(True)
+        assert not INT4.accepts(1.5)
+        assert not INT4.accepts("1")
+
+    def test_widening_assignability(self):
+        assert INT4.is_assignable_from(INT2)
+        assert INT4.is_assignable_from(INT1)
+        assert not INT1.is_assignable_from(INT4)
+        assert INT4.is_assignable_from(INT4)
+
+    def test_tag(self):
+        assert INT4.tag == "int4"
+        assert INT1.tag == "int1"
+
+    def test_coerce_rejects_out_of_range(self):
+        with pytest.raises(TypeSystemError):
+            INT1.coerce(1000)
+
+
+class TestFloatType:
+    def test_accepts_ints_and_floats(self):
+        assert FLOAT8.accepts(1)
+        assert FLOAT8.accepts(1.5)
+        assert not FLOAT8.accepts(True)
+
+    def test_coerce_normalizes_to_float(self):
+        assert FLOAT8.coerce(2) == 2.0
+        assert isinstance(FLOAT8.coerce(2), float)
+
+    def test_assignability(self):
+        assert FLOAT8.is_assignable_from(FLOAT4)
+        assert FLOAT8.is_assignable_from(INT4)
+        assert not FLOAT4.is_assignable_from(FLOAT8)
+
+    def test_bad_size(self):
+        with pytest.raises(TypeSystemError):
+            FloatType(2)
+
+
+class TestBooleanType:
+    def test_accepts_only_bool(self):
+        assert BOOLEAN.accepts(True)
+        assert BOOLEAN.accepts(False)
+        assert not BOOLEAN.accepts(1)
+        assert not BOOLEAN.accepts("true")
+
+
+class TestCharType:
+    def test_capacity(self):
+        assert char(5).accepts("abcde")
+        assert not char(5).accepts("abcdef")
+        assert char(5).accepts("")
+
+    def test_positive_length_required(self):
+        with pytest.raises(TypeSystemError):
+            CharType(0)
+
+    def test_assignability_by_capacity(self):
+        assert char(10).is_assignable_from(char(5))
+        assert not char(5).is_assignable_from(char(10))
+
+    def test_text_accepts_char(self):
+        assert TEXT.is_assignable_from(char(20))
+        assert TEXT.accepts("anything at all, of any length")
+
+    def test_tag(self):
+        assert char(20).tag == "char(20)"
+
+
+class TestEnumType:
+    def test_labels(self):
+        color = enumeration("red", "green", "blue")
+        assert color.accepts("red")
+        assert not color.accepts("purple")
+
+    def test_ordinal(self):
+        color = enumeration("red", "green", "blue")
+        assert color.ordinal("red") == 0
+        assert color.ordinal("blue") == 2
+        with pytest.raises(TypeSystemError):
+            color.ordinal("purple")
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(TypeSystemError):
+            enumeration("a", "a")
+
+    def test_empty_rejected(self):
+        with pytest.raises(TypeSystemError):
+            EnumType(())
+
+
+class TestSemantics:
+    def test_ownership_flags(self):
+        assert Semantics.OWN.is_owned
+        assert Semantics.OWN_REF.is_owned
+        assert not Semantics.REF.is_owned
+
+    def test_object_flags(self):
+        assert not Semantics.OWN.is_object
+        assert Semantics.REF.is_object
+        assert Semantics.OWN_REF.is_object
+
+
+class TestComponentSpec:
+    def test_ref_requires_tuple_type(self):
+        with pytest.raises(TypeSystemError):
+            ComponentSpec(Semantics.REF, INT4)
+        with pytest.raises(TypeSystemError):
+            ComponentSpec(Semantics.OWN_REF, TEXT)
+
+    def test_own_accepts_any_type(self):
+        spec = own(INT4)
+        assert spec.semantics is Semantics.OWN
+
+    def test_describe(self):
+        t = TupleType([("x", own(INT4))])
+        assert ref(t).describe().startswith("ref")
+        assert own_ref(t).describe().startswith("own ref")
+        assert own(INT4).describe() == "int4"
+
+
+class TestTupleType:
+    def test_attribute_lookup(self):
+        t = TupleType([("a", own(INT4)), ("b", own(TEXT))])
+        assert t.attribute("a").type == INT4
+        assert t.has_attribute("b")
+        assert not t.has_attribute("c")
+        with pytest.raises(TypeSystemError):
+            t.attribute("c")
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(TypeSystemError):
+            TupleType([("a", own(INT4)), ("a", own(TEXT))])
+
+    def test_attribute_order_preserved(self):
+        t = TupleType([("z", own(INT4)), ("a", own(INT4)), ("m", own(INT4))])
+        assert t.attribute_names() == ["z", "a", "m"]
+
+    def test_structural_assignability(self):
+        t1 = TupleType([("a", own(INT4))])
+        t2 = TupleType([("a", own(INT2))])
+        assert t1.is_assignable_from(t2)  # int2 widens into int4
+        assert not t2.is_assignable_from(t1)
+
+    def test_equality_and_hash(self):
+        t1 = TupleType([("a", own(INT4))])
+        t2 = TupleType([("a", own(INT4))])
+        assert t1 == t2
+        assert hash(t1) == hash(t2)
+        assert t1 != TupleType([("b", own(INT4))])
+
+
+class TestSetAndArrayTypes:
+    def test_set_describe(self):
+        t = SetType(own(INT4))
+        assert t.describe() == "{int4}"
+
+    def test_set_assignability(self):
+        assert SetType(own(INT4)).is_assignable_from(SetType(own(INT2)))
+        assert not SetType(own(INT4)).is_assignable_from(SetType(own(TEXT)))
+
+    def test_fixed_array(self):
+        t = ArrayType(own(INT4), length=10)
+        assert t.is_fixed
+        assert t.length == 10
+
+    def test_variable_array(self):
+        t = ArrayType(own(INT4))
+        assert not t.is_fixed
+        assert t.length is None
+
+    def test_bad_length(self):
+        with pytest.raises(TypeSystemError):
+            ArrayType(own(INT4), length=0)
+
+    def test_array_assignability_requires_same_length(self):
+        assert not ArrayType(own(INT4), 5).is_assignable_from(
+            ArrayType(own(INT4), 6)
+        )
+        assert ArrayType(own(INT4), 5).is_assignable_from(ArrayType(own(INT4), 5))
+
+    def test_set_equality(self):
+        assert SetType(own(INT4)) == SetType(own(INT4))
+        assert SetType(own(INT4)) != SetType(own(TEXT))
+
+
+class TestNumericHelpers:
+    def test_is_numeric(self):
+        assert is_numeric(INT4)
+        assert is_numeric(FLOAT8)
+        assert not is_numeric(TEXT)
+        assert not is_numeric(BOOLEAN)
+
+    def test_integer_widening(self):
+        assert common_numeric_type(INT2, INT4) == INT4
+        assert common_numeric_type(INT1, INT1) == INT1
+
+    def test_float_promotion(self):
+        assert common_numeric_type(INT4, FLOAT4) == FLOAT4
+        assert common_numeric_type(FLOAT4, FLOAT8) == FLOAT8
+        assert common_numeric_type(INT4, FLOAT8) == FLOAT8
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(TypeSystemError):
+            common_numeric_type(TEXT, INT4)

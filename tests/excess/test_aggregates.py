@@ -1,0 +1,201 @@
+"""Functional tests for aggregates: QUEL simple aggregates, `over`
+partitioning, correlated nested-set aggregates, generic set functions
+(paper §3.4, §4.1.4)."""
+
+import pytest
+
+from repro.core.values import NULL
+from repro.errors import BindError, FunctionError
+
+
+class TestGlobalAggregates:
+    def test_count_yields_single_row(self, small_company):
+        result = small_company.execute(
+            "retrieve (count(E.salary)) from E in Employees"
+        )
+        assert result.rows == [(3,)]
+
+    def test_sum_avg_min_max(self, small_company):
+        result = small_company.execute(
+            "retrieve (s = sum(E.salary), a = avg(E.salary), "
+            "lo = min(E.salary), hi = max(E.salary)) from E in Employees"
+        )
+        assert result.rows == [(150000.0, 50000.0, 40000.0, 60000.0)]
+
+    def test_median(self, small_company):
+        result = small_company.execute(
+            "retrieve (m = median(E.salary)) from E in Employees"
+        )
+        assert result.rows == [(50000.0,)]
+
+    def test_median_over_strings(self, small_company):
+        # the paper's point: median works for ANY totally ordered type
+        result = small_company.execute(
+            "retrieve (m = median(E.name)) from E in Employees"
+        )
+        assert result.rows == [("Bob",)]
+
+    def test_stddev(self, small_company):
+        result = small_company.execute(
+            "retrieve (s = stddev(E.salary)) from E in Employees"
+        )
+        assert result.rows[0][0] == pytest.approx(10000.0)
+
+    def test_aggregate_decoupled_from_outer_variable(self, small_company):
+        # QUEL: the aggregate's E is local; outer query keeps its own E
+        result = small_company.execute(
+            "retrieve (E.name, total = count(E.salary)) from E in Employees"
+        )
+        assert len(result.rows) == 3
+        assert all(row[1] == 3 for row in result.rows)
+
+    def test_aggregate_with_where_clause(self, small_company):
+        result = small_company.execute(
+            "retrieve (n = count(E.salary where E.age > 35)) "
+            "from E in Employees"
+        )
+        assert result.rows == [(2,)]
+
+    def test_empty_aggregates(self, small_company):
+        small_company.execute("delete E from E in Employees")
+        result = small_company.execute(
+            "retrieve (c = count(E.salary), s = sum(E.salary), "
+            "a = avg(E.salary)) from E in Employees"
+        )
+        assert result.rows == [(0, 0, NULL)]
+
+    def test_nulls_skipped(self, small_company):
+        # birthday set only for Sue
+        result = small_company.execute(
+            "retrieve (n = count(E.birthday)) from E in Employees"
+        )
+        assert result.rows == [(1,)]
+
+
+class TestPartitionedAggregates:
+    def test_over_partitions_by_ref(self, small_company):
+        result = small_company.execute(
+            "retrieve unique (E.dept.dname, pay = avg(E.salary over E.dept)) "
+            "from E in Employees"
+        )
+        assert sorted(result.rows) == [("Shoes", 40000.0), ("Toys", 55000.0)]
+
+    def test_over_with_where(self, small_company):
+        result = small_company.execute(
+            "retrieve unique (E.dept.dname, "
+            "n = count(E.salary over E.dept where E.age > 35)) "
+            "from E in Employees"
+        )
+        rows = dict(result.rows)
+        assert rows["Toys"] == 2
+        assert rows["Shoes"] == 0  # empty partition → count's empty value
+
+    def test_over_scalar_attribute(self, small_company):
+        result = small_company.execute(
+            "retrieve unique (E.age, n = count(E.name over E.age)) "
+            "from E in Employees"
+        )
+        assert sorted(result.rows) == [(30, 1), (40, 1), (50, 1)]
+
+    def test_partition_key_from_different_outer_variable(self, small_company):
+        # classic group-per-department query driven from Departments
+        result = small_company.execute(
+            "retrieve (D.dname, pay = avg(E.salary over E.dept)) "
+            "from D in Departments, E in Employees where E.dept is D"
+        )
+        # one row per (D, E) pair that joins; dedupe for the report
+        rows = {tuple(r) for r in result.rows}
+        assert rows == {("Toys", 55000.0), ("Shoes", 40000.0)}
+
+
+class TestCorrelatedAggregates:
+    def test_count_nested_set(self, small_company):
+        result = small_company.execute(
+            "retrieve (E.name, n = count(E.kids)) from E in Employees"
+        )
+        assert dict(result.rows) == {"Sue": 2, "Bob": 0, "Ann": 1}
+
+    def test_aggregate_attribute_of_nested_set(self, small_company):
+        result = small_company.execute(
+            "retrieve (E.name, oldest = max(E.kids.age)) from E in Employees"
+        )
+        rows = dict(result.rows)
+        assert rows["Sue"] == 10
+        assert rows["Ann"] == 12
+        assert rows["Bob"] is NULL
+
+    def test_correlated_with_filter(self, small_company):
+        result = small_company.execute(
+            "retrieve (E.name, n = count(E.kids)) from E in Employees "
+            "where E.dept.floor = 2"
+        )
+        assert dict(result.rows) == {"Sue": 2, "Ann": 1}
+
+    def test_correlated_aggregate_rejects_over(self, small_company):
+        with pytest.raises(BindError):
+            small_company.execute(
+                "retrieve (E.name, n = count(E.kids over E.dept)) "
+                "from E in Employees"
+            )
+
+    def test_aggregate_over_whole_nested_range(self, small_company):
+        result = small_company.execute(
+            "retrieve (total = count(C.name)) from C in Employees.kids"
+        )
+        assert result.rows == [(3,)]
+
+
+class TestAggregateTypeRules:
+    def test_sum_requires_numeric(self, small_company):
+        with pytest.raises(FunctionError):
+            small_company.execute(
+                "retrieve (sum(E.name)) from E in Employees"
+            )
+
+    def test_min_requires_ordered(self, small_company):
+        # references are not ordered
+        with pytest.raises(BindError):
+            small_company.execute(
+                "retrieve (min(E.dept)) from E in Employees"
+            )
+
+    def test_min_accepts_date_adt(self, small_company):
+        result = small_company.execute(
+            "retrieve (d = min(E.birthday)) from E in Employees"
+        )
+        assert str(result.rows[0][0]) == "7/4/1948"
+
+    def test_unknown_set_function(self, small_company):
+        from repro.errors import BindError as BE
+
+        with pytest.raises(BE):
+            small_company.execute(
+                "retrieve (frobnicate(E.salary over E.dept)) from E in Employees"
+            )
+
+
+class TestUserDefinedSetFunctions:
+    def test_register_and_use(self, small_company):
+        from repro.adt.generics import GenericSetFunction
+
+        def _range_width(values: list) -> float:
+            return max(values) - min(values)
+
+        small_company.catalog.set_functions.register(
+            GenericSetFunction(
+                "spread", _range_width, requires="numeric",
+            )
+        )
+        result = small_company.execute(
+            "retrieve (s = spread(E.salary)) from E in Employees"
+        )
+        assert result.rows == [(20000.0,)]
+
+    def test_duplicate_registration_rejected(self, small_company):
+        from repro.adt.generics import GenericSetFunction
+        from repro.errors import CatalogError
+
+        with pytest.raises(CatalogError):
+            small_company.catalog.set_functions.register(
+                GenericSetFunction("count", len)
+            )

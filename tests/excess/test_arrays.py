@@ -1,0 +1,128 @@
+"""Functional tests for arrays through EXCESS: named arrays, owned
+variable arrays, reference arrays, iteration, and updates."""
+
+import pytest
+
+from repro.core.values import NULL, Ref
+from repro.errors import EvaluationError, IntegrityError
+
+
+class TestNamedReferenceArrays:
+    def test_fixed_array_slots(self, small_company):
+        # TopTen is [10] ref Employee; slots 1 and 2 are set by the fixture
+        rows = small_company.execute(
+            "retrieve (TopTen[1].name, TopTen[2].name, TopTen[3].name)"
+        ).rows
+        assert rows == [("Ann", "Sue", NULL)]
+
+    def test_overwrite_slot(self, small_company):
+        small_company.execute(
+            'set TopTen[1] = E from E in Employees where E.name = "Bob"'
+        )
+        assert small_company.execute(
+            "retrieve (TopTen[1].name)"
+        ).rows == [("Bob",)]
+
+    def test_deleted_member_reads_null(self, small_company):
+        small_company.execute('delete E from E in Employees where E.name = "Ann"')
+        assert small_company.execute(
+            "retrieve (TopTen[1].name)"
+        ).rows == [(NULL,)]
+
+    def test_iterate_array_as_range(self, small_company):
+        rows = small_company.execute(
+            "retrieve (T.name) from T in TopTen"
+        ).rows
+        # iteration skips null slots
+        assert sorted(r[0] for r in rows) == ["Ann", "Sue"]
+
+    def test_ref_array_type_checked(self, small_company):
+        db = small_company
+        dept = db.execute(
+            'retrieve (D) from D in Departments where D.dname = "Toys"'
+        ).rows[0][0]
+        with pytest.raises(IntegrityError):
+            named = db.named("TopTen")
+            db.execute(
+                'set TopTen[4] = D from D in Departments '
+                'where D.dname = "Toys"'
+            )
+
+
+class TestOwnedVariableArrays:
+    @pytest.fixture
+    def route(self, db):
+        db.execute(
+            """
+            define type Stop as (place: char(20), minute: int4)
+            define type Route as (rname: char(20), stops: [] own Stop)
+            create {own ref Route} Routes
+            append to Routes (rname = "r1")
+            append to R.stops (place = "depot", minute = 0) from R in Routes
+            append to R.stops (place = "mall", minute = 10) from R in Routes
+            append to R.stops (place = "park", minute = 25) from R in Routes
+            """
+        )
+        return db
+
+    def test_append_preserves_order(self, route):
+        rows = route.execute(
+            "retrieve (S.place) from R in Routes, S in R.stops"
+        ).rows
+        assert [r[0] for r in rows] == ["depot", "mall", "park"]
+
+    def test_aggregate_over_array(self, route):
+        assert route.execute(
+            "retrieve (n = count(R.stops)) from R in Routes"
+        ).rows == [("r1", 3)] or route.execute(
+            "retrieve (R.rname, n = count(R.stops)) from R in Routes"
+        ).rows == [("r1", 3)]
+
+    def test_filter_array_elements(self, route):
+        rows = route.execute(
+            "retrieve (S.place) from R in Routes, S in R.stops "
+            "where S.minute > 5"
+        ).rows
+        assert [r[0] for r in rows] == ["mall", "park"]
+
+    def test_array_elements_are_values(self, route):
+        # own array elements have no identity: retrieving them yields the
+        # embedded tuple, and value updates go through replace on the path
+        rows = route.execute(
+            "retrieve (S) from R in Routes, S in R.stops "
+            'where S.place = "mall"'
+        ).rows
+        value = rows[0][0]
+        assert value.oid is None  # no identity
+
+    def test_duplicate_values_allowed_in_arrays(self, route):
+        route.execute(
+            'append to R.stops (place = "depot", minute = 0) from R in Routes'
+        )
+        assert route.execute(
+            "retrieve (n = count(R.stops)) from R in Routes"
+        ).scalar() == 4
+
+
+class TestNamedValueArrays:
+    def test_var_array_of_scalars(self, db):
+        db.execute("create [] own int4 Readings")
+        for value in (5, 3, 8):
+            db.execute(f"append to Readings ({value})")
+        rows = db.execute("retrieve (R) from R in Readings").rows
+        assert [r[0] for r in rows] == [5, 3, 8]
+        assert db.execute("retrieve (Readings[2])").scalar() == 3
+
+    def test_set_scalar_slot(self, db):
+        db.execute("create [] own int4 Readings")
+        db.execute("append to Readings (1)")
+        db.execute("set Readings[1] = 42")
+        assert db.execute("retrieve (Readings[1])").scalar() == 42
+
+    def test_aggregate_over_named_array(self, db):
+        db.execute("create [] own int4 Readings")
+        for value in (5, 3, 8):
+            db.execute(f"append to Readings ({value})")
+        assert db.execute(
+            "retrieve (t = sum(R)) from R in Readings"
+        ).scalar() == 16

@@ -1,0 +1,193 @@
+"""Direct unit tests for binder internals: scopes, pruning, implicit
+bindings, and bound-tree shapes."""
+
+import pytest
+
+from repro.core.types import INT4, TEXT, own
+from repro.errors import BindError
+from repro.excess.binder import (
+    Binder,
+    BoundQuery,
+    NamedSetSource,
+    PathSource,
+    RangeBinding,
+    Scope,
+    VarRef,
+)
+from repro.excess.parser import parse_statement
+
+
+def bind(db, text):
+    return Binder(db.catalog).bind_retrieve(parse_statement(text))
+
+
+class TestScope:
+    def test_declare_and_lookup(self):
+        scope = Scope()
+        binding = RangeBinding(
+            name="E",
+            source=NamedSetSource(set_name="S"),
+            element=own(INT4),
+        )
+        scope.declare(binding)
+        assert scope.lookup("E") is binding
+        assert scope.lookup("F") is None
+
+    def test_duplicate_declaration_rejected(self):
+        scope = Scope()
+        binding = RangeBinding(
+            name="E", source=NamedSetSource(set_name="S"), element=own(INT4)
+        )
+        scope.declare(binding)
+        with pytest.raises(BindError):
+            scope.declare(binding)
+
+    def test_parent_chain(self):
+        outer = Scope()
+        binding = RangeBinding(
+            name="E", source=NamedSetSource(set_name="S"), element=own(INT4)
+        )
+        outer.declare(binding)
+        inner = Scope(parent=outer)
+        assert inner.lookup("E") is binding
+        assert inner.local_bindings() == []
+
+    def test_parameters(self):
+        scope = Scope()
+        scope.parameters["p"] = VarRef(name="@p", type=TEXT)
+        inner = Scope(parent=scope)
+        assert inner.lookup_parameter("p") is not None
+        assert inner.lookup_parameter("q") is None
+
+
+class TestImplicitBindings:
+    def test_named_set_root_creates_shared_binding(self, small_company):
+        bound = bind(
+            small_company,
+            "retrieve (Employees.name, C.name) from C in Employees.kids",
+        )
+        names = [b.name for b in bound.query.bindings]
+        # exactly one Employees binding despite two uses
+        assert names.count("Employees") == 1
+
+    def test_nested_set_in_expression_gets_synthetic_binding(
+        self, small_company
+    ):
+        bound = bind(
+            small_company,
+            "retrieve (E.name) from E in Employees where E.kids.age > 5",
+        )
+        synthetic = [b for b in bound.query.bindings if b.name.startswith("$")]
+        assert len(synthetic) == 1
+        assert isinstance(synthetic[0].source, PathSource)
+        assert synthetic[0].source.parent == "E"
+        assert synthetic[0].source.steps == ["kids"]
+
+    def test_same_nested_path_reuses_binding(self, small_company):
+        bound = bind(
+            small_company,
+            "retrieve (E.name) from E in Employees "
+            "where E.kids.age > 5 and E.kids.age < 100",
+        )
+        synthetic = [b for b in bound.query.bindings if b.name.startswith("$")]
+        assert len(synthetic) == 1
+
+
+class TestPruning:
+    def test_aggregate_only_variable_pruned(self, small_company):
+        bound = bind(
+            small_company, "retrieve (n = count(E.salary)) from E in Employees"
+        )
+        assert bound.query.bindings == []
+        assert len(bound.query.aggregates) == 1
+
+    def test_target_variable_kept(self, small_company):
+        bound = bind(
+            small_company,
+            "retrieve (E.name, n = count(F.salary)) "
+            "from E in Employees, F in Employees",
+        )
+        names = [b.name for b in bound.query.bindings]
+        assert names == ["E"]
+
+    def test_path_parent_kept_transitively(self, small_company):
+        bound = bind(
+            small_company,
+            "retrieve (C.name) from E in Employees, C in E.kids",
+        )
+        names = {b.name for b in bound.query.bindings}
+        assert names == {"E", "C"}
+
+    def test_correlated_aggregate_keeps_outer_dependency(self, small_company):
+        bound = bind(
+            small_company,
+            "retrieve (n = count(E.kids)) from E in Employees",
+        )
+        names = {b.name for b in bound.query.bindings}
+        assert "E" in names  # correlated: E must stay
+
+
+class TestAggregateModes:
+    def test_simple_mode(self, small_company):
+        bound = bind(
+            small_company, "retrieve (a = avg(E.salary)) from E in Employees"
+        )
+        assert bound.query.aggregates[0].mode == "global"
+
+    def test_partition_mode(self, small_company):
+        bound = bind(
+            small_company,
+            "retrieve (E.name, a = avg(E.salary over E.dept)) "
+            "from E in Employees",
+        )
+        assert bound.query.aggregates[0].mode == "partition"
+        assert bound.query.aggregates[0].inner_key is not None
+
+    def test_correlated_mode(self, small_company):
+        bound = bind(
+            small_company,
+            "retrieve (E.name, n = count(E.kids)) from E in Employees",
+        )
+        assert bound.query.aggregates[0].mode == "correlated"
+        assert bound.query.aggregates[0].outer_deps == ["E"]
+
+    def test_inner_bindings_are_clones(self, small_company):
+        bound = bind(
+            small_company, "retrieve (a = avg(E.salary)) from E in Employees"
+        )
+        aggregate = bound.query.aggregates[0]
+        assert [b.name for b in aggregate.inner_bindings] == ["E"]
+        # and the clone is distinct from any outer binding object
+        assert all(
+            inner is not outer
+            for inner in aggregate.inner_bindings
+            for outer in bound.query.bindings
+        )
+
+
+class TestCollectionTargets:
+    def test_named_collection(self, small_company):
+        binder = Binder(small_company.catalog)
+        from repro.excess import ast_nodes as ast
+
+        scope, query = binder._new_query_scope([], None)
+        target = binder._bind_collection_target(
+            ast.Path(root="Employees"), scope, query
+        )
+        assert target.kind == "named"
+        assert target.name == "Employees"
+
+    def test_path_collection(self, small_company):
+        binder = Binder(small_company.catalog)
+        from repro.excess import ast_nodes as ast
+
+        statement = parse_statement(
+            'append to E.kids (name = "x") from E in Employees'
+        )
+        bound = binder.bind_append(statement)
+        assert bound.target.kind == "path"
+        assert bound.target.steps == ["kids"]
+
+    def test_non_collection_rejected(self, small_company):
+        with pytest.raises(BindError):
+            small_company.execute("append to Today (x = 1)")

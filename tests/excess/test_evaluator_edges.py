@@ -1,0 +1,159 @@
+"""Edge-case tests for the evaluator: runtime errors, enum ordering,
+arrays at the boundary, iterator ranges, concatenation."""
+
+import pytest
+
+from repro.core.values import NULL
+from repro.errors import EvaluationError
+
+
+class TestArithmeticErrors:
+    def test_division_by_zero(self, small_company):
+        with pytest.raises(EvaluationError):
+            small_company.execute(
+                "retrieve (x = E.age / 0) from E in Employees"
+            )
+
+    def test_modulo_by_zero(self, small_company):
+        with pytest.raises(EvaluationError):
+            small_company.execute(
+                "retrieve (x = E.age % 0) from E in Employees"
+            )
+
+    def test_integer_division_exact_stays_int(self, db):
+        assert db.execute("retrieve (x = 10 / 2)").scalar() == 5
+        assert db.execute("retrieve (x = 10 / 4)").scalar() == 2.5
+
+    def test_modulo(self, db):
+        assert db.execute("retrieve (x = 10 % 3)").scalar() == 1
+
+    def test_incomparable_values(self, small_company):
+        # name (string) vs age (int): static types catch it at bind time
+        from repro.errors import BindError
+
+        with pytest.raises(BindError):
+            small_company.execute(
+                "retrieve (E.name) from E in Employees where E.name < E.age"
+            )
+
+
+class TestBooleanStrictness:
+    def test_non_boolean_operand_rejected(self, small_company):
+        from repro.errors import BindError, EvaluationError
+
+        with pytest.raises((BindError, EvaluationError)):
+            small_company.execute(
+                "retrieve (E.name) from E in Employees where E.age and true"
+            )
+
+
+class TestConcatenation:
+    def test_double_pipe(self, small_company):
+        result = small_company.execute(
+            'retrieve (x = E.name || "!") from E in Employees '
+            'where E.name = "Sue"'
+        )
+        assert result.rows == [("Sue!",)]
+
+    def test_plus_on_strings(self, small_company):
+        result = small_company.execute(
+            'retrieve (x = "a" + "b")'
+        )
+        assert result.rows == [("ab",)]
+
+    def test_null_propagates(self, small_company):
+        result = small_company.execute(
+            'retrieve (x = E.name || null) from E in Employees '
+            'where E.name = "Sue"'
+        )
+        assert result.rows == [(NULL,)]
+
+
+class TestEnumOrdering:
+    @pytest.fixture
+    def shirts(self, db):
+        db.execute(
+            """
+            define type Shirt as (label: char(10),
+                                  size: enum (small, medium, large, xl))
+            create {own ref Shirt} Shirts
+            append to Shirts (label = "a", size = "small")
+            append to Shirts (label = "b", size = "large")
+            append to Shirts (label = "c", size = "medium")
+            """
+        )
+        return db
+
+    def test_ordinal_not_lexicographic(self, shirts):
+        # lexicographically "large" < "small"; by ordinal it is greater
+        result = shirts.execute(
+            'retrieve (S.label) from S in Shirts where S.size > "small"'
+        )
+        assert sorted(r[0] for r in result.rows) == ["b", "c"]
+
+    def test_equality(self, shirts):
+        result = shirts.execute(
+            'retrieve (S.label) from S in Shirts where S.size = "medium"'
+        )
+        assert result.rows == [("c",)]
+
+    def test_unknown_label_rejected_at_bind(self, shirts):
+        from repro.errors import BindError
+
+        with pytest.raises(BindError):
+            shirts.execute(
+                'retrieve (S.label) from S in Shirts where S.size = "giant"'
+            )
+
+    def test_flipped_constant_keeps_enum_order(self, shirts):
+        result = shirts.execute(
+            'retrieve (S.label) from S in Shirts where "small" < S.size'
+        )
+        assert sorted(r[0] for r in result.rows) == ["b", "c"]
+
+
+class TestArraysAtBoundary:
+    def test_read_past_end_is_null(self, small_company):
+        assert small_company.execute(
+            "retrieve (TopTen[9].name)"
+        ).rows == [(NULL,)]
+
+    def test_write_past_end_errors(self, small_company):
+        with pytest.raises(EvaluationError):
+            small_company.execute(
+                'set TopTen[11] = E from E in Employees where E.name = "Sue"'
+            )
+
+    def test_null_index_reads_null(self, small_company):
+        result = small_company.execute(
+            "retrieve (x = TopTen[Year(E.birthday) - 1947].name) "
+            'from E in Employees where E.name = "Bob"'
+        )
+        assert result.rows == [(NULL,)]  # Bob's birthday is null
+
+    def test_computed_index(self, small_company):
+        result = small_company.execute("retrieve (TopTen[1 + 1].name)")
+        assert result.rows == [("Sue",)]
+
+
+class TestIteratorRanges:
+    def test_interval(self, db):
+        result = db.execute("retrieve (I) from I in Interval(3, 6)")
+        assert [r[0] for r in result.rows] == [3, 4, 5, 6]
+
+    def test_empty_interval(self, db):
+        result = db.execute("retrieve (I) from I in Interval(5, 4)")
+        assert result.rows == []
+
+    def test_join_iterator_with_set(self, small_company):
+        result = small_company.execute(
+            "retrieve (E.name, I) from E in Employees, I in Interval(1, 2) "
+            'where E.name = "Sue"'
+        )
+        assert sorted(result.rows) == [("Sue", 1), ("Sue", 2)]
+
+    def test_unknown_iterator(self, db):
+        from repro.errors import BindError
+
+        with pytest.raises(BindError):
+            db.execute("retrieve (I) from I in Nothing(1, 2)")

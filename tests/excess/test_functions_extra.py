@@ -1,0 +1,99 @@
+"""Additional EXCESS function tests: set-valued returns, authorization,
+and interaction with other constructs."""
+
+import pytest
+
+from repro.core.values import NULL, SetInstance
+from repro.errors import AuthorizationError
+
+
+class TestSetValuedFunctions:
+    @pytest.fixture
+    def db_with_fn(self, small_company):
+        small_company.execute(
+            "define function KidAges (P in Person) returns {own int4} as "
+            "retrieve (C.age) from C in P.kids"
+        )
+        return small_company
+
+    def test_returns_set_instance(self, db_with_fn):
+        rows = db_with_fn.execute(
+            'retrieve (x = KidAges(E)) from E in Employees '
+            'where E.name = "Sue"'
+        ).rows
+        value = rows[0][0]
+        assert isinstance(value, SetInstance)
+        assert sorted(value.members()) == [7, 10]
+
+    def test_empty_set_for_childless(self, db_with_fn):
+        rows = db_with_fn.execute(
+            'retrieve (x = KidAges(E)) from E in Employees '
+            'where E.name = "Bob"'
+        ).rows
+        assert len(rows[0][0]) == 0
+
+
+class TestFunctionAuthorization:
+    def test_execute_privilege_required(self, small_company):
+        db = small_company
+        db.execute(
+            "define function Pay (E in Employee) returns float8 as "
+            "retrieve (E.salary)"
+        )
+        db.authz.enabled = True
+        db.execute("create user reader")
+        db.execute("grant select on Employees to reader")
+        session = db.session("reader")
+        with pytest.raises(AuthorizationError):
+            session.execute("retrieve (Pay(E)) from E in Employees")
+        db.execute("grant execute on Pay to reader")
+        rows = session.execute("retrieve (Pay(E)) from E in Employees").rows
+        assert len(rows) == 3
+
+    def test_dba_needs_no_grant(self, small_company):
+        db = small_company
+        db.execute(
+            "define function Pay (E in Employee) returns float8 as "
+            "retrieve (E.salary)"
+        )
+        db.authz.enabled = True
+        rows = db.execute("retrieve (Pay(E)) from E in Employees").rows
+        assert len(rows) == 3
+
+
+class TestFunctionsInOtherConstructs:
+    @pytest.fixture
+    def db_with_fn(self, small_company):
+        small_company.execute(
+            "define function Pay (E in Employee) returns float8 as "
+            "retrieve (E.salary * 2.0)"
+        )
+        return small_company
+
+    def test_function_in_sort_key(self, db_with_fn):
+        rows = db_with_fn.execute(
+            "retrieve (E.name) from E in Employees sort by Pay(E) desc"
+        ).rows
+        assert [r[0] for r in rows] == ["Ann", "Sue", "Bob"]
+
+    def test_function_in_aggregate(self, db_with_fn):
+        value = db_with_fn.execute(
+            "retrieve (m = max(Pay(E))) from E in Employees"
+        ).scalar()
+        assert value == 120000.0
+
+    def test_function_in_replace_value(self, db_with_fn):
+        db_with_fn.execute(
+            'replace E (salary = Pay(E)) from E in Employees '
+            'where E.name = "Bob"'
+        )
+        assert db_with_fn.execute(
+            'retrieve (E.salary) from E in Employees where E.name = "Bob"'
+        ).scalar() == 80000.0
+
+    def test_function_composition(self, db_with_fn):
+        value = db_with_fn.execute(
+            'retrieve (x = Pay(E) + Pay(E)) from E in Employees '
+            'where E.name = "Bob"'
+        ).scalar()
+        assert value == 160000.0

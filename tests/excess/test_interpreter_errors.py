@@ -1,0 +1,128 @@
+"""Error-path tests for the interpreter: DDL failures, bad statements,
+and statement-level robustness."""
+
+import pytest
+
+from repro import Database
+from repro.errors import (
+    BindError,
+    CatalogError,
+    InheritanceConflictError,
+    ParseError,
+    SchemaError,
+)
+
+
+class TestDdlErrors:
+    def test_duplicate_type(self, db):
+        db.execute("define type T as (x: int4)")
+        with pytest.raises(CatalogError):
+            db.execute("define type T as (y: int4)")
+
+    def test_unknown_parent(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("define type T as (x: int4) inherits Nothing")
+
+    def test_unknown_attribute_type(self, db):
+        with pytest.raises(SchemaError):
+            db.execute("define type T as (x: Nothing)")
+
+    def test_self_reference_allowed(self, db):
+        db.execute("define type Node as (next: ref Node, kids: {own ref Node})")
+        node = db.type("Node")
+        assert node.attribute("next").type is node
+        assert node.attribute("kids").type.element.type is node
+
+    def test_duplicate_named_object(self, db):
+        db.execute("create Date Today")
+        with pytest.raises(CatalogError):
+            db.execute("create Date Today")
+
+    def test_name_collides_with_type(self, db):
+        db.execute("define type T as (x: int4)")
+        with pytest.raises(CatalogError):
+            db.execute("create Date T")
+
+    def test_destroy_unknown(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("destroy Nothing")
+
+    def test_index_on_unknown_set(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("create index on Nothing (x)")
+
+    def test_drop_unknown_index(self, db):
+        db.execute("define type T as (x: int4)")
+        db.execute("create {own ref T} S")
+        with pytest.raises(CatalogError):
+            db.execute("drop index on S (x)")
+
+    def test_unknown_privilege(self, db):
+        db.execute("define type T as (x: int4)")
+        db.execute("create {own ref T} S")
+        with pytest.raises(CatalogError):
+            db.execute("grant fly on S to bob")
+
+    def test_range_declaration_validated(self, db):
+        with pytest.raises(BindError):
+            db.execute("range of E is Nothing")
+
+    def test_rename_conflict_propagates(self, db):
+        db.execute("define type A as (x: int4)")
+        db.execute("define type B as (x: int4)")
+        with pytest.raises(InheritanceConflictError):
+            db.execute("define type C as (y: int4) inherits A, B")
+
+
+class TestStatementRobustness:
+    def test_multi_statement_stops_at_first_error(self, db):
+        db.execute("define type T as (x: int4)")
+        db.execute("create {own ref T} S")
+        with pytest.raises(BindError):
+            db.execute(
+                "append to S (x = 1)\n"
+                "append to S (nothing = 2)\n"
+                "append to S (x = 3)"
+            )
+        # the first append ran; the third never did
+        assert db.execute("retrieve (count(M.x)) from M in S").scalar() == 1
+
+    def test_empty_input(self, db):
+        result = db.execute("   \n  -- just a comment\n")
+        assert result.kind == "empty"
+
+    def test_parse_error_has_position(self, db):
+        with pytest.raises(ParseError) as info:
+            db.execute("retrieve\nretrieve (x)")
+        assert info.value.line >= 1
+
+    def test_execute_returns_last_result(self, db):
+        result = db.execute(
+            "define type T as (x: int4)\n"
+            "create {own ref T} S\n"
+            "append to S (x = 7)\n"
+            "retrieve (M.x) from M in S"
+        )
+        assert result.rows == [(7,)]
+
+
+class TestSessionIsolation:
+    def test_session_ranges_shared_per_database(self, db):
+        # (QUEL range declarations live in the interpreter, one per DB)
+        db.execute("define type T as (x: int4)")
+        db.execute("create {own ref T} S")
+        db.execute("range of M is S")
+        assert db.execute("retrieve (count(M.x))").scalar() == 0
+
+    def test_from_clause_shadows_session_range(self, db):
+        db.execute("define type T as (x: int4)")
+        db.execute("create {own ref T} S")
+        db.execute("create {own ref T} S2")
+        db.execute("append to S (x = 1)")
+        db.execute("append to S2 (x = 2)")
+        db.execute("append to S2 (x = 3)")
+        db.execute("range of M is S")
+        # local from-binding takes precedence over the session range
+        assert db.execute(
+            "retrieve (count(M.x)) from M in S2"
+        ).scalar() == 2

@@ -1,0 +1,142 @@
+"""Unit tests for the EXCESS lexer."""
+
+import pytest
+
+from repro.errors import LexicalError
+from repro.excess.lexer import Lexer, Token, TokenType
+
+
+def lex(text: str, extra=()):
+    return Lexer(text, extra_symbols=extra).tokens()
+
+
+def kinds(text: str):
+    return [t.type for t in lex(text)[:-1]]
+
+
+class TestBasics:
+    def test_empty_input(self):
+        tokens = lex("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_identifiers_case_sensitive(self):
+        tokens = lex("Employees employees")
+        assert tokens[0].value == "Employees"
+        assert tokens[1].value == "employees"
+        assert tokens[0].type is TokenType.IDENT
+
+    def test_keywords_case_insensitive(self):
+        for text in ("RETRIEVE", "retrieve", "Retrieve"):
+            token = lex(text)[0]
+            assert token.type is TokenType.KEYWORD
+            assert token.text == "retrieve"
+
+    def test_integer_literals(self):
+        token = lex("42")[0]
+        assert token.type is TokenType.INT
+        assert token.value == 42
+
+    def test_float_literals(self):
+        assert lex("3.14")[0].value == 3.14
+        assert lex("1e3")[0].value == 1000.0
+        assert lex("2.5e-2")[0].value == 0.025
+        assert lex(".5")[0].value == 0.5
+
+    def test_int_dot_ident_is_not_float(self):
+        # `TopTen[1].name`: the dot after the digit starts a path step
+        tokens = lex("x[1].name")
+        assert [t.type for t in tokens[:-1]] == [
+            TokenType.IDENT, TokenType.LBRACKET, TokenType.INT,
+            TokenType.RBRACKET, TokenType.DOT, TokenType.IDENT,
+        ]
+
+    def test_string_literals(self):
+        assert lex('"hello"')[0].value == "hello"
+        assert lex("'world'")[0].value == "world"
+
+    def test_string_escapes(self):
+        assert lex(r'"a\nb"')[0].value == "a\nb"
+        assert lex(r'"a\"b"')[0].value == 'a"b'
+        assert lex(r'"a\tb"')[0].value == "a\tb"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexicalError):
+            lex('"oops')
+        with pytest.raises(LexicalError):
+            lex('"oops\n"')
+
+    def test_booleans(self):
+        assert lex("true")[0].value is True
+        assert lex("false")[0].value is False
+
+
+class TestOperators:
+    def test_builtin_symbols(self):
+        tokens = lex("a <= b >= c != d = e")
+        ops = [t.text for t in tokens if t.type is TokenType.OP]
+        assert ops == ["<=", ">=", "!=", "="]
+
+    def test_maximal_munch(self):
+        tokens = lex("a<=b")
+        assert tokens[1].text == "<="
+
+    def test_registered_operator_symbols(self):
+        tokens = lex("a ~~ b", extra=["~~"])
+        assert tokens[1].type is TokenType.OP
+        assert tokens[1].text == "~~"
+
+    def test_unregistered_punctuation_lexes_as_one_run(self):
+        tokens = lex("a @# b")
+        assert tokens[1].text == "@#"
+
+    def test_structural_punctuation(self):
+        assert kinds("( ) [ ] { } , : ; .") == [
+            TokenType.LPAREN, TokenType.RPAREN, TokenType.LBRACKET,
+            TokenType.RBRACKET, TokenType.LBRACE, TokenType.RBRACE,
+            TokenType.COMMA, TokenType.COLON, TokenType.SEMI, TokenType.DOT,
+        ]
+
+
+class TestComments:
+    def test_line_comment(self):
+        tokens = lex("a -- comment here\nb")
+        assert [t.value for t in tokens[:-1]] == ["a", "b"]
+
+    def test_block_comment(self):
+        tokens = lex("a /* anything \n at all */ b")
+        assert [t.value for t in tokens[:-1]] == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexicalError):
+            lex("a /* no end")
+
+    def test_minus_not_comment(self):
+        tokens = lex("a - b")
+        assert tokens[1].text == "-"
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = lex("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_error_position(self):
+        try:
+            lex('x\n  "oops')
+        except LexicalError as exc:
+            assert exc.line == 2
+            assert exc.column == 3
+        else:
+            pytest.fail("expected LexicalError")
+
+
+class TestTokenHelpers:
+    def test_is_keyword(self):
+        token = lex("retrieve")[0]
+        assert token.is_keyword("retrieve")
+        assert token.is_keyword("retrieve", "append")
+        assert not token.is_keyword("append")
+        ident = lex("foo")[0]
+        assert not ident.is_keyword("foo")

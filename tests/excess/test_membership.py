@@ -1,0 +1,84 @@
+"""Functional tests for set membership: `in` and `contains`."""
+
+import pytest
+
+from repro.core.values import NULL
+
+
+@pytest.fixture
+def db_with_team(small_company):
+    db = small_company
+    db.execute("create {ref Employee} Team")
+    db.execute('append to Team (E) from E in Employees where E.salary > 45000.0')
+    return db
+
+
+class TestIn:
+    def test_ref_membership(self, db_with_team):
+        result = db_with_team.execute(
+            "retrieve (E.name) from E in Employees where E in Team"
+        )
+        assert sorted(r[0] for r in result.rows) == ["Ann", "Sue"]
+
+    def test_not_in(self, db_with_team):
+        result = db_with_team.execute(
+            "retrieve (E.name) from E in Employees where E not in Team"
+        )
+        assert result.rows == [("Bob",)]
+
+    def test_contains(self, db_with_team):
+        result = db_with_team.execute(
+            "retrieve (E.name) from E in Employees where Team contains E"
+        )
+        assert sorted(r[0] for r in result.rows) == ["Ann", "Sue"]
+
+    def test_membership_in_nested_set_path(self, small_company):
+        # is this kid one of Sue's kids?
+        result = small_company.execute(
+            "retrieve (C.name) from C in Employees.kids, E in Employees "
+            'where E.name = "Sue" and C in E.kids'
+        )
+        assert sorted(r[0] for r in result.rows) == ["Tim", "Zoe"]
+
+    def test_dead_member_not_contained(self, db_with_team):
+        db = db_with_team
+        db.execute('delete E from E in Employees where E.name = "Ann"')
+        result = db.execute(
+            "retrieve (E.name) from E in Employees where E in Team"
+        )
+        assert result.rows == [("Sue",)]
+
+    def test_value_membership(self, db):
+        db.execute(
+            """
+            define type Box as (label: char(10), sizes: {own int4})
+            create {own ref Box} Boxes
+            """
+        )
+        db.insert("Boxes", label="b1", sizes=[1, 2, 3])
+        db.insert("Boxes", label="b2", sizes=[4])
+        result = db.execute(
+            "retrieve (B.label) from B in Boxes where 2 in B.sizes"
+        )
+        assert result.rows == [("b1",)]
+
+    def test_membership_of_computed_value(self, db):
+        db.execute(
+            """
+            define type Box as (label: char(10), sizes: {own int4})
+            create {own ref Box} Boxes
+            """
+        )
+        db.insert("Boxes", label="b1", sizes=[10, 20])
+        result = db.execute(
+            "retrieve (B.label) from B in Boxes where 5 + 5 in B.sizes"
+        )
+        assert result.rows == [("b1",)]
+
+    def test_null_element_is_unknown(self, db_with_team):
+        result = db_with_team.execute(
+            "retrieve (E.name) from E in Employees where E.dept in Team"
+        )
+        # depts are not employees... but more importantly no dept is in
+        # Team; and Bob's dept is live so the membership is just false
+        assert result.rows == []

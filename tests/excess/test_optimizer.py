@@ -1,0 +1,194 @@
+"""Unit and functional tests for the rule-based optimizer: pushdown,
+normalization, index selection, binding reorder, and the equivalence of
+optimized and unoptimized execution."""
+
+import pytest
+
+from repro.excess.binder import Binder
+from repro.excess.optimizer import Optimizer
+from repro.excess.parser import parse_statement
+
+
+def bind_retrieve(db, text):
+    binder = Binder(db.catalog)
+    return binder.bind_retrieve(parse_statement(text))
+
+
+class TestPushdown:
+    def test_single_variable_conjunct_pushed(self, small_company):
+        bound = bind_retrieve(
+            small_company,
+            "retrieve (E.name, D.dname) from E in Employees, "
+            "D in Departments where E.age > 30 and D.floor = 2",
+        )
+        report = Optimizer(small_company.catalog).optimize(bound.query)
+        assert report.pushed_down == 2
+        assert bound.query.where is None
+
+    def test_join_conjunct_stays(self, small_company):
+        bound = bind_retrieve(
+            small_company,
+            "retrieve (E.name) from E in Employees, D in Departments "
+            "where E.dept is D and E.age > 30",
+        )
+        report = Optimizer(small_company.catalog).optimize(bound.query)
+        assert report.pushed_down == 1
+        assert bound.query.where is not None  # the join predicate remains
+
+    def test_universal_binding_predicates_not_pushed(self, small_company):
+        bound = bind_retrieve(
+            small_company,
+            "retrieve (D.dname) from D in Departments, E in every Employees "
+            "where E.salary > 1.0",
+        )
+        report = Optimizer(small_company.catalog).optimize(bound.query)
+        assert report.pushed_down == 0
+
+
+class TestNormalization:
+    def test_constant_on_left_flipped(self, small_company):
+        bound = bind_retrieve(
+            small_company,
+            "retrieve (E.name) from E in Employees where 30 < E.age",
+        )
+        report = Optimizer(small_company.catalog).optimize(bound.query)
+        assert report.normalized == 1
+        # and the flipped form was pushed down
+        assert report.pushed_down == 1
+
+    def test_flipped_comparison_same_results(self, small_company):
+        left = small_company.execute(
+            "retrieve (E.name) from E in Employees where 35 < E.age"
+        ).rows
+        right = small_company.execute(
+            "retrieve (E.name) from E in Employees where E.age > 35"
+        ).rows
+        assert sorted(left) == sorted(right)
+
+
+class TestIndexSelection:
+    def test_equality_uses_hash_index(self, small_company):
+        small_company.execute("create index on Employees (age) using hash")
+        result = small_company.execute(
+            "retrieve (E.name) from E in Employees where E.age = 30"
+        )
+        assert result.rows == [("Bob",)]
+        assert any("hash" in s for s in result.plan.index_scans)
+
+    def test_range_uses_btree_not_hash(self, small_company):
+        small_company.execute("create index on Employees (age) using hash")
+        result = small_company.execute(
+            "retrieve (E.name) from E in Employees where E.age > 35"
+        )
+        assert result.plan.index_scans == []  # hash can't serve ranges
+        small_company.execute("create index on Employees (age) using btree")
+        result = small_company.execute(
+            "retrieve (E.name) from E in Employees where E.age > 35"
+        )
+        assert any("btree" in s for s in result.plan.index_scans)
+        assert sorted(r[0] for r in result.rows) == ["Ann", "Sue"]
+
+    def test_equality_preferred_over_range(self, small_company):
+        small_company.execute("create index on Employees (age) using btree")
+        result = small_company.execute(
+            "retrieve (E.name) from E in Employees "
+            "where E.age > 20 and E.age = 30"
+        )
+        assert any(":=" in s or s.endswith("=") for s in result.plan.index_scans)
+
+    def test_no_index_no_scan_choice(self, small_company):
+        result = small_company.execute(
+            "retrieve (E.name) from E in Employees where E.age = 30"
+        )
+        assert result.plan.index_scans == []
+        assert result.rows == [("Bob",)]
+
+    def test_all_range_operators(self, small_company):
+        small_company.execute("create index on Employees (age) using btree")
+        cases = {
+            "E.age < 40": ["Bob"],
+            "E.age <= 40": ["Bob", "Sue"],
+            "E.age > 40": ["Ann"],
+            "E.age >= 40": ["Ann", "Sue"],
+        }
+        for predicate, expected in cases.items():
+            result = small_company.execute(
+                f"retrieve (E.name) from E in Employees where {predicate}"
+            )
+            assert sorted(r[0] for r in result.rows) == expected
+            assert result.plan.index_scans, predicate
+
+
+class TestBindingOrder:
+    def test_indexed_binding_moves_first(self, small_company):
+        small_company.execute("create index on Employees (age) using hash")
+        bound = bind_retrieve(
+            small_company,
+            "retrieve (D.dname, E.name) from D in Departments, "
+            "E in Employees where E.age = 30",
+        )
+        report = Optimizer(small_company.catalog).optimize(bound.query)
+        assert report.binding_order[0] == "E"
+
+    def test_dependencies_respected(self, small_company):
+        bound = bind_retrieve(
+            small_company,
+            "retrieve (C.name) from E in Employees, C in E.kids "
+            "where C.age > 100",
+        )
+        report = Optimizer(small_company.catalog).optimize(bound.query)
+        # C depends on E, so E must come first even though C is filtered
+        assert report.binding_order.index("E") < report.binding_order.index("C")
+
+    def test_universal_bindings_last(self, small_company):
+        bound = bind_retrieve(
+            small_company,
+            "retrieve (D.dname) from E in every Employees, D in Departments "
+            "where E.salary > 0.0",
+        )
+        report = Optimizer(small_company.catalog).optimize(bound.query)
+        assert report.binding_order[-1] == "E"
+
+
+class TestDisabledOptimizer:
+    def test_disabled_reports(self, small_company):
+        bound = bind_retrieve(
+            small_company,
+            "retrieve (E.name) from E in Employees where E.age = 30",
+        )
+        report = Optimizer(small_company.catalog, enabled=False).optimize(
+            bound.query
+        )
+        assert not report.enabled
+        assert report.pushed_down == 0
+        assert "disabled" in report.describe()
+
+    def test_same_results_with_and_without(self, small_company):
+        db = small_company
+        db.execute("create index on Employees (age) using btree")
+        query = (
+            "retrieve (E.name, D.dname) from E in Employees, "
+            "D in Departments where E.age >= 30 and E.dept is D "
+            "and D.floor < 3"
+        )
+        optimized = db.execute(query).rows
+        db.interpreter.optimize = False
+        try:
+            unoptimized = db.execute(query).rows
+        finally:
+            db.interpreter.optimize = True
+        assert sorted(optimized) == sorted(unoptimized)
+
+    def test_aggregate_queries_equivalent(self, small_company):
+        db = small_company
+        query = (
+            "retrieve unique (E.dept.dname, p = avg(E.salary over E.dept)) "
+            "from E in Employees"
+        )
+        optimized = db.execute(query).rows
+        db.interpreter.optimize = False
+        try:
+            unoptimized = db.execute(query).rows
+        finally:
+            db.interpreter.optimize = True
+        assert sorted(optimized) == sorted(unoptimized)

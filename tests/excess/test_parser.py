@@ -1,0 +1,386 @@
+"""Unit tests for the EXCESS parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.excess import ast_nodes as ast
+from repro.excess.parser import OperatorTable, parse_script, parse_statement
+
+
+class TestDefineType:
+    def test_simple(self):
+        stmt = parse_statement(
+            "define type Person as (name: char(30), age: int4)"
+        )
+        assert isinstance(stmt, ast.DefineType)
+        assert stmt.name == "Person"
+        assert [a.name for a in stmt.attributes] == ["name", "age"]
+        assert stmt.attributes[0].component.semantics == "own"
+
+    def test_semantics_keywords(self):
+        stmt = parse_statement(
+            "define type E as (a: ref D, b: own ref P, c: own int4)"
+        )
+        semantics = [a.component.semantics for a in stmt.attributes]
+        assert semantics == ["ref", "own ref", "own"]
+
+    def test_set_and_array_constructors(self):
+        stmt = parse_statement(
+            "define type T as (s: {own ref P}, f: [10] ref Q, v: [] own int4)"
+        )
+        s, f, v = (a.component.type for a in stmt.attributes)
+        assert isinstance(s, ast.SetTypeExpr)
+        assert isinstance(f, ast.ArrayTypeExpr) and f.length == 10
+        assert isinstance(v, ast.ArrayTypeExpr) and v.length is None
+
+    def test_nested_tuple_type(self):
+        stmt = parse_statement(
+            "define type T as (addr: (street: char(30), city: char(20)))"
+        )
+        inner = stmt.attributes[0].component.type
+        assert isinstance(inner, ast.TupleTypeExpr)
+        assert [a.name for a in inner.attributes] == ["street", "city"]
+
+    def test_enum_type(self):
+        stmt = parse_statement("define type T as (c: enum (red, green, blue))")
+        inner = stmt.attributes[0].component.type
+        assert isinstance(inner, ast.EnumTypeExpr)
+        assert inner.labels == ["red", "green", "blue"]
+
+    def test_inherits(self):
+        stmt = parse_statement(
+            "define type TA as (h: int4) inherits Employee, Student"
+        )
+        assert stmt.parents == ["Employee", "Student"]
+
+    def test_renames(self):
+        stmt = parse_statement(
+            "define type TA as (h: int4) inherits E, S "
+            "with rename E.dept to work_dept, rename S.dept to school_dept"
+        )
+        assert len(stmt.renames) == 2
+        assert stmt.renames[0].parent == "E"
+        assert stmt.renames[0].attribute == "dept"
+        assert stmt.renames[0].new_name == "work_dept"
+
+
+class TestCreate:
+    def test_create_set(self):
+        stmt = parse_statement("create {own ref Employee} Employees")
+        assert isinstance(stmt, ast.CreateNamed)
+        assert stmt.name == "Employees"
+        assert isinstance(stmt.component.type, ast.SetTypeExpr)
+
+    def test_create_with_key(self):
+        stmt = parse_statement("create {own ref E} S key (name, ssn)")
+        assert stmt.key == ["name", "ssn"]
+
+    def test_create_array(self):
+        stmt = parse_statement("create [10] ref Employee TopTen")
+        assert isinstance(stmt.component.type, ast.ArrayTypeExpr)
+
+    def test_create_scalar(self):
+        stmt = parse_statement("create Date Today")
+        assert isinstance(stmt.component.type, ast.NamedTypeExpr)
+
+    def test_create_index(self):
+        stmt = parse_statement("create index on Employees (salary) using hash")
+        assert isinstance(stmt, ast.CreateIndex)
+        assert stmt.kind == "hash"
+        default = parse_statement("create index on Employees (salary)")
+        assert default.kind == "btree"
+
+    def test_create_user_group(self):
+        assert isinstance(parse_statement("create user bob"), ast.CreateUser)
+        assert isinstance(parse_statement("create group staff"), ast.CreateGroup)
+
+    def test_destroy(self):
+        stmt = parse_statement("destroy Employees")
+        assert isinstance(stmt, ast.DestroyNamed)
+
+
+class TestRetrieve:
+    def test_minimal(self):
+        stmt = parse_statement("retrieve (Today)")
+        assert isinstance(stmt, ast.Retrieve)
+        assert len(stmt.targets) == 1
+        assert stmt.where is None
+
+    def test_labels(self):
+        stmt = parse_statement("retrieve (total = count(E.x), E.name)")
+        assert stmt.targets[0].label == "total"
+        assert stmt.targets[1].label is None
+
+    def test_from_and_where(self):
+        stmt = parse_statement(
+            "retrieve (E.name) from E in Employees where E.age > 30"
+        )
+        assert stmt.from_clauses[0].variable == "E"
+        assert isinstance(stmt.where, ast.BinaryOp)
+
+    def test_unique_and_into(self):
+        stmt = parse_statement("retrieve unique into R (E.name) from E in S")
+        assert stmt.unique
+        assert stmt.into == "R"
+
+    def test_universal_from(self):
+        stmt = parse_statement("retrieve (D.x) from E in every Employees")
+        assert stmt.from_clauses[0].universal
+
+    def test_array_index_path(self):
+        stmt = parse_statement("retrieve (TopTen[1].name)")
+        path = stmt.targets[0].expression
+        assert isinstance(path.steps[0], ast.IndexStep)
+        assert isinstance(path.steps[1], ast.AttributeStep)
+
+    def test_empty_target_list_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("retrieve () from E in S")
+
+
+class TestExpressions:
+    def expr(self, text: str):
+        return parse_statement(f"retrieve (x = {text})").targets[0].expression
+
+    def test_precedence_arithmetic(self):
+        node = self.expr("1 + 2 * 3")
+        assert node.op == "+"
+        assert node.right.op == "*"
+
+    def test_precedence_bool(self):
+        node = self.expr("a = 1 or b = 2 and c = 3")
+        assert node.op == "or"
+        assert node.right.op == "and"
+
+    def test_parentheses(self):
+        node = self.expr("(1 + 2) * 3")
+        assert node.op == "*"
+        assert node.left.op == "+"
+
+    def test_not(self):
+        node = self.expr("not (a = 1)")
+        assert isinstance(node, ast.UnaryOp)
+        assert node.op == "not"
+
+    def test_unary_minus(self):
+        node = self.expr("-x + 1")
+        assert node.op == "+"
+        assert isinstance(node.left, ast.UnaryOp)
+
+    def test_is_and_isnot(self):
+        node = self.expr("a is b")
+        assert node.op == "is"
+        node = self.expr("a isnot b")
+        assert node.op == "isnot"
+
+    def test_is_null(self):
+        node = self.expr("a is null")
+        assert node.op == "is"
+        assert isinstance(node.right, ast.NullLiteral)
+
+    def test_membership_in(self):
+        node = self.expr("x in Parts")
+        assert isinstance(node, ast.SetMembership)
+        assert not node.negated
+
+    def test_membership_not_in(self):
+        node = self.expr("x not in Parts")
+        assert node.negated
+
+    def test_contains(self):
+        node = self.expr("Parts contains x")
+        assert isinstance(node, ast.SetMembership)
+        assert node.collection.root == "Parts"
+
+    def test_function_call(self):
+        node = self.expr("Pay(E, 5)")
+        assert isinstance(node, ast.FunctionCall)
+        assert len(node.args) == 2
+
+    def test_aggregate_with_over(self):
+        node = self.expr("avg(E.salary over E.dept)")
+        assert isinstance(node, ast.Aggregate)
+        assert node.over.root == "E"
+
+    def test_aggregate_with_where(self):
+        node = self.expr("avg(E.salary over E.dept where E.age > 30)")
+        assert node.where is not None
+
+    def test_aggregate_multiple_args_rejected(self):
+        with pytest.raises(ParseError):
+            self.expr("avg(a, b over c)")
+
+    def test_string_and_number_literals(self):
+        assert self.expr('"hi"').value == "hi"
+        assert self.expr("42").value == 42
+        assert self.expr("4.5").value == 4.5
+        assert self.expr("true").value is True
+
+    def test_left_associativity(self):
+        node = self.expr("10 - 4 - 3")
+        assert node.op == "-"
+        assert node.left.op == "-"
+        assert node.right.value == 3
+
+
+class TestUpdates:
+    def test_append_assignments(self):
+        stmt = parse_statement('append to Employees (name = "S", age = 40)')
+        assert isinstance(stmt, ast.Append)
+        assert [a.attribute for a in stmt.assignments] == ["name", "age"]
+
+    def test_append_without_to(self):
+        stmt = parse_statement('append Employees (name = "S")')
+        assert stmt.target.root == "Employees"
+
+    def test_append_expression_form(self):
+        stmt = parse_statement("append to Team (E) from E in S where E.x = 1")
+        assert stmt.expression is not None
+        assert not stmt.assignments
+
+    def test_append_to_path(self):
+        stmt = parse_statement('append to E.kids (name = "T") from E in S')
+        assert stmt.target.root == "E"
+
+    def test_delete(self):
+        stmt = parse_statement("delete E from E in S where E.x = 1")
+        assert isinstance(stmt, ast.Delete)
+        assert stmt.variable == "E"
+
+    def test_replace(self):
+        stmt = parse_statement(
+            "replace E (salary = E.salary * 1.1) where E.x = 1"
+        )
+        assert isinstance(stmt, ast.Replace)
+        assert stmt.assignments[0].attribute == "salary"
+
+    def test_set_statement(self):
+        stmt = parse_statement('set Today = Date("7/4/1988")')
+        assert isinstance(stmt, ast.SetStatement)
+        stmt = parse_statement("set TopTen[1] = E from E in S")
+        assert isinstance(stmt.target.steps[0], ast.IndexStep)
+
+
+class TestFunctionsAndProcedures:
+    def test_define_function(self):
+        stmt = parse_statement(
+            "define function Pay (E in Employee) returns float8 "
+            "as retrieve (E.salary)"
+        )
+        assert isinstance(stmt, ast.DefineFunction)
+        assert stmt.params[0].type_name == "Employee"
+        assert not stmt.fixed
+
+    def test_define_fixed_function(self):
+        stmt = parse_statement(
+            "define fixed function Pay (E in Employee) returns float8 "
+            "as retrieve (E.salary)"
+        )
+        assert stmt.fixed
+
+    def test_define_function_value_params(self):
+        stmt = parse_statement(
+            "define function F (E in T, x: float8, n: int4) returns float8 "
+            "as retrieve (E.salary + x)"
+        )
+        assert stmt.params[1].component is not None
+        assert stmt.params[2].name == "n"
+
+    def test_define_procedure(self):
+        stmt = parse_statement(
+            "define procedure Raise (E in Employee, amt: float8) as "
+            "replace E (salary = E.salary + amt)"
+        )
+        assert isinstance(stmt, ast.DefineProcedure)
+        assert isinstance(stmt.body, ast.Replace)
+
+    def test_execute(self):
+        stmt = parse_statement(
+            "execute Raise (E, 100.0) from E in Employees where E.age > 30"
+        )
+        assert isinstance(stmt, ast.ExecuteProcedure)
+        assert len(stmt.args) == 2
+
+
+class TestRangeAndAuthz:
+    def test_range(self):
+        stmt = parse_statement("range of E is Employees")
+        assert isinstance(stmt, ast.RangeDecl)
+        assert not stmt.universal
+
+    def test_universal_range(self):
+        stmt = parse_statement("range of E is every Employees")
+        assert stmt.universal
+
+    def test_range_of_path(self):
+        stmt = parse_statement("range of C is Employees.kids")
+        assert stmt.source.root == "Employees"
+
+    def test_grant_revoke(self):
+        grant = parse_statement("grant select on Employees to bob")
+        assert isinstance(grant, ast.GrantStatement)
+        assert grant.privilege == "select"
+        revoke = parse_statement("revoke append on Employees from bob")
+        assert isinstance(revoke, ast.RevokeStatement)
+
+    def test_add_to_group(self):
+        stmt = parse_statement("add bob to group staff")
+        assert isinstance(stmt, ast.AddToGroup)
+        assert (stmt.member, stmt.group) == ("bob", "staff")
+
+
+class TestScripts:
+    def test_multiple_statements(self):
+        script = parse_script(
+            "create Date Today; retrieve (Today)\nretrieve (Today)"
+        )
+        assert len(script.statements) == 3
+
+    def test_empty_script(self):
+        assert parse_script("") .statements == []
+        assert parse_script(" ;; -- nothing\n").statements == []
+
+    def test_trailing_junk_rejected_for_single_statement(self):
+        with pytest.raises(ParseError):
+            parse_statement("retrieve (x) garbage garbage")
+
+
+class TestOperatorTable:
+    def test_user_operator_precedence(self):
+        table = OperatorTable()
+        table.add_operator("~~", precedence=55)
+        node = parse_script("retrieve (x = a ~~ b + c)", table).statements[0]
+        expr = node.targets[0].expression
+        # ~~ binds tighter than + (55 > 50): (a ~~ b) + c
+        assert expr.op == "+"
+        assert expr.left.op == "~~"
+
+    def test_overload_keeps_builtin_parse_properties(self):
+        table = OperatorTable()
+        table.add_operator("+", precedence=99)
+        info = table.infix("+")
+        assert info.precedence == 50  # unchanged
+
+    def test_prefix_user_operator(self):
+        table = OperatorTable()
+        table.add_operator("~", precedence=70, fixity="prefix")
+        node = parse_script("retrieve (x = ~a)", table).statements[0]
+        assert node.targets[0].expression.op == "~"
+
+
+class TestErrors:
+    def test_error_messages_carry_position(self):
+        try:
+            parse_statement("retrieve E.name")
+        except ParseError as exc:
+            assert exc.line == 1
+        else:
+            pytest.fail("expected ParseError")
+
+    def test_unknown_statement(self):
+        with pytest.raises(ParseError):
+            parse_statement("frobnicate the database")
+
+    def test_missing_paren(self):
+        with pytest.raises(ParseError):
+            parse_statement("retrieve (E.name")

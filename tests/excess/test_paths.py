@@ -1,0 +1,160 @@
+"""Functional tests for path expressions: implicit joins and nested sets
+(paper §3.2–§3.3, the GEM/DAPLEX heritage)."""
+
+import pytest
+
+from repro.core.values import NULL
+from repro.errors import BindError
+
+
+class TestImplicitJoins:
+    def test_single_hop(self, small_company):
+        result = small_company.execute(
+            "retrieve (E.name, E.dept.dname) from E in Employees"
+        )
+        rows = dict(result.rows)
+        assert rows == {"Sue": "Toys", "Bob": "Shoes", "Ann": "Toys"}
+
+    def test_filter_through_path(self, small_company):
+        result = small_company.execute(
+            "retrieve (E.name) from E in Employees where E.dept.floor = 2"
+        )
+        assert sorted(r[0] for r in result.rows) == ["Ann", "Sue"]
+
+    def test_dangling_ref_reads_null(self, small_company):
+        db = small_company
+        db.execute('delete D from D in Departments where D.dname = "Shoes"')
+        result = db.execute(
+            'retrieve (E.dept.dname) from E in Employees where E.name = "Bob"'
+        )
+        assert result.rows == [(NULL,)]
+        # and predicates over the dangling path are unknown → excluded
+        result = db.execute(
+            "retrieve (E.name) from E in Employees where E.dept.floor = 1"
+        )
+        assert result.rows == []
+
+
+class TestNestedSets:
+    def test_from_over_nested_path(self, small_company):
+        result = small_company.execute(
+            "retrieve (C.name) from C in Employees.kids"
+        )
+        assert sorted(r[0] for r in result.rows) == ["Rex", "Tim", "Zoe"]
+
+    def test_correlation_with_implicit_root(self, small_company):
+        # The paper's flagship example: kids of second-floor employees,
+        # where `Employees` in the where clause is the SAME implicit
+        # variable the nested range iterates.
+        result = small_company.execute(
+            "retrieve (C.name) from C in Employees.kids "
+            "where Employees.dept.floor = 2"
+        )
+        assert sorted(r[0] for r in result.rows) == ["Rex", "Tim", "Zoe"]
+
+    def test_correlation_filters_parent(self, small_company):
+        result = small_company.execute(
+            'retrieve (C.name) from C in Employees.kids '
+            'where Employees.name = "Sue"'
+        )
+        assert sorted(r[0] for r in result.rows) == ["Tim", "Zoe"]
+
+    def test_parent_attributes_alongside_children(self, small_company):
+        result = small_company.execute(
+            "retrieve (Employees.name, C.name) from C in Employees.kids"
+        )
+        pairs = sorted(result.rows)
+        assert pairs == [("Ann", "Rex"), ("Sue", "Tim"), ("Sue", "Zoe")]
+
+    def test_range_variable_over_nested_path(self, small_company):
+        small_company.execute("range of C is Employees.kids")
+        result = small_company.execute(
+            "retrieve (C.name) where C.age > 8"
+        )
+        assert sorted(r[0] for r in result.rows) == ["Rex", "Tim"]
+
+    def test_explicit_parent_variable(self, small_company):
+        result = small_company.execute(
+            "retrieve (E.name, C.name) from E in Employees, C in E.kids "
+            "where C.age < 10"
+        )
+        assert result.rows == [("Sue", "Zoe")]
+
+    def test_set_valued_path_in_predicate_is_existential(self, small_company):
+        # E.kids.age > 11 — true when SOME kid is older than 11
+        result = small_company.execute(
+            "retrieve (E.name) from E in Employees where E.kids.age > 11"
+        )
+        assert result.rows == [("Ann",)]
+
+    def test_employee_without_kids_never_matches_kid_predicates(
+        self, small_company
+    ):
+        # iteration semantics: one row per qualifying (employee, kid)
+        # pair; `unique` collapses to the existential reading
+        result = small_company.execute(
+            "retrieve unique (E.name) from E in Employees "
+            "where E.kids.age > 0"
+        )
+        assert sorted(r[0] for r in result.rows) == ["Ann", "Sue"]
+
+    def test_intermediate_set_in_range_path_rejected(self, small_company):
+        with pytest.raises(BindError):
+            small_company.execute(
+                "retrieve (K.name) from K in Employees.kids.kids"
+            )
+
+
+class TestDeepPaths:
+    def test_three_level_schema(self, db):
+        db.execute(
+            """
+            define type City as (cname: char(20), population: int4)
+            define type Address as (street: char(30), city: ref City)
+            define type Shop as (sname: char(20), addr: ref Address)
+            create {own ref City} Cities
+            create {own ref Address} Addresses
+            create {own ref Shop} Shops
+            append to Cities (cname = "Madison", population = 170000)
+            append to Addresses (street = "State St", city = C)
+                from C in Cities
+            append to Shops (sname = "Toys R Us", addr = A)
+                from A in Addresses
+            """
+        )
+        result = db.execute(
+            "retrieve (S.sname, S.addr.city.cname, S.addr.city.population) "
+            "from S in Shops"
+        )
+        assert result.rows == [("Toys R Us", "Madison", 170000)]
+
+    def test_filter_at_depth(self, db):
+        db.execute(
+            """
+            define type City as (cname: char(20), population: int4)
+            define type Address as (street: char(30), city: ref City)
+            define type Shop as (sname: char(20), addr: ref Address)
+            create {own ref City} Cities
+            create {own ref Address} Addresses
+            create {own ref Shop} Shops
+            append to Cities (cname = "Madison", population = 170000)
+            append to Cities (cname = "Verona", population = 9000)
+            """
+        )
+        db.execute(
+            'append to Addresses (street = "A", city = C) from C in Cities '
+            'where C.cname = "Madison"'
+        )
+        db.execute(
+            'append to Addresses (street = "B", city = C) from C in Cities '
+            'where C.cname = "Verona"'
+        )
+        db.execute('append to Shops (sname = "S1", addr = A) '
+                   'from A in Addresses where A.street = "A"')
+        db.execute('append to Shops (sname = "S2", addr = A) '
+                   'from A in Addresses where A.street = "B"')
+        result = db.execute(
+            "retrieve (S.sname) from S in Shops "
+            "where S.addr.city.population > 10000"
+        )
+        assert result.rows == [("S1",)]

@@ -1,0 +1,114 @@
+"""Unit tests for the unparser (complementing the round-trip property
+tests with exact-output expectations)."""
+
+import pytest
+
+from repro.errors import ExcessError
+from repro.excess.parser import parse_statement
+from repro.excess.printer import unparse
+
+
+def roundtrip(source: str) -> str:
+    return unparse(parse_statement(source))
+
+
+class TestExactRenderings:
+    def test_simple_retrieve(self):
+        assert roundtrip("retrieve (Today)") == "retrieve (Today)"
+
+    def test_path_with_index(self):
+        assert roundtrip(
+            "retrieve (TopTen[1].name)"
+        ) == "retrieve (TopTen[1].name)"
+
+    def test_labels(self):
+        assert roundtrip(
+            "retrieve (x = E.a) from E in S"
+        ) == "retrieve (x = E.a) from E in S"
+
+    def test_strings_escaped(self):
+        out = roundtrip('retrieve (x = "a\\"b")')
+        assert out == 'retrieve (x = "a\\"b")'
+
+    def test_unique_into(self):
+        out = roundtrip("retrieve unique into R (E.a) from E in S")
+        assert out.startswith("retrieve unique into R")
+
+    def test_every(self):
+        out = roundtrip("retrieve (D.a) from D in X, E in every Y where D.a = 1")
+        assert "E in every Y" in out
+
+    def test_define_type_full(self):
+        out = roundtrip(
+            "define type TA as (h: int4) inherits E, S "
+            "with rename E.d to wd"
+        )
+        assert out == (
+            "define type TA as (h: int4) inherits E, S "
+            "with rename E.d to wd"
+        )
+
+    def test_component_semantics(self):
+        out = roundtrip(
+            "define type T as (a: ref D, b: own ref P, c: int4, "
+            "d: {own ref P}, e: [3] ref D, f: [] own int4)"
+        )
+        assert "a: ref D" in out
+        assert "b: own ref P" in out
+        assert "c: int4" in out
+        assert "d: {own ref P}" in out
+        assert "e: [3] ref D" in out
+        assert "f: [] int4" in out
+
+    def test_aggregate(self):
+        out = roundtrip(
+            "retrieve (p = avg(E.salary over E.dept where E.age > 30)) "
+            "from E in Employees"
+        )
+        assert "avg(E.salary over E.dept where" in out
+
+    def test_membership(self):
+        assert "E in Team" in roundtrip(
+            "retrieve (E.a) from E in S where E in Team"
+        )
+        assert "not in" in roundtrip(
+            "retrieve (E.a) from E in S where E not in Team"
+        )
+
+    def test_contains_becomes_in(self):
+        # contains normalizes to `in` (same AST node)
+        out = roundtrip("retrieve (E.a) from E in S where Team contains E")
+        assert "E in Team" in out
+
+    def test_transactions(self):
+        assert roundtrip("begin") == "begin transaction"
+        assert roundtrip("commit") == "commit"
+        assert roundtrip("abort") == "abort"
+
+    def test_set_operation(self):
+        out = roundtrip(
+            "retrieve (T.a) from T in X union retrieve (T.a) from T in Y"
+        )
+        assert " union " in out
+
+    def test_explain(self):
+        assert roundtrip("explain retrieve (Today)") == (
+            "explain retrieve (Today)"
+        )
+
+    def test_unary_not_spacing(self):
+        out = roundtrip("retrieve (x = not (a = 1))")
+        assert "not (" in out
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ExcessError):
+            unparse(object())  # type: ignore[arg-type]
+
+
+class TestScriptUnparse:
+    def test_script(self):
+        from repro.excess.parser import parse_script
+
+        script = parse_script("create Date Today; retrieve (Today)")
+        out = unparse(script)
+        assert out == "create Date Today\nretrieve (Today)"

@@ -1,0 +1,104 @@
+"""Functional tests for universal quantification (`every`) and object
+equality (`is`/`isnot`) — paper §3.2."""
+
+import pytest
+
+from repro.errors import BindError
+
+
+class TestUniversal:
+    def test_forall_in_from_clause(self, small_company):
+        # departments where ALL their employees earn over 45k
+        result = small_company.execute(
+            "retrieve (D.dname) from D in Departments, E in every Employees "
+            "where E.dept isnot D or E.salary > 45000.0"
+        )
+        assert result.rows == [("Toys",)]
+
+    def test_forall_true_for_all(self, small_company):
+        result = small_company.execute(
+            "retrieve (D.dname) from D in Departments, E in every Employees "
+            "where E.salary > 1.0"
+        )
+        assert sorted(r[0] for r in result.rows) == ["Shoes", "Toys"]
+
+    def test_forall_false_for_some(self, small_company):
+        result = small_company.execute(
+            "retrieve (D.dname) from D in Departments, E in every Employees "
+            "where E.salary > 55000.0"
+        )
+        assert result.rows == []
+
+    def test_forall_over_empty_set_is_vacuous(self, small_company):
+        small_company.execute("delete E from E in Employees")
+        result = small_company.execute(
+            "retrieve (D.dname) from D in Departments, E in every Employees "
+            "where E.salary > 1000000.0"
+        )
+        assert len(result.rows) == 2  # vacuously true
+
+    def test_universal_range_declaration(self, small_company):
+        small_company.execute("range of All is every Employees")
+        result = small_company.execute(
+            "retrieve (D.dname) from D in Departments "
+            "where All.dept isnot D or All.salary > 45000.0"
+        )
+        assert result.rows == [("Toys",)]
+
+    def test_universal_variable_banned_from_targets(self, small_company):
+        with pytest.raises(BindError):
+            small_company.execute(
+                "retrieve (E.name) from E in every Employees"
+            )
+
+    def test_delete_through_universal_rejected(self, small_company):
+        with pytest.raises(BindError):
+            small_company.execute(
+                "delete E from E in every Employees"
+            )
+
+    def test_two_universal_variables(self, small_company):
+        # all pairs of employees in the same department earn within 20k
+        result = small_company.execute(
+            "retrieve (n = count(D.dname)) from D in Departments, "
+            "E in every Employees, F in every Employees "
+            "where E.dept isnot D or F.dept isnot D "
+            "or E.salary - F.salary < 20000.0"
+        )
+        # one row per qualifying department (both qualify)
+        assert result.rows == [(2,), (2,)]
+
+
+class TestObjectEquality:
+    def test_is_same_object(self, small_company):
+        result = small_company.execute(
+            "retrieve unique (E.name, F.name) "
+            "from E in Employees, F in Employees "
+            "where E.dept is F.dept and E.name < F.name"
+        )
+        assert result.rows == [("Ann", "Sue")]
+
+    def test_is_vs_value_equality(self, small_company):
+        db = small_company
+        # two departments with the same floor are still different objects
+        db.execute('append to Departments (dname = "Books", floor = 2, '
+                   'budget = 100000.0)')
+        result = db.execute(
+            "retrieve (D.dname, D2.dname) "
+            "from D in Departments, D2 in Departments "
+            "where D.floor = D2.floor and D isnot D2"
+        )
+        names = {frozenset(r) for r in result.rows}
+        assert names == {frozenset({"Toys", "Books"})}
+
+    def test_star_employee_identity(self, small_company):
+        result = small_company.execute(
+            "retrieve (E.name) from E in Employees where E is StarEmployee"
+        )
+        assert result.rows == [("Ann",)]
+
+    def test_isnot(self, small_company):
+        result = small_company.execute(
+            "retrieve (E.name) from E in Employees where E isnot StarEmployee"
+        )
+        assert sorted(r[0] for r in result.rows) == ["Bob", "Sue"]

@@ -1,0 +1,101 @@
+"""Unit tests for the Result type and value rendering."""
+
+import pytest
+
+from repro.core.types import ArrayType, INT4, SetType, TupleType, own
+from repro.core.values import (
+    NULL,
+    ArrayInstance,
+    Ref,
+    SetInstance,
+    TupleInstance,
+)
+from repro.excess.result import Result, render_value
+
+
+class TestRenderValue:
+    def test_scalars(self):
+        assert render_value(42) == "42"
+        assert render_value(1.5) == "1.5"
+        assert render_value(True) == "true"
+        assert render_value(False) == "false"
+        assert render_value("hi") == "hi"
+
+    def test_float_trimming(self):
+        assert render_value(50000.0) == "50000"
+        assert render_value(0.5) == "0.5"
+
+    def test_null(self):
+        assert render_value(NULL) == "null"
+        assert render_value(None) == "null"
+
+    def test_ref(self):
+        assert render_value(Ref(7)) == "@7"
+
+    def test_tuple_instance(self):
+        t = TupleType([("x", own(INT4))])
+        instance = TupleInstance(t, {"x": 1})
+        assert render_value(instance) == "(x: 1)"
+        instance.oid = 3
+        assert render_value(instance) == "@3 (x: 1)"
+
+    def test_collections(self):
+        s = SetInstance(SetType(own(INT4)))
+        s.insert(1)
+        s.insert(2)
+        assert render_value(s) == "{1, 2}"
+        a = ArrayInstance(ArrayType(own(INT4), length=2))
+        a.set(1, 9)
+        assert render_value(a) == "[9, null]"
+
+
+class TestResult:
+    def make(self):
+        return Result(
+            kind="retrieve",
+            columns=["name", "salary"],
+            rows=[("Sue", 50000.0), ("Bob", 40000.0)],
+        )
+
+    def test_iteration_and_len(self):
+        result = self.make()
+        assert len(result) == 2
+        assert list(result)[0] == ("Sue", 50000.0)
+
+    def test_scalar(self):
+        result = Result(kind="retrieve", columns=["n"], rows=[(3,)])
+        assert result.scalar() == 3
+        with pytest.raises(ValueError):
+            self.make().scalar()
+
+    def test_column(self):
+        result = self.make()
+        assert result.column("name") == ["Sue", "Bob"]
+        with pytest.raises(KeyError):
+            result.column("nothing")
+
+    def test_to_dicts(self):
+        assert self.make().to_dicts()[0] == {"name": "Sue", "salary": 50000.0}
+
+    def test_pretty_table(self):
+        text = self.make().pretty()
+        lines = text.splitlines()
+        assert "name" in lines[0] and "salary" in lines[0]
+        assert set(lines[1]) <= {"-", "+"}
+        assert "Sue" in lines[2]
+
+    def test_pretty_truncation(self):
+        result = Result(
+            kind="retrieve", columns=["n"],
+            rows=[(i,) for i in range(100)],
+        )
+        text = result.pretty(limit=10)
+        assert "90 more rows" in text
+
+    def test_pretty_message_only(self):
+        result = Result(kind="create", message="created X")
+        assert result.pretty() == "created X"
+
+    def test_repr(self):
+        assert "2 rows" in repr(self.make())
+        assert "create" in repr(Result(kind="create", message="m"))

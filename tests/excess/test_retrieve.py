@@ -1,0 +1,209 @@
+"""Functional tests for retrieve statements (paper §3.1–§3.3)."""
+
+import pytest
+
+from repro import Database
+from repro.core.values import NULL, Ref
+from repro.errors import BindError
+
+
+class TestBasicRetrieve:
+    def test_named_singleton(self, small_company):
+        result = small_company.execute("retrieve (Today)")
+        assert result.columns == ["Today"]
+        assert str(result.rows[0][0]) == "7/4/1988"
+
+    def test_named_ref_singleton_paths(self, small_company):
+        result = small_company.execute(
+            "retrieve (StarEmployee.name, StarEmployee.salary)"
+        )
+        assert result.rows == [("Ann", 60000.0)]
+
+    def test_array_slot_paths(self, small_company):
+        result = small_company.execute(
+            "retrieve (TopTen[1].name, TopTen[2].name)"
+        )
+        assert result.rows == [("Ann", "Sue")]
+
+    def test_array_slot_beyond_end_is_null(self, small_company):
+        result = small_company.execute("retrieve (TopTen[3].name)")
+        assert result.rows == [(NULL,)]
+
+    def test_from_clause_scan(self, small_company):
+        result = small_company.execute(
+            "retrieve (E.name) from E in Employees"
+        )
+        assert sorted(r[0] for r in result.rows) == ["Ann", "Bob", "Sue"]
+
+    def test_where_filter(self, small_company):
+        result = small_company.execute(
+            "retrieve (E.name) from E in Employees where E.age > 35"
+        )
+        assert sorted(r[0] for r in result.rows) == ["Ann", "Sue"]
+
+    def test_cross_product(self, small_company):
+        result = small_company.execute(
+            "retrieve (E.name, D.dname) from E in Employees, D in Departments"
+        )
+        assert len(result.rows) == 6
+
+    def test_column_labels(self, small_company):
+        result = small_company.execute(
+            "retrieve (who = E.name, E.salary) from E in Employees"
+        )
+        assert result.columns == ["who", "salary"]
+
+    def test_retrieving_object_yields_ref(self, small_company):
+        result = small_company.execute(
+            'retrieve (E) from E in Employees where E.name = "Sue"'
+        )
+        assert isinstance(result.rows[0][0], Ref)
+
+    def test_arithmetic_in_targets(self, small_company):
+        result = small_company.execute(
+            'retrieve (E.salary * 2.0 + 1.0) from E in Employees '
+            'where E.name = "Bob"'
+        )
+        assert result.rows == [(80001.0,)]
+
+    def test_session_range_variable(self, small_company):
+        small_company.execute("range of Z is Employees")
+        result = small_company.execute("retrieve (Z.name) where Z.age = 30")
+        assert result.rows == [("Bob",)]
+
+    def test_session_range_redeclaration(self, small_company):
+        small_company.execute("range of Z is Employees")
+        small_company.execute("range of Z is Departments")
+        result = small_company.execute("retrieve (Z.dname)")
+        assert sorted(r[0] for r in result.rows) == ["Shoes", "Toys"]
+
+
+class TestUnique:
+    def test_unique_dedupes(self, small_company):
+        result = small_company.execute(
+            "retrieve unique (E.dept.dname) from E in Employees"
+        )
+        assert sorted(r[0] for r in result.rows) == ["Shoes", "Toys"]
+
+    def test_without_unique_keeps_duplicates(self, small_company):
+        result = small_company.execute(
+            "retrieve (E.dept.dname) from E in Employees"
+        )
+        assert len(result.rows) == 3
+
+
+class TestRetrieveInto:
+    def test_into_creates_named_set(self, small_company):
+        small_company.execute(
+            "retrieve into Rich (E.name, E.salary) from E in Employees "
+            "where E.salary >= 50000.0"
+        )
+        result = small_company.execute(
+            "retrieve (R.name, R.salary) from R in Rich"
+        )
+        assert sorted(result.rows) == [("Ann", 60000.0), ("Sue", 50000.0)]
+
+    def test_into_with_refs(self, small_company):
+        small_company.execute(
+            'retrieve into Toys2 (who = E) from E in Employees '
+            'where E.dept.dname = "Toys"'
+        )
+        result = small_company.execute(
+            "retrieve (R.who.name) from R in Toys2"
+        )
+        assert sorted(r[0] for r in result.rows) == ["Ann", "Sue"]
+
+    def test_into_name_collision_rejected(self, small_company):
+        from repro.errors import CatalogError
+
+        with pytest.raises(CatalogError):
+            small_company.execute(
+                "retrieve into Employees (E.name) from E in Employees"
+            )
+
+
+class TestNullSemantics:
+    def test_null_comparison_excludes_row(self, small_company):
+        # birthday is null for Bob and Ann
+        result = small_company.execute(
+            'retrieve (E.name) from E in Employees '
+            'where Year(E.birthday) > 1900'
+        )
+        assert result.rows == [("Sue",)]
+
+    def test_is_null(self, small_company):
+        result = small_company.execute(
+            "retrieve (E.name) from E in Employees where E.birthday is null"
+        )
+        assert sorted(r[0] for r in result.rows) == ["Ann", "Bob"]
+
+    def test_isnot_null(self, small_company):
+        result = small_company.execute(
+            "retrieve (E.name) from E in Employees where E.birthday isnot null"
+        )
+        assert result.rows == [("Sue",)]
+
+    def test_three_valued_not(self, small_company):
+        # NOT (unknown) is unknown → row excluded, not included
+        result = small_company.execute(
+            "retrieve (E.name) from E in Employees "
+            "where not (Year(E.birthday) > 1900)"
+        )
+        assert result.rows == []
+
+    def test_null_arithmetic_propagates(self, small_company):
+        result = small_company.execute(
+            'retrieve (x = Year(E.birthday) + 1) from E in Employees '
+            'where E.name = "Bob"'
+        )
+        assert result.rows == [(NULL,)]
+
+    def test_or_with_unknown_can_be_true(self, small_company):
+        result = small_company.execute(
+            "retrieve (E.name) from E in Employees "
+            "where Year(E.birthday) > 1900 or E.age = 30"
+        )
+        assert sorted(r[0] for r in result.rows) == ["Bob", "Sue"]
+
+
+class TestBindErrors:
+    def test_unknown_name(self, small_company):
+        with pytest.raises(BindError):
+            small_company.execute("retrieve (Nobody.name)")
+
+    def test_unknown_attribute(self, small_company):
+        with pytest.raises(BindError):
+            small_company.execute(
+                "retrieve (E.shoe_size) from E in Employees"
+            )
+
+    def test_value_equality_on_refs_rejected(self, small_company):
+        with pytest.raises(BindError):
+            small_company.execute(
+                "retrieve (E.name) from E in Employees, F in Employees "
+                "where E.dept = F.dept"
+            )
+
+    def test_is_on_values_rejected(self, small_company):
+        with pytest.raises(BindError):
+            small_company.execute(
+                "retrieve (E.name) from E in Employees where E.age is 30"
+            )
+
+    def test_where_must_be_boolean(self, small_company):
+        with pytest.raises(BindError):
+            small_company.execute(
+                "retrieve (E.name) from E in Employees where E.age + 1"
+            )
+
+    def test_duplicate_range_variable(self, small_company):
+        with pytest.raises(BindError):
+            small_company.execute(
+                "retrieve (E.name) from E in Employees, E in Departments"
+            )
+
+    def test_indexing_non_array(self, small_company):
+        with pytest.raises(BindError):
+            small_company.execute(
+                "retrieve (E.name[1]) from E in Employees"
+            )

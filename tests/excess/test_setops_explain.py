@@ -1,0 +1,132 @@
+"""Functional tests for retrieve set operations (union/intersect/minus)
+and the explain statement."""
+
+import pytest
+
+from repro import Database
+from repro.errors import BindError
+
+
+@pytest.fixture
+def two_sets(db):
+    db.execute(
+        """
+        define type T as (n: char(10), x: int4)
+        create {own ref T} A
+        create {own ref T} B
+        append to A (n = "one", x = 1)
+        append to A (n = "two", x = 2)
+        append to B (n = "two", x = 2)
+        append to B (n = "three", x = 3)
+        """
+    )
+    return db
+
+
+class TestSetOperations:
+    def test_union_dedupes(self, two_sets):
+        result = two_sets.execute(
+            "retrieve (T.n, T.x) from T in A union "
+            "retrieve (T.n, T.x) from T in B"
+        )
+        assert sorted(result.rows) == [("one", 1), ("three", 3), ("two", 2)]
+
+    def test_intersect(self, two_sets):
+        result = two_sets.execute(
+            "retrieve (T.n) from T in A intersect retrieve (T.n) from T in B"
+        )
+        assert result.rows == [("two",)]
+
+    def test_minus(self, two_sets):
+        result = two_sets.execute(
+            "retrieve (T.n) from T in A minus retrieve (T.n) from T in B"
+        )
+        assert result.rows == [("one",)]
+
+    def test_left_associative_chain(self, two_sets):
+        result = two_sets.execute(
+            "retrieve (T.n) from T in A union retrieve (T.n) from T in B "
+            'minus retrieve (T.n) from T in B where T.n = "three"'
+        )
+        assert sorted(r[0] for r in result.rows) == ["one", "two"]
+
+    def test_union_of_refs_by_identity(self, small_company):
+        db = small_company
+        result = db.execute(
+            "retrieve (E) from E in Employees where E.age > 35 union "
+            "retrieve (E) from E in Employees where E.dept.floor = 2"
+        )
+        assert len(result.rows) == 2  # Sue and Ann, each once
+
+    def test_arity_mismatch_rejected(self, two_sets):
+        with pytest.raises(BindError):
+            two_sets.execute(
+                "retrieve (T.n, T.x) from T in A union "
+                "retrieve (T.n) from T in B"
+            )
+
+    def test_columns_come_from_left(self, two_sets):
+        result = two_sets.execute(
+            "retrieve (label = T.n) from T in A union "
+            "retrieve (T.n) from T in B"
+        )
+        assert result.columns == ["label"]
+
+    def test_where_applies_per_operand(self, two_sets):
+        result = two_sets.execute(
+            "retrieve (T.n) from T in A where T.x > 1 union "
+            "retrieve (T.n) from T in B where T.x > 2"
+        )
+        assert sorted(r[0] for r in result.rows) == ["three", "two"]
+
+
+class TestExplain:
+    def test_explain_retrieve(self, small_company):
+        small_company.execute("create index on Employees (age) using hash")
+        result = small_company.execute(
+            "explain retrieve (E.name, D.dname) from E in Employees, "
+            "D in Departments where E.age = 30 and E.dept is D"
+        )
+        assert result.kind == "explain"
+        steps = {row[1]: row for row in result.rows}
+        assert "E" in steps and "D" in steps
+        assert "index" in steps["E"][3]  # E uses the hash index
+        assert steps["D"][3] == "scan"
+
+    def test_explain_does_not_execute(self, small_company):
+        before = small_company.execute(
+            "retrieve (count(E.age)) from E in Employees"
+        ).scalar()
+        small_company.execute("explain delete E from E in Employees")
+        after = small_company.execute(
+            "retrieve (count(E.age)) from E in Employees"
+        ).scalar()
+        assert before == after == 3
+
+    def test_explain_shows_universal_quantifier(self, small_company):
+        result = small_company.execute(
+            "explain retrieve (D.dname) from D in Departments, "
+            "E in every Employees where E.dept isnot D"
+        )
+        quantifiers = {row[1]: row[4] for row in result.rows}
+        assert quantifiers["E"] == "forall"
+        assert quantifiers["D"] == "exists"
+
+    def test_explain_reports_residuals(self, small_company):
+        result = small_company.execute(
+            "explain retrieve (E.name) from E in Employees "
+            "where E.age > 30 and E.salary > 1.0"
+        )
+        assert result.rows[0][5] == 2  # both predicates pushed to E
+
+    def test_explain_unsupported_statement(self, small_company):
+        from repro.errors import ExcessError
+
+        with pytest.raises(ExcessError):
+            small_company.execute("explain create Date D2")
+
+    def test_explain_message_has_report(self, small_company):
+        result = small_company.execute(
+            "explain retrieve (E.name) from E in Employees"
+        )
+        assert "order=[E]" in result.message

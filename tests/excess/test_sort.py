@@ -1,0 +1,95 @@
+"""Functional tests for the QUEL `sort by` clause."""
+
+import pytest
+
+from repro.core.values import NULL
+from repro.errors import BindError, EvaluationError
+
+
+@pytest.fixture
+def data(db):
+    db.execute(
+        """
+        define type T as (n: char(10), x: int4, y: float8)
+        create {own ref T} S
+        append to S (n = "b", x = 2, y = 1.0)
+        append to S (n = "a", x = 1, y = 2.0)
+        append to S (n = "c", x = 2, y = 0.5)
+        append to S (n = "d")
+        """
+    )
+    return db
+
+
+class TestSortBy:
+    def test_single_key_ascending(self, data):
+        rows = data.execute(
+            "retrieve (M.n, M.y) from M in S where M.y isnot null "
+            "sort by M.y"
+        ).rows
+        assert [r[0] for r in rows] == ["c", "b", "a"]
+
+    def test_descending(self, data):
+        rows = data.execute(
+            "retrieve (M.n) from M in S where M.x > 0 sort by M.x desc"
+        ).rows
+        assert [r[0] for r in rows][:2] in (["b", "c"], ["c", "b"])
+
+    def test_multi_key(self, data):
+        rows = data.execute(
+            "retrieve (M.n) from M in S where M.x > 0 "
+            "sort by M.x, M.n desc"
+        ).rows
+        assert [r[0] for r in rows] == ["a", "c", "b"]
+
+    def test_nulls_last_both_directions(self, data):
+        ascending = data.execute(
+            "retrieve (M.n) from M in S sort by M.y"
+        ).rows
+        descending = data.execute(
+            "retrieve (M.n) from M in S sort by M.y desc"
+        ).rows
+        assert ascending[-1] == ("d",)
+        assert descending[-1] == ("d",)
+        assert [r[0] for r in descending[:3]] == ["a", "b", "c"]
+
+    def test_sort_by_expression(self, data):
+        rows = data.execute(
+            "retrieve (M.n) from M in S where M.x > 0 sort by M.x * -1"
+        ).rows
+        assert {r[0] for r in rows[:2]} == {"b", "c"}
+
+    def test_sort_by_string_key(self, data):
+        rows = data.execute("retrieve (M.n) from M in S sort by M.n").rows
+        assert [r[0] for r in rows] == ["a", "b", "c", "d"]
+
+    def test_sort_with_unique(self, data):
+        rows = data.execute(
+            "retrieve unique (M.x) from M in S where M.x > 0 sort by M.x desc"
+        ).rows
+        assert rows == [(2,), (1,)]
+
+    def test_sort_by_date(self, small_company):
+        small_company.execute(
+            'replace E (birthday = Date("1/1/1950")) from E in Employees '
+            'where E.name = "Bob"'
+        )
+        rows = small_company.execute(
+            "retrieve (E.name) from E in Employees "
+            "where E.birthday isnot null sort by E.birthday"
+        ).rows
+        assert [r[0] for r in rows] == ["Sue", "Bob"]
+
+    def test_sort_on_universal_variable_rejected(self, small_company):
+        with pytest.raises(BindError):
+            small_company.execute(
+                "retrieve (D.dname) from D in Departments, "
+                "E in every Employees where E.salary > 0.0 sort by E.salary"
+            )
+
+    def test_roundtrip_via_printer(self):
+        from repro.excess.parser import parse_statement
+        from repro.excess.printer import unparse
+
+        source = "retrieve (M.n) from M in S sort by M.x desc, M.n"
+        assert unparse(parse_statement(source)) == source

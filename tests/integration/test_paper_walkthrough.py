@@ -1,0 +1,364 @@
+"""Integration: every construct the paper presents, executed end to end.
+
+Each test class corresponds to an experiment id in DESIGN.md §3 (F1–F13).
+These are the "figures" of this reproduction: the paper is a design paper
+without performance tables, so reproducing it means every definitional
+figure and prose rule runs with the prescribed semantics.
+"""
+
+import pytest
+
+from repro import Database, Date, OwnershipError
+from repro.core.values import NULL
+from repro.errors import (
+    AuthorizationError,
+    BindError,
+    InheritanceConflictError,
+)
+
+
+class TestF1SchemaAndInstances:
+    """Figure 1: Person with a Date ADT; type/instance separation."""
+
+    def test_person_type_with_date_adt(self, db):
+        db.execute(
+            """
+            define type Person as (name: char(30), age: int4,
+                                   birthday: Date, kids: {own ref Person})
+            create {own ref Person} People
+            create {own ref Person} Friends
+            """
+        )
+        db.execute(
+            'append to People (name = "Sue", birthday = Date("7/4/1948"))'
+        )
+        db.execute(
+            'append to Friends (name = "Ed", birthday = Date("1/2/1950"))'
+        )
+        # two independent collections of the same type (paper: unlike
+        # type-extent systems, EXTRA separates type from instance)
+        people = db.execute("retrieve (P.name) from P in People").rows
+        friends = db.execute("retrieve (F.name) from F in Friends").rows
+        assert people == [("Sue",)]
+        assert friends == [("Ed",)]
+
+    def test_date_attribute_queries(self, db):
+        db.execute(
+            """
+            define type Person as (name: char(30), birthday: Date)
+            create {own ref Person} People
+            append to People (name = "Old", birthday = Date("1/1/1920"))
+            append to People (name = "Young", birthday = Date("1/1/1960"))
+            """
+        )
+        rows = db.execute(
+            'retrieve (P.name) from P in People '
+            'where P.birthday < Date("1/1/1940")'
+        ).rows
+        assert rows == [("Old",)]
+
+
+class TestF2InheritanceRefsOwnedSets:
+    """Figure 2: Employee inherits Person; ref dept; own ref kids."""
+
+    def test_full_figure(self, small_company):
+        rows = small_company.execute(
+            "retrieve (E.name, E.age, E.salary, E.dept.dname) "
+            "from E in Employees where E.dept.floor = 2"
+        ).rows
+        assert sorted(rows) == [
+            ("Ann", 50, 60000.0, "Toys"),
+            ("Sue", 40, 50000.0, "Toys"),
+        ]
+
+    def test_employee_usable_as_person(self, small_company):
+        db = small_company
+        # a set of Persons accepts Employees (subtype assignability)
+        db.execute("create {ref Person} Everyone")
+        db.execute("append to Everyone (E) from E in Employees")
+        assert len(db.named("Everyone").value) == 3
+
+
+class TestF3RenamingConflicts:
+    """Figure 3: multiple-inheritance conflicts need explicit renaming."""
+
+    SETUP = """
+        define type Department as (dname: char(20), floor: int4)
+        define type Person as (name: char(30), age: int4)
+        define type Employee as (salary: float8, dept: ref Department)
+            inherits Person
+        define type Student as (gpa: float8, dept: ref Department)
+            inherits Person
+    """
+
+    def test_unresolved_conflict_rejected(self, db):
+        db.execute(self.SETUP)
+        with pytest.raises(InheritanceConflictError):
+            db.execute(
+                "define type TA as (hours: int4) inherits Employee, Student"
+            )
+
+    def test_renaming_resolves(self, db):
+        db.execute(self.SETUP)
+        db.execute(
+            """
+            define type TA as (hours: int4) inherits Employee, Student
+                with rename Employee.dept to work_dept,
+                     rename Student.dept to school_dept
+            create {own ref TA} TAs
+            create {own ref Department} Departments
+            append to Departments (dname = "CS", floor = 7)
+            append to Departments (dname = "Math", floor = 3)
+            """
+        )
+        db.execute(
+            'append to TAs (name = "Pat", age = 25, salary = 1000.0, '
+            "gpa = 3.9, hours = 20, work_dept = W, school_dept = S) "
+            "from W in Departments, S in Departments "
+            'where W.dname = "CS" and S.dname = "Math"'
+        )
+        rows = db.execute(
+            "retrieve (T.work_dept.dname, T.school_dept.dname) from T in TAs"
+        ).rows
+        assert rows == [("CS", "Math")]
+
+    def test_diamond_name_age_not_conflicting(self, db):
+        db.execute(self.SETUP)
+        db.execute(
+            """
+            define type TA as (hours: int4) inherits Employee, Student
+                with rename Employee.dept to work_dept,
+                     rename Student.dept to school_dept
+            """
+        )
+        ta = db.type("TA")
+        assert [a.name for a in ta.resolved_attributes()].count("name") == 1
+
+
+class TestF4DeletionSemantics:
+    """§2.2: own / ref / own ref deletion and exclusivity rules."""
+
+    def test_nf2_like_cascade(self, small_company):
+        # "if an employee is deleted, so are his or her kids"
+        db = small_company
+        kids_before = db.execute(
+            "retrieve (n = count(C.age)) from C in Employees.kids"
+        ).scalar()
+        assert kids_before == 3
+        db.execute('delete E from E in Employees where E.name = "Sue"')
+        assert db.execute(
+            "retrieve (n = count(C.age)) from C in Employees.kids"
+        ).scalar() == 1
+
+    def test_own_ref_components_referencable(self, small_company):
+        # own ref kids CAN be referenced from elsewhere (unlike plain own)
+        db = small_company
+        db.execute("create {ref Person} Stars")
+        db.execute(
+            'append to Stars (C) from C in Employees.kids where C.name = "Tim"'
+        )
+        assert db.execute("retrieve (S.name) from S in Stars").rows == [("Tim",)]
+        # deleting the owner leaves the Stars ref dangling → null
+        db.execute('delete E from E in Employees where E.name = "Sue"')
+        assert db.execute("retrieve (count(S.age)) from S in Stars").rows == [(0,)]
+
+    def test_exclusivity(self, small_company):
+        db = small_company
+        kid = db.execute(
+            'retrieve (C) from C in Employees.kids where C.name = "Tim"'
+        ).rows[0][0]
+        with pytest.raises(OwnershipError):
+            db.objects.claim(kid.oid, owner_name="Elsewhere")
+
+    def test_ref_targets_survive_referrer_deletion(self, small_company):
+        db = small_company
+        db.execute("delete E from E in Employees")
+        # departments are independent objects; employees only referenced them
+        assert db.execute(
+            "retrieve (count(D.floor)) from D in Departments"
+        ).scalar() == 2
+
+
+class TestF5BasicRetrieves:
+    """§3.1: retrieve (Today), StarEmployee, TopTen[1]."""
+
+    def test_paper_examples_verbatim(self, small_company):
+        assert str(small_company.execute("retrieve (Today)").scalar()) == "7/4/1988"
+        assert small_company.execute(
+            "retrieve (StarEmployee.name, StarEmployee.salary)"
+        ).rows == [("Ann", 60000.0)]
+        assert small_company.execute(
+            "retrieve (TopTen[1].name, TopTen[1].salary)"
+        ).rows == [("Ann", 60000.0)]
+
+
+class TestF6PathsAndImplicitJoins:
+    """§3.2–3.3: implicit joins, nested sets, path range variables."""
+
+    def test_implicit_join(self, small_company):
+        rows = small_company.execute(
+            "retrieve (E.name) from E in Employees where E.dept.floor = 2"
+        ).rows
+        assert sorted(r[0] for r in rows) == ["Ann", "Sue"]
+
+    def test_kids_of_second_floor_employees_both_forms(self, small_company):
+        inline = small_company.execute(
+            "retrieve (C.name) from C in Employees.kids "
+            "where Employees.dept.floor = 2"
+        ).rows
+        small_company.execute("range of C is Employees.kids")
+        declared = small_company.execute(
+            "retrieve (C.name) where Employees.dept.floor = 2"
+        ).rows
+        assert sorted(inline) == sorted(declared)
+        assert sorted(r[0] for r in inline) == ["Rex", "Tim", "Zoe"]
+
+
+class TestF7Aggregates:
+    """§3.4: aggregates and over partitioning at multiple levels."""
+
+    def test_partition_by_dept(self, small_company):
+        rows = small_company.execute(
+            "retrieve unique (E.dept.dname, p = avg(E.salary over E.dept)) "
+            "from E in Employees"
+        ).rows
+        assert sorted(rows) == [("Shoes", 40000.0), ("Toys", 55000.0)]
+
+    def test_partition_at_nested_level(self, small_company):
+        # average kid age per employee — partitioning one level down
+        rows = small_company.execute(
+            "retrieve (E.name, a = avg(E.kids.age)) from E in Employees"
+        ).rows
+        lookup = dict(rows)
+        assert lookup["Sue"] == 8.5
+        assert lookup["Ann"] == 12.0
+        assert lookup["Bob"] is NULL
+
+
+class TestF8Quantification:
+    """§3.2: universal quantification; is/isnot object equality."""
+
+    def test_universal(self, small_company):
+        rows = small_company.execute(
+            "retrieve (D.dname) from D in Departments, E in every Employees "
+            "where E.dept isnot D or E.salary > 45000.0"
+        ).rows
+        assert rows == [("Toys",)]
+
+    def test_is_identity_not_value(self, small_company):
+        db = small_company
+        db.execute(
+            'append to Departments (dname = "Annex", floor = 2, '
+            "budget = 100000.0)"
+        )
+        # same floor and budget — but not the same object
+        rows = db.execute(
+            "retrieve (D.dname) from D in Departments, D2 in Departments "
+            "where D.floor = D2.floor and D isnot D2"
+        ).rows
+        assert sorted(r[0] for r in rows) == ["Annex", "Toys"]
+
+
+class TestF9Updates:
+    """§3.5: append / replace / delete / set."""
+
+    def test_update_cycle(self, small_company):
+        db = small_company
+        db.execute(
+            'append to Employees (name = "New", age = 25, salary = 30000.0, '
+            'dept = D) from D in Departments where D.dname = "Shoes"'
+        )
+        db.execute(
+            "replace E (salary = E.salary + 5000.0) from E in Employees "
+            'where E.name = "New"'
+        )
+        assert db.execute(
+            'retrieve (E.salary) from E in Employees where E.name = "New"'
+        ).rows == [(35000.0,)]
+        db.execute('delete E from E in Employees where E.name = "New"')
+        assert db.execute(
+            "retrieve (count(E.age)) from E in Employees"
+        ).scalar() == 3
+
+
+class TestF10ComplexAdt:
+    """Figure 7: the Complex dbclass with Add and the + operator."""
+
+    def test_figure7(self, db):
+        rows = db.execute(
+            "retrieve (direct = Add(Complex(1.0, 2.0), Complex(3.0, 4.0)), "
+            "operator = Complex(1.0, 2.0) + Complex(3.0, 4.0))"
+        ).rows
+        assert rows[0][0] == rows[0][1]
+        assert rows[0][0].re == 4.0 and rows[0][0].im == 6.0
+
+
+class TestF11Functions:
+    """§4.2.1: derived data, inheritance, virtual dispatch."""
+
+    def test_derived_attribute(self, small_company):
+        small_company.execute(
+            "define function Pay (E in Employee) returns float8 as "
+            "retrieve (E.salary * 1.1)"
+        )
+        rows = small_company.execute(
+            'retrieve (Pay(E)) from E in Employees where E.name = "Bob"'
+        ).rows
+        assert rows == [(pytest.approx(44000.0),)]
+
+    def test_inherited_and_overridden(self, small_company):
+        db = small_company
+        db.execute(
+            'define function Describe (P in Person) returns text as '
+            'retrieve (P.name || " (person)")'
+        )
+        db.execute(
+            'define function Describe (E in Employee) returns text as '
+            'retrieve (E.name || " (employee)")'
+        )
+        rows = db.execute(
+            'retrieve (Describe(E)) from E in Employees where E.name = "Bob"'
+        ).rows
+        assert rows == [("Bob (employee)",)]
+        rows = db.execute(
+            'retrieve (Describe(C)) from C in Employees.kids '
+            'where C.name = "Tim"'
+        ).rows
+        assert rows == [("Tim (person)",)]
+
+
+class TestF12Procedures:
+    """§4.2.2: stored commands with where-clause binding."""
+
+    def test_all_bindings(self, small_company):
+        small_company.execute(
+            "define procedure Raise (E in Employee, amt: float8) as "
+            "replace E (salary = E.salary + amt)"
+        )
+        small_company.execute(
+            "execute Raise (E, 100.0) from E in Employees "
+            "where E.dept.floor = 2"
+        )
+        rows = dict(small_company.execute(
+            "retrieve (E.name, E.salary) from E in Employees"
+        ).rows)
+        assert rows == {"Sue": 50100.0, "Ann": 60100.0, "Bob": 40000.0}
+
+
+class TestF13Authorization:
+    """§4.2.3: System R/IDM-style protection and encapsulation."""
+
+    def test_encapsulation_via_procedures(self, small_company):
+        db = small_company
+        db.execute(
+            "define procedure TotalPayroll () as "
+            "retrieve (t = sum(E.salary)) from E in Employees"
+        )
+        db.authz.enabled = True
+        db.execute("create user auditor")
+        db.execute("grant execute on TotalPayroll to auditor")
+        session = db.session("auditor")
+        with pytest.raises(AuthorizationError):
+            session.execute("retrieve (E.salary) from E in Employees")
+        result = session.execute("execute TotalPayroll ()")
+        assert result.rows == [(150000.0,)]

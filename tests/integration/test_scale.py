@@ -1,0 +1,104 @@
+"""Medium-scale end-to-end consistency: the engine's answers over a few
+thousand objects match independent Python computation."""
+
+import pytest
+
+from repro.util.workload import CompanyWorkload, build_company_database
+
+
+@pytest.fixture(scope="module")
+def big():
+    db = build_company_database(
+        CompanyWorkload(departments=20, employees=2000, max_kids=2, seed=404)
+    )
+    db.execute("create index on Employees (salary) using btree")
+    db.execute("create index on Employees (age) using hash")
+    # independent mirror
+    rows = db.execute(
+        "retrieve (E.name, E.age, E.salary, d = E.dept.dname, "
+        "k = count(E.kids)) from E in Employees"
+    ).rows
+    mirror = [
+        {"name": n, "age": a, "salary": s, "dept": d, "kids": k}
+        for n, a, s, d, k in rows
+    ]
+    return db, mirror
+
+
+class TestScaleConsistency:
+    def test_population(self, big):
+        db, mirror = big
+        assert len(mirror) == 2000
+        assert db.execute(
+            "retrieve (count(E.age)) from E in Employees"
+        ).scalar() == 2000
+
+    def test_indexed_point_queries(self, big):
+        db, mirror = big
+        for age in (25, 40, 60):
+            expected = sorted(r["name"] for r in mirror if r["age"] == age)
+            result = db.execute(
+                f"retrieve (E.name) from E in Employees where E.age = {age}"
+            )
+            assert sorted(r[0] for r in result.rows) == expected
+            assert result.plan.index_scans
+
+    def test_indexed_range_queries(self, big):
+        db, mirror = big
+        for cutoff in (30000.0, 70000.0, 95000.0):
+            expected = sum(1 for r in mirror if r["salary"] >= cutoff)
+            result = db.execute(
+                f"retrieve (E.name) from E in Employees "
+                f"where E.salary >= {cutoff}"
+            )
+            assert len(result.rows) == expected
+
+    def test_partitioned_aggregate_matches_python(self, big):
+        db, mirror = big
+        engine = dict(db.execute(
+            "retrieve unique (E.dept.dname, p = avg(E.salary over E.dept)) "
+            "from E in Employees"
+        ).rows)
+        by_dept: dict = {}
+        for row in mirror:
+            by_dept.setdefault(row["dept"], []).append(row["salary"])
+        for dname, salaries in by_dept.items():
+            assert engine[dname] == pytest.approx(sum(salaries) / len(salaries))
+
+    def test_total_kid_count(self, big):
+        db, mirror = big
+        expected = sum(r["kids"] for r in mirror)
+        assert db.execute(
+            "retrieve (n = count(C.age)) from C in Employees.kids"
+        ).scalar() == expected
+
+    def test_sorted_top_50(self, big):
+        db, mirror = big
+        result = db.execute(
+            "retrieve (E.name, E.salary) from E in Employees "
+            "sort by E.salary desc, E.name"
+        )
+        expected = sorted(
+            ((r["name"], r["salary"]) for r in mirror),
+            key=lambda pair: (-pair[1], pair[0]),
+        )[:50]
+        assert result.rows[:50] == expected
+
+    def test_mass_update_and_delete(self, big):
+        db, mirror = big
+        before_total = sum(r["salary"] for r in mirror)
+        db.execute("begin")
+        db.execute("replace E (salary = E.salary + 1.0) from E in Employees")
+        total = db.execute(
+            "retrieve (t = sum(E.salary)) from E in Employees"
+        ).scalar()
+        assert total == pytest.approx(before_total + 2000.0)
+        deleted = db.execute(
+            "delete E from E in Employees where E.age < 30"
+        ).count
+        expected_deleted = sum(1 for r in mirror if r["age"] < 30)
+        assert deleted == expected_deleted
+        db.execute("abort")
+        assert db.execute(
+            "retrieve (count(E.age)) from E in Employees"
+        ).scalar() == 2000

@@ -1,0 +1,79 @@
+"""Property-based tests for the B+-tree: structural invariants hold under
+arbitrary insert/delete interleavings, and the tree agrees with a model
+dictionary."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.index import BTreeIndex
+
+keys = st.integers(min_value=-1000, max_value=1000)
+oids = st.integers(min_value=1, max_value=50)
+orders = st.sampled_from([3, 4, 5, 8, 16])
+
+
+@st.composite
+def operations(draw):
+    """A sequence of (op, key, oid) steps."""
+    count = draw(st.integers(min_value=0, max_value=200))
+    return [
+        (
+            draw(st.sampled_from(["insert", "insert", "insert", "delete"])),
+            draw(keys),
+            draw(oids),
+        )
+        for _ in range(count)
+    ]
+
+
+class TestBTreeModel:
+    @given(order=orders, ops=operations())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_model_and_keeps_invariants(self, order, ops):
+        tree = BTreeIndex(order=order)
+        model: dict[int, set[int]] = {}
+        for op, key, oid in ops:
+            if op == "insert":
+                tree.insert(key, oid)
+                model.setdefault(key, set()).add(oid)
+            else:
+                expected = key in model and oid in model[key]
+                assert tree.delete(key, oid) == expected
+                if expected:
+                    model[key].discard(oid)
+                    if not model[key]:
+                        del model[key]
+        tree.check_invariants()
+        assert tree.keys() == sorted(model)
+        assert len(tree) == sum(len(v) for v in model.values())
+        for key, expected_oids in model.items():
+            assert tree.search(key) == sorted(expected_oids)
+
+    @given(order=orders, data=st.lists(st.tuples(keys, oids), max_size=150))
+    @settings(max_examples=60, deadline=None)
+    def test_range_scan_matches_model(self, order, data):
+        tree = BTreeIndex(order=order)
+        model: dict[int, set[int]] = {}
+        for key, oid in data:
+            tree.insert(key, oid)
+            model.setdefault(key, set()).add(oid)
+        lo, hi = -200, 200
+        expected = [
+            (key, oid)
+            for key in sorted(model)
+            if lo <= key <= hi
+            for oid in sorted(model[key])
+        ]
+        assert list(tree.range_scan(lo, hi)) == expected
+
+    @given(order=orders, data=st.lists(keys, unique=True, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_insert_then_delete_all_leaves_empty(self, order, data):
+        tree = BTreeIndex(order=order)
+        for key in data:
+            tree.insert(key, 1)
+        for key in data:
+            assert tree.delete(key, 1)
+        tree.check_invariants()
+        assert len(tree) == 0
+        assert tree.keys() == []
+        assert tree.height() >= 1

@@ -1,0 +1,106 @@
+"""Property-based tests for the inheritance lattice: subtyping is a
+partial order, resolution is deterministic, and diamond merges never
+duplicate attributes."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.schema import SchemaType
+from repro.core.types import INT4, own
+from repro.errors import InheritanceConflictError
+
+names = st.text(alphabet=string.ascii_uppercase, min_size=1, max_size=3)
+
+
+@st.composite
+def lattices(draw):
+    """A random DAG of schema types with unique local attribute names
+    (so no conflicts arise)."""
+    count = draw(st.integers(min_value=1, max_value=8))
+    types: list[SchemaType] = []
+    for index in range(count):
+        parent_indices = (
+            draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=index - 1),
+                    unique=True,
+                    max_size=min(index, 3),
+                )
+            )
+            if index
+            else []
+        )
+        schema_type = SchemaType(
+            f"T{index}",
+            [(f"a{index}", own(INT4))],
+            parents=[types[p] for p in parent_indices],
+        )
+        types.append(schema_type)
+    return types
+
+
+class TestLatticeProperties:
+    @given(lattices())
+    @settings(max_examples=100, deadline=None)
+    def test_subtyping_is_reflexive_and_transitive(self, types):
+        for t in types:
+            assert t.is_subtype_of(t)
+        for a in types:
+            for b in types:
+                for c in types:
+                    if a.is_subtype_of(b) and b.is_subtype_of(c):
+                        assert a.is_subtype_of(c)
+
+    @given(lattices())
+    @settings(max_examples=100, deadline=None)
+    def test_antisymmetry(self, types):
+        for a in types:
+            for b in types:
+                if a.is_subtype_of(b) and b.is_subtype_of(a):
+                    assert a.name == b.name
+
+    @given(lattices())
+    @settings(max_examples=100, deadline=None)
+    def test_attributes_inherited_exactly_once(self, types):
+        for t in types:
+            names_seen = [a.name for a in t.resolved_attributes()]
+            assert len(names_seen) == len(set(names_seen))
+            # every ancestor's local attribute is present
+            ancestors = {p.name for p in types if t.is_subtype_of(p)}
+            expected = {
+                f"a{other.name[1:]}"
+                for other in types
+                if other.name in ancestors
+            }
+            assert set(names_seen) == expected
+
+    @given(lattices())
+    @settings(max_examples=100, deadline=None)
+    def test_linearization_starts_with_self_and_covers_ancestors(self, types):
+        for t in types:
+            chain = t.linearization()
+            assert chain[0] is t
+            assert {c.name for c in chain} == {t.name} | set(t.ancestors())
+
+    @given(lattices())
+    @settings(max_examples=50, deadline=None)
+    def test_assignability_follows_subtyping(self, types):
+        for a in types:
+            for b in types:
+                assert b.is_assignable_from(a) == a.is_subtype_of(b)
+
+
+class TestConflictProperties:
+    @given(st.integers(min_value=2, max_value=5))
+    @settings(max_examples=20, deadline=None)
+    def test_n_way_conflicts_all_reported(self, n):
+        parents = [
+            SchemaType(f"P{i}", [("shared", own(INT4))]) for i in range(n)
+        ]
+        try:
+            SchemaType("Child", [], parents=parents)
+        except InheritanceConflictError as exc:
+            assert exc.conflicts == ["shared"]
+        else:
+            raise AssertionError("conflict not detected")

@@ -1,0 +1,151 @@
+"""Round-trip properties: parse → unparse → parse reaches a fixed point.
+
+Covers a hand-written corpus of every statement form plus randomly
+generated expressions. The fixed-point form of the property (comparing
+the *second* and *third* renderings) sidesteps incidental formatting
+differences in the original source while still guaranteeing that the
+printer emits exactly the language the parser accepts.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.excess.parser import parse_statement
+from repro.excess.printer import unparse
+
+CORPUS = [
+    'define type Person as (name: char(30), age: int4, birthday: Date)',
+    'define type Employee as (salary: float8, dept: ref Department, '
+    'kids: {own ref Person}) inherits Person',
+    'define type TA as (hours: int4) inherits Employee, Student '
+    'with rename Employee.dept to work_dept, rename Student.dept to school_dept',
+    'define type T as (a: [10] ref Q, b: [] own int4, '
+    'c: (x: int4, y: float8), d: enum (red, green, blue))',
+    'create {own ref Employee} Employees key (name, age)',
+    'create [10] ref Employee TopTen',
+    'create Date Today',
+    'destroy Employees',
+    'create index on Employees (salary) using btree',
+    'drop index on Employees (salary) using hash',
+    'range of E is Employees',
+    'range of C is Employees.kids',
+    'range of A is every Employees',
+    'retrieve (Today)',
+    'retrieve (TopTen[1].name, TopTen[1].salary)',
+    'retrieve unique into R (E.name, pay = E.salary * 1.5) '
+    'from E in Employees where E.age > 30 and E.dept.floor = 2',
+    'retrieve (C.name) from C in Employees.kids '
+    'where Employees.dept.floor = 2',
+    'retrieve (x = avg(E.salary over E.dept where E.age > 30)) '
+    'from E in Employees',
+    'retrieve (E.name) from E in Employees where E.dept is null',
+    'retrieve (E.name) from E in Employees, F in every Employees '
+    'where F.dept isnot E.dept or F.salary > 1.0',
+    'retrieve (E.name) from E in Employees where E in Team',
+    'retrieve (E.name) from E in Employees where E not in Team',
+    'retrieve (E.name) from E in Employees where Team contains E',
+    'retrieve (T.n) from T in A union retrieve (T.n) from T in B '
+    'minus retrieve (T.n) from T in C',
+    'retrieve (x = Workplace(E).dname) from E in Employees',
+    'append to Employees (name = "Sue", age = 40) '
+    'from D in Departments where D.floor = 2',
+    'append to Team (E) from E in Employees',
+    'delete E from E in Employees where E.age > 99',
+    'replace E (salary = E.salary * 1.1, age = E.age + 1) '
+    'from E in Employees',
+    'set Today = Date("7/4/1988")',
+    'set TopTen[1] = E from E in Employees where E.name = "Sue"',
+    'define function Pay (E in Employee, f: float8) returns float8 '
+    'as retrieve (E.salary * f)',
+    'define fixed function P2 (E in Employee) returns {own float8} '
+    'as retrieve (E.salary)',
+    'define procedure Raise (E in Employee, amt: float8) as '
+    'replace E (salary = E.salary + amt)',
+    'execute Raise (E, 100.0) from E in Employees where E.dept.floor = 2',
+    'grant select on Employees to bob',
+    'revoke append on Employees from staff',
+    'create user bob',
+    'create group staff',
+    'add bob to group staff',
+    'explain retrieve (E.name) from E in Employees',
+    'retrieve (E.name) from E in Employees where E.age > 30 '
+    'sort by E.salary desc, E.name',
+    'begin transaction', 'commit', 'abort',
+    'alter type Employee add (bonus: float8, tags: {own text}) drop (age)',
+    'retrieve (x = 1 + 2 * 3 - -4, y = not (true and false) or 1 < 2)',
+    'retrieve (s = "quote \\" and \\\\ backslash and \\n newline")',
+]
+
+
+class TestCorpusRoundTrip:
+    @pytest.mark.parametrize("source", CORPUS)
+    def test_fixed_point(self, source):
+        first = unparse(parse_statement(source))
+        second = unparse(parse_statement(first))
+        assert first == second
+
+    @pytest.mark.parametrize("source", CORPUS)
+    def test_unparse_is_parseable(self, source):
+        parse_statement(unparse(parse_statement(source)))
+
+
+# -- generated expressions --------------------------------------------------------
+
+identifiers = st.sampled_from(["E", "F", "G"])
+attributes = st.sampled_from(["a", "b", "c"])
+
+
+@st.composite
+def expressions(draw, depth=0):
+    if depth >= 3:
+        choice = draw(st.sampled_from(["int", "float", "string", "path"]))
+    else:
+        choice = draw(
+            st.sampled_from(
+                ["int", "float", "string", "path", "binary", "unary",
+                 "call", "agg", "null"]
+            )
+        )
+    if choice == "int":
+        return str(draw(st.integers(min_value=0, max_value=10**6)))
+    if choice == "float":
+        return repr(
+            draw(st.floats(min_value=0, max_value=1e6,
+                           allow_nan=False, allow_infinity=False))
+        )
+    if choice == "string":
+        text = draw(st.text(alphabet="abc xyz", max_size=8))
+        return '"' + text + '"'
+    if choice == "null":
+        return "null"
+    if choice == "path":
+        root = draw(identifiers)
+        steps = draw(st.lists(attributes, max_size=3))
+        return root + "".join(f".{s}" for s in steps)
+    if choice == "binary":
+        op = draw(st.sampled_from(["+", "-", "*", "/", "=", "<", "and", "or"]))
+        left = draw(expressions(depth=depth + 1))
+        right = draw(expressions(depth=depth + 1))
+        return f"({left}) {op} ({right})"
+    if choice == "unary":
+        op = draw(st.sampled_from(["not ", "-"]))
+        return f"{op}({draw(expressions(depth=depth + 1))})"
+    if choice == "call":
+        name = draw(st.sampled_from(["Fn", "Gn"]))
+        args = draw(st.lists(expressions(depth=depth + 1), min_size=1,
+                             max_size=3))
+        return f"{name}({', '.join(args)})"
+    assert choice == "agg"
+    inner = draw(expressions(depth=depth + 1))
+    over = draw(st.booleans())
+    return f"count(({inner}){' over E.a' if over else ''})"
+
+
+class TestGeneratedExpressions:
+    @given(expressions())
+    @settings(max_examples=200, deadline=None)
+    def test_expression_fixed_point(self, source):
+        statement = f"retrieve (x = {source})"
+        first = unparse(parse_statement(statement))
+        second = unparse(parse_statement(first))
+        assert first == second

@@ -1,0 +1,122 @@
+"""Model-based property tests for the storage substrate: heap files and
+the paged object store behave like simple dictionaries under arbitrary
+operation sequences, and pages never leak space."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.identity import StoredObject
+from repro.core.types import INT4, TEXT, TupleType, own
+from repro.core.values import TupleInstance
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager
+from repro.storage.heap import HeapFile
+from repro.storage.object_store import PagedObjectStore
+from repro.storage.pages import SLOT_OVERHEAD, Page
+
+
+@st.composite
+def heap_operations(draw):
+    count = draw(st.integers(min_value=1, max_value=80))
+    ops = []
+    for _ in range(count):
+        kind = draw(st.sampled_from(["insert", "insert", "update", "delete"]))
+        size = draw(st.integers(min_value=0, max_value=600))
+        pick = draw(st.integers(min_value=0, max_value=10**6))
+        ops.append((kind, size, pick))
+    return ops
+
+
+class TestHeapModel:
+    @given(heap_operations())
+    @settings(max_examples=50, deadline=None)
+    def test_heap_matches_dict_model(self, ops):
+        pool = BufferPool(DiskManager(), capacity=4)
+        heap = HeapFile("t", pool)
+        model: dict = {}
+        counter = 0
+        for kind, size, pick in ops:
+            if kind == "insert":
+                counter += 1
+                payload = (str(counter).encode() + b"x" * size)
+                rid = heap.insert(payload)
+                model[rid] = payload
+            elif kind == "update" and model:
+                rid = sorted(model)[pick % len(model)]
+                counter += 1
+                payload = (str(counter).encode() + b"y" * size)
+                new_rid = heap.update(rid, payload)
+                del model[rid]
+                model[new_rid] = payload
+            elif kind == "delete" and model:
+                rid = sorted(model)[pick % len(model)]
+                heap.delete(rid)
+                del model[rid]
+        assert heap.record_count == len(model)
+        scanned = dict(heap.scan())
+        assert scanned == model
+        for rid, payload in model.items():
+            assert heap.read(rid) == payload
+
+    @given(st.lists(st.integers(min_value=0, max_value=400), max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_page_space_accounting_exact(self, sizes):
+        page = Page(0)
+        slots = []
+        expected_used = 0
+        for size in sizes:
+            record = b"z" * size
+            if page.fits(record):
+                slots.append((page.insert(record), size))
+                expected_used += size + SLOT_OVERHEAD
+        assert page.used_bytes == expected_used
+        for slot, size in slots:
+            page.delete(slot)
+            expected_used -= size + SLOT_OVERHEAD
+            assert page.used_bytes == expected_used
+        assert page.used_bytes == 0
+
+
+def make_record(oid: int, payload: str) -> StoredObject:
+    t = TupleType([("n", own(INT4)), ("s", own(TEXT))])
+    return StoredObject(oid=oid, value=TupleInstance(t, {"n": oid, "s": payload}))
+
+
+@st.composite
+def store_operations(draw):
+    count = draw(st.integers(min_value=1, max_value=60))
+    return [
+        (
+            draw(st.sampled_from(["insert", "insert", "update", "delete",
+                                  "evict"])),
+            draw(st.integers(min_value=0, max_value=10**6)),
+            draw(st.text(alphabet="ab", max_size=50)),
+        )
+        for _ in range(count)
+    ]
+
+
+class TestPagedStoreModel:
+    @given(store_operations())
+    @settings(max_examples=40, deadline=None)
+    def test_store_matches_dict_model(self, ops):
+        store = PagedObjectStore(pool_capacity=4)
+        model: dict[int, str] = {}
+        next_oid = 1
+        for kind, pick, payload in ops:
+            if kind == "insert":
+                store.insert(next_oid, make_record(next_oid, payload))
+                model[next_oid] = payload
+                next_oid += 1
+            elif kind == "update" and model:
+                oid = sorted(model)[pick % len(model)]
+                store.update(oid, make_record(oid, payload))
+                model[oid] = payload
+            elif kind == "delete" and model:
+                oid = sorted(model)[pick % len(model)]
+                store.delete(oid)
+                del model[oid]
+            elif kind == "evict":
+                store.evict_live_cache()
+        assert sorted(store.oids()) == sorted(model)
+        for oid, payload in model.items():
+            assert store.fetch_cold(oid).value.get("s") == payload

@@ -1,0 +1,129 @@
+"""Unit tests for the access-method tables and index manager."""
+
+import pytest
+
+from repro.errors import CatalogError, StorageError
+from repro.storage.access import (
+    AccessMethodTable,
+    IndexManager,
+    OperatorProperties,
+)
+
+
+class TestAccessMethodTable:
+    def test_base_type_equality_rows(self):
+        table = AccessMethodTable()
+        assert set(table.applicable("int4", "=")) == {"hash", "btree"}
+        assert set(table.applicable("text", "=")) == {"hash", "btree"}
+
+    def test_base_type_range_rows(self):
+        table = AccessMethodTable()
+        assert table.applicable("int4", "<") == ["btree"]
+        assert table.applicable("float8", ">=") == ["btree"]
+
+    def test_boolean_has_no_range_row(self):
+        table = AccessMethodTable()
+        assert table.applicable("boolean", "<") == []
+
+    def test_unknown_operator_empty(self):
+        table = AccessMethodTable()
+        assert table.applicable("int4", "~~") == []
+
+    def test_char_normalizes_to_text(self):
+        table = AccessMethodTable()
+        assert table.applicable("char(20)", "=") == table.applicable("text", "=")
+
+    def test_adt_registration(self):
+        table = AccessMethodTable()
+        assert table.applicable("Money", "=") == []
+        table.register_hashable("Money")
+        assert "hash" in table.applicable("Money", "=")
+        table.register_ordered("Money")
+        assert table.applicable("Money", "<") == ["btree"]
+
+    def test_explicit_row(self):
+        table = AccessMethodTable()
+        table.register_row("Geo", "overlaps", ["rtree"])
+        assert table.applicable("Geo", "overlaps") == ["rtree"]
+
+    def test_operator_properties_defaults(self):
+        table = AccessMethodTable()
+        eq = table.operator_properties("=")
+        assert eq.commutative
+        assert eq.complement == "!="
+        lt = table.operator_properties("<")
+        assert lt.converse == ">"
+        unknown = table.operator_properties("@@")
+        assert unknown.name == "@@"
+        assert not unknown.commutative
+
+    def test_set_operator_properties(self):
+        table = AccessMethodTable()
+        table.set_operator_properties(
+            OperatorProperties("~=", commutative=True, selectivity=0.1)
+        )
+        assert table.operator_properties("~=").commutative
+
+
+class TestIndexManager:
+    def test_create_find(self):
+        manager = IndexManager()
+        manager.create("Employees", "salary", "btree")
+        found = manager.find("Employees", "salary", ["hash", "btree"])
+        assert found is not None
+        assert found.kind == "btree"
+        assert found.name == "Employees.salary:btree"
+
+    def test_find_respects_kind_preference(self):
+        manager = IndexManager()
+        manager.create("Employees", "salary", "btree")
+        manager.create("Employees", "salary", "hash")
+        found = manager.find("Employees", "salary", ["hash", "btree"])
+        assert found.kind == "hash"
+
+    def test_missing_index(self):
+        manager = IndexManager()
+        assert manager.find("Employees", "salary", ["btree"]) is None
+
+    def test_duplicate_rejected(self):
+        manager = IndexManager()
+        manager.create("Employees", "salary", "btree")
+        with pytest.raises(CatalogError):
+            manager.create("Employees", "salary", "btree")
+
+    def test_unknown_kind_rejected(self):
+        manager = IndexManager()
+        with pytest.raises(StorageError):
+            manager.create("Employees", "salary", "bitmap")
+
+    def test_drop(self):
+        manager = IndexManager()
+        manager.create("Employees", "salary", "btree")
+        manager.drop("Employees", "salary", "btree")
+        assert manager.find("Employees", "salary", ["btree"]) is None
+        with pytest.raises(CatalogError):
+            manager.drop("Employees", "salary", "btree")
+
+    def test_maintenance_hooks(self):
+        manager = IndexManager()
+        descriptor = manager.create("Employees", "salary", "hash")
+        manager.on_insert("Employees", 1, lambda attr: 100)
+        assert descriptor.index.search(100) == [1]
+        manager.on_update("Employees", 1, lambda attr: 100, lambda attr: 200)
+        assert descriptor.index.search(100) == []
+        assert descriptor.index.search(200) == [1]
+        manager.on_delete("Employees", 1, lambda attr: 200)
+        assert descriptor.index.search(200) == []
+
+    def test_null_keys_skipped(self):
+        manager = IndexManager()
+        descriptor = manager.create("Employees", "salary", "hash")
+        manager.on_insert("Employees", 1, lambda attr: None)
+        assert len(descriptor.index) == 0
+
+    def test_indexes_on_filters_by_set(self):
+        manager = IndexManager()
+        manager.create("A", "x", "hash")
+        manager.create("B", "x", "hash")
+        assert len(manager.indexes_on("A")) == 1
+        assert len(manager.all_indexes()) == 2

@@ -1,0 +1,141 @@
+"""Unit tests for the simulated disk and the buffer pool."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager
+
+
+class TestDisk:
+    def test_allocate_and_read(self):
+        disk = DiskManager()
+        page = disk.allocate_page()
+        assert disk.read_page(page.page_no) is page
+        assert disk.page_count == 1
+
+    def test_io_counters(self):
+        disk = DiskManager()
+        page = disk.allocate_page()
+        disk.read_page(page.page_no)
+        disk.read_page(page.page_no)
+        disk.write_page(page)
+        assert disk.stats.reads == 2
+        assert disk.stats.writes == 2  # allocation counts as one write
+        disk.stats.reset()
+        assert disk.stats.reads == 0
+
+    def test_unknown_page(self):
+        disk = DiskManager()
+        with pytest.raises(StorageError):
+            disk.read_page(42)
+
+    def test_write_unallocated_rejected(self):
+        from repro.storage.pages import Page
+
+        disk = DiskManager()
+        with pytest.raises(StorageError):
+            disk.write_page(Page(99))
+
+
+class TestBufferPool:
+    def test_hit_and_miss_counting(self):
+        disk = DiskManager()
+        pool = BufferPool(disk, capacity=4)
+        page = pool.new_page()
+        pool.unpin(page.page_no)
+        pool.fetch_page(page.page_no)
+        pool.unpin(page.page_no)
+        assert pool.stats.hits == 1
+        assert pool.stats.misses == 0  # new_page is not a miss
+
+    def test_miss_faults_from_disk(self):
+        disk = DiskManager()
+        pool = BufferPool(disk, capacity=2)
+        pages = []
+        for _ in range(3):
+            page = pool.new_page()
+            pool.unpin(page.page_no)
+            pages.append(page.page_no)
+        # capacity 2: page 0 was evicted; fetching it is a miss
+        pool.fetch_page(pages[0])
+        pool.unpin(pages[0])
+        assert pool.stats.misses == 1
+        assert pool.stats.evictions >= 1
+
+    def test_lru_order(self):
+        disk = DiskManager()
+        pool = BufferPool(disk, capacity=2)
+        a = pool.new_page(); pool.unpin(a.page_no)
+        b = pool.new_page(); pool.unpin(b.page_no)
+        # touch a so b becomes LRU
+        pool.fetch_page(a.page_no); pool.unpin(a.page_no)
+        c = pool.new_page(); pool.unpin(c.page_no)
+        assert b.page_no not in pool.cached_pages()
+        assert a.page_no in pool.cached_pages()
+
+    def test_pinned_pages_not_evicted(self):
+        disk = DiskManager()
+        pool = BufferPool(disk, capacity=2)
+        a = pool.new_page()  # stays pinned
+        b = pool.new_page(); pool.unpin(b.page_no)
+        pool.new_page()  # must evict b, not a
+        assert a.page_no in pool.cached_pages()
+
+    def test_all_pinned_exhausts_pool(self):
+        disk = DiskManager()
+        pool = BufferPool(disk, capacity=2)
+        pool.new_page()
+        pool.new_page()
+        with pytest.raises(StorageError):
+            pool.new_page()
+
+    def test_dirty_writeback_on_eviction(self):
+        disk = DiskManager()
+        pool = BufferPool(disk, capacity=1)
+        a = pool.new_page()
+        a.insert(b"data")
+        pool.unpin(a.page_no, dirty=True)
+        pool.new_page()  # evicts a, which is dirty
+        assert pool.stats.dirty_writebacks == 1
+
+    def test_unpin_errors(self):
+        disk = DiskManager()
+        pool = BufferPool(disk, capacity=2)
+        with pytest.raises(StorageError):
+            pool.unpin(99)
+        page = pool.new_page()
+        pool.unpin(page.page_no)
+        with pytest.raises(StorageError):
+            pool.unpin(page.page_no)
+
+    def test_flush_all(self):
+        disk = DiskManager()
+        pool = BufferPool(disk, capacity=4)
+        page = pool.new_page()
+        page.insert(b"x")
+        pool.unpin(page.page_no, dirty=True)
+        pool.flush_all()
+        assert not page.dirty
+
+    def test_clear(self):
+        disk = DiskManager()
+        pool = BufferPool(disk, capacity=4)
+        page = pool.new_page()
+        pool.unpin(page.page_no)
+        pool.clear()
+        assert len(pool) == 0
+
+    def test_hit_ratio(self):
+        disk = DiskManager()
+        pool = BufferPool(disk, capacity=4)
+        assert pool.stats.hit_ratio == 0.0
+        page = pool.new_page()
+        pool.unpin(page.page_no)
+        pool.fetch_page(page.page_no)
+        pool.unpin(page.page_no)
+        assert pool.stats.hit_ratio == 1.0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(StorageError):
+            BufferPool(DiskManager(), capacity=0)

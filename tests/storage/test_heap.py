@@ -1,0 +1,98 @@
+"""Unit tests for heap files."""
+
+import pytest
+
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager
+from repro.storage.heap import HeapFile
+from repro.storage.pages import PAGE_SIZE
+
+
+def make_heap(capacity: int = 8) -> HeapFile:
+    disk = DiskManager()
+    pool = BufferPool(disk, capacity=capacity)
+    return HeapFile("test", pool)
+
+
+class TestInsertRead:
+    def test_round_trip(self):
+        heap = make_heap()
+        rid = heap.insert(b"hello")
+        assert heap.read(rid) == b"hello"
+
+    def test_many_records_span_pages(self):
+        heap = make_heap()
+        record = b"x" * 400
+        rids = [heap.insert(record) for _ in range(50)]
+        assert heap.page_count > 1
+        assert heap.record_count == 50
+        for rid in rids:
+            assert heap.read(rid) == record
+
+    def test_large_record_gets_own_page(self):
+        heap = make_heap()
+        big = b"x" * (PAGE_SIZE * 2)
+        rid = heap.insert(big)
+        assert heap.read(rid) == big
+
+    def test_free_space_reused(self):
+        heap = make_heap()
+        rids = [heap.insert(b"x" * 100) for _ in range(10)]
+        pages_before = heap.page_count
+        heap.delete(rids[0])
+        heap.insert(b"y" * 100)
+        assert heap.page_count == pages_before  # reused the hole
+
+
+class TestUpdate:
+    def test_update_in_place_keeps_rid(self):
+        heap = make_heap()
+        rid = heap.insert(b"aaaa")
+        new_rid = heap.update(rid, b"bbbb")
+        assert new_rid == rid
+        assert heap.read(rid) == b"bbbb"
+
+    def test_update_grow_relocates(self):
+        heap = make_heap()
+        # fill a page almost completely
+        rid = heap.insert(b"a" * 2000)
+        heap.insert(b"b" * 2000)
+        new_rid = heap.update(rid, b"c" * 3000)
+        assert new_rid != rid
+        assert heap.read(new_rid) == b"c" * 3000
+        assert heap.record_count == 2
+
+
+class TestDelete:
+    def test_delete_removes(self):
+        heap = make_heap()
+        rid = heap.insert(b"x")
+        heap.delete(rid)
+        assert heap.record_count == 0
+        from repro.errors import StorageError
+
+        with pytest.raises(StorageError):
+            heap.read(rid)
+
+
+class TestScan:
+    def test_scan_yields_all_records(self):
+        heap = make_heap()
+        payloads = {bytes([i]) * 50 for i in range(20)}
+        for payload in payloads:
+            heap.insert(payload)
+        scanned = {record for _rid, record in heap.scan()}
+        assert scanned == payloads
+
+    def test_scan_skips_deleted(self):
+        heap = make_heap()
+        keep = heap.insert(b"keep")
+        drop = heap.insert(b"drop")
+        heap.delete(drop)
+        assert [r for _rid, r in heap.scan()] == [b"keep"]
+
+    def test_scan_through_small_buffer_pool(self):
+        heap = make_heap(capacity=2)
+        for i in range(100):
+            heap.insert(bytes([i % 256]) * 300)
+        assert sum(1 for _ in heap.scan()) == 100

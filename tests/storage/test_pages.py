@@ -1,0 +1,128 @@
+"""Unit tests for slotted pages."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.pages import PAGE_SIZE, SLOT_OVERHEAD, Page, Rid
+
+
+class TestPageBasics:
+    def test_insert_read(self):
+        page = Page(0)
+        slot = page.insert(b"hello")
+        assert page.read(slot) == b"hello"
+
+    def test_space_accounting(self):
+        page = Page(0)
+        assert page.free_bytes == PAGE_SIZE
+        page.insert(b"x" * 100)
+        assert page.used_bytes == 100 + SLOT_OVERHEAD
+        assert page.free_bytes == PAGE_SIZE - 100 - SLOT_OVERHEAD
+
+    def test_fits(self):
+        page = Page(0, size=64)
+        assert page.fits(b"x" * (64 - SLOT_OVERHEAD))
+        assert not page.fits(b"x" * (64 - SLOT_OVERHEAD + 1))
+
+    def test_overflow_rejected(self):
+        page = Page(0, size=32)
+        with pytest.raises(StorageError):
+            page.insert(b"x" * 64)
+
+    def test_fill_to_capacity(self):
+        page = Page(0, size=10 * (10 + SLOT_OVERHEAD))
+        for _ in range(10):
+            page.insert(b"x" * 10)
+        assert page.free_bytes == 0
+        with pytest.raises(StorageError):
+            page.insert(b"y")
+
+
+class TestDeleteAndReuse:
+    def test_delete_frees_space(self):
+        page = Page(0)
+        slot = page.insert(b"x" * 100)
+        page.delete(slot)
+        assert page.used_bytes == 0
+        assert page.record_count() == 0
+
+    def test_slot_reuse(self):
+        page = Page(0)
+        a = page.insert(b"a")
+        b = page.insert(b"b")
+        page.delete(a)
+        c = page.insert(b"c")
+        assert c == a  # lowest free slot reused
+        assert page.read(b) == b"b"
+
+    def test_read_deleted_slot_raises(self):
+        page = Page(0)
+        slot = page.insert(b"a")
+        page.delete(slot)
+        with pytest.raises(StorageError):
+            page.read(slot)
+
+    def test_read_out_of_range(self):
+        page = Page(0)
+        with pytest.raises(StorageError):
+            page.read(5)
+
+    def test_compact_trims_trailing_slots(self):
+        page = Page(0)
+        a = page.insert(b"a")
+        b = page.insert(b"b")
+        page.delete(b)
+        page.compact()
+        assert page.record_count() == 1
+        assert page.read(a) == b"a"
+
+
+class TestUpdate:
+    def test_in_place_update(self):
+        page = Page(0)
+        slot = page.insert(b"aaaa")
+        assert page.update(slot, b"bbbb")
+        assert page.read(slot) == b"bbbb"
+
+    def test_grow_within_page(self):
+        page = Page(0)
+        slot = page.insert(b"a")
+        assert page.update(slot, b"a" * 100)
+        assert page.used_bytes == 100 + SLOT_OVERHEAD
+
+    def test_update_too_big_refused_without_change(self):
+        page = Page(0, size=64)
+        slot = page.insert(b"a" * 10)
+        assert not page.update(slot, b"a" * 200)
+        assert page.read(slot) == b"a" * 10  # unchanged
+
+    def test_shrink_returns_space(self):
+        page = Page(0)
+        slot = page.insert(b"a" * 100)
+        page.update(slot, b"a")
+        assert page.used_bytes == 1 + SLOT_OVERHEAD
+
+
+class TestIteration:
+    def test_records_in_slot_order(self):
+        page = Page(0)
+        page.insert(b"a")
+        page.insert(b"b")
+        page.insert(b"c")
+        assert [r for _s, r in page.records()] == [b"a", b"b", b"c"]
+
+    def test_records_skip_holes(self):
+        page = Page(0)
+        a = page.insert(b"a")
+        b = page.insert(b"b")
+        page.delete(a)
+        assert list(page.records()) == [(b, b"b")]
+
+
+class TestRid:
+    def test_ordering(self):
+        assert Rid(0, 1) < Rid(0, 2) < Rid(1, 0)
+
+    def test_equality(self):
+        assert Rid(1, 2) == Rid(1, 2)
+        assert Rid(1, 2) != Rid(1, 3)

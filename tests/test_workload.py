@@ -1,0 +1,75 @@
+"""Tests for the deterministic workload generator."""
+
+from repro.util.workload import CompanyWorkload, build_company_database
+
+
+class TestDeterminism:
+    def test_same_seed_same_database(self):
+        a = build_company_database(CompanyWorkload(employees=25, seed=5))
+        b = build_company_database(CompanyWorkload(employees=25, seed=5))
+        query = "retrieve (E.name, E.age, E.salary) from E in Employees"
+        assert a.execute(query).rows == b.execute(query).rows
+
+    def test_different_seed_differs(self):
+        a = build_company_database(CompanyWorkload(employees=25, seed=5))
+        b = build_company_database(CompanyWorkload(employees=25, seed=6))
+        query = "retrieve (E.age, E.salary) from E in Employees"
+        assert a.execute(query).rows != b.execute(query).rows
+
+
+class TestShape:
+    def test_counts(self):
+        db = build_company_database(
+            CompanyWorkload(departments=4, employees=30, seed=1)
+        )
+        assert db.execute(
+            "retrieve (count(E.salary)) from E in Employees"
+        ).scalar() == 30
+        assert db.execute(
+            "retrieve (count(D.floor)) from D in Departments"
+        ).scalar() == 4
+
+    def test_names_unique(self):
+        db = build_company_database(CompanyWorkload(employees=40, seed=2))
+        names = db.execute("retrieve (E.name) from E in Employees").column("name")
+        assert len(set(names)) == 40
+
+    def test_star_is_highest_paid(self):
+        db = build_company_database(CompanyWorkload(employees=30, seed=3))
+        star = db.execute("retrieve (StarEmployee.salary)").scalar()
+        top = db.execute(
+            "retrieve (m = max(E.salary)) from E in Employees"
+        ).scalar()
+        assert star == top
+
+    def test_topten_sorted_descending(self):
+        db = build_company_database(CompanyWorkload(employees=30, seed=3))
+        salaries = [
+            db.execute(f"retrieve (TopTen[{i}].salary)").scalar()
+            for i in range(1, 11)
+        ]
+        assert salaries == sorted(salaries, reverse=True)
+
+    def test_every_employee_has_department(self):
+        db = build_company_database(CompanyWorkload(employees=20, seed=4))
+        assert db.execute(
+            "retrieve (n = count(E.age where E.dept is null)) "
+            "from E in Employees"
+        ).scalar() == 0
+
+    def test_kids_bounded(self):
+        db = build_company_database(
+            CompanyWorkload(employees=20, max_kids=2, seed=4)
+        )
+        counts = db.execute(
+            "retrieve (n = count(E.kids)) from E in Employees"
+        ).column("n")
+        assert all(0 <= n <= 2 for n in counts)
+
+    def test_paged_storage_variant(self):
+        db = build_company_database(
+            CompanyWorkload(employees=15, seed=9, storage="paged")
+        )
+        assert db.execute(
+            "retrieve (count(E.age)) from E in Employees"
+        ).scalar() == 15
