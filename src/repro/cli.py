@@ -19,6 +19,7 @@ start with a backslash:
 ``\\user NAME``  switch the session user (authorization applies)
 ``\\authz on|off``      toggle authorization enforcement
 ``\\optimizer on|off``  toggle the query optimizer (for comparisons)
+``\\timing on|off``     print per-statement wall time + plan-cache hit/miss
 ``\\schema``     list types and named objects
 ==============  =====================================================
 """
@@ -27,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import IO, Optional
 
 from repro.core.database import Database
@@ -47,11 +49,13 @@ class Shell:
         database: Optional[Database] = None,
         out: IO[str] = sys.stdout,
         snapshot_path: Optional[str] = None,
+        timing: bool = False,
     ):
         self.db = database if database is not None else Database()
         self.out = out
         self.snapshot_path = snapshot_path
         self.user = self.db.authz.directory.dba
+        self.timing = timing
         self.done = False
 
     # -- output -----------------------------------------------------------------
@@ -64,6 +68,8 @@ class Shell:
         if result.columns:
             self._write(result.pretty())
             self._write(f"({len(result.rows)} row(s))")
+            if result.message:  # explain carries the optimizer summary
+                self._write(result.message)
         elif result.message:
             self._write(result.message)
         else:
@@ -73,12 +79,17 @@ class Shell:
 
     def execute(self, text: str) -> None:
         """Run one complete EXCESS input (may hold several statements)."""
+        start = time.perf_counter()
         try:
             result = self.db.execute(text, user=self.user)
         except ExtraError as exc:
             self._write(f"error: {exc}")
             return
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
         self.show_result(result)
+        if self.timing:
+            cache = (result.metrics or {}).get("cache") or "n/a"
+            self._write(f"time: {elapsed_ms:.3f} ms  plan-cache: {cache}")
 
     def is_complete(self, text: str) -> bool:
         """Heuristic: does ``text`` parse as complete statement(s)?
@@ -140,6 +151,9 @@ class Shell:
             self.db.interpreter.optimize = args[0] == "on"
             state = "on" if self.db.interpreter.optimize else "off"
             self._write(f"optimizer {state}")
+        elif command == "timing" and args:
+            self.timing = args[0] == "on"
+            self._write(f"timing {'on' if self.timing else 'off'}")
         elif command == "schema":
             for name in self.db.catalog.type_names():
                 self._write(f"type {self.db.type(name).describe_full()}")
@@ -194,6 +208,10 @@ def main(argv: Optional[list[str]] = None, stdin: IO[str] = sys.stdin,
         "--storage", choices=["memory", "paged"], default="memory",
         help="object store for a fresh database",
     )
+    parser.add_argument(
+        "--time", action="store_true", dest="timing",
+        help="print per-statement wall time and plan-cache hit/miss",
+    )
     options = parser.parse_args(argv)
 
     import os
@@ -203,7 +221,8 @@ def main(argv: Optional[list[str]] = None, stdin: IO[str] = sys.stdin,
     else:
         database = Database(storage=options.storage)
     shell = Shell(
-        database=database, out=stdout, snapshot_path=options.database
+        database=database, out=stdout, snapshot_path=options.database,
+        timing=options.timing,
     )
     if options.script:
         try:

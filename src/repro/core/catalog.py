@@ -64,6 +64,58 @@ class Catalog:
         self.set_functions = SetFunctionRegistry()
         self.access_table = AccessMethodTable()
         self.indexes = IndexManager()
+        #: monotonically increasing schema version; any change that could
+        #: invalidate a cached query plan bumps it (DDL, index create/drop,
+        #: grants, session range re-declaration)
+        self._epoch = 0
+        #: tracked named-set cardinalities for optimizer cost decisions
+        self._cardinalities: dict[str, int] = {}
+        self.indexes.on_change = self.bump_epoch
+
+    # -- plan-cache epoch -------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """The current schema epoch; plans bound under an older epoch may
+        be stale and must not be reused."""
+        return self._epoch
+
+    def bump_epoch(self) -> None:
+        """Invalidate every plan bound against the current catalog state."""
+        self._epoch += 1
+
+    # -- cardinality statistics -------------------------------------------------
+
+    def note_cardinality(self, set_name: str, delta: int) -> None:
+        """Adjust the tracked member count of a named set.
+
+        Called *after* the mutation applied, so when the set is not yet
+        tracked a direct measurement (which already reflects the change)
+        seeds the counter instead of ``measurement + delta``.
+        """
+        current = self._cardinalities.get(set_name)
+        if current is None:
+            self._cardinalities[set_name] = self._measure_cardinality(set_name)
+        else:
+            self._cardinalities[set_name] = max(0, current + delta)
+
+    def cardinality(self, set_name: str) -> int:
+        """The (tracked) member count of a named set; measured and cached
+        on first request."""
+        count = self._cardinalities.get(set_name)
+        if count is None:
+            count = self._measure_cardinality(set_name)
+            self._cardinalities[set_name] = count
+        return count
+
+    def _measure_cardinality(self, set_name: str) -> int:
+        named = self._named.get(set_name)
+        if named is None:
+            return 0
+        try:
+            return len(named.value)
+        except TypeError:
+            return 0
 
     # -- schema types ----------------------------------------------------------
 
@@ -91,6 +143,7 @@ class Catalog:
             name, attributes, parents=parent_types, renames=list(renames)
         )
         self._types[name] = schema_type
+        self.bump_epoch()
         return schema_type
 
     def register_type(self, schema_type: SchemaType) -> SchemaType:
@@ -98,6 +151,7 @@ class Catalog:
         interpreter's two-phase self-referential construction)."""
         self._check_fresh_name(schema_type.name)
         self._types[schema_type.name] = schema_type
+        self.bump_epoch()
         return schema_type
 
     def schema_type(self, name: str) -> SchemaType:
@@ -142,6 +196,7 @@ class Catalog:
                 f"{', '.join(sorted(users))}"
             )
         del self._types[name]
+        self.bump_epoch()
 
     # -- named objects ------------------------------------------------------------
 
@@ -149,6 +204,7 @@ class Catalog:
         """Register a named persistent object (``create``)."""
         self._check_fresh_name(named.name)
         self._named[named.name] = named
+        self.bump_epoch()
         return named
 
     def named(self, name: str) -> NamedObject:
@@ -170,9 +226,12 @@ class Catalog:
         """Remove a named object from the catalog (``destroy``); the
         caller is responsible for cascading deletes of owned members."""
         try:
-            return self._named.pop(name)
+            removed = self._named.pop(name)
         except KeyError:
             raise CatalogError(f"unknown database object {name!r}") from None
+        self._cardinalities.pop(name, None)
+        self.bump_epoch()
+        return removed
 
     # -- EXCESS functions -----------------------------------------------------------
 
@@ -190,11 +249,13 @@ class Catalog:
                 f"{function.type_name!r}"
             )
         self._functions[key] = function
+        self.bump_epoch()
 
     def undefine_function(self, type_name: str, name: str) -> None:
         """Remove a function registration (used to roll back a definition
         whose body failed validation)."""
         self._functions.pop((type_name, name), None)
+        self.bump_epoch()
 
     def lookup_function(
         self, schema_type: SchemaType, name: str
@@ -229,6 +290,7 @@ class Catalog:
         if procedure.name in self._procedures:
             raise CatalogError(f"procedure {procedure.name!r} already defined")
         self._procedures[procedure.name] = procedure
+        self.bump_epoch()
 
     def procedure(self, name: str) -> "Procedure":
         """Look up a procedure by name."""

@@ -127,9 +127,14 @@ class Database:
             raise IntegrityError("no transaction is open")
         restored = pickle.loads(self._transaction)
         interpreter = self._interpreter  # keep session state (range decls)
+        seen_epoch = self.catalog.epoch
         self.__dict__.update(restored.__dict__)
         self._transaction = None
         self._interpreter = interpreter
+        # The restored catalog carries the epoch as of begin(); force it
+        # past every epoch observed during the transaction so query plans
+        # cached against the rolled-back state can never be served again.
+        self.catalog._epoch = max(self.catalog.epoch, seen_epoch) + 1
 
     # -- schema definition ----------------------------------------------------------
 
@@ -255,6 +260,7 @@ class Database:
             # so reaching here with a known oid cannot happen — guard anyway.
             return member
         self._index_insert(set_name, collection, member)
+        self.catalog.note_cardinality(set_name, +1)
         return member
 
     def remove(self, set_name: str, member: Any, delete_owned: bool = True) -> bool:
@@ -264,9 +270,12 @@ class Database:
         if not isinstance(collection, SetInstance):
             raise TypeSystemError(f"{set_name!r} is not a set")
         self._index_delete(set_name, collection, member)
-        return self.integrity.remove_member(
+        removed = self.integrity.remove_member(
             named, collection, member, delete_owned=delete_owned
         )
+        if removed:
+            self.catalog.note_cardinality(set_name, -1)
+        return removed
 
     def delete(self, reference: Ref) -> int:
         """Delete the object behind ``reference`` wherever it lives.
@@ -282,6 +291,7 @@ class Database:
             if isinstance(named.value, SetInstance) and named.value.contains(reference):
                 self._index_delete(name, named.value, reference)
                 named.value.remove(reference)
+                self.catalog.note_cardinality(name, -1)
         return self.integrity.delete_object(reference.oid)
 
     def update_member(

@@ -203,6 +203,9 @@ class Membership(BoundExpr):
     element: BoundExpr = None  # type: ignore[assignment]
     collection: "CollectionTarget" = None  # type: ignore[assignment]
     negated: bool = False
+    #: set by the optimizer: the collection is a named set whose member
+    #: keys the evaluator may materialize once per execution (semi-join)
+    semi_join: bool = False
 
 
 # ---------------------------------------------------------------------------
@@ -260,6 +263,19 @@ class RangeBinding:
     index_op: str = ""
     index_key: Optional[BoundExpr] = None
     index_high: Optional[BoundExpr] = None
+    #: join strategy for this binding ("loop" | "hash"), set by the
+    #: optimizer; "hash" means the evaluator builds a hash table over this
+    #: binding's source keyed by ``hash_build_key`` and probes it with
+    #: ``hash_probe_key`` (evaluated in the outer environment) instead of
+    #: rescanning the source per outer row
+    join_strategy: str = "loop"
+    hash_build_key: Optional[BoundExpr] = None
+    hash_probe_key: Optional[BoundExpr] = None
+    #: the join conjunct's operator ("=" value join, "is" object join) —
+    #: decides null-key handling when building/probing the hash table
+    hash_join_op: str = "="
+    #: human-readable join annotation for EXPLAIN
+    join_detail: str = ""
 
     @property
     def element_type(self) -> Type:

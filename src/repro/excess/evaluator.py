@@ -81,9 +81,46 @@ from repro.excess.binder import (
 )
 from repro.excess.result import Result
 
-__all__ = ["Evaluator", "canonical_key"]
+__all__ = ["Evaluator", "ExecMetrics", "canonical_key"]
 
 Env = dict
+
+#: sentinel distinguishing "binding name absent from env" from a None value
+_MISSING = object()
+
+
+@dataclass
+class ExecMetrics:
+    """Per-statement execution counters surfaced by EXPLAIN and ``--time``."""
+
+    #: candidate members enumerated from binding sources (all loops)
+    rows_scanned: int = 0
+    #: hash tables built for hash-join build sides
+    hash_builds: int = 0
+    #: probe-side lookups into hash-join tables
+    hash_probes: int = 0
+    #: member-key sets materialized for semi-join memberships
+    semi_builds: int = 0
+    #: plan-cache outcome ("hit" | "miss" | "" when caching not involved)
+    cache: str = ""
+    #: end-to-end statement wall time (filled in by the interpreter)
+    wall_ms: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "rows_scanned": self.rows_scanned,
+            "hash_builds": self.hash_builds,
+            "hash_probes": self.hash_probes,
+            "semi_builds": self.semi_builds,
+            "cache": self.cache,
+            "wall_ms": round(self.wall_ms, 3),
+        }
+
+    def describe(self) -> str:
+        return (
+            f"rows_scanned={self.rows_scanned} hash_builds={self.hash_builds} "
+            f"hash_probes={self.hash_probes} semi_builds={self.semi_builds}"
+        )
 
 
 def canonical_key(value: Any) -> Any:
@@ -119,6 +156,21 @@ class Evaluator:
         self.db = database
         self.user = user
         self._function_depth = 0
+        self.metrics = ExecMetrics()
+        #: id(binding) → hash-join build table; valid until data mutates
+        self._hash_tables: dict[int, dict] = {}
+        #: id(membership node) → materialized member-key set (semi-join)
+        self._semi_sets: dict[int, set] = {}
+
+    def _invalidate_exec_caches(self) -> None:
+        """Drop memoized hash tables and semi-join key sets.
+
+        Called before an update statement applies its pending mutations so
+        a later statement executed by this same evaluator (procedures,
+        EXCESS functions) never sees stale build tables.
+        """
+        self._hash_tables.clear()
+        self._semi_sets.clear()
 
     # ------------------------------------------------------------------
     # Retrieve
@@ -256,6 +308,7 @@ class Evaluator:
                 assert bound.expression is not None
                 pending.append((env, self._eval(bound.expression, env, tables)))
         count = 0
+        self._invalidate_exec_caches()
         for env, payload in pending:
             if self._append_one(bound.target, payload, env, tables):
                 count += 1
@@ -371,6 +424,7 @@ class Evaluator:
             collection, set_name = self._binding_collection(binding, env)
             victims.append((member, collection, set_name))
         deleted = 0
+        self._invalidate_exec_caches()
         for member, collection, set_name in victims:
             if isinstance(member, Ref):
                 deleted += 1 if self.db.delete(member) else 0
@@ -423,6 +477,7 @@ class Evaluator:
             }
             pending.append((target_value, changes))
         count = 0
+        self._invalidate_exec_caches()
         for target_value, changes in pending:
             if isinstance(target_value, Ref):
                 self._apply_indexed_changes(target_value, changes)
@@ -464,6 +519,7 @@ class Evaluator:
         for env in self._iterate(bound.query, env0, tables):
             pending.append((env, self._eval(bound.expression, env, tables)))
         count = 0
+        self._invalidate_exec_caches()
         for env, value in pending:
             kind = bound.location[0]
             if kind == "named":
@@ -506,30 +562,106 @@ class Evaluator:
     ) -> Iterator[Env]:
         existential = [b for b in query.bindings if not b.universal]
         universal = [b for b in query.bindings if b.universal]
+        metrics = self.metrics
 
         def qualifies(env: Env) -> bool:
+            if query.where is None:
+                # vacuously true — ∀ bindings need not be iterated at all
+                return True
             if universal:
                 return self._check_universal(universal, 0, env, query, tables)
-            if query.where is None:
-                return True
             return self._eval(query.where, env, tables) is True
 
-        def recurse(index: int, env: Env) -> Iterator[Env]:
+        # One shared env mutated in place; a snapshot is taken only for
+        # qualifying rows (consumers keep yielded envs in pending lists).
+        env: Env = dict(base_env)
+
+        def recurse(index: int) -> Iterator[Env]:
             if index == len(existential):
                 if qualifies(env):
-                    yield env
+                    yield dict(env)
                 return
             binding = existential[index]
-            for member in self._source_values(binding, env, tables):
-                child = dict(env)
-                child[binding.name] = member
-                if all(
-                    self._eval(residual, child, tables) is True
-                    for residual in binding.residual
+            saved = env.get(binding.name, _MISSING)
+            try:
+                if (
+                    binding.join_strategy == "hash"
+                    and binding.hash_probe_key is not None
                 ):
-                    yield from recurse(index + 1, child)
+                    table = self._hash_table_for(binding, tables)
+                    probe_value = self._eval(
+                        binding.hash_probe_key, env, tables
+                    )
+                    metrics.hash_probes += 1
+                    key = self._join_key(probe_value, binding.hash_join_op)
+                    matches = () if key is None else table.get(key, ())
+                    # residuals were applied while building the table
+                    for member in matches:
+                        env[binding.name] = member
+                        yield from recurse(index + 1)
+                    return
+                for member in self._source_values(binding, env, tables):
+                    metrics.rows_scanned += 1
+                    env[binding.name] = member
+                    if all(
+                        self._eval(residual, env, tables) is True
+                        for residual in binding.residual
+                    ):
+                        yield from recurse(index + 1)
+            finally:
+                if saved is _MISSING:
+                    env.pop(binding.name, None)
+                else:
+                    env[binding.name] = saved
 
-        yield from recurse(0, dict(base_env))
+        yield from recurse(0)
+
+    # -- hash joins ---------------------------------------------------------
+
+    def _join_key(self, value: Any, op: str) -> Optional[Any]:
+        """The hash key for one side of a join conjunct.
+
+        Returns None when the row cannot match anything: a null value
+        under ``=`` is unknown against every member (3VL), so it neither
+        enters the build table nor probes. Under ``is``, null keys *do*
+        participate — ``null is null`` is true (both denote no object) —
+        and non-objects raise exactly as nested-loop ``is`` would.
+        """
+        if op == "is":
+            if value is NULL:
+                return ("null",)
+            return ("ref", self._object_oid(value))
+        if value is NULL:
+            return None
+        return canonical_key(value)
+
+    def _hash_table_for(self, binding: RangeBinding, tables: dict) -> dict:
+        table = self._hash_tables.get(id(binding))
+        if table is None:
+            table = self._build_hash_table(binding, tables)
+            self._hash_tables[id(binding)] = table
+        return table
+
+    def _build_hash_table(self, binding: RangeBinding, tables: dict) -> dict:
+        """Load the build side once: scan its named set, apply residuals,
+        key surviving members by the build expression."""
+        self.metrics.hash_builds += 1
+        table: dict[Any, list] = {}
+        env: Env = {}
+        for member in self._source_values(binding, env, tables):
+            self.metrics.rows_scanned += 1
+            env[binding.name] = member
+            if not all(
+                self._eval(residual, env, tables) is True
+                for residual in binding.residual
+            ):
+                continue
+            key_value = self._eval(binding.hash_build_key, env, tables)
+            key = self._join_key(key_value, binding.hash_join_op)
+            if key is None:
+                continue
+            table.setdefault(key, []).append(member)
+        return table
 
     def _check_universal(
         self,
@@ -545,6 +677,7 @@ class Evaluator:
             return self._eval(query.where, env, tables) is True
         binding = universal[index]
         for member in self._source_values(binding, env, tables):
+            self.metrics.rows_scanned += 1
             child = dict(env)
             child[binding.name] = member
             if not self._check_universal(universal, index + 1, child, query, tables):
@@ -948,6 +1081,21 @@ class Evaluator:
 
     def _eval_membership(self, node: Membership, env: Env, tables: dict) -> Any:
         element = self._normalize_ref(self._eval(node.element, env, tables))
+        if node.semi_join and node.collection.kind == "named":
+            keys = self._semi_keys(node)
+            if keys is not None:
+                if element is NULL:
+                    return NULL
+                probe = element
+                if isinstance(element, TupleInstance) and element.oid is not None:
+                    probe = Ref(element.oid)
+                if isinstance(probe, Ref):
+                    found = canonical_key(
+                        probe
+                    ) in keys and self.db.objects.is_live(probe.oid)
+                else:
+                    found = canonical_key(probe) in keys
+                return (not found) if node.negated else found
         collection = self._membership_collection(node.collection, env, tables)
         if collection is None:
             return NULL
@@ -955,6 +1103,21 @@ class Evaluator:
             return NULL
         found = self._collection_contains(collection, element)
         return (not found) if node.negated else found
+
+    def _semi_keys(self, node: Membership) -> Optional[set]:
+        """The memoized member-key set for a semi-join membership over a
+        named set; None when the named object is not a set (the caller
+        falls back to the direct containment scan)."""
+        keys = self._semi_sets.get(id(node))
+        if keys is not None:
+            return keys
+        value = self.db.named(node.collection.name).value
+        if not isinstance(value, SetInstance):
+            return None
+        self.metrics.semi_builds += 1
+        keys = {canonical_key(member) for member in value}
+        self._semi_sets[id(node)] = keys
+        return keys
 
     def _membership_collection(
         self, target: CollectionTarget, env: Env, tables: dict

@@ -10,6 +10,9 @@ when the database has it enabled.
 
 from __future__ import annotations
 
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.authz.grants import Privilege
@@ -59,7 +62,75 @@ from repro.excess.parser import OperatorTable, parse_script
 from repro.excess.procedures import Procedure, bind_procedure_body, run_procedure
 from repro.excess.result import Result
 
-__all__ = ["Interpreter"]
+__all__ = ["Interpreter", "PlanCache"]
+
+
+@dataclass
+class _PreparedPlan:
+    """A parsed, bound, and optimized statement ready to execute.
+
+    Skipping straight to evaluation is what the plan cache buys: the
+    lexer, parser, binder, and optimizer only run on a cache miss.
+    """
+
+    #: "retrieve" | "append" | "delete" | "replace" | "set" | "explain"
+    kind: str
+    #: the bound statement (for "explain": the bound+optimized query)
+    bound: Any
+    report: Any
+    #: pre-rendered EXPLAIN rows (kind == "explain" only)
+    explain_rows: list = field(default_factory=list)
+
+
+class PlanCache:
+    """A small LRU of prepared plans keyed by
+    ``(statement text, user, catalog epoch, optimizer flags)``.
+
+    Epoch-based invalidation: every DDL statement, index create/drop,
+    grant change, and session range re-declaration bumps the catalog
+    epoch, so entries prepared against older catalog states simply never
+    match again — stale plans are never served, no explicit flushing
+    needed (dead entries age out of the LRU).
+    """
+
+    def __init__(self, capacity: int = 128):
+        self.capacity = capacity
+        self.enabled = True
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[tuple, _PreparedPlan]" = OrderedDict()
+
+    def get(self, key: tuple) -> Optional[_PreparedPlan]:
+        if not self.enabled:
+            return None
+        plan = self._entries.get(key)
+        if plan is None:
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return plan
+
+    def put(self, key: tuple, plan: _PreparedPlan) -> None:
+        if not self.enabled:
+            return
+        self.misses += 1
+        self._entries[key] = plan
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
 
 _BASE_TYPES: dict[str, Type] = {
     "int1": INT1,
@@ -76,9 +147,23 @@ _BASE_TYPES: dict[str, Type] = {
 class Interpreter:
     """Executes EXCESS statements against one database."""
 
+    #: single-statement scripts of these types are plan-cacheable
+    _CACHEABLE = (
+        ast.Retrieve,
+        ast.Append,
+        ast.Delete,
+        ast.Replace,
+        ast.SetStatement,
+        ast.Explain,
+    )
+
     def __init__(self, database: Database, optimize: bool = True):
         self.db = database
         self.optimize = optimize
+        #: whether the optimizer may rewrite equi-joins to hash joins
+        self.hash_joins = True
+        #: LRU of prepared plans; entries self-invalidate via the epoch key
+        self.plan_cache = PlanCache()
         #: session-level `range of` declarations, QUEL-style
         self.session_ranges: dict[str, ast.RangeDecl] = {}
 
@@ -97,14 +182,39 @@ class Interpreter:
 
     # -- entry point -----------------------------------------------------------------
 
+    def _cache_key(self, text: str, user: str) -> tuple:
+        return (
+            text,
+            user,
+            self.db.catalog.epoch,
+            self.optimize,
+            self.hash_joins,
+        )
+
     def execute(self, text: str, user: str = "dba") -> Result:
-        """Run one or more statements; returns the last statement's result."""
+        """Run one or more statements; returns the last statement's result.
+
+        Single-statement query scripts go through the plan cache: on a
+        hit the lexer/parser/binder/optimizer are skipped entirely and
+        the prepared plan is re-executed (authorization is still checked
+        per execution).
+        """
+        key = self._cache_key(text, user)
+        plan = self.plan_cache.get(key)
+        if plan is not None:
+            return self._execute_prepared(plan, user, cache="hit")
         table = self._operator_table()
         script = parse_script(text, table)
         if not script.statements:
             return Result(kind="empty", message="no statements")
+        statements = script.statements
+        if len(statements) == 1 and isinstance(statements[0], self._CACHEABLE):
+            plan = self._prepare(statements[0])
+            self.plan_cache.put(key, plan)
+            cache = "miss" if self.plan_cache.enabled else "off"
+            return self._execute_prepared(plan, user, cache=cache)
         result = Result(kind="empty")
-        for statement in script.statements:
+        for statement in statements:
             result = self.execute_statement(statement, user)
         return result
 
@@ -240,6 +350,8 @@ class Interpreter:
         query = BoundQuery()
         binder._bind_range_source(statement.source, scope, query)
         self.session_ranges[statement.variable] = statement
+        # plans bound under the previous declaration of this variable are stale
+        self.db.catalog.bump_epoch()
         kind = "universal range" if statement.universal else "range"
         return Result(
             kind="range",
@@ -253,6 +365,7 @@ class Interpreter:
         self.db.authz.grant(
             statement.principal, privilege, statement.object_name, grantor=user
         )
+        self.db.catalog.bump_epoch()
         return Result(
             kind="grant",
             message=(
@@ -266,6 +379,7 @@ class Interpreter:
         revoked = self.db.authz.revoke(
             statement.principal, privilege, statement.object_name, revoker=user
         )
+        self.db.catalog.bump_epoch()
         return Result(
             kind="revoke",
             message=(
@@ -286,6 +400,7 @@ class Interpreter:
 
     def _do_add_to_group(self, statement: ast.AddToGroup, user: str) -> Result:
         self.db.authz.directory.add_member(statement.group, statement.member)
+        self.db.catalog.bump_epoch()
         return Result(
             kind="group",
             message=f"added {statement.member} to group {statement.group}",
@@ -370,7 +485,9 @@ class Interpreter:
         if statement.where is not None:
             query.where = binder._bind_predicate(statement.where, scope, query)
         binder._finalize(scope, query)
-        Optimizer(self.db.catalog, enabled=self.optimize).optimize(query)
+        Optimizer(
+            self.db.catalog, enabled=self.optimize, hash_joins=self.hash_joins
+        ).optimize(query)
         evaluator = Evaluator(self.db, user=procedure.definer)
         tables = evaluator._precompute_aggregates(query, {})
         bindings: list[dict] = []
@@ -389,48 +506,86 @@ class Interpreter:
     def _binder(self) -> Binder:
         return Binder(self.db.catalog, self.session_ranges)
 
-    def _run_query_statement(
-        self, statement: ast.Statement, user: str
-    ) -> Result:
+    def _prepare(self, statement: ast.Statement) -> _PreparedPlan:
+        """Bind and optimize one query statement (the cacheable half)."""
+        if isinstance(statement, ast.Explain):
+            return self._prepare_explain(statement)
         binder = self._binder()
-        evaluator = Evaluator(self.db, user=user)
-        optimizer = Optimizer(self.db.catalog, enabled=self.optimize)
+        optimizer = Optimizer(
+            self.db.catalog,
+            enabled=self.optimize,
+            hash_joins=self.hash_joins,
+        )
         if isinstance(statement, ast.Retrieve):
-            bound = binder.bind_retrieve(statement)
-            self._check_query_reads(user, bound.query)
-            report = optimizer.optimize(bound.query)
-            result = evaluator.run_retrieve(bound)
+            kind, bound = "retrieve", binder.bind_retrieve(statement)
         elif isinstance(statement, ast.Append):
-            bound = binder.bind_append(statement)
+            kind, bound = "append", binder.bind_append(statement)
+        elif isinstance(statement, ast.Delete):
+            kind, bound = "delete", binder.bind_delete(statement)
+        elif isinstance(statement, ast.Replace):
+            kind, bound = "replace", binder.bind_replace(statement)
+        elif isinstance(statement, ast.SetStatement):
+            kind, bound = "set", binder.bind_set(statement)
+        else:  # pragma: no cover
+            raise ExcessError(
+                f"not a query statement: {type(statement).__name__}"
+            )
+        report = optimizer.optimize(bound.query)
+        return _PreparedPlan(kind=kind, bound=bound, report=report)
+
+    def _execute_prepared(
+        self, plan: _PreparedPlan, user: str, cache: str = ""
+    ) -> Result:
+        """Run a prepared plan: authorization checks (every execution,
+        never cached) then evaluation, collecting execution metrics."""
+        start = time.perf_counter()
+        evaluator = Evaluator(self.db, user=user)
+        evaluator.metrics.cache = cache
+        bound = plan.bound
+        if plan.kind == "explain":
+            message = plan.report.describe()
+            if cache:
+                message += f"; cache={cache}"
+            result = Result(
+                kind="explain",
+                columns=["step", "variable", "source", "access", "quantifier",
+                         "residual_predicates", "join"],
+                rows=list(plan.explain_rows),
+                message=message,
+            )
+        elif plan.kind == "retrieve":
+            self._check_query_reads(user, bound.query)
+            result = evaluator.run_retrieve(bound)
+        elif plan.kind == "append":
             self._check_query_reads(user, bound.query)
             self._check_collection_write(user, Privilege.APPEND, bound.target)
-            report = optimizer.optimize(bound.query)
             result = evaluator.run_append(bound)
-        elif isinstance(statement, ast.Delete):
-            bound = binder.bind_delete(statement)
+        elif plan.kind == "delete":
             self._check_query_reads(user, bound.query)
             self._check_binding_write(
                 user, Privilege.DELETE, bound.query, bound.variable
             )
-            report = optimizer.optimize(bound.query)
             result = evaluator.run_delete(bound)
-        elif isinstance(statement, ast.Replace):
-            bound = binder.bind_replace(statement)
+        elif plan.kind == "replace":
             self._check_query_reads(user, bound.query)
             self._check_replace_write(user, bound)
-            report = optimizer.optimize(bound.query)
             result = evaluator.run_replace(bound)
-        elif isinstance(statement, ast.SetStatement):
-            bound = binder.bind_set(statement)
+        elif plan.kind == "set":
             self._check_query_reads(user, bound.query)
             if bound.location[0] == "named":
                 self._check(user, Privilege.REPLACE, bound.location[1])
-            report = optimizer.optimize(bound.query)
             result = evaluator.run_set(bound)
         else:  # pragma: no cover
-            raise ExcessError(f"not a query statement: {type(statement).__name__}")
-        result.plan = report
+            raise ExcessError(f"unknown prepared plan kind {plan.kind!r}")
+        result.plan = plan.report
+        evaluator.metrics.wall_ms = (time.perf_counter() - start) * 1000.0
+        result.metrics = evaluator.metrics.as_dict()
         return result
+
+    def _run_query_statement(
+        self, statement: ast.Statement, user: str
+    ) -> Result:
+        return self._execute_prepared(self._prepare(statement), user)
 
     def _do_alter_type(self, statement: ast.AlterType, user: str) -> Result:
         from repro.core.evolution import alter_type
@@ -441,6 +596,7 @@ class Interpreter:
             for decl in statement.adds
         ]
         message = alter_type(self.db, statement.name, adds, statement.drops)
+        self.db.catalog.bump_epoch()
         return Result(kind="alter", message=message)
 
     def _do_begin(self, statement: ast.BeginTransaction, user: str) -> Result:
@@ -453,6 +609,9 @@ class Interpreter:
 
     def _do_abort(self, statement: ast.AbortTransaction, user: str) -> Result:
         self.db.abort()
+        # abort() already forces the epoch forward; dropping the entries
+        # just keeps the LRU from carrying dead plans around
+        self.plan_cache.clear()
         return Result(kind="transaction", message="aborted")
 
     def _do_set_operation(self, statement: ast.SetOperation, user: str) -> Result:
@@ -517,8 +676,8 @@ class Interpreter:
                 keys = [k for _r, k in filtered]
         return Result(kind="retrieve", columns=left.columns, rows=rows)
 
-    def _do_explain(self, statement: ast.Explain, user: str) -> Result:
-        """Bind and optimize the inner statement; report the plan."""
+    def _prepare_explain(self, statement: ast.Explain) -> _PreparedPlan:
+        """Bind and optimize the inner statement; pre-render plan rows."""
         from repro.excess.binder import (
             IteratorSource,
             NamedSetSource,
@@ -528,8 +687,7 @@ class Interpreter:
         inner = statement.statement
         binder = self._binder()
         if isinstance(inner, ast.Retrieve):
-            bound = binder.bind_retrieve(inner)
-            query = bound.query
+            query = binder.bind_retrieve(inner).query
         elif isinstance(inner, ast.Append):
             query = binder.bind_append(inner).query
         elif isinstance(inner, ast.Delete):
@@ -543,7 +701,11 @@ class Interpreter:
                 f"explain supports query statements, not "
                 f"{type(inner).__name__}"
             )
-        report = Optimizer(self.db.catalog, enabled=self.optimize).optimize(query)
+        report = Optimizer(
+            self.db.catalog,
+            enabled=self.optimize,
+            hash_joins=self.hash_joins,
+        ).optimize(query)
         rows: list[tuple] = []
         for position, binding in enumerate(query.bindings, start=1):
             source = binding.source
@@ -561,6 +723,7 @@ class Interpreter:
                     f"index {binding.index_descriptor.name} ({binding.index_op})"
                 )
             quantifier = "forall" if binding.universal else "exists"
+            join = binding.join_detail or binding.join_strategy
             rows.append(
                 (
                     position,
@@ -569,17 +732,16 @@ class Interpreter:
                     access,
                     quantifier,
                     len(binding.residual),
+                    join,
                 )
             )
-        result = Result(
-            kind="explain",
-            columns=["step", "variable", "source", "access", "quantifier",
-                     "residual_predicates"],
-            rows=rows,
-            message=report.describe(),
+        return _PreparedPlan(
+            kind="explain", bound=query, report=report, explain_rows=rows
         )
-        result.plan = report
-        return result
+
+    def _do_explain(self, statement: ast.Explain, user: str) -> Result:
+        """Bind and optimize the inner statement; report the plan."""
+        return self._execute_prepared(self._prepare_explain(statement), user)
 
     # -- authorization helpers ----------------------------------------------------------------------
 

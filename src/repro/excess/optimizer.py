@@ -62,6 +62,10 @@ class OptimizerReport:
     normalized: int = 0
     binding_order: list[str] = field(default_factory=list)
     enabled: bool = True
+    #: equi-join conjuncts rewritten to hash joins ("probe*build:op")
+    hash_joins: list[str] = field(default_factory=list)
+    #: membership predicates rewritten to cached semi-join probes
+    semi_joins: int = 0
 
     def describe(self) -> str:
         """One-line human-readable summary."""
@@ -71,6 +75,8 @@ class OptimizerReport:
             f"pushdown={self.pushed_down}",
             f"normalized={self.normalized}",
             "index=[" + ", ".join(self.index_scans) + "]",
+            "hashjoin=[" + ", ".join(self.hash_joins) + "]",
+            f"semijoin={self.semi_joins}",
             "order=[" + ", ".join(self.binding_order) + "]",
         ]
         return "; ".join(parts)
@@ -92,6 +98,7 @@ class Optimizer:
         pushdown: bool = True,
         index_selection: bool = True,
         reorder: bool = True,
+        hash_joins: bool = True,
     ):
         self.catalog = catalog
         self.enabled = enabled
@@ -99,6 +106,7 @@ class Optimizer:
         self.pushdown_rule = pushdown
         self.index_rule = index_selection
         self.reorder_rule = reorder
+        self.hash_join_rule = hash_joins
 
     def optimize(self, query: BoundQuery) -> OptimizerReport:
         """Apply the rule families to ``query`` (mutating it)."""
@@ -122,12 +130,15 @@ class Optimizer:
                 report.pushed_down += 1
             else:
                 remaining.append(conjunct)
-        query.where = self._rebuild_conjunction(remaining)
         if self.index_rule:
             for binding in query.bindings:
                 self._select_access(binding, report)
         if self.reorder_rule:
             self._order_bindings(query)
+        if self.hash_join_rule:
+            remaining = self._select_hash_joins(query, remaining, report)
+        self._mark_semi_joins(query, remaining, report)
+        query.where = self._rebuild_conjunction(remaining)
         report.binding_order = [b.name for b in query.bindings]
         # Optimize aggregate inner iterations the same way.
         for aggregate in query.aggregates:
@@ -332,3 +343,143 @@ class Optimizer:
             placed.add(chosen.name)
             pending.remove(chosen)
         query.bindings = ordered
+
+    # -- hash joins ---------------------------------------------------------------------
+
+    def _select_hash_joins(
+        self,
+        query: BoundQuery,
+        remaining: list[BoundExpr],
+        report: OptimizerReport,
+    ) -> list[BoundExpr]:
+        """Rewrite equi-join conjuncts spanning two existential bindings.
+
+        The later-ordered binding of the pair becomes the *build* side: its
+        named set is loaded once into a hash table keyed by its side of the
+        conjunct, and each outer (probe) row looks up matches instead of
+        rescanning. When both sides are plain adjacent scans the pair is
+        swapped so the smaller set (by tracked cardinality) is built.
+        """
+        kept: list[BoundExpr] = []
+        positions = {b.name: i for i, b in enumerate(query.bindings)}
+        by_name = {b.name: b for b in query.bindings}
+        for conjunct in remaining:
+            pair = self._equi_join_pair(conjunct, by_name)
+            if pair is None:
+                kept.append(conjunct)
+                continue
+            (name_a, expr_a), (name_b, expr_b) = pair
+            if positions[name_a] < positions[name_b]:
+                probe_name, probe_key = name_a, expr_a
+                build_name, build_key = name_b, expr_b
+            else:
+                probe_name, probe_key = name_b, expr_b
+                build_name, build_key = name_a, expr_a
+            build = by_name[build_name]
+            probe = by_name[probe_name]
+            if not self._hashable_build(build):
+                kept.append(conjunct)
+                continue
+            if (
+                self._hashable_build(probe)
+                and positions[build_name] - positions[probe_name] == 1
+                and self.catalog.cardinality(probe.source.set_name)
+                < self.catalog.cardinality(build.source.set_name)
+            ):
+                i, j = positions[probe_name], positions[build_name]
+                query.bindings[i], query.bindings[j] = (
+                    query.bindings[j],
+                    query.bindings[i],
+                )
+                positions[probe_name], positions[build_name] = j, i
+                probe_name, build_name = build_name, probe_name
+                probe_key, build_key = build_key, probe_key
+                probe, build = build, probe
+            build.join_strategy = "hash"
+            build.hash_build_key = build_key
+            build.hash_probe_key = probe_key
+            build.hash_join_op = conjunct.op
+            build.join_detail = (
+                f"hash(build={build_name}"
+                f"~{self.catalog.cardinality(build.source.set_name)}"
+                f", probe={probe_name})"
+            )
+            report.hash_joins.append(f"{probe_name}*{build_name}:{conjunct.op}")
+        return kept
+
+    def _equi_join_pair(
+        self, conjunct: BoundExpr, bindings: dict[str, RangeBinding]
+    ) -> Optional[tuple[tuple[str, BoundExpr], tuple[str, BoundExpr]]]:
+        """Match ``f(A) = g(B)`` / ``f(A) is g(B)`` over two existential
+        range variables of this query block."""
+        if not isinstance(conjunct, Binary):
+            return None
+        is_value_join = conjunct.kind == "compare" and conjunct.op == "="
+        is_object_join = conjunct.kind == "object" and conjunct.op == "is"
+        if not (is_value_join or is_object_join):
+            return None
+        left_vars = self._variables_of(conjunct.left)
+        right_vars = self._variables_of(conjunct.right)
+        if len(left_vars) != 1 or len(right_vars) != 1:
+            return None
+        name_a = next(iter(left_vars))
+        name_b = next(iter(right_vars))
+        if name_a == name_b or "$aggregate" in (name_a, name_b):
+            return None
+        binding_a = bindings.get(name_a)
+        binding_b = bindings.get(name_b)
+        if binding_a is None or binding_b is None:
+            return None
+        if binding_a.universal or binding_b.universal:
+            return None
+        return (name_a, conjunct.left), (name_b, conjunct.right)
+
+    def _hashable_build(self, binding: RangeBinding) -> bool:
+        """Build sides must be env-independent full scans of a named set
+        (so the table can be built once) not already claimed by a join."""
+        return (
+            not binding.universal
+            and binding.join_strategy == "loop"
+            and binding.access == "scan"
+            and isinstance(binding.source, NamedSetSource)
+        )
+
+    # -- semi-joins ---------------------------------------------------------------------
+
+    def _mark_semi_joins(
+        self,
+        query: BoundQuery,
+        remaining: list[BoundExpr],
+        report: OptimizerReport,
+    ) -> None:
+        """Flag membership predicates over named sets so the evaluator
+        materializes the member-key set once per execution (semi-join)
+        instead of rescanning the collection per candidate row."""
+
+        def walk(root: BoundExpr) -> None:
+            stack = [root]
+            while stack:
+                node = stack.pop()
+                if isinstance(node, Membership):
+                    if node.collection.kind == "named" and not node.semi_join:
+                        node.semi_join = True
+                        report.semi_joins += 1
+                    stack.append(node.element)
+                    if node.collection.base is not None:
+                        stack.append(node.collection.base)
+                elif isinstance(node, Binary):
+                    stack.extend([node.left, node.right])
+                elif isinstance(node, Unary):
+                    stack.append(node.operand)
+                elif isinstance(node, (AdtCall, ExcessCall)):
+                    stack.extend(node.args)
+                elif isinstance(node, AttrStep):
+                    stack.append(node.base)
+                elif isinstance(node, IndexStepB):
+                    stack.extend([node.base, node.index])
+
+        for conjunct in remaining:
+            walk(conjunct)
+        for binding in query.bindings:
+            for residual in binding.residual:
+                walk(residual)

@@ -64,6 +64,9 @@ class Result:
     message: str = ""
     #: the optimizer's report, when a query ran
     plan: Optional[Any] = None
+    #: execution counters (rows scanned, hash builds/probes, plan-cache
+    #: hit/miss, wall time) when a query statement ran
+    metrics: Optional[dict] = None
 
     def __iter__(self) -> Iterator[tuple]:
         return iter(self.rows)

@@ -156,6 +156,13 @@ class IndexManager:
 
     def __init__(self) -> None:
         self._indexes: dict[tuple[str, str, str], IndexDescriptor] = {}
+        #: invoked after every create/drop so the catalog can invalidate
+        #: cached query plans (set by Catalog; None when standalone)
+        self.on_change: Optional[Callable[[], None]] = None
+
+    def _notify(self) -> None:
+        if self.on_change is not None:
+            self.on_change()
 
     def create(self, set_name: str, attribute: str, kind: str = "btree") -> IndexDescriptor:
         """Create an (initially empty) index of ``kind`` over
@@ -170,6 +177,7 @@ class IndexManager:
         index = HashIndex() if kind == "hash" else BTreeIndex()
         descriptor = IndexDescriptor(set_name, attribute, kind, index)
         self._indexes[key] = descriptor
+        self._notify()
         return descriptor
 
     def drop(self, set_name: str, attribute: str, kind: str) -> None:
@@ -180,6 +188,7 @@ class IndexManager:
             raise CatalogError(
                 f"no index on {set_name}.{attribute} of kind {kind}"
             ) from None
+        self._notify()
 
     def find(self, set_name: str, attribute: str, kinds: Iterable[str]) -> Optional[IndexDescriptor]:
         """The first existing index over ``set_name.attribute`` whose kind

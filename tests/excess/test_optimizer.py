@@ -25,7 +25,7 @@ class TestPushdown:
         assert report.pushed_down == 2
         assert bound.query.where is None
 
-    def test_join_conjunct_stays(self, small_company):
+    def test_join_conjunct_not_pushed_down(self, small_company):
         bound = bind_retrieve(
             small_company,
             "retrieve (E.name) from E in Employees, D in Departments "
@@ -33,6 +33,28 @@ class TestPushdown:
         )
         report = Optimizer(small_company.catalog).optimize(bound.query)
         assert report.pushed_down == 1
+        # The join predicate is never a residual: it either becomes a
+        # hash-join annotation or stays in the where clause.
+        if report.hash_joins:
+            assert bound.query.where is None
+            build = next(
+                b for b in bound.query.bindings if b.join_strategy == "hash"
+            )
+            assert build.hash_build_key is not None
+        else:
+            assert bound.query.where is not None
+
+    def test_join_conjunct_stays_without_hash_joins(self, small_company):
+        bound = bind_retrieve(
+            small_company,
+            "retrieve (E.name) from E in Employees, D in Departments "
+            "where E.dept is D and E.age > 30",
+        )
+        report = Optimizer(
+            small_company.catalog, hash_joins=False
+        ).optimize(bound.query)
+        assert report.pushed_down == 1
+        assert report.hash_joins == []
         assert bound.query.where is not None  # the join predicate remains
 
     def test_universal_binding_predicates_not_pushed(self, small_company):

@@ -1,0 +1,324 @@
+"""Plan cache and join-strategy tests.
+
+Covers the catalog epoch (every schema-affecting statement bumps it),
+the interpreter's LRU plan cache (repeat queries skip the front end,
+stale plans are never served after DDL / index changes / grant changes /
+range re-declarations / aborts), hash-join execution (annotated by the
+optimizer, executed by the evaluator, equivalent to nested loops),
+semi-join memberships, the universal-binding early exit, and the
+execution metrics surfaced on results and by EXPLAIN.
+"""
+
+import pytest
+
+from repro.errors import AuthorizationError
+
+JOIN_QUERY = (
+    "retrieve (E.name, D.dname) from E in Employees, D in Departments "
+    "where E.dept is D"
+)
+VALUE_JOIN_QUERY = (
+    "retrieve (E.name, M.name) from E in Employees, M in Employees "
+    "where E.age = M.age"
+)
+
+
+def run_modes(db, text):
+    """Row multisets under hash-join, nested-loop, and optimizer-off."""
+    interp = db.interpreter
+    out = {}
+    try:
+        out["hash"] = sorted(db.execute(text).rows)
+        interp.hash_joins = False
+        out["loop"] = sorted(db.execute(text).rows)
+        interp.optimize = False
+        out["off"] = sorted(db.execute(text).rows)
+    finally:
+        interp.optimize = True
+        interp.hash_joins = True
+    return out
+
+
+class TestEpoch:
+    def test_ddl_bumps_epoch(self, db):
+        start = db.catalog.epoch
+        db.execute("define type T as (x: int4)")
+        after_type = db.catalog.epoch
+        assert after_type > start
+        db.execute("create {own T} Ts")
+        assert db.catalog.epoch > after_type
+
+    def test_index_create_and_drop_bump_epoch(self, small_company):
+        start = small_company.catalog.epoch
+        small_company.execute("create index on Employees (age) using btree")
+        mid = small_company.catalog.epoch
+        assert mid > start
+        small_company.execute("drop index on Employees (age) using btree")
+        assert small_company.catalog.epoch > mid
+
+    def test_grant_revoke_and_range_bump_epoch(self, small_company):
+        db = small_company
+        db.execute("create user reader")
+        e0 = db.catalog.epoch
+        db.execute("grant select on Employees to reader")
+        e1 = db.catalog.epoch
+        assert e1 > e0
+        db.execute("revoke select on Employees from reader")
+        e2 = db.catalog.epoch
+        assert e2 > e1
+        db.execute("range of X is Employees")
+        assert db.catalog.epoch > e2
+
+    def test_data_changes_do_not_bump_epoch(self, small_company):
+        start = small_company.catalog.epoch
+        small_company.execute(
+            'append to Departments (dname = "Wands", floor = 3, '
+            "budget = 1.0)"
+        )
+        assert small_company.catalog.epoch == start
+
+    def test_cardinality_tracking(self, small_company):
+        db = small_company
+        assert db.catalog.cardinality("Employees") == 3
+        db.execute(
+            'append to Employees (name = "Eve", age = 33, salary = 1.0)'
+        )
+        assert db.catalog.cardinality("Employees") == 4
+        db.execute('delete E from E in Employees where E.name = "Eve"')
+        assert db.catalog.cardinality("Employees") == 3
+
+
+class TestPlanCache:
+    def test_repeat_query_hits_cache(self, small_company):
+        text = "retrieve (E.name) from E in Employees where E.age > 30"
+        first = small_company.execute(text)
+        assert first.metrics["cache"] == "miss"
+        second = small_company.execute(text)
+        assert second.metrics["cache"] == "hit"
+        assert sorted(second.rows) == sorted(first.rows)
+        stats = small_company.interpreter.plan_cache.stats()
+        assert stats["hits"] >= 1 and stats["misses"] >= 1
+
+    def test_cache_key_includes_user(self, small_company):
+        text = "retrieve (E.name) from E in Employees"
+        small_company.execute(text, user="dba")
+        result = small_company.execute(text, user="alice")
+        assert result.metrics["cache"] == "miss"
+
+    def test_cache_key_includes_optimizer_flags(self, small_company):
+        text = "retrieve (E.name) from E in Employees"
+        small_company.execute(text)
+        interp = small_company.interpreter
+        try:
+            interp.optimize = False
+            assert small_company.execute(text).metrics["cache"] == "miss"
+        finally:
+            interp.optimize = True
+        assert small_company.execute(text).metrics["cache"] == "hit"
+
+    def test_disabled_cache_reports_off(self, small_company):
+        small_company.interpreter.plan_cache.enabled = False
+        text = "retrieve (E.name) from E in Employees"
+        assert small_company.execute(text).metrics["cache"] == "off"
+        assert small_company.execute(text).metrics["cache"] == "off"
+
+    def test_multi_statement_scripts_not_cached(self, small_company):
+        text = (
+            "retrieve (E.name) from E in Employees "
+            "retrieve (D.dname) from D in Departments"
+        )
+        result = small_company.execute(text)
+        assert result.metrics["cache"] == ""
+        assert len(small_company.interpreter.plan_cache) == 0
+
+    def test_lru_eviction(self, small_company):
+        cache = small_company.interpreter.plan_cache
+        cache.capacity = 2
+        small_company.execute("retrieve (E.name) from E in Employees")
+        small_company.execute("retrieve (E.age) from E in Employees")
+        small_company.execute("retrieve (E.salary) from E in Employees")
+        assert len(cache) == 2
+        # the oldest entry was evicted: re-running it misses again
+        result = small_company.execute("retrieve (E.name) from E in Employees")
+        assert result.metrics["cache"] == "miss"
+
+
+class TestInvalidation:
+    def test_define_type_invalidates(self, small_company):
+        text = "retrieve (E.name) from E in Employees"
+        small_company.execute(text)
+        assert small_company.execute(text).metrics["cache"] == "hit"
+        small_company.execute("define type Widget as (w: int4)")
+        assert small_company.execute(text).metrics["cache"] == "miss"
+
+    def test_create_index_invalidates_and_new_plan_uses_it(self, small_company):
+        text = "retrieve (E.name) from E in Employees where E.age = 40"
+        before = small_company.execute(text)
+        assert before.plan.index_scans == []
+        small_company.execute("create index on Employees (age) using btree")
+        after = small_company.execute(text)
+        # the stale scan plan was not served: the fresh one uses the index
+        assert after.metrics["cache"] == "miss"
+        assert after.plan.index_scans
+        assert sorted(after.rows) == sorted(before.rows)
+
+    def test_drop_index_invalidates(self, small_company):
+        small_company.execute("create index on Employees (age) using btree")
+        text = "retrieve (E.name) from E in Employees where E.age = 40"
+        assert small_company.execute(text).plan.index_scans
+        small_company.execute("drop index on Employees (age) using btree")
+        after = small_company.execute(text)
+        assert after.metrics["cache"] == "miss"
+        assert after.plan.index_scans == []
+
+    def test_revoke_means_stale_plan_never_served(self, small_company):
+        db = small_company
+        db.execute("create user reader")
+        db.execute("grant select on Employees to reader")
+        db.authz.enabled = True
+        text = "retrieve (E.name) from E in Employees"
+        assert db.execute(text, user="reader").metrics["cache"] == "miss"
+        assert db.execute(text, user="reader").metrics["cache"] == "hit"
+        db.execute("revoke select on Employees from reader")
+        with pytest.raises(AuthorizationError):
+            db.execute(text, user="reader")
+
+    def test_range_redeclaration_invalidates(self, small_company):
+        db = small_company
+        db.execute("create {ref Employee} Staff")
+        db.execute(
+            'append to Staff (E) from E in Employees where E.name = "Bob"'
+        )
+        db.execute("range of X is Employees")
+        text = "retrieve (X.name)"
+        assert sorted(r[0] for r in db.execute(text).rows) == [
+            "Ann", "Bob", "Sue",
+        ]
+        assert db.execute(text).metrics["cache"] == "hit"
+        db.execute("range of X is Staff")
+        result = db.execute(text)
+        assert result.metrics["cache"] == "miss"
+        assert [r[0] for r in result.rows] == ["Bob"]  # rebound to Staff
+
+    def test_abort_invalidates_in_transaction_plans(self, small_company):
+        db = small_company
+        text = "retrieve (E.name) from E in Employees where E.age = 40"
+        db.execute("begin")
+        db.execute("create index on Employees (age) using btree")
+        assert db.execute(text).plan.index_scans
+        db.execute("abort")
+        after = db.execute(text)
+        assert after.metrics["cache"] == "miss"
+        assert after.plan.index_scans == []
+
+
+class TestHashJoin:
+    def test_object_join_uses_hash(self, small_company):
+        result = small_company.execute(JOIN_QUERY)
+        assert result.plan.hash_joins
+        assert result.metrics["hash_builds"] == 1
+        assert result.metrics["hash_probes"] == 3  # one per employee
+
+    def test_object_join_modes_agree(self, small_company):
+        modes = run_modes(small_company, JOIN_QUERY)
+        assert modes["hash"] == modes["loop"] == modes["off"]
+        assert modes["hash"] == sorted(
+            [("Sue", "Toys"), ("Ann", "Toys"), ("Bob", "Shoes")]
+        )
+
+    def test_value_self_join_modes_agree(self, small_company):
+        modes = run_modes(small_company, VALUE_JOIN_QUERY)
+        assert modes["hash"] == modes["loop"] == modes["off"]
+        # every employee self-joins on age; no two share an age here
+        assert modes["hash"] == sorted(
+            [("Sue", "Sue"), ("Bob", "Bob"), ("Ann", "Ann")]
+        )
+
+    def test_null_join_keys_never_match(self, small_company):
+        # Mei has no dept: `E.dept is D` is false for every D, and a null
+        # `=` key is unknown against everything (3VL) in both strategies.
+        small_company.execute(
+            'append to Employees (name = "Mei", age = 28, salary = 1.0)'
+        )
+        modes = run_modes(small_company, JOIN_QUERY)
+        assert modes["hash"] == modes["loop"] == modes["off"]
+        assert all(name != "Mei" for name, _d in modes["hash"])
+
+    def test_hash_join_respects_residuals(self, small_company):
+        text = (
+            "retrieve (E.name, D.dname) from E in Employees, "
+            "D in Departments where E.dept is D and D.floor = 2 "
+            "and E.age > 30"
+        )
+        modes = run_modes(small_company, text)
+        assert modes["hash"] == modes["loop"] == modes["off"]
+        assert modes["hash"] == sorted([("Sue", "Toys"), ("Ann", "Toys")])
+
+    def test_build_side_prefers_smaller_set(self, small_company):
+        # Employees (3) joined with Departments (2): whichever side ends
+        # up the build side must be the smaller named set.
+        result = small_company.execute(JOIN_QUERY)
+        build = next(
+            b
+            for b in result.plan.hash_joins
+        )
+        assert "D" in build  # Departments (2 rows) is the build side
+        assert result.metrics["rows_scanned"] == 5  # 3 probes + 2 build rows
+
+
+class TestSemiJoinAndUniversal:
+    def test_semi_join_membership(self, small_company):
+        db = small_company
+        db.execute("create {ref Employee} Team")
+        db.execute(
+            "append to Team (E) from E in Employees where E.salary > 45000.0"
+        )
+        text = "retrieve (E.name) from E in Employees where E in Team"
+        result = db.execute(text)
+        assert sorted(r[0] for r in result.rows) == ["Ann", "Sue"]
+        assert result.plan.semi_joins >= 1
+        assert result.metrics["semi_builds"] == 1
+
+    def test_semi_join_negated(self, small_company):
+        db = small_company
+        db.execute("create {ref Employee} Team")
+        db.execute(
+            "append to Team (E) from E in Employees where E.salary > 45000.0"
+        )
+        result = db.execute(
+            "retrieve (E.name) from E in Employees where E not in Team"
+        )
+        assert [r[0] for r in result.rows] == ["Bob"]
+
+    def test_universal_binding_early_exit(self, small_company):
+        # No where clause: ∀ is vacuously true, Employees never iterated.
+        result = small_company.execute(
+            "retrieve (D.dname) from D in Departments, E in every Employees"
+        )
+        assert sorted(r[0] for r in result.rows) == ["Shoes", "Toys"]
+        assert result.metrics["rows_scanned"] == 2  # departments only
+
+
+class TestExplainAndMetrics:
+    def test_explain_names_join_strategy(self, small_company):
+        result = small_company.execute("explain " + JOIN_QUERY)
+        assert "join" in result.columns
+        joins = [row[6] for row in result.rows]
+        assert any("hash" in j for j in joins)
+        assert any(j == "loop" for j in joins)
+        assert "hashjoin=[" in result.message
+
+    def test_explain_reports_cache_miss_then_hit(self, small_company):
+        text = "explain retrieve (E.name) from E in Employees"
+        first = small_company.execute(text)
+        assert first.message.endswith("cache=miss")
+        second = small_company.execute(text)
+        assert second.message.endswith("cache=hit")
+        assert second.rows == first.rows
+
+    def test_metrics_on_updates(self, small_company):
+        result = small_company.execute(
+            "replace E (salary = E.salary * 1.1) from E in Employees"
+        )
+        assert result.metrics["rows_scanned"] == 3
+        assert result.metrics["wall_ms"] >= 0

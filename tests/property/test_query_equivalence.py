@@ -24,6 +24,31 @@ def predicates(draw):
     return f"E.{attribute} {op} {value}"
 
 
+@st.composite
+def equi_join_queries(draw):
+    """Random two-binding equi-join retrieves (value or object joins),
+    optionally with an extra single-variable filter on either side."""
+    join = draw(
+        st.sampled_from(
+            [
+                "E.age = M.age",
+                "E.salary = M.salary",
+                "E.dept is M.dept",
+                "E.dept is D",
+            ]
+        )
+    )
+    second = "D in Departments" if "is D" in join else "M in Employees"
+    where = join
+    if draw(st.booleans()):
+        where += f" and {draw(predicates())}"
+    other_var = "D" if "is D" in join else "M"
+    targets = f"E.name, {other_var}.name" if other_var == "M" else "E.name, D.dname"
+    return (
+        f"retrieve ({targets}) from E in Employees, {second} where {where}"
+    )
+
+
 @pytest.fixture(scope="module")
 def company_pair():
     memory = build_company_database(
@@ -79,6 +104,24 @@ class TestEquivalences:
             f"where {conjunct} and {predicate}"
         ).rows
         assert sorted(a) == sorted(b)
+
+    @given(query=equi_join_queries())
+    @settings(max_examples=30, deadline=None)
+    def test_join_strategies_equivalent(self, company_pair, query):
+        """Hash-join, nested-loop, and optimizer-off plans must return
+        identical row multisets for random equi-join queries."""
+        memory, _paged = company_pair
+        interpreter = memory.interpreter
+        try:
+            hash_rows = memory.execute(query).rows
+            interpreter.hash_joins = False
+            loop_rows = memory.execute(query).rows
+            interpreter.optimize = False
+            off_rows = memory.execute(query).rows
+        finally:
+            interpreter.optimize = True
+            interpreter.hash_joins = True
+        assert sorted(hash_rows) == sorted(loop_rows) == sorted(off_rows)
 
     @given(predicate=predicates())
     @settings(max_examples=30, deadline=None)
