@@ -64,8 +64,11 @@ def test_evolution_shape():
         "retrieve (n = count(E.name where E.flag is null)) "
         "from E in Employees"
     ).scalar() == 60
-    db.execute("replace E (flag = true) from E in Employees "
-               "where E.dept.floor = 2")
+    floor = db.execute(
+        "retrieve unique (E.dept.floor) from E in Employees"
+    ).rows[0][0]
+    db.execute(f"replace E (flag = true) from E in Employees "
+               f"where E.dept.floor = {floor}")
     flagged = db.execute(
         "retrieve (n = count(E.name where E.flag = true)) from E in Employees"
     ).scalar()

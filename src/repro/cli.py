@@ -70,6 +70,8 @@ class Shell:
             self._write(f"({len(result.rows)} row(s))")
             if result.message:  # explain carries the optimizer summary
                 self._write(result.message)
+            if result.kind == "explain" and result.plan_tree:
+                self._write(result.plan_tree)
         elif result.message:
             self._write(result.message)
         else:

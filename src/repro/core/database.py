@@ -50,6 +50,11 @@ _INDEXABLE = (int, float, str, bool)
 class Database:
     """One EXTRA/EXCESS database instance."""
 
+    #: monotonic data-change counter (class default covers old snapshots);
+    #: every insert/remove/delete/update bumps it, so plan-level caches
+    #: keyed by it (hash-join build tables) are never served stale
+    data_version: int = 0
+
     def __init__(
         self,
         storage: str = "memory",
@@ -80,6 +85,7 @@ class Database:
         self.authz.directory.add_user(dba)
         self.authz.enabled = authorization
         register_builtin_adts(self.catalog.adts, self.catalog.access_table)
+        self.data_version = 0
         self._interpreter: Any = None
         self._transaction: Any = None
 
@@ -128,13 +134,17 @@ class Database:
         restored = pickle.loads(self._transaction)
         interpreter = self._interpreter  # keep session state (range decls)
         seen_epoch = self.catalog.epoch
+        seen_version = self.data_version
         self.__dict__.update(restored.__dict__)
         self._transaction = None
         self._interpreter = interpreter
         # The restored catalog carries the epoch as of begin(); force it
         # past every epoch observed during the transaction so query plans
         # cached against the rolled-back state can never be served again.
+        # The data version moves forward the same way: hash-join build
+        # tables memoized during the transaction must not survive it.
         self.catalog._epoch = max(self.catalog.epoch, seen_epoch) + 1
+        self.data_version = max(self.data_version, seen_version) + 1
 
     # -- schema definition ----------------------------------------------------------
 
@@ -228,6 +238,7 @@ class Database:
                 descriptor.set_name, descriptor.attribute, descriptor.kind
             )
         self.catalog.destroy_named(name)
+        self.data_version += 1
         return deleted
 
     # -- data manipulation -----------------------------------------------------------------
@@ -261,6 +272,7 @@ class Database:
             return member
         self._index_insert(set_name, collection, member)
         self.catalog.note_cardinality(set_name, +1)
+        self.data_version += 1
         return member
 
     def remove(self, set_name: str, member: Any, delete_owned: bool = True) -> bool:
@@ -275,6 +287,7 @@ class Database:
         )
         if removed:
             self.catalog.note_cardinality(set_name, -1)
+            self.data_version += 1
         return removed
 
     def delete(self, reference: Ref) -> int:
@@ -286,6 +299,7 @@ class Database:
         """
         if not self.objects.is_live(reference.oid):
             return 0
+        self.data_version += 1
         for name in self.catalog.named_names():
             named = self.catalog.named(name)
             if isinstance(named.value, SetInstance) and named.value.contains(reference):
@@ -337,6 +351,7 @@ class Database:
                 )
         if instance.oid is not None:
             self.objects.mark_dirty(instance.oid)
+        self.data_version += 1
 
     # -- indexes ----------------------------------------------------------------------------
 

@@ -303,6 +303,11 @@ class BoundAggregate:
     inner_key: Optional[BoundExpr] = None
     #: for correlated mode: outer variables the evaluation depends on
     outer_deps: list[str] = field(default_factory=list)
+    #: the aggregate's inner iteration as a query (lazily built and
+    #: lowered by the evaluator; reset when the optimizer re-annotates)
+    inner_query: Optional["BoundQuery"] = field(
+        default=None, repr=False, compare=False
+    )
 
 
 @dataclass
@@ -320,6 +325,9 @@ class BoundQuery:
     bindings: list[RangeBinding] = field(default_factory=list)
     where: Optional[BoundExpr] = None
     aggregates: list[BoundAggregate] = field(default_factory=list)
+    #: the lowered physical plan (binding pipeline); attached lazily by
+    #: the executor, reset by the optimizer when annotations change
+    plan: Optional[Any] = field(default=None, repr=False, compare=False)
 
 
 @dataclass
@@ -332,6 +340,9 @@ class BoundRetrieve:
     unique: bool = False
     #: sort keys: (expression, descending)
     order: list[tuple[BoundExpr, bool]] = field(default_factory=list)
+    #: the full lowered pipeline (StoreInto?/Sort?/Project over the
+    #: query's binding pipeline); attached lazily, reset on re-optimize
+    pipeline: Optional[Any] = field(default=None, repr=False, compare=False)
 
 
 @dataclass

@@ -1,25 +1,27 @@
-"""The EXCESS evaluator: nested-loop execution over range bindings.
+"""The EXCESS evaluator: a thin executor over the physical plan IR.
 
 Executes bound (and optimized) statements against a
-:class:`~repro.core.database.Database`:
+:class:`~repro.core.database.Database`. All iteration strategy lives in
+:mod:`repro.excess.plan`: the bound query is lowered to a Volcano-style
+operator pipeline (scans, index probes, path expansions, filters,
+nested-loop/hash joins, semi-join probes, universal checks, aggregate
+table building) and this module merely opens/next/closes that tree,
+evaluates expressions for the operators, and aggregates per-operator
+counters into :class:`ExecMetrics`. What remains here:
 
-* range bindings become nested loops (set scans, index scans, nested-set
-  expansions, iterator functions), with optimizer-pushed residual
-  predicates applied as soon as their variable is bound;
-* universal (``every``) bindings are checked with ∀ semantics per
-  surviving existential binding;
-* aggregates are precomputed into partition tables (global and
-  partitioned modes) or evaluated per-row with memoization (correlated
-  mode);
-* comparison and boolean logic follow QUEL-style three-valued semantics:
-  any comparison with null is unknown, Kleene logic connects unknowns,
-  and a row qualifies only when the where clause is definitely true;
-* dangling references (targets deleted since the reference was stored)
-  read as null everywhere, implementing GEM referential integrity.
-
-Update statements collect their qualifying bindings first and apply
-mutations afterwards, so an update never observes its own effects
-(QUEL's snapshot semantics) and iteration never races with mutation.
+* **expression evaluation** — comparison and boolean logic follow
+  QUEL-style three-valued semantics: any comparison with null is
+  unknown, Kleene logic connects unknowns, and a row qualifies only when
+  the where clause is definitely true; dangling references (targets
+  deleted since the reference was stored) read as null everywhere,
+  implementing GEM referential integrity;
+* **aggregate tables** — global and partitioned aggregates are
+  precomputed by running their (separately lowered) inner pipelines;
+  correlated aggregates evaluate per-row with memoization;
+* **mutation application** — update statements collect their qualifying
+  environments from the shared row-source pipeline first and apply
+  mutations afterwards, so an update never observes its own effects
+  (QUEL's snapshot semantics) and iteration never races with mutation.
 """
 
 from __future__ import annotations
@@ -70,7 +72,6 @@ from repro.excess.binder import (
     Const,
     ExcessCall,
     IndexStepB,
-    IteratorSource,
     Membership,
     NamedSetSource,
     NamedValue,
@@ -79,14 +80,21 @@ from repro.excess.binder import (
     Unary,
     VarRef,
 )
+from repro.excess.plan import (
+    HashJoin,
+    PlanContext,
+    PlanOp,
+    SCAN_OPS,
+    ensure_query_plan,
+    ensure_retrieve_plan,
+    plan_ops,
+    reset_stats,
+)
 from repro.excess.result import Result
 
 __all__ = ["Evaluator", "ExecMetrics", "canonical_key"]
 
 Env = dict
-
-#: sentinel distinguishing "binding name absent from env" from a None value
-_MISSING = object()
 
 
 @dataclass
@@ -157,19 +165,20 @@ class Evaluator:
         self.user = user
         self._function_depth = 0
         self.metrics = ExecMetrics()
-        #: id(binding) → hash-join build table; valid until data mutates
-        self._hash_tables: dict[int, dict] = {}
         #: id(membership node) → materialized member-key set (semi-join)
         self._semi_sets: dict[int, set] = {}
 
     def _invalidate_exec_caches(self) -> None:
-        """Drop memoized hash tables and semi-join key sets.
+        """Invalidate memoized execution state before data mutates.
 
-        Called before an update statement applies its pending mutations so
-        a later statement executed by this same evaluator (procedures,
-        EXCESS functions) never sees stale build tables.
+        Called before an update statement applies its pending mutations.
+        Bumping the database's data version invalidates every hash-join
+        build table memoized on cached plans (they are keyed by it), and
+        the semi-join key sets of this evaluator are dropped so a later
+        statement executed by it (procedures, EXCESS functions) never
+        sees stale members.
         """
-        self._hash_tables.clear()
+        self.db.data_version += 1
         self._semi_sets.clear()
 
     # ------------------------------------------------------------------
@@ -179,69 +188,22 @@ class Evaluator:
     def run_retrieve(
         self, bound: BoundRetrieve, base_env: Optional[Env] = None
     ) -> Result:
-        """Execute a retrieve; returns rows (and creates the ``into``
-        result object when requested)."""
+        """Execute a retrieve by draining its lowered operator pipeline
+        (``StoreInto?(Sort?(Project(row source)))``)."""
         env0: Env = dict(base_env or {})
-        tables = self._precompute_aggregates(bound.query, env0)
-        rows: list[tuple] = []
-        sort_keys: list[tuple] = []
-        seen: set = set()
-        for env in self._iterate(bound.query, env0, tables):
-            row = tuple(
-                self._eval(t.expression, env, tables) for t in bound.targets
-            )
-            if bound.unique:
-                key = tuple(canonical_key(v) for v in row)
-                if key in seen:
-                    continue
-                seen.add(key)
-            if bound.order:
-                sort_keys.append(
-                    tuple(
-                        self._eval(expr, env, tables)
-                        for expr, _desc in bound.order
-                    )
-                )
-            rows.append(row)
-        if bound.order:
-            rows = self._sort_rows(rows, sort_keys, bound.order)
+        ctx = PlanContext(self)
+        pipeline = ensure_retrieve_plan(bound, self.db.catalog)
+        rows = list(self._run_plan(pipeline, env0, ctx))
         columns = [t.label for t in bound.targets]
         result = Result(kind="retrieve", columns=columns, rows=rows)
         if bound.into:
-            self._store_into(bound, result)
+            # the pipeline root is the StoreInto operator
+            result.message = pipeline.message
         return result
 
-    @staticmethod
-    def _sort_rows(
-        rows: list[tuple], sort_keys: list[tuple], order: list
-    ) -> list[tuple]:
-        """Stable multi-key sort; nulls sort last regardless of direction
-        (sorting is applied key by key, least significant first)."""
-        decorated = list(zip(sort_keys, rows))
-        for position in reversed(range(len(order))):
-            _expr, descending = order[position]
-            nulls = [pair for pair in decorated if pair[0][position] is NULL]
-            rest = [pair for pair in decorated if pair[0][position] is not NULL]
-
-            def key_of(pair, position=position):
-                value = pair[0][position]
-                if isinstance(value, Ref):
-                    return value.oid
-                if isinstance(value, bool):
-                    return int(value)
-                return value
-
-            try:
-                rest.sort(key=key_of, reverse=descending)
-            except TypeError as exc:
-                raise EvaluationError(
-                    f"sort keys are not mutually comparable: {exc}"
-                ) from exc
-            decorated = rest + nulls
-        return [row for _keys, row in decorated]
-
-    def _store_into(self, bound: BoundRetrieve, result: Result) -> None:
-        """Materialize a retrieve-into result as a named set of tuples."""
+    def _store_rows(self, bound: BoundRetrieve, rows: list[tuple]) -> str:
+        """Materialize finished rows as a named set of tuples
+        (``retrieve ... into``); returns the status message."""
         specs: list[tuple[str, ComponentSpec]] = []
         for index, target in enumerate(bound.targets):
             expr = target.expression
@@ -250,14 +212,14 @@ class Evaluator:
             elif expr.type is not None:
                 spec = own(expr.type)
             else:
-                spec = own(self._infer_type(result.rows, index))
+                spec = own(self._infer_type(rows, index))
             specs.append((target.label, spec))
         row_type = TupleType(specs)
         named = self.db.create_named(
             bound.into, own(SetType(own(row_type))), user=self.user
         )
         collection: SetInstance = named.value
-        for row in result.rows:
+        for row in rows:
             instance = TupleInstance(row_type)
             for (label, spec), value in zip(specs, row):
                 instance._slots[label] = (
@@ -266,7 +228,7 @@ class Evaluator:
                     else value
                 )
             collection.insert(instance)
-        result.message = f"stored {len(result.rows)} row(s) into {bound.into!r}"
+        return f"stored {len(rows)} row(s) into {bound.into!r}"
 
     @staticmethod
     def _infer_type(rows: list[tuple], index: int) -> Type:
@@ -293,10 +255,9 @@ class Evaluator:
         self, bound: BoundAppend, base_env: Optional[Env] = None
     ) -> Result:
         """Execute an append statement."""
-        env0: Env = dict(base_env or {})
-        tables = self._precompute_aggregates(bound.query, env0)
+        tables: dict = {}
         pending: list[tuple[Env, Any]] = []
-        for env in self._iterate(bound.query, env0, tables):
+        for env in self.env_stream(bound.query, base_env, tables):
             if bound.assignments:
                 raw = {
                     attribute: self._eval(expression, env, tables)
@@ -408,14 +369,12 @@ class Evaluator:
         self, bound: BoundDelete, base_env: Optional[Env] = None
     ) -> Result:
         """Execute a delete statement."""
-        env0: Env = dict(base_env or {})
-        tables = self._precompute_aggregates(bound.query, env0)
         binding = next(
             b for b in bound.query.bindings if b.name == bound.variable
         )
         victims: list[tuple[Any, Optional[SetInstance], Optional[str]]] = []
         seen: set = set()
-        for env in self._iterate(bound.query, env0, tables):
+        for env in self.env_stream(bound.query, base_env):
             member = env[bound.variable]
             key = canonical_key(member)
             if key in seen:
@@ -464,10 +423,9 @@ class Evaluator:
         self, bound: BoundReplace, base_env: Optional[Env] = None
     ) -> Result:
         """Execute a replace statement."""
-        env0: Env = dict(base_env or {})
-        tables = self._precompute_aggregates(bound.query, env0)
+        tables: dict = {}
         pending: list[tuple[Any, dict[str, Any]]] = []
-        for env in self._iterate(bound.query, env0, tables):
+        for env in self.env_stream(bound.query, base_env, tables):
             target_value = self._eval(bound.target, env, tables)
             if target_value is NULL:
                 continue
@@ -513,10 +471,9 @@ class Evaluator:
         self, bound: BoundSetStatement, base_env: Optional[Env] = None
     ) -> Result:
         """Execute a set (slot assignment) statement."""
-        env0: Env = dict(base_env or {})
-        tables = self._precompute_aggregates(bound.query, env0)
+        tables: dict = {}
         pending: list[tuple[Env, Any]] = []
-        for env in self._iterate(bound.query, env0, tables):
+        for env in self.env_stream(bound.query, base_env, tables):
             pending.append((env, self._eval(bound.expression, env, tables)))
         count = 0
         self._invalidate_exec_caches()
@@ -554,236 +511,101 @@ class Evaluator:
         return Result(kind="set", count=count, message=f"set {count}")
 
     # ------------------------------------------------------------------
-    # Binding iteration
+    # Plan execution
     # ------------------------------------------------------------------
 
-    def _iterate(
+    def _run_plan(
+        self, root: PlanOp, env: Env, ctx: PlanContext
+    ) -> Iterator[Any]:
+        """Drain one operator tree: reset its counters, open/next/close,
+        then absorb the counters into this statement's metrics.
+
+        Plans are shared (they live on cached bound statements), so a
+        recursive EXCESS function can re-enter a tree that is already
+        running; the nested run skips the reset/absorb — its rows simply
+        accumulate into the outer run's counters.
+        """
+        nested = root.running > 0
+        if not nested:
+            reset_stats(root)
+        root.running += 1
+        root.open(ctx, env)
+        root_iter = root._iters[-1]
+        root_stats = root.stats
+        try:
+            for row in root_iter:
+                root_stats.rows_out += 1
+                yield row
+        finally:
+            root.close()
+            root.running -= 1
+            if not nested:
+                self._absorb_stats(root)
+
+    def _absorb_stats(self, root: PlanOp) -> None:
+        """Fold per-operator counters into the statement metrics."""
+        metrics = self.metrics
+        for op in plan_ops(root):
+            if isinstance(op, SCAN_OPS):
+                metrics.rows_scanned += op.stats.rows_out
+            elif isinstance(op, HashJoin):
+                metrics.hash_builds += op.stats.builds
+                metrics.hash_probes += op.stats.probes
+
+    def _query_rows(
         self, query: BoundQuery, base_env: Env, tables: dict
     ) -> Iterator[Env]:
-        existential = [b for b in query.bindings if not b.universal]
-        universal = [b for b in query.bindings if b.universal]
-        metrics = self.metrics
+        """Stream the *shared* environment of a query's binding pipeline
+        (callers must not retain yielded envs — see :meth:`env_stream`)."""
+        plan = ensure_query_plan(query, self.db.catalog)
+        yield from self._run_plan(plan, dict(base_env), PlanContext(self, tables))
 
-        def qualifies(env: Env) -> bool:
-            if query.where is None:
-                # vacuously true — ∀ bindings need not be iterated at all
-                return True
-            if universal:
-                return self._check_universal(universal, 0, env, query, tables)
-            return self._eval(query.where, env, tables) is True
-
-        # One shared env mutated in place; a snapshot is taken only for
-        # qualifying rows (consumers keep yielded envs in pending lists).
-        env: Env = dict(base_env)
-
-        def recurse(index: int) -> Iterator[Env]:
-            if index == len(existential):
-                if qualifies(env):
-                    yield dict(env)
-                return
-            binding = existential[index]
-            saved = env.get(binding.name, _MISSING)
-            try:
-                if (
-                    binding.join_strategy == "hash"
-                    and binding.hash_probe_key is not None
-                ):
-                    table = self._hash_table_for(binding, tables)
-                    probe_value = self._eval(
-                        binding.hash_probe_key, env, tables
-                    )
-                    metrics.hash_probes += 1
-                    key = self._join_key(probe_value, binding.hash_join_op)
-                    matches = () if key is None else table.get(key, ())
-                    # residuals were applied while building the table
-                    for member in matches:
-                        env[binding.name] = member
-                        yield from recurse(index + 1)
-                    return
-                for member in self._source_values(binding, env, tables):
-                    metrics.rows_scanned += 1
-                    env[binding.name] = member
-                    if all(
-                        self._eval(residual, env, tables) is True
-                        for residual in binding.residual
-                    ):
-                        yield from recurse(index + 1)
-            finally:
-                if saved is _MISSING:
-                    env.pop(binding.name, None)
-                else:
-                    env[binding.name] = saved
-
-        yield from recurse(0)
-
-    # -- hash joins ---------------------------------------------------------
-
-    def _join_key(self, value: Any, op: str) -> Optional[Any]:
-        """The hash key for one side of a join conjunct.
-
-        Returns None when the row cannot match anything: a null value
-        under ``=`` is unknown against every member (3VL), so it neither
-        enters the build table nor probes. Under ``is``, null keys *do*
-        participate — ``null is null`` is true (both denote no object) —
-        and non-objects raise exactly as nested-loop ``is`` would.
-        """
-        if op == "is":
-            if value is NULL:
-                return ("null",)
-            return ("ref", self._object_oid(value))
-        if value is NULL:
-            return None
-        return canonical_key(value)
-
-    def _hash_table_for(self, binding: RangeBinding, tables: dict) -> dict:
-        table = self._hash_tables.get(id(binding))
-        if table is None:
-            table = self._build_hash_table(binding, tables)
-            self._hash_tables[id(binding)] = table
-        return table
-
-    def _build_hash_table(self, binding: RangeBinding, tables: dict) -> dict:
-        """Load the build side once: scan its named set, apply residuals,
-        key surviving members by the build expression."""
-        self.metrics.hash_builds += 1
-        table: dict[Any, list] = {}
-        env: Env = {}
-        for member in self._source_values(binding, env, tables):
-            self.metrics.rows_scanned += 1
-            env[binding.name] = member
-            if not all(
-                self._eval(residual, env, tables) is True
-                for residual in binding.residual
-            ):
-                continue
-            key_value = self._eval(binding.hash_build_key, env, tables)
-            key = self._join_key(key_value, binding.hash_join_op)
-            if key is None:
-                continue
-            table.setdefault(key, []).append(member)
-        return table
-
-    def _check_universal(
+    def env_stream(
         self,
-        universal: list[RangeBinding],
-        index: int,
-        env: Env,
         query: BoundQuery,
-        tables: dict,
-    ) -> bool:
-        if index == len(universal):
-            if query.where is None:
-                return True
-            return self._eval(query.where, env, tables) is True
-        binding = universal[index]
-        for member in self._source_values(binding, env, tables):
-            self.metrics.rows_scanned += 1
-            child = dict(env)
-            child[binding.name] = member
-            if not self._check_universal(universal, index + 1, child, query, tables):
-                return False
-        return True
+        base_env: Optional[Env] = None,
+        tables: Optional[dict] = None,
+    ) -> Iterator[Env]:
+        """The shared row-source layer: one snapshot environment per
+        qualifying row of the query's lowered binding pipeline.
 
-    def _source_values(
-        self, binding: RangeBinding, env: Env, tables: dict
-    ) -> Iterator[Any]:
-        source = binding.source
-        if isinstance(source, NamedSetSource):
-            named = self.db.named(source.set_name)
-            collection = named.value
-            if isinstance(collection, ArrayInstance):
-                # named arrays iterate their non-null, live slots in order
-                for slot in collection:
-                    if slot is NULL:
-                        continue
-                    if isinstance(slot, Ref) and not self.db.objects.is_live(
-                        slot.oid
-                    ):
-                        continue
-                    yield slot
-                return
-            if not isinstance(collection, SetInstance):
-                raise EvaluationError(
-                    f"{source.set_name!r} is not a collection"
-                )
-            if binding.access == "index" and binding.index_descriptor is not None:
-                yield from self._index_scan(binding, env, tables)
-                return
-            yield from self.db.integrity.live_members(collection)
-            return
-        if isinstance(source, PathSource):
-            parent_value = env.get(source.parent)
-            instance = self._resolve_instance(parent_value)
-            current: Any = instance
-            for step in source.steps:
-                if not isinstance(current, TupleInstance):
-                    return
-                value = current.get(step)
-                if value is NULL:
-                    return
-                if isinstance(value, Ref):
-                    value = self._deref(value)
-                    if value is None:
-                        return
-                current = value
-            if isinstance(current, SetInstance):
-                yield from self.db.integrity.live_members(current)
-            elif isinstance(current, ArrayInstance):
-                for slot in current:
-                    if slot is NULL:
-                        continue
-                    if isinstance(slot, Ref) and not self.db.objects.is_live(slot.oid):
-                        continue
-                    yield slot
-            return
-        if isinstance(source, IteratorSource):
-            args = [self._eval(a, env, tables) for a in source.args]
-            if any(a is NULL for a in args):
-                return
-            yield from source.function.impl(*args)
-            return
-        raise EvaluationError(f"unknown binding source {type(source).__name__}")
-
-    def _index_scan(
-        self, binding: RangeBinding, env: Env, tables: dict
-    ) -> Iterator[Ref]:
-        descriptor = binding.index_descriptor
-        key = self._eval(binding.index_key, env, tables)
-        if key is NULL:
-            return
-        index = descriptor.index
-        op = binding.index_op
-        if op == "=":
-            oids = index.search(key)
-        else:
-            if not getattr(index, "supports_range", False):
-                raise EvaluationError("index does not support range scans")
-            if op in ("<", "<="):
-                pairs = index.range_scan(None, key, include_high=(op == "<="))
-            else:
-                pairs = index.range_scan(key, None, include_low=(op == ">="))
-            oids = [oid for _key, oid in pairs]
-        for oid in oids:
-            if self.db.objects.is_live(oid):
-                yield Ref(oid)
+        Retrieve, append, delete, replace, set, and procedure invocation
+        all consume this stream, so every strategy decision (access
+        methods, join order, hash vs nested-loop) lives in the plan IR.
+        ``tables`` receives the aggregate tables the pipeline builds; pass
+        the same dict to later ``_eval`` calls over the yielded envs.
+        """
+        if tables is None:
+            tables = {}
+        for env in self._query_rows(query, base_env or {}, tables):
+            yield dict(env)
 
     # ------------------------------------------------------------------
     # Aggregates
     # ------------------------------------------------------------------
 
-    def _precompute_aggregates(self, query: BoundQuery, base_env: Env) -> dict:
-        """Build evaluation tables for global and partitioned aggregates;
-        correlated ones get a memo dict filled on demand."""
-        tables: dict[int, Any] = {}
+    def _aggregate_query(self, aggregate: BoundAggregate) -> BoundQuery:
+        """The aggregate's inner iteration as a (plan-carrying) query."""
+        if aggregate.inner_query is None:
+            aggregate.inner_query = BoundQuery(
+                bindings=aggregate.inner_bindings, where=aggregate.where
+            )
+        return aggregate.inner_query
+
+    def _precompute_aggregates(
+        self, query: BoundQuery, base_env: Env, tables: dict
+    ) -> dict:
+        """Fill ``tables`` for global and partitioned aggregates by
+        running their inner pipelines; correlated ones get a memo dict
+        filled on demand (the :class:`~repro.excess.plan.Aggregate`
+        operator calls this at open, before any downstream evaluation)."""
         for aggregate in query.aggregates:
             if aggregate.mode == "correlated":
                 tables[aggregate.aggregate_id] = ("correlated", aggregate, {})
                 continue
             groups: dict[Any, list] = {}
-            inner = BoundQuery(
-                bindings=aggregate.inner_bindings, where=aggregate.where
-            )
-            for env in self._iterate(inner, dict(base_env), tables):
+            inner = self._aggregate_query(aggregate)
+            for env in self._query_rows(inner, base_env, tables):
                 value = self._eval(aggregate.argument, env, tables)
                 if value is NULL:
                     continue
@@ -824,8 +646,8 @@ class Evaluator:
         if memo_key in memo:
             return memo[memo_key]
         values: list = []
-        inner = BoundQuery(bindings=aggregate.inner_bindings, where=aggregate.where)
-        for inner_env in self._iterate(inner, dict(env), tables):
+        inner = self._aggregate_query(aggregate)
+        for inner_env in self._query_rows(inner, env, tables):
             value = self._eval(aggregate.argument, inner_env, tables)
             if value is not NULL:
                 values.append(value)

@@ -59,6 +59,7 @@ from repro.excess.functions import (
 )
 from repro.excess.optimizer import Optimizer
 from repro.excess.parser import OperatorTable, parse_script
+from repro.excess.plan import render_plan, snapshot_stats
 from repro.excess.procedures import Procedure, bind_procedure_body, run_procedure
 from repro.excess.result import Result
 
@@ -80,6 +81,8 @@ class _PreparedPlan:
     report: Any
     #: pre-rendered EXPLAIN rows (kind == "explain" only)
     explain_rows: list = field(default_factory=list)
+    #: root of the lowered physical operator tree (cached with the plan)
+    plan_root: Any = None
 
 
 class PlanCache:
@@ -489,9 +492,9 @@ class Interpreter:
             self.db.catalog, enabled=self.optimize, hash_joins=self.hash_joins
         ).optimize(query)
         evaluator = Evaluator(self.db, user=procedure.definer)
-        tables = evaluator._precompute_aggregates(query, {})
+        tables: dict = {}
         bindings: list[dict] = []
-        for env in evaluator._iterate(query, {}, tables):
+        for env in evaluator.env_stream(query, {}, tables):
             values = [evaluator._eval(a, env, tables) for a in bound_args]
             bindings.append(
                 {
@@ -531,7 +534,10 @@ class Interpreter:
                 f"not a query statement: {type(statement).__name__}"
             )
         report = optimizer.optimize(bound.query)
-        return _PreparedPlan(kind=kind, bound=bound, report=report)
+        # lower to the physical operator tree now, so cache hits re-execute
+        # the prepared tree without re-lowering
+        root = optimizer.lower(bound)
+        return _PreparedPlan(kind=kind, bound=bound, report=report, plan_root=root)
 
     def _execute_prepared(
         self, plan: _PreparedPlan, user: str, cache: str = ""
@@ -578,6 +584,20 @@ class Interpreter:
         else:  # pragma: no cover
             raise ExcessError(f"unknown prepared plan kind {plan.kind!r}")
         result.plan = plan.report
+        if plan.plan_root is not None:
+            # EXPLAIN shows estimates only (nothing ran); executed
+            # statements render the tree with actual per-operator counts.
+            # Rendering is deferred to first plan_tree access — only the
+            # counter snapshot is taken here, since a cached plan's live
+            # counters are reset by its next execution.
+            root = plan.plan_root
+            if plan.kind == "explain":
+                result.plan_tree = render_plan(root, actuals=False)
+            else:
+                snap = snapshot_stats(root)
+                result._plan_tree_thunk = (
+                    lambda: render_plan(root, actuals=True, snapshot=snap)
+                )
         evaluator.metrics.wall_ms = (time.perf_counter() - start) * 1000.0
         result.metrics = evaluator.metrics.as_dict()
         return result
@@ -687,25 +707,28 @@ class Interpreter:
         inner = statement.statement
         binder = self._binder()
         if isinstance(inner, ast.Retrieve):
-            query = binder.bind_retrieve(inner).query
+            bound_stmt: Any = binder.bind_retrieve(inner)
         elif isinstance(inner, ast.Append):
-            query = binder.bind_append(inner).query
+            bound_stmt = binder.bind_append(inner)
         elif isinstance(inner, ast.Delete):
-            query = binder.bind_delete(inner).query
+            bound_stmt = binder.bind_delete(inner)
         elif isinstance(inner, ast.Replace):
-            query = binder.bind_replace(inner).query
+            bound_stmt = binder.bind_replace(inner)
         elif isinstance(inner, ast.SetStatement):
-            query = binder.bind_set(inner).query
+            bound_stmt = binder.bind_set(inner)
         else:
             raise ExcessError(
                 f"explain supports query statements, not "
                 f"{type(inner).__name__}"
             )
-        report = Optimizer(
+        query = bound_stmt.query
+        optimizer = Optimizer(
             self.db.catalog,
             enabled=self.optimize,
             hash_joins=self.hash_joins,
-        ).optimize(query)
+        )
+        report = optimizer.optimize(query)
+        root = optimizer.lower(bound_stmt)
         rows: list[tuple] = []
         for position, binding in enumerate(query.bindings, start=1):
             source = binding.source
@@ -736,7 +759,11 @@ class Interpreter:
                 )
             )
         return _PreparedPlan(
-            kind="explain", bound=query, report=report, explain_rows=rows
+            kind="explain",
+            bound=query,
+            report=report,
+            explain_rows=rows,
+            plan_root=root,
         )
 
     def _do_explain(self, statement: ast.Explain, user: str) -> Result:

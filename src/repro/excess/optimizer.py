@@ -111,6 +111,9 @@ class Optimizer:
     def optimize(self, query: BoundQuery) -> OptimizerReport:
         """Apply the rule families to ``query`` (mutating it)."""
         report = OptimizerReport(enabled=self.enabled)
+        # annotations are about to change; any previously lowered plan
+        # for this bound query is stale
+        query.plan = None
         if not self.enabled:
             report.binding_order = [b.name for b in query.bindings]
             return report
@@ -148,7 +151,26 @@ class Optimizer:
             self.optimize(inner)
             aggregate.inner_bindings = inner.bindings
             aggregate.where = inner.where
+            aggregate.inner_query = None
         return report
+
+    def lower(self, bound: Any) -> Any:
+        """Lower an optimized bound statement to its physical plan.
+
+        Retrieves lower to their full pipeline
+        (``StoreInto?(Sort?(Project(...)))``); update statements lower
+        their query block to the shared binding pipeline. The plan is
+        cached on the bound objects, so cached statements skip lowering.
+        """
+        from repro.excess.binder import BoundRetrieve
+        from repro.excess.plan import ensure_query_plan, ensure_retrieve_plan
+
+        if isinstance(bound, BoundRetrieve):
+            return ensure_retrieve_plan(bound, self.catalog)
+        query = getattr(bound, "query", None)
+        if isinstance(query, BoundQuery):
+            return ensure_query_plan(query, self.catalog)
+        return None
 
     # -- conjunct handling -------------------------------------------------------
 

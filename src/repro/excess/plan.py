@@ -1,0 +1,1212 @@
+"""The physical plan IR: a Volcano-style pipeline of pull operators.
+
+The optimizer *lowers* a bound (and annotated) query into a tree of
+composable iterator operators — the paper's §4.1.3 architecture of a
+table-driven optimizer emitting plans over pluggable access methods,
+reproduced at small scale.  Each operator follows the classic
+open/next/close lifecycle and keeps its own counters (rows in/out, opens,
+hash builds/probes), so EXPLAIN can print the operator tree with
+estimated and actual row counts and :class:`~repro.excess.evaluator.
+ExecMetrics` aggregates from operator counters instead of ad-hoc
+increments.
+
+Operator inventory
+------------------
+
+Row sources (bind one range variable per input row):
+
+* :class:`SeqScan` — live members of a named set (or slots of a named
+  array), in insertion order;
+* :class:`IndexScan` — an equality or range probe through a physical
+  index chosen by the optimizer's access-method selection;
+* :class:`PathExpand` — members of a set-valued path under an
+  already-bound parent variable (the paper's nested-set iteration);
+* :class:`FunctionScan` — values produced by a registered iterator
+  function (e.g. ``interval``).
+
+Row transformers:
+
+* :class:`Filter` — residual/where predicates, kept only when definitely
+  true (three-valued logic);
+* :class:`SemiJoinProbe` — a membership predicate over a named set,
+  answered against a memoized member-key set;
+* :class:`NestedLoopJoin` — re-opens its inner subtree per outer row;
+* :class:`HashJoin` — builds a hash table over its build subtree once
+  (memoized across executions until the database's data version moves)
+  and probes it per outer row;
+* :class:`UniversalCheck` — ∀ semantics: an input row survives iff the
+  predicate holds for every combination of the universal bindings;
+* :class:`Aggregate` — computes aggregate partition tables at open, then
+  streams its input through.
+
+Row finishers (tuple-level, above the binding pipeline):
+
+* :class:`Project` — evaluates the target list (with optional duplicate
+  elimination and sort-key computation);
+* :class:`Sort` — stable multi-key sort, null keys deterministically
+  last in both directions;
+* :class:`StoreInto` — materializes the result as a named set
+  (``retrieve ... into``).
+
+Execution contract
+------------------
+
+The binding pipeline streams **one shared environment dict**, mutated in
+place as scans bind their variables (this is what keeps the plan IR as
+fast as the pre-IR nested-loop interpreter: no per-candidate-row dict
+copies).  Consumers that retain rows must snapshot:
+:meth:`repro.excess.evaluator.Evaluator.env_stream` copies each
+qualifying environment, and the tuple-level operators produce fresh row
+tuples.  Operator statistics accumulate across re-opens within one
+execution and are reset by the executor before each execution, so
+``stats`` always describes the most recent run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+from repro.core.values import (
+    NULL,
+    ArrayInstance,
+    Ref,
+    SetInstance,
+    TupleInstance,
+)
+from repro.errors import EvaluationError
+from repro.excess.binder import (
+    AdtCall,
+    AggregateRef,
+    AttrStep,
+    Binary,
+    BoundExpr,
+    BoundQuery,
+    BoundRetrieve,
+    Const,
+    ExcessCall,
+    IndexStepB,
+    IteratorSource,
+    Membership,
+    NamedSetSource,
+    NamedValue,
+    PathSource,
+    RangeBinding,
+    Unary,
+    VarRef,
+)
+
+__all__ = [
+    "PlanContext",
+    "OpStats",
+    "PlanOp",
+    "Singleton",
+    "SeqScan",
+    "IndexScan",
+    "PathExpand",
+    "FunctionScan",
+    "Filter",
+    "SemiJoinProbe",
+    "NestedLoopJoin",
+    "HashJoin",
+    "UniversalCheck",
+    "Aggregate",
+    "Project",
+    "Sort",
+    "StoreInto",
+    "join_key",
+    "sort_rows",
+    "lower_query",
+    "lower_retrieve",
+    "ensure_query_plan",
+    "ensure_retrieve_plan",
+    "describe_expr",
+    "render_plan",
+    "snapshot_stats",
+    "plan_ops",
+    "walk_plan",
+    "reset_stats",
+]
+
+Env = dict
+
+#: sentinel distinguishing "binding name absent from env" from None values
+_MISSING = object()
+
+#: operator classes whose output rows count as "rows scanned" (candidate
+#: members enumerated from binding sources) in ExecMetrics
+SCAN_OPS: tuple = ()  # filled in below, after the classes exist
+
+
+# ---------------------------------------------------------------------------
+# Execution context and statistics
+# ---------------------------------------------------------------------------
+
+
+class PlanContext:
+    """Per-execution state shared by every operator of one plan run.
+
+    Holds the evaluator (expression evaluation, dereferencing, the
+    database) and the aggregate tables filled by :class:`Aggregate` at
+    open.  Plans themselves are immutable and shareable (they live in the
+    plan cache); everything execution-scoped lives here or in operator
+    stats.
+    """
+
+    __slots__ = ("evaluator", "tables")
+
+    def __init__(self, evaluator: Any, tables: Optional[dict] = None):
+        self.evaluator = evaluator
+        self.tables = {} if tables is None else tables
+
+    @property
+    def db(self) -> Any:
+        return self.evaluator.db
+
+    def eval(self, expr: BoundExpr, env: Env) -> Any:
+        """Evaluate a bound expression under this execution's tables."""
+        return self.evaluator._eval(expr, env, self.tables)
+
+
+@dataclass
+class OpStats:
+    """Per-operator execution counters (reset before each execution)."""
+
+    #: times the operator was opened (inner sides of joins re-open)
+    opens: int = 0
+    #: rows pulled from the primary input
+    rows_in: int = 0
+    #: rows produced
+    rows_out: int = 0
+    #: hash tables built (HashJoin)
+    builds: int = 0
+    #: rows loaded into hash tables (HashJoin)
+    build_rows: int = 0
+    #: probe lookups performed (HashJoin)
+    probes: int = 0
+
+    def reset(self) -> None:
+        self.opens = 0
+        self.rows_in = 0
+        self.rows_out = 0
+        self.builds = 0
+        self.build_rows = 0
+        self.probes = 0
+
+
+# ---------------------------------------------------------------------------
+# Operator base
+# ---------------------------------------------------------------------------
+
+
+class PlanOp:
+    """One physical operator: open/next/close over environments or rows.
+
+    Subclasses implement :meth:`_run`, a generator over the incoming
+    environment; the base class provides the Volcano protocol and the
+    bookkeeping (``stats.rows_out`` counted in :meth:`next`).  Adding an
+    operator (parallel scan, batch probe, external sort) means adding a
+    subclass and a lowering rule — no evaluator changes.
+    """
+
+    label = "Op"
+
+    def __init__(self, children: Optional[list["PlanOp"]] = None):
+        self.children: list[PlanOp] = list(children or [])
+        self.stats = OpStats()
+        #: optimizer's cardinality guess for this operator's output
+        self.est_rows: Optional[int] = None
+        # Plans are shared across executions (they live in the plan cache
+        # and on bound statements), and a recursive EXCESS function can
+        # re-enter a tree that is already mid-iteration.  Each open()
+        # therefore pushes a fresh generator on a stack instead of
+        # clobbering a single slot; next()/close() act on the top.
+        self._iters: list[Iterator] = []
+        #: executor depth — outermost run resets/absorbs stats
+        self.running: int = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    def open(self, ctx: PlanContext, env: Env) -> None:
+        """Prepare to produce rows for one incoming environment."""
+        self.stats.opens += 1
+        self._iters.append(self._run(ctx, env))
+
+    def next(self) -> Optional[Any]:
+        """The next row, or None when exhausted."""
+        assert self._iters, f"{self.label}.next() before open()"
+        row = next(self._iters[-1], None)
+        if row is not None:
+            self.stats.rows_out += 1
+        return row
+
+    def close(self) -> None:
+        """Release the current iteration (children close recursively via
+        their generators' ``finally`` blocks)."""
+        if self._iters:
+            self._iters.pop().close()
+
+    def __getstate__(self) -> dict:
+        # bound statements (and their cached plans) are pickled by
+        # transaction snapshots; generators are transient execution state
+        state = dict(self.__dict__)
+        state["_iters"] = []
+        state["running"] = 0
+        return state
+
+    def _run(self, ctx: PlanContext, env: Env) -> Iterator[Any]:
+        raise NotImplementedError
+
+    # -- helpers ---------------------------------------------------------
+
+    def _pull(self, child: "PlanOp", ctx: PlanContext, env: Env) -> Iterator[Any]:
+        """Open ``child``, stream its rows (counting ``rows_in``), close.
+
+        Iterates the child's generator directly rather than calling
+        ``child.next()`` per row — same stream (operators never yield
+        None mid-stream), minus a method call on the per-row hot path.
+        """
+        child.open(ctx, env)
+        child_iter = child._iters[-1]
+        child_stats = child.stats
+        stats = self.stats
+        try:
+            for row in child_iter:
+                child_stats.rows_out += 1
+                stats.rows_in += 1
+                yield row
+        finally:
+            child.close()
+
+    # -- description -----------------------------------------------------
+
+    def describe(self) -> str:
+        """One-line operator description for the rendered plan tree."""
+        return self.label
+
+    def child_roles(self) -> list[tuple[str, "PlanOp"]]:
+        """Children annotated with their role (for tree rendering)."""
+        return [("", child) for child in self.children]
+
+    def extra_counters(self) -> str:
+        """Operator-specific counters appended to the actuals display."""
+        return ""
+
+
+# ---------------------------------------------------------------------------
+# Row sources
+# ---------------------------------------------------------------------------
+
+
+class Singleton(PlanOp):
+    """Produces the incoming (outer) environment exactly once — the seed
+    of a pipeline with no range bindings (``retrieve (Today)``)."""
+
+    label = "Singleton"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.est_rows = 1
+
+    def _run(self, ctx: PlanContext, env: Env) -> Iterator[Env]:
+        yield env
+
+
+class _BindingOp(PlanOp):
+    """Base for operators that bind one range variable in the shared
+    environment, restoring any shadowed value on close."""
+
+    def __init__(self, var: str) -> None:
+        super().__init__()
+        self.var = var
+
+
+class SeqScan(_BindingOp):
+    """Scan the live members of a named set (or a named array's live,
+    non-null slots, in order)."""
+
+    label = "SeqScan"
+
+    def __init__(self, set_name: str, var: str) -> None:
+        super().__init__(var)
+        self.set_name = set_name
+
+    def describe(self) -> str:
+        return f"SeqScan {self.set_name} as {self.var}"
+
+    def _run(self, ctx: PlanContext, env: Env) -> Iterator[Env]:
+        db = ctx.db
+        collection = db.named(self.set_name).value
+        saved = env.get(self.var, _MISSING)
+        try:
+            if isinstance(collection, ArrayInstance):
+                for slot in collection:
+                    if slot is NULL:
+                        continue
+                    if isinstance(slot, Ref) and not db.objects.is_live(slot.oid):
+                        continue
+                    env[self.var] = slot
+                    yield env
+            elif isinstance(collection, SetInstance):
+                for member in db.integrity.live_members(collection):
+                    env[self.var] = member
+                    yield env
+            else:
+                raise EvaluationError(
+                    f"{self.set_name!r} is not a collection"
+                )
+        finally:
+            if saved is _MISSING:
+                env.pop(self.var, None)
+            else:
+                env[self.var] = saved
+
+
+class IndexScan(_BindingOp):
+    """Probe a physical index with an equality or range key.
+
+    The key expression is evaluated against the incoming environment at
+    open, so correlated probes (keys referencing earlier bindings) work;
+    a null key produces no rows (3VL: nothing compares to null).
+    """
+
+    label = "IndexScan"
+
+    def __init__(self, binding: RangeBinding) -> None:
+        super().__init__(binding.name)
+        self.descriptor = binding.index_descriptor
+        self.op = binding.index_op
+        self.key_expr = binding.index_key
+
+    def describe(self) -> str:
+        return (
+            f"IndexScan {self.descriptor.name} ({self.op} "
+            f"{describe_expr(self.key_expr)}) as {self.var}"
+        )
+
+    def _run(self, ctx: PlanContext, env: Env) -> Iterator[Env]:
+        key = ctx.eval(self.key_expr, env)
+        if key is NULL:
+            return
+        index = self.descriptor.index
+        if self.op == "=":
+            oids = index.search(key)
+        else:
+            if not getattr(index, "supports_range", False):
+                raise EvaluationError("index does not support range scans")
+            if self.op in ("<", "<="):
+                pairs = index.range_scan(None, key, include_high=(self.op == "<="))
+            else:
+                pairs = index.range_scan(key, None, include_low=(self.op == ">="))
+            oids = [oid for _key, oid in pairs]
+        db = ctx.db
+        saved = env.get(self.var, _MISSING)
+        try:
+            for oid in oids:
+                if db.objects.is_live(oid):
+                    env[self.var] = Ref(oid)
+                    yield env
+        finally:
+            if saved is _MISSING:
+                env.pop(self.var, None)
+            else:
+                env[self.var] = saved
+
+
+class PathExpand(_BindingOp):
+    """Expand a set- or array-valued path under an already-bound parent
+    variable (implicit nested-set join, paper §3.3)."""
+
+    label = "PathExpand"
+
+    def __init__(self, source: PathSource, var: str) -> None:
+        super().__init__(var)
+        self.parent = source.parent
+        self.steps = list(source.steps)
+
+    def describe(self) -> str:
+        path = ".".join([self.parent, *self.steps])
+        return f"PathExpand {path} as {self.var}"
+
+    def _run(self, ctx: PlanContext, env: Env) -> Iterator[Env]:
+        evaluator = ctx.evaluator
+        current: Any = evaluator._resolve_instance(env.get(self.parent))
+        for step in self.steps:
+            if not isinstance(current, TupleInstance):
+                return
+            value = current.get(step)
+            if value is NULL:
+                return
+            if isinstance(value, Ref):
+                value = evaluator._deref(value)
+                if value is None:
+                    return
+            current = value
+        saved = env.get(self.var, _MISSING)
+        try:
+            if isinstance(current, SetInstance):
+                for member in ctx.db.integrity.live_members(current):
+                    env[self.var] = member
+                    yield env
+            elif isinstance(current, ArrayInstance):
+                for slot in current:
+                    if slot is NULL:
+                        continue
+                    if isinstance(slot, Ref) and not ctx.db.objects.is_live(
+                        slot.oid
+                    ):
+                        continue
+                    env[self.var] = slot
+                    yield env
+        finally:
+            if saved is _MISSING:
+                env.pop(self.var, None)
+            else:
+                env[self.var] = saved
+
+
+class FunctionScan(_BindingOp):
+    """Iterate the values of a registered iterator function; a null
+    argument produces no rows."""
+
+    label = "FunctionScan"
+
+    def __init__(self, source: IteratorSource, var: str) -> None:
+        super().__init__(var)
+        self.function = source.function
+        self.args = list(source.args)
+
+    def describe(self) -> str:
+        args = ", ".join(describe_expr(a) for a in self.args)
+        return f"FunctionScan {self.function.name}({args}) as {self.var}"
+
+    def _run(self, ctx: PlanContext, env: Env) -> Iterator[Env]:
+        args = [ctx.eval(a, env) for a in self.args]
+        if any(a is NULL for a in args):
+            return
+        saved = env.get(self.var, _MISSING)
+        try:
+            for value in self.function.impl(*args):
+                env[self.var] = value
+                yield env
+        finally:
+            if saved is _MISSING:
+                env.pop(self.var, None)
+            else:
+                env[self.var] = saved
+
+
+# ---------------------------------------------------------------------------
+# Row transformers
+# ---------------------------------------------------------------------------
+
+
+class Filter(PlanOp):
+    """Keep rows whose predicates are all definitely true (3VL)."""
+
+    label = "Filter"
+
+    def __init__(self, child: PlanOp, predicates: list[BoundExpr]) -> None:
+        super().__init__([child])
+        self.predicates = list(predicates)
+
+    def describe(self) -> str:
+        return "Filter " + " and ".join(
+            describe_expr(p) for p in self.predicates
+        )
+
+    def _run(self, ctx: PlanContext, env: Env) -> Iterator[Env]:
+        for row in self._pull(self.children[0], ctx, env):
+            if all(ctx.eval(p, row) is True for p in self.predicates):
+                yield row
+
+
+class SemiJoinProbe(PlanOp):
+    """A (possibly negated) membership predicate over a named set,
+    answered against the evaluator's memoized member-key set instead of
+    rescanning the collection per candidate row."""
+
+    label = "SemiJoinProbe"
+
+    def __init__(self, child: PlanOp, membership: Membership) -> None:
+        super().__init__([child])
+        self.membership = membership
+
+    def describe(self) -> str:
+        return f"SemiJoinProbe {describe_expr(self.membership)}"
+
+    def _run(self, ctx: PlanContext, env: Env) -> Iterator[Env]:
+        node = self.membership
+        for row in self._pull(self.children[0], ctx, env):
+            self.stats.probes += 1
+            if ctx.eval(node, row) is True:
+                yield row
+
+    def extra_counters(self) -> str:
+        return f" probes={self.stats.probes}"
+
+
+class NestedLoopJoin(PlanOp):
+    """Re-open the inner subtree for every outer row.
+
+    Because the pipeline streams one shared environment, the inner
+    subtree sees the outer row's bindings simply by being opened after
+    the outer scan bound them — the implicit-join semantics of the
+    original nested-loop interpreter, now an explicit operator.
+    """
+
+    label = "NestedLoopJoin"
+
+    def __init__(self, outer: PlanOp, inner: PlanOp) -> None:
+        super().__init__([outer, inner])
+
+    def child_roles(self) -> list[tuple[str, PlanOp]]:
+        return [("outer", self.children[0]), ("inner", self.children[1])]
+
+    def _run(self, ctx: PlanContext, env: Env) -> Iterator[Env]:
+        outer, inner = self.children
+        inner_stats = inner.stats
+        for row in self._pull(outer, ctx, env):
+            inner.open(ctx, row)
+            inner_iter = inner._iters[-1]
+            try:
+                for match in inner_iter:
+                    inner_stats.rows_out += 1
+                    yield match
+            finally:
+                inner.close()
+
+
+class HashJoin(PlanOp):
+    """Equi-join: build a hash table over the build subtree once, probe
+    it per outer row.
+
+    The build side is env-independent by construction (the optimizer only
+    annotates full scans of named sets), so the table is memoized **on
+    the plan** and reused across executions until the database's data
+    version moves — any append/delete/replace/set invalidates it.  Null
+    keys follow 3VL: ``=`` drops them on both sides; ``is`` keeps them
+    (``null is null`` is true).
+    """
+
+    label = "HashJoin"
+
+    def __init__(
+        self,
+        outer: PlanOp,
+        build: PlanOp,
+        binding: RangeBinding,
+        cardinality: int = 0,
+    ) -> None:
+        super().__init__([outer, build])
+        self.var = binding.name
+        self.build_key = binding.hash_build_key
+        self.probe_key = binding.hash_probe_key
+        self.join_op = binding.hash_join_op
+        self.detail = binding.join_detail
+        self.build_cardinality = cardinality
+        #: memoized build table, valid while the data version matches
+        self._table: Optional[dict] = None
+        self._table_version: int = -1
+
+    def describe(self) -> str:
+        op = self.join_op
+        return (
+            f"HashJoin {describe_expr(self.probe_key)} {op} "
+            f"{describe_expr(self.build_key)} as {self.var}"
+        )
+
+    def child_roles(self) -> list[tuple[str, PlanOp]]:
+        return [("outer", self.children[0]), ("build", self.children[1])]
+
+    def extra_counters(self) -> str:
+        return f" builds={self.stats.builds} probes={self.stats.probes}"
+
+    def invalidate(self) -> None:
+        """Drop the memoized build table (tests / explicit flushes)."""
+        self._table = None
+        self._table_version = -1
+
+    def _table_for(self, ctx: PlanContext) -> dict:
+        version = ctx.db.data_version
+        if self._table is None or self._table_version != version:
+            self._table = self._build(ctx)
+            self._table_version = version
+        return self._table
+
+    def _build(self, ctx: PlanContext) -> dict:
+        self.stats.builds += 1
+        table: dict[Any, list] = {}
+        build = self.children[1]
+        env: Env = {}
+        build.open(ctx, env)
+        build_iter = build._iters[-1]
+        build_stats = build.stats
+        try:
+            for _ in build_iter:
+                build_stats.rows_out += 1
+                self.stats.build_rows += 1
+                key = join_key(ctx.eval(self.build_key, env), self.join_op)
+                if key is None:
+                    continue
+                table.setdefault(key, []).append(env[self.var])
+        finally:
+            build.close()
+        return table
+
+    def _run(self, ctx: PlanContext, env: Env) -> Iterator[Env]:
+        table = self._table_for(ctx)
+        saved = env.get(self.var, _MISSING)
+        try:
+            for row in self._pull(self.children[0], ctx, env):
+                self.stats.probes += 1
+                key = join_key(ctx.eval(self.probe_key, row), self.join_op)
+                if key is None:
+                    continue
+                for member in table.get(key, ()):
+                    row[self.var] = member
+                    yield row
+        finally:
+            if saved is _MISSING:
+                env.pop(self.var, None)
+            else:
+                env[self.var] = saved
+
+
+class UniversalCheck(PlanOp):
+    """∀ semantics: an input row survives iff the where clause is
+    definitely true for every combination of the universal bindings.
+
+    The universal sources are ordinary scan subtrees re-opened per check
+    (their rows count as scanned rows); the check early-exits on the
+    first failing combination.  Lowering never emits this operator when
+    the query has no where clause — ∀ over anything is then vacuously
+    true and the universal sets are never iterated.
+    """
+
+    label = "UniversalCheck"
+
+    def __init__(
+        self,
+        child: PlanOp,
+        checks: list[tuple[RangeBinding, PlanOp]],
+        where: BoundExpr,
+    ) -> None:
+        super().__init__([child] + [subtree for _b, subtree in checks])
+        self.checks = checks
+        self.where = where
+
+    def describe(self) -> str:
+        names = ", ".join(b.name for b, _s in self.checks)
+        return f"UniversalCheck forall {names}: {describe_expr(self.where)}"
+
+    def child_roles(self) -> list[tuple[str, PlanOp]]:
+        roles = [("", self.children[0])]
+        roles.extend(
+            (f"forall {b.name}", subtree) for b, subtree in self.checks
+        )
+        return roles
+
+    def _run(self, ctx: PlanContext, env: Env) -> Iterator[Env]:
+        for row in self._pull(self.children[0], ctx, env):
+            if self._holds(ctx, row, 0):
+                yield row
+
+    def _holds(self, ctx: PlanContext, env: Env, depth: int) -> bool:
+        if depth == len(self.checks):
+            return ctx.eval(self.where, env) is True
+        binding, subtree = self.checks[depth]
+        saved = env.get(binding.name, _MISSING)
+        subtree.open(ctx, env)
+        subtree_iter = subtree._iters[-1]
+        subtree_stats = subtree.stats
+        try:
+            for _ in subtree_iter:
+                subtree_stats.rows_out += 1
+                if not self._holds(ctx, env, depth + 1):
+                    return False
+            return True
+        finally:
+            subtree.close()
+            if saved is _MISSING:
+                env.pop(binding.name, None)
+            else:
+                env[binding.name] = saved
+
+
+class Aggregate(PlanOp):
+    """Compute the query's aggregate partition tables at open, then
+    stream the input through unchanged.
+
+    Global and partitioned aggregates materialize their tables by running
+    their (separately lowered) inner pipelines once; correlated
+    aggregates register a memo filled on demand during expression
+    evaluation.  Sitting at the top of the binding pipeline guarantees
+    the tables exist before any downstream expression is evaluated.
+    """
+
+    label = "Aggregate"
+
+    def __init__(self, child: PlanOp, query: BoundQuery) -> None:
+        super().__init__([child])
+        self.query = query
+
+    def describe(self) -> str:
+        modes = ", ".join(a.mode for a in self.query.aggregates)
+        return f"Aggregate [{modes}]"
+
+    def open(self, ctx: PlanContext, env: Env) -> None:
+        # tables must be filled before any downstream next() — eagerly,
+        # not inside the lazy generator
+        ctx.evaluator._precompute_aggregates(self.query, env, ctx.tables)
+        super().open(ctx, env)
+
+    def _run(self, ctx: PlanContext, env: Env) -> Iterator[Env]:
+        yield from self._pull(self.children[0], ctx, env)
+
+
+# ---------------------------------------------------------------------------
+# Row finishers (tuple level)
+# ---------------------------------------------------------------------------
+
+
+class Project(PlanOp):
+    """Evaluate the target list per environment, producing row tuples.
+
+    With ``unique`` set, duplicates (by canonical key) are dropped before
+    sort keys are computed.  When the retrieve has a sort clause the
+    operator emits ``(row, sort_keys)`` pairs for the Sort above it.
+    """
+
+    label = "Project"
+
+    def __init__(
+        self,
+        child: PlanOp,
+        targets: list,
+        unique: bool = False,
+        order: Optional[list] = None,
+    ) -> None:
+        super().__init__([child])
+        self.targets = targets
+        self.unique = unique
+        self.order = order or []
+
+    def describe(self) -> str:
+        cols = ", ".join(t.label for t in self.targets)
+        unique = "unique " if self.unique else ""
+        return f"Project {unique}[{cols}]"
+
+    def _run(self, ctx: PlanContext, env: Env) -> Iterator[Any]:
+        from repro.excess.evaluator import canonical_key
+
+        seen: set = set()
+        for row_env in self._pull(self.children[0], ctx, env):
+            row = tuple(
+                ctx.eval(t.expression, row_env) for t in self.targets
+            )
+            if self.unique:
+                key = tuple(canonical_key(v) for v in row)
+                if key in seen:
+                    continue
+                seen.add(key)
+            if self.order:
+                keys = tuple(
+                    ctx.eval(expr, row_env) for expr, _desc in self.order
+                )
+                yield row, keys
+            else:
+                yield row
+
+
+class Sort(PlanOp):
+    """Materialize and stably sort the input rows by their sort keys;
+    null keys deterministically last regardless of direction."""
+
+    label = "Sort"
+
+    def __init__(self, child: PlanOp, order: list) -> None:
+        super().__init__([child])
+        self.order = order
+
+    def describe(self) -> str:
+        keys = ", ".join(
+            describe_expr(expr) + (" desc" if desc else "")
+            for expr, desc in self.order
+        )
+        return f"Sort [{keys}]"
+
+    def _run(self, ctx: PlanContext, env: Env) -> Iterator[tuple]:
+        pairs = list(self._pull(self.children[0], ctx, env))
+        yield from sort_rows(pairs, self.order)
+
+
+class StoreInto(PlanOp):
+    """Materialize the finished rows as a named set of tuples
+    (``retrieve ... into Name``), passing the rows through."""
+
+    label = "StoreInto"
+
+    def __init__(self, child: PlanOp, bound: BoundRetrieve) -> None:
+        super().__init__([child])
+        self.bound = bound
+        #: human-readable outcome of the last store (result message)
+        self.message = ""
+
+    def describe(self) -> str:
+        return f"StoreInto {self.bound.into}"
+
+    def _run(self, ctx: PlanContext, env: Env) -> Iterator[tuple]:
+        rows = list(self._pull(self.children[0], ctx, env))
+        self.message = ctx.evaluator._store_rows(self.bound, rows)
+        yield from rows
+
+
+SCAN_OPS = (SeqScan, IndexScan, PathExpand, FunctionScan)
+
+
+# ---------------------------------------------------------------------------
+# Shared algorithms
+# ---------------------------------------------------------------------------
+
+
+def join_key(value: Any, op: str) -> Optional[Any]:
+    """The hash key for one side of a join conjunct.
+
+    Returns None when the row cannot match anything: a null value under
+    ``=`` is unknown against every member (3VL), so it neither enters
+    the build table nor probes.  Under ``is``, null keys *do* participate
+    — ``null is null`` is true (both denote no object) — and non-objects
+    raise exactly as nested-loop ``is`` would.
+    """
+    from repro.excess.evaluator import canonical_key
+
+    if op == "is":
+        if value is NULL:
+            return ("null",)
+        if isinstance(value, Ref):
+            return ("ref", value.oid)
+        if isinstance(value, TupleInstance) and value.oid is not None:
+            return ("ref", value.oid)
+        raise EvaluationError(
+            f"'is'/'isnot' compares object references, got {value!r}"
+        )
+    if value is NULL:
+        return None
+    return canonical_key(value)
+
+
+def sort_rows(pairs: list[tuple[tuple, tuple]], order: list) -> list[tuple]:
+    """Stable multi-key sort of ``(row, keys)`` pairs; nulls sort last
+    regardless of direction.
+
+    Sorting is applied key by key, least significant first: Python's
+    sort is stable (including under ``reverse=True``), so each more
+    significant pass preserves the less significant ordering, and rows
+    with equal keys keep their input order deterministically.
+    """
+    decorated = list(pairs)
+    for position in reversed(range(len(order))):
+        _expr, descending = order[position]
+        nulls = [pair for pair in decorated if pair[1][position] is NULL]
+        rest = [pair for pair in decorated if pair[1][position] is not NULL]
+
+        def key_of(pair, position=position):
+            value = pair[1][position]
+            if isinstance(value, Ref):
+                return value.oid
+            if isinstance(value, bool):
+                return int(value)
+            return value
+
+        try:
+            rest.sort(key=key_of, reverse=descending)
+        except TypeError as exc:
+            raise EvaluationError(
+                f"sort keys are not mutually comparable: {exc}"
+            ) from exc
+        decorated = rest + nulls
+    return [row for row, _keys in decorated]
+
+
+# ---------------------------------------------------------------------------
+# Lowering: annotated BoundQuery → operator tree
+# ---------------------------------------------------------------------------
+
+
+def _is_semi_membership(node: BoundExpr) -> bool:
+    return (
+        isinstance(node, Membership)
+        and node.semi_join
+        and node.collection.kind == "named"
+    )
+
+
+def _flatten_conjuncts(where: Optional[BoundExpr]) -> list[BoundExpr]:
+    if where is None:
+        return []
+    if isinstance(where, Binary) and where.kind == "bool" and where.op == "and":
+        return _flatten_conjuncts(where.left) + _flatten_conjuncts(where.right)
+    return [where]
+
+
+def _source_op(binding: RangeBinding, catalog: Any) -> PlanOp:
+    """Lower one binding's source to its access-method operator."""
+    source = binding.source
+    if isinstance(source, NamedSetSource):
+        if binding.access == "index" and binding.index_descriptor is not None:
+            op: PlanOp = IndexScan(binding)
+            cardinality = catalog.cardinality(source.set_name)
+            op.est_rows = 1 if binding.index_op == "=" else max(
+                1, cardinality // 3
+            )
+            return op
+        op = SeqScan(source.set_name, binding.name)
+        op.est_rows = catalog.cardinality(source.set_name)
+        return op
+    if isinstance(source, PathSource):
+        op = PathExpand(source, binding.name)
+        op.est_rows = 4  # nested sets are small in this workload family
+        return op
+    if isinstance(source, IteratorSource):
+        op = FunctionScan(source, binding.name)
+        op.est_rows = 8
+        return op
+    raise EvaluationError(f"unknown binding source {type(source).__name__}")
+
+
+def _binding_subtree(binding: RangeBinding, catalog: Any) -> PlanOp:
+    """Lower one binding: access method, then residual filters (semi-join
+    memberships become probes against memoized key sets)."""
+    op = _source_op(binding, catalog)
+    residual = [r for r in binding.residual if not _is_semi_membership(r)]
+    semis = [r for r in binding.residual if _is_semi_membership(r)]
+    if residual:
+        filtered = Filter(op, residual)
+        filtered.est_rows = max(1, (op.est_rows or 1) // 3)
+        op = filtered
+    for node in semis:
+        probe = SemiJoinProbe(op, node)
+        probe.est_rows = max(1, (op.est_rows or 1) // 2)
+        op = probe
+    return op
+
+
+def lower_query(query: BoundQuery, catalog: Any) -> PlanOp:
+    """Lower a bound (and optimizer-annotated) query to its binding
+    pipeline: the row source shared by retrieve and update statements.
+
+    Lowering rules (absorbing the old interpreter's special cases):
+
+    1. existential bindings become a left-deep join tree in optimizer
+       order — hash-annotated bindings lower to :class:`HashJoin`,
+       everything else to :class:`NestedLoopJoin` over the binding's
+       access-method subtree;
+    2. residual predicates lower to :class:`Filter`/:class:`SemiJoinProbe`
+       inside the binding's subtree, so they fire as soon as the variable
+       is bound;
+    3. a remaining where clause lowers to semi-join probes plus one
+       filter — unless universal bindings exist, in which case the whole
+       clause moves into :class:`UniversalCheck` (∀ semantics);
+    4. aggregates add an :class:`Aggregate` table-building operator at
+       the top of the pipeline.
+    """
+    existential = [b for b in query.bindings if not b.universal]
+    universal = [b for b in query.bindings if b.universal]
+    root: PlanOp = Singleton()
+    for binding in existential:
+        if binding.join_strategy == "hash" and binding.hash_probe_key is not None:
+            build = _binding_subtree(binding, catalog)
+            cardinality = 0
+            if isinstance(binding.source, NamedSetSource):
+                cardinality = catalog.cardinality(binding.source.set_name)
+            join: PlanOp = HashJoin(root, build, binding, cardinality)
+            join.est_rows = max(root.est_rows or 1, build.est_rows or 1)
+            root = join
+        else:
+            inner = _binding_subtree(binding, catalog)
+            if isinstance(root, Singleton):
+                root = inner
+            else:
+                join = NestedLoopJoin(root, inner)
+                join.est_rows = (root.est_rows or 1) * (inner.est_rows or 1)
+                root = join
+    if query.where is not None:
+        if universal:
+            checks = [(b, _source_op(b, catalog)) for b in universal]
+            check = UniversalCheck(root, checks, query.where)
+            check.est_rows = max(1, (root.est_rows or 1) // 2)
+            root = check
+        else:
+            conjuncts = _flatten_conjuncts(query.where)
+            semis = [c for c in conjuncts if _is_semi_membership(c)]
+            rest = [c for c in conjuncts if not _is_semi_membership(c)]
+            for node in semis:
+                probe = SemiJoinProbe(root, node)
+                probe.est_rows = max(1, (root.est_rows or 1) // 2)
+                root = probe
+            if rest:
+                filtered = Filter(root, rest)
+                filtered.est_rows = max(1, (root.est_rows or 1) // 3)
+                root = filtered
+    if query.aggregates:
+        aggregate = Aggregate(root, query)
+        aggregate.est_rows = root.est_rows
+        root = aggregate
+    return root
+
+
+def lower_retrieve(bound: BoundRetrieve, catalog: Any) -> PlanOp:
+    """Lower a retrieve to its full pipeline:
+    ``StoreInto?(Sort?(Project(row source)))``."""
+    root: PlanOp = Project(
+        ensure_query_plan(bound.query, catalog),
+        bound.targets,
+        unique=bound.unique,
+        order=bound.order,
+    )
+    root.est_rows = root.children[0].est_rows
+    if bound.order:
+        sort = Sort(root, bound.order)
+        sort.est_rows = root.est_rows
+        root = sort
+    if bound.into:
+        store = StoreInto(root, bound)
+        store.est_rows = root.est_rows
+        root = store
+    return root
+
+
+def ensure_query_plan(query: BoundQuery, catalog: Any) -> PlanOp:
+    """The (lazily lowered, cached) binding pipeline of a bound query."""
+    if query.plan is None:
+        query.plan = lower_query(query, catalog)
+    return query.plan
+
+
+def ensure_retrieve_plan(bound: BoundRetrieve, catalog: Any) -> PlanOp:
+    """The (lazily lowered, cached) full pipeline of a bound retrieve."""
+    if bound.pipeline is None:
+        bound.pipeline = lower_retrieve(bound, catalog)
+    return bound.pipeline
+
+
+# ---------------------------------------------------------------------------
+# Introspection: walking, stats, rendering
+# ---------------------------------------------------------------------------
+
+
+def walk_plan(root: PlanOp) -> Iterator[PlanOp]:
+    """Every operator of the tree, pre-order."""
+    yield root
+    for child in root.children:
+        yield from walk_plan(child)
+
+
+def plan_ops(root: PlanOp) -> list[PlanOp]:
+    """The tree's operators (pre-order), memoized on the root.
+
+    The tree is immutable after lowering, and the per-statement hot path
+    walks it three times (reset, metrics, snapshot) — a cached flat list
+    beats re-running the recursive generator.
+    """
+    ops = root.__dict__.get("_plan_ops")
+    if ops is None:
+        ops = list(walk_plan(root))
+        root.__dict__["_plan_ops"] = ops
+    return ops
+
+
+def reset_stats(root: PlanOp) -> None:
+    """Zero every operator's counters (called before each execution)."""
+    for op in plan_ops(root):
+        op.stats.reset()
+
+
+def describe_expr(node: Optional[BoundExpr]) -> str:
+    """A compact, human-readable rendering of a bound expression for
+    operator descriptions (best effort — not a full unparser)."""
+    if node is None:
+        return "?"
+    if isinstance(node, Const):
+        if node.value is NULL:
+            return "null"
+        if isinstance(node.value, str):
+            return f'"{node.value}"'
+        return str(node.value)
+    if isinstance(node, VarRef):
+        return node.name.lstrip("@")
+    if isinstance(node, NamedValue):
+        return node.name
+    if isinstance(node, AttrStep):
+        return f"{describe_expr(node.base)}.{node.attribute}"
+    if isinstance(node, IndexStepB):
+        return f"{describe_expr(node.base)}[{describe_expr(node.index)}]"
+    if isinstance(node, Binary):
+        op = {"and": "and", "or": "or"}.get(node.op, node.op)
+        return f"{describe_expr(node.left)} {op} {describe_expr(node.right)}"
+    if isinstance(node, Unary):
+        return f"{node.op} {describe_expr(node.operand)}"
+    if isinstance(node, Membership):
+        collection = node.collection
+        name = (
+            collection.name
+            if collection.kind == "named"
+            else describe_expr(collection.base)
+            + ("." + ".".join(collection.steps) if collection.steps else "")
+        )
+        op = "not in" if node.negated else "in"
+        return f"{describe_expr(node.element)} {op} {name}"
+    if isinstance(node, AggregateRef):
+        return f"$agg{node.aggregate_id}"
+    if isinstance(node, AdtCall):
+        args = ", ".join(describe_expr(a) for a in node.args)
+        return f"{node.function.name}({args})"
+    if isinstance(node, ExcessCall):
+        args = ", ".join(describe_expr(a) for a in node.args)
+        return f"{node.name}({args})"
+    return type(node).__name__
+
+
+def snapshot_stats(root: PlanOp) -> dict[int, tuple[int, str]]:
+    """Capture per-operator actuals for deferred rendering.
+
+    The live counters are reset by the next execution of a cached plan,
+    so a :class:`Result` that renders its tree lazily must freeze them
+    at execution time. Keyed by ``id(op)`` — valid as long as the plan
+    tree is alive, which the snapshot's rendering closure guarantees.
+    """
+    return {
+        id(op): (op.stats.rows_out, op.extra_counters())
+        for op in plan_ops(root)
+    }
+
+
+def render_plan(
+    root: PlanOp,
+    actuals: bool = True,
+    snapshot: Optional[dict] = None,
+) -> str:
+    """Pretty-print the operator tree, one operator per line, with the
+    estimated and (when ``actuals``) last-execution row counts — from
+    ``snapshot`` (see :func:`snapshot_stats`) when given, else live."""
+    lines: list[str] = []
+
+    def emit(op: PlanOp, depth: int, role: str) -> None:
+        prefix = "  " * depth
+        tag = f"[{role}] " if role else ""
+        est = "?" if op.est_rows is None else str(op.est_rows)
+        counters = f"(est={est}"
+        if actuals:
+            if snapshot is not None:
+                rows_out, extra = snapshot[id(op)]
+            else:
+                rows_out, extra = op.stats.rows_out, op.extra_counters()
+            counters += f", rows={rows_out}{extra}"
+        counters += ")"
+        lines.append(f"{prefix}{tag}{op.describe()} {counters}")
+        for child_role, child in op.child_roles():
+            emit(child, depth + 1, child_role)
+
+    emit(root, 0, "")
+    return "\n".join(lines)

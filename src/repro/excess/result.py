@@ -67,6 +67,26 @@ class Result:
     #: execution counters (rows scanned, hash builds/probes, plan-cache
     #: hit/miss, wall time) when a query statement ran
     metrics: Optional[dict] = None
+    #: rendered physical operator tree (estimated rows for EXPLAIN,
+    #: estimated + actual per-operator counts for executed queries) —
+    #: backing store for the lazy :attr:`plan_tree` property
+    _plan_tree: Optional[str] = field(default=None, repr=False)
+    #: zero-argument callable rendering the tree on first access, so the
+    #: per-statement hot path pays only a counter snapshot, not string
+    #: formatting
+    _plan_tree_thunk: Optional[Any] = field(default=None, repr=False)
+
+    @property
+    def plan_tree(self) -> Optional[str]:
+        if self._plan_tree is None and self._plan_tree_thunk is not None:
+            self._plan_tree = self._plan_tree_thunk()
+            self._plan_tree_thunk = None
+        return self._plan_tree
+
+    @plan_tree.setter
+    def plan_tree(self, value: Optional[str]) -> None:
+        self._plan_tree = value
+        self._plan_tree_thunk = None
 
     def __iter__(self) -> Iterator[tuple]:
         return iter(self.rows)
