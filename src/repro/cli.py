@@ -13,7 +13,8 @@ start with a backslash:
 ==============  =====================================================
 ``\\help``       show this help
 ``\\quit``       exit (saving the snapshot when one was opened)
-``\\stats``      engine statistics
+``\\stats``      engine statistics + per-set optimizer statistics
+``\\analyze [SET]``     rebuild optimizer statistics (all sets or one)
 ``\\save PATH``  snapshot the database to PATH
 ``\\load PATH``  replace the session database with a snapshot
 ``\\user NAME``  switch the session user (authorization applies)
@@ -77,6 +78,23 @@ class Shell:
         else:
             self._write(f"{result.kind}: {result.count}")
 
+    def _write_set_statistics(self) -> None:
+        """The per-set section of ``\\stats``: optimizer statistics."""
+        statistics = self.db.catalog.statistics
+        names = statistics.analyzed_sets()
+        if not names:
+            self._write("set statistics: none (run \\analyze)")
+            return
+        self._write("set statistics:")
+        for name in sorted(names):
+            stats = statistics.get(name)
+            state = "stale" if stats.stale else "fresh"
+            self._write(
+                f"  {name}: cardinality={stats.analyzed_cardinality} "
+                f"analyzed@v{stats.analyzed_version} "
+                f"churn={stats.churn}/{stats.churn_limit()} ({state})"
+            )
+
     # -- statement handling ----------------------------------------------------------
 
     def execute(self, text: str) -> None:
@@ -136,6 +154,10 @@ class Shell:
         elif command == "stats":
             for key, value in self.db.stats().items():
                 self._write(f"{key}: {value}")
+            self._write_set_statistics()
+        elif command == "analyze":
+            text = "analyze " + args[0] if args else "analyze"
+            self.execute(text)
         elif command == "save" and args:
             size = self.db.save(args[0])
             self._write(f"saved {size} bytes to {args[0]}")

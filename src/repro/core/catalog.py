@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING, Any, Optional
 from repro.adt.generics import SetFunctionRegistry
 from repro.adt.registry import AdtRegistry
 from repro.core.schema import Rename, SchemaType
+from repro.core.statistics import StatisticsManager
 from repro.core.types import ComponentSpec, SetType, Type
 from repro.errors import CatalogError, SchemaError
 from repro.storage.access import AccessMethodTable, IndexManager
@@ -70,6 +71,10 @@ class Catalog:
         self._epoch = 0
         #: tracked named-set cardinalities for optimizer cost decisions
         self._cardinalities: dict[str, int] = {}
+        #: per-set attribute statistics (``analyze``); crossing the churn
+        #: staleness threshold bumps the epoch so cached plans costed
+        #: under the old histograms are dropped
+        self.statistics = StatisticsManager(on_stale=self.bump_epoch)
         self.indexes.on_change = self.bump_epoch
 
     # -- plan-cache epoch -------------------------------------------------------
@@ -230,6 +235,7 @@ class Catalog:
         except KeyError:
             raise CatalogError(f"unknown database object {name!r}") from None
         self._cardinalities.pop(name, None)
+        self.statistics.forget(name)
         self.bump_epoch()
         return removed
 

@@ -272,6 +272,7 @@ class Database:
             return member
         self._index_insert(set_name, collection, member)
         self.catalog.note_cardinality(set_name, +1)
+        self.catalog.statistics.observe_insert(set_name, self._stats_row(member))
         self.data_version += 1
         return member
 
@@ -281,12 +282,16 @@ class Database:
         collection = named.value
         if not isinstance(collection, SetInstance):
             raise TypeSystemError(f"{set_name!r} is not a set")
+        row = self._stats_row(member)
         self._index_delete(set_name, collection, member)
         removed = self.integrity.remove_member(
             named, collection, member, delete_owned=delete_owned
         )
         if removed:
             self.catalog.note_cardinality(set_name, -1)
+            self.catalog.statistics.observe_remove(
+                set_name, row, self._minmax_rescanner(set_name)
+            )
             self.data_version += 1
         return removed
 
@@ -300,12 +305,16 @@ class Database:
         if not self.objects.is_live(reference.oid):
             return 0
         self.data_version += 1
+        row = self._stats_row(reference)
         for name in self.catalog.named_names():
             named = self.catalog.named(name)
             if isinstance(named.value, SetInstance) and named.value.contains(reference):
                 self._index_delete(name, named.value, reference)
                 named.value.remove(reference)
                 self.catalog.note_cardinality(name, -1)
+                self.catalog.statistics.observe_remove(
+                    name, row, self._minmax_rescanner(name)
+                )
         return self.integrity.delete_object(reference.oid)
 
     def update_member(
@@ -321,12 +330,40 @@ class Database:
         if instance is None:
             raise IntegrityError(f"cannot update dead object {member.oid}")
         old_keys = self._key_snapshot(set_name, instance)
+        old_row = {name: instance.get(name) for name in changes}
         self.apply_changes(instance, changes)
         new_keys = self._key_snapshot(set_name, instance)
         self.catalog.indexes.on_update(
             set_name, member.oid, old_keys.get, new_keys.get
         )
+        new_row = {name: instance.get(name) for name in changes}
+        self.catalog.statistics.observe_update(
+            set_name, old_row, new_row, self._minmax_rescanner(set_name)
+        )
         self.objects.mark_dirty(member.oid)
+
+    def note_member_update(
+        self,
+        reference: Ref,
+        old_row: Optional[dict[str, Any]],
+        new_row: Optional[dict[str, Any]],
+    ) -> None:
+        """Statistics upkeep for an attribute update applied outside
+        :meth:`update_member` (the evaluator's replace/set paths apply
+        changes directly): observe the update on every analyzed named
+        set containing the object."""
+        statistics = self.catalog.statistics
+        for name in statistics.analyzed_sets():
+            try:
+                named = self.catalog.named(name)
+            except CatalogError:
+                continue
+            if isinstance(named.value, SetInstance) and named.value.contains(
+                reference
+            ):
+                statistics.observe_update(
+                    name, old_row, new_row, self._minmax_rescanner(name)
+                )
 
     def apply_changes(self, instance: TupleInstance, changes: dict[str, Any]) -> None:
         """Write raw-form attribute changes into ``instance`` with full
@@ -459,6 +496,97 @@ class Database:
     def vacuum(self) -> int:
         """Scrub dangling references eagerly; returns count removed."""
         return self.integrity.vacuum()
+
+    # -- optimizer statistics ----------------------------------------------------
+
+    def analyze(self, set_name: Optional[str] = None) -> list[str]:
+        """Rebuild optimizer statistics from a full scan (``analyze``).
+
+        With a name, analyzes that named set (raising when it is not a
+        set); without one, analyzes every named set. Rebuilding bumps the
+        catalog epoch so cached plans costed under the old statistics are
+        re-optimized. Returns the names analyzed.
+        """
+        if set_name is not None:
+            named = self.named(set_name)
+            if not isinstance(named.value, SetInstance):
+                raise TypeSystemError(f"{set_name!r} is not a set")
+            names = [set_name]
+        else:
+            names = [
+                name
+                for name in self.catalog.named_names()
+                if isinstance(self.catalog.named(name).value, SetInstance)
+            ]
+        analyzed: list[str] = []
+        for name in names:
+            collection = self.catalog.named(name).value
+            rows = []
+            for member in collection.members():
+                row = self._stats_row(member)
+                rows.append(self._scalar_row(row) if row else {})
+            self.catalog.statistics.rebuild(name, rows, self.data_version)
+            analyzed.append(name)
+        if analyzed:
+            self.catalog.bump_epoch()
+        return analyzed
+
+    def _stats_row(self, member: Any) -> Optional[dict]:
+        """Attribute name → value snapshot of one set member, for the
+        statistics upkeep hooks; ``None`` for non-tuple members."""
+        instance = member
+        if isinstance(member, Ref):
+            instance = self.objects.deref(member.oid)
+        if isinstance(instance, TupleInstance):
+            return instance.attributes()
+        return None
+
+    @staticmethod
+    def _scalar_row(row: dict) -> dict:
+        """Keep the statistics-relevant slots: scalars (histogram and
+        min/max material), references (distinct counts drive join
+        selectivity), and nulls (null fraction)."""
+        return {
+            name: value
+            for name, value in row.items()
+            if value is NULL or isinstance(value, (int, float, str, bool, Ref))
+        }
+
+    def _minmax_rescanner(self, set_name: str) -> Any:
+        """A single-attribute min/max rescan callback, used when a delete
+        removes an extremal value (keeps min/max exact, per-attribute
+        scan cost only when actually needed)."""
+
+        def rescan(attribute: str) -> Optional[tuple]:
+            try:
+                named = self.named(set_name)
+            except CatalogError:
+                return None
+            if not isinstance(named.value, SetInstance):
+                return None
+            low: Any = None
+            high: Any = None
+            for member in named.value.members():
+                row = self._stats_row(member)
+                value = row.get(attribute) if row else None
+                if value is None or value is NULL:
+                    continue
+                if not isinstance(value, (int, float, str)) or isinstance(
+                    value, bool
+                ):
+                    continue
+                try:
+                    if low is None or value < low:
+                        low = value
+                    if high is None or value > high:
+                        high = value
+                except TypeError:
+                    return None
+            if low is None:
+                return None
+            return (low, high)
+
+        return rescan
 
     def stats(self) -> dict[str, Any]:
         """A summary of engine state for diagnostics and benchmarks."""

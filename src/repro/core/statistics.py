@@ -1,0 +1,402 @@
+"""Catalog statistics for cost-based query optimization.
+
+The EXODUS optimizer is rule-generated but *cost-driven*: access-method
+and join-order decisions are made from tabular cost information
+(paper §4.1.3).  This module supplies that table for named sets:
+
+- per-set: member count at analyze time, the ``data_version`` the
+  statistics were built at, and a churn counter;
+- per-attribute: distinct-value count, null fraction, exact min/max,
+  and a small equi-depth histogram over numeric attributes.
+
+Statistics are built by an explicit ``analyze`` scan
+(:meth:`StatisticsManager.rebuild`) and kept *approximately* fresh by
+cheap incremental upkeep hooks on insert/remove/update: cardinality (in
+the catalog) and min/max stay exact, while distinct counts and
+histograms drift until the churn since the last analyze exceeds
+``STALE_CHURN_FRACTION`` of the analyzed cardinality — at which point
+the set is marked stale and the ``on_stale`` callback (wired to the
+catalog epoch bump) invalidates any plan optimized under the old
+numbers.
+
+Selectivity estimation follows System R: equality defaults to
+``1/10``, ranges to ``1/3``, refined to ``1/n_distinct`` and histogram
+interpolation respectively when statistics exist.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.core.values import NULL
+
+__all__ = [
+    "AttributeStats",
+    "SetStats",
+    "StatisticsManager",
+    "DEFAULT_EQ_SELECTIVITY",
+    "DEFAULT_RANGE_SELECTIVITY",
+    "DEFAULT_NEQ_SELECTIVITY",
+    "HISTOGRAM_BUCKETS",
+    "STALE_CHURN_FRACTION",
+    "STALE_CHURN_MIN",
+]
+
+#: System R magic numbers: the fallbacks when no statistics exist.
+DEFAULT_EQ_SELECTIVITY = 0.1
+DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+DEFAULT_NEQ_SELECTIVITY = 0.9
+
+#: Number of equi-depth histogram buckets built per numeric attribute.
+HISTOGRAM_BUCKETS = 8
+
+#: A set's histograms are considered stale once churn since analyze
+#: exceeds this fraction of the analyzed cardinality ...
+STALE_CHURN_FRACTION = 0.2
+#: ... but never before this many mutations (tiny sets churn fast).
+STALE_CHURN_MIN = 8
+
+#: Estimates never go below this selectivity (zero estimates would make
+#: every downstream cost identical).
+_FLOOR = 1e-4
+
+
+def _is_numeric(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+@dataclass
+class AttributeStats:
+    """Statistics for one attribute of one named set."""
+
+    n_distinct: int = 0
+    null_fraction: float = 0.0
+    minimum: Any = None
+    maximum: Any = None
+    #: equi-depth bucket boundaries over numeric non-null values:
+    #: ``boundaries[0]`` is the minimum, ``boundaries[-1]`` the maximum,
+    #: and each of the ``len(boundaries) - 1`` buckets holds an equal
+    #: share of the rows.  Empty for non-numeric attributes.
+    boundaries: list = field(default_factory=list)
+
+    def fraction_below(self, value: float) -> Optional[float]:
+        """Estimated fraction of non-null rows strictly below ``value``
+        via linear interpolation inside the equi-depth histogram;
+        ``None`` when no histogram exists."""
+        if len(self.boundaries) < 2:
+            return None
+        bounds = self.boundaries
+        if value <= bounds[0]:
+            return 0.0
+        if value >= bounds[-1]:
+            return 1.0
+        buckets = len(bounds) - 1
+        index = bisect_left(bounds, value) - 1
+        index = max(0, min(index, buckets - 1))
+        low, high = bounds[index], bounds[index + 1]
+        within = 0.5 if high == low else (value - low) / (high - low)
+        return (index + within) / buckets
+
+
+@dataclass
+class SetStats:
+    """Statistics for one named set, as of the last ``analyze``."""
+
+    set_name: str
+    #: member count at analyze time (live count lives in the catalog)
+    analyzed_cardinality: int = 0
+    #: ``Database.data_version`` when the analyze scan ran
+    analyzed_version: int = 0
+    #: mutations observed since the analyze scan
+    churn: int = 0
+    #: histograms/distinct counts no longer trustworthy (churn exceeded
+    #: the threshold); min/max stay exact regardless
+    stale: bool = False
+    attributes: dict[str, AttributeStats] = field(default_factory=dict)
+
+    def churn_limit(self) -> int:
+        return max(
+            STALE_CHURN_MIN,
+            int(self.analyzed_cardinality * STALE_CHURN_FRACTION),
+        )
+
+
+class StatisticsManager:
+    """Holds :class:`SetStats` per analyzed named set.
+
+    Lives on the catalog so transaction snapshots roll statistics back
+    together with the data they describe.  ``on_stale`` (wired to
+    ``Catalog.bump_epoch``) fires when a set crosses the churn threshold
+    so the plan cache drops plans costed under the old histograms.
+    """
+
+    def __init__(self, on_stale: Optional[Callable[[], None]] = None):
+        self._stats: dict[str, SetStats] = {}
+        self.on_stale = on_stale
+
+    # -- access ------------------------------------------------------------------
+
+    def get(self, set_name: str) -> Optional[SetStats]:
+        """The stats of a set, or ``None`` when never analyzed."""
+        return self._stats.get(set_name)
+
+    def analyzed_sets(self) -> list[str]:
+        return sorted(self._stats)
+
+    def forget(self, set_name: str) -> None:
+        self._stats.pop(set_name, None)
+
+    def clear(self) -> None:
+        self._stats.clear()
+
+    # -- analyze -----------------------------------------------------------------
+
+    def rebuild(
+        self, set_name: str, rows: list[dict], data_version: int
+    ) -> SetStats:
+        """Build fresh statistics from a full scan (``analyze``).
+
+        ``rows`` are attribute-name → value dictionaries (one per
+        member); non-scalar values were already filtered out by the
+        caller except that nulls arrive as :data:`NULL`.
+        """
+        stats = SetStats(
+            set_name=set_name,
+            analyzed_cardinality=len(rows),
+            analyzed_version=data_version,
+        )
+        columns: dict[str, list] = {}
+        nulls: dict[str, int] = {}
+        for row in rows:
+            for attribute, value in row.items():
+                if value is NULL or value is None:
+                    nulls[attribute] = nulls.get(attribute, 0) + 1
+                    columns.setdefault(attribute, [])
+                else:
+                    columns.setdefault(attribute, []).append(value)
+        total = len(rows)
+        for attribute, values in columns.items():
+            stats.attributes[attribute] = self._build_attribute(
+                values, nulls.get(attribute, 0), total
+            )
+        self._stats[set_name] = stats
+        return stats
+
+    def _build_attribute(
+        self, values: list, null_count: int, total: int
+    ) -> AttributeStats:
+        attr = AttributeStats(
+            null_fraction=(null_count / total) if total else 0.0
+        )
+        try:
+            attr.n_distinct = len(set(values))
+        except TypeError:  # unhashable member values
+            attr.n_distinct = len(values)
+        numeric = [v for v in values if _is_numeric(v)]
+        comparable = numeric if numeric else values
+        if comparable and len(numeric) == len(values):
+            attr.minimum = min(comparable)
+            attr.maximum = max(comparable)
+        elif values and all(isinstance(v, str) for v in values):
+            attr.minimum = min(values)
+            attr.maximum = max(values)
+        if len(numeric) >= 2:
+            attr.boundaries = self._equi_depth(sorted(numeric))
+        return attr
+
+    @staticmethod
+    def _equi_depth(ordered: list, buckets: int = HISTOGRAM_BUCKETS) -> list:
+        """Equi-depth bucket boundaries over pre-sorted numeric values."""
+        count = len(ordered)
+        buckets = min(buckets, count - 1) or 1
+        bounds = [ordered[0]]
+        for i in range(1, buckets):
+            bounds.append(ordered[(i * (count - 1)) // buckets])
+        bounds.append(ordered[-1])
+        # collapse duplicate boundaries (heavily skewed data)
+        out = [bounds[0]]
+        for b in bounds[1:]:
+            if b != out[-1]:
+                out.append(b)
+        return out if len(out) >= 2 else []
+
+    # -- incremental upkeep ------------------------------------------------------
+
+    def observe_insert(self, set_name: str, row: Optional[dict]) -> None:
+        """Cheap upkeep after one member was inserted: widen min/max
+        (stays exact) and count churn."""
+        stats = self._stats.get(set_name)
+        if stats is None:
+            return
+        if row:
+            for attribute, value in row.items():
+                attr = stats.attributes.get(attribute)
+                if attr is None or value is NULL or value is None:
+                    continue
+                try:
+                    if attr.minimum is None or value < attr.minimum:
+                        attr.minimum = value
+                    if attr.maximum is None or value > attr.maximum:
+                        attr.maximum = value
+                except TypeError:
+                    pass
+        self._bump_churn(stats)
+
+    def observe_remove(
+        self,
+        set_name: str,
+        row: Optional[dict],
+        rescan: Optional[Callable[[str], Optional[tuple]]] = None,
+    ) -> None:
+        """Upkeep after one member was removed: when an extremal value
+        left, re-derive exact min/max via ``rescan(attribute)`` (a
+        single-attribute scan provided by the database)."""
+        stats = self._stats.get(set_name)
+        if stats is None:
+            return
+        if row:
+            for attribute, value in row.items():
+                attr = stats.attributes.get(attribute)
+                if attr is None or value is NULL or value is None:
+                    continue
+                if value == attr.minimum or value == attr.maximum:
+                    fresh = rescan(attribute) if rescan is not None else None
+                    if fresh is None:
+                        attr.minimum = None
+                        attr.maximum = None
+                    else:
+                        attr.minimum, attr.maximum = fresh
+        self._bump_churn(stats)
+
+    def observe_update(
+        self,
+        set_name: str,
+        old_row: Optional[dict],
+        new_row: Optional[dict],
+        rescan: Optional[Callable[[str], Optional[tuple]]] = None,
+    ) -> None:
+        """Upkeep after an in-place member update: treat it as a remove
+        of the old values plus an insert of the new ones (one churn)."""
+        stats = self._stats.get(set_name)
+        if stats is None:
+            return
+        if old_row:
+            changed = {
+                k: v
+                for k, v in old_row.items()
+                if new_row is None or k in new_row
+            }
+            self._minmax_shrink(stats, changed, rescan)
+        if new_row:
+            for attribute, value in new_row.items():
+                attr = stats.attributes.get(attribute)
+                if attr is None or value is NULL or value is None:
+                    continue
+                try:
+                    if attr.minimum is None or value < attr.minimum:
+                        attr.minimum = value
+                    if attr.maximum is None or value > attr.maximum:
+                        attr.maximum = value
+                except TypeError:
+                    pass
+        self._bump_churn(stats)
+
+    def _minmax_shrink(
+        self,
+        stats: SetStats,
+        row: dict,
+        rescan: Optional[Callable[[str], Optional[tuple]]],
+    ) -> None:
+        for attribute, value in row.items():
+            attr = stats.attributes.get(attribute)
+            if attr is None or value is NULL or value is None:
+                continue
+            if value == attr.minimum or value == attr.maximum:
+                fresh = rescan(attribute) if rescan is not None else None
+                if fresh is None:
+                    attr.minimum = None
+                    attr.maximum = None
+                else:
+                    attr.minimum, attr.maximum = fresh
+
+    def _bump_churn(self, stats: SetStats) -> None:
+        stats.churn += 1
+        if not stats.stale and stats.churn > stats.churn_limit():
+            stats.stale = True
+            if self.on_stale is not None:
+                self.on_stale()
+
+    # -- selectivity estimation --------------------------------------------------
+
+    def eq_selectivity(self, set_name: str, attribute: str, value: Any) -> float:
+        """Estimated fraction of rows with ``attribute = value``."""
+        attr = self._fresh_attribute(set_name, attribute)
+        if attr is None:
+            return DEFAULT_EQ_SELECTIVITY
+        if (
+            _is_numeric(value)
+            and attr.minimum is not None
+            and attr.maximum is not None
+            and _is_numeric(attr.minimum)
+            and (value < attr.minimum or value > attr.maximum)
+        ):
+            return _FLOOR
+        if attr.n_distinct > 0:
+            return max(_FLOOR, (1.0 - attr.null_fraction) / attr.n_distinct)
+        return DEFAULT_EQ_SELECTIVITY
+
+    def range_selectivity(
+        self, set_name: str, attribute: str, op: str, value: Any
+    ) -> float:
+        """Estimated fraction of rows satisfying ``attribute <op> value``
+        for ``<`` ``<=`` ``>`` ``>=``, via histogram interpolation when a
+        fresh histogram exists, min/max interpolation otherwise."""
+        if op == "=":
+            return self.eq_selectivity(set_name, attribute, value)
+        if op == "!=":
+            return DEFAULT_NEQ_SELECTIVITY
+        attr = self._fresh_attribute(set_name, attribute)
+        if attr is None or not _is_numeric(value):
+            return DEFAULT_RANGE_SELECTIVITY
+        below = attr.fraction_below(value)
+        if below is None:
+            below = self._linear_below(attr, value)
+        if below is None:
+            return DEFAULT_RANGE_SELECTIVITY
+        not_null = 1.0 - attr.null_fraction
+        if op in ("<", "<="):
+            fraction = below
+        else:
+            fraction = 1.0 - below
+        return min(1.0, max(_FLOOR, fraction * not_null))
+
+    @staticmethod
+    def _linear_below(attr: AttributeStats, value: float) -> Optional[float]:
+        low, high = attr.minimum, attr.maximum
+        if not (_is_numeric(low) and _is_numeric(high)):
+            return None
+        if value <= low:
+            return 0.0
+        if value >= high:
+            return 1.0
+        if high == low:
+            return 0.5
+        return (value - low) / (high - low)
+
+    def distinct(self, set_name: str, attribute: str) -> Optional[int]:
+        """Distinct-value count of an attribute, or ``None`` when
+        unknown (never analyzed, or stale)."""
+        attr = self._fresh_attribute(set_name, attribute)
+        if attr is None or attr.n_distinct <= 0:
+            return None
+        return attr.n_distinct
+
+    def _fresh_attribute(
+        self, set_name: str, attribute: str
+    ) -> Optional[AttributeStats]:
+        stats = self._stats.get(set_name)
+        if stats is None or stats.stale:
+            return None
+        return stats.attributes.get(attribute)

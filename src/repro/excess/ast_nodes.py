@@ -569,6 +569,19 @@ class AbortTransaction(Statement):
 
 
 @dataclass
+class Analyze(Statement):
+    """``analyze [<SetName>]`` — rebuild optimizer statistics from a
+    scan of one named set (or of every named set).
+
+    A reconstructed spelling: the paper presumes the EXODUS optimizer's
+    tabular cost information exists (§4.1.3) but never shows the
+    statement that gathers it.
+    """
+
+    set_name: Optional[str] = None
+
+
+@dataclass
 class Script(Node):
     """A sequence of statements separated by newlines/semicolons."""
 

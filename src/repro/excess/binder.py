@@ -276,6 +276,14 @@ class RangeBinding:
     hash_join_op: str = "="
     #: human-readable join annotation for EXPLAIN
     join_detail: str = ""
+    #: cost-model annotations stamped by the optimizer and consumed by
+    #: plan lowering (``None`` when the optimizer did not run — lowering
+    #: then falls back to structural defaults): rows out of the access
+    #: method, rows after residual filters, and cumulative rows at this
+    #: binding's join operator
+    est_base_rows: Optional[int] = None
+    est_rows: Optional[int] = None
+    est_cum_rows: Optional[int] = None
 
     @property
     def element_type(self) -> Type:
@@ -328,6 +336,9 @@ class BoundQuery:
     #: the lowered physical plan (binding pipeline); attached lazily by
     #: the executor, reset by the optimizer when annotations change
     plan: Optional[Any] = field(default=None, repr=False, compare=False)
+    #: cost-model estimate of the pipeline's final row count (after the
+    #: remaining where clause), stamped by the optimizer
+    est_rows: Optional[int] = None
 
 
 @dataclass
@@ -393,6 +404,13 @@ class BoundSetStatement:
     #: ("named", name) | ("slot", base_expr, attribute) | ("index", base_expr, index_expr)
     location: tuple = ()
     expression: BoundExpr = None  # type: ignore[assignment]
+
+
+@dataclass
+class BoundAnalyze:
+    """A bound ``analyze`` statement (``set_name=None`` = every set)."""
+
+    set_name: Optional[str] = None
 
 
 # ---------------------------------------------------------------------------
@@ -462,6 +480,16 @@ class Binder:
         self._aggregate_counter = 0
 
     # -- statement entry points ----------------------------------------------------
+
+    def bind_analyze(self, statement: ast.Analyze) -> BoundAnalyze:
+        """Validate an ``analyze`` statement's target."""
+        if statement.set_name is not None:
+            named = self.catalog.named(statement.set_name)  # raises if unknown
+            if not named.is_set:
+                raise BindError(
+                    f"analyze: {statement.set_name!r} is not a named set"
+                )
+        return BoundAnalyze(set_name=statement.set_name)
 
     def bind_retrieve(
         self, statement: ast.Retrieve, outer_scope: Optional[Scope] = None

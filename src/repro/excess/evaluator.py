@@ -460,12 +460,15 @@ class Evaluator:
         snapshots = {
             name: self.db._key_snapshot(name, instance) for name in containing
         }
+        old_row = {name: instance.get(name) for name in changes}
         self.db.apply_changes(instance, changes)
         for name in containing:
             new_snapshot = self.db._key_snapshot(name, instance)
             self.db.catalog.indexes.on_update(
                 name, reference.oid, snapshots[name].get, new_snapshot.get
             )
+        new_row = {name: instance.get(name) for name in changes}
+        self.db.note_member_update(reference, old_row, new_row)
 
     def run_set(
         self, bound: BoundSetStatement, base_env: Optional[Env] = None
@@ -493,9 +496,13 @@ class Evaluator:
                 instance = self._resolve_instance(base)
                 if instance is None:
                     continue
-                self.db.apply_changes(
-                    instance, {bound.location[2]: value}
-                )
+                attribute = bound.location[2]
+                old_row = {attribute: instance.get(attribute)}
+                self.db.apply_changes(instance, {attribute: value})
+                if isinstance(base, Ref):
+                    self.db.note_member_update(
+                        base, old_row, {attribute: instance.get(attribute)}
+                    )
                 count += 1
             else:  # index
                 base = self._eval(bound.location[1], env, tables)

@@ -37,6 +37,7 @@ from repro.core.types import (
     Type,
 )
 from repro.errors import (
+    AuthorizationError,
     BindError,
     ExcessError,
     FunctionError,
@@ -165,6 +166,9 @@ class Interpreter:
         self.optimize = optimize
         #: whether the optimizer may rewrite equi-joins to hash joins
         self.hash_joins = True
+        #: whether binding order comes from the cost-based search
+        #: (False forces the older heuristic ranks, for ablation)
+        self.cost_based = True
         #: LRU of prepared plans; entries self-invalidate via the epoch key
         self.plan_cache = PlanCache()
         #: session-level `range of` declarations, QUEL-style
@@ -192,6 +196,7 @@ class Interpreter:
             self.db.catalog.epoch,
             self.optimize,
             self.hash_joins,
+            self.cost_based,
         )
 
     def execute(self, text: str, user: str = "dba") -> Result:
@@ -489,7 +494,10 @@ class Interpreter:
             query.where = binder._bind_predicate(statement.where, scope, query)
         binder._finalize(scope, query)
         Optimizer(
-            self.db.catalog, enabled=self.optimize, hash_joins=self.hash_joins
+            self.db.catalog,
+            enabled=self.optimize,
+            hash_joins=self.hash_joins,
+            cost_based=self.cost_based,
         ).optimize(query)
         evaluator = Evaluator(self.db, user=procedure.definer)
         tables: dict = {}
@@ -518,6 +526,7 @@ class Interpreter:
             self.db.catalog,
             enabled=self.optimize,
             hash_joins=self.hash_joins,
+            cost_based=self.cost_based,
         )
         if isinstance(statement, ast.Retrieve):
             kind, bound = "retrieve", binder.bind_retrieve(statement)
@@ -627,6 +636,32 @@ class Interpreter:
         self.db.commit()
         return Result(kind="transaction", message="committed")
 
+    def _do_analyze(self, statement: ast.Analyze, user: str) -> Result:
+        """``analyze [SetName]`` — rebuild optimizer statistics.
+
+        ``Database.analyze`` bumps the catalog epoch, so every cached
+        plan costed under the previous statistics is invalidated.
+        """
+        bound = self._binder().bind_analyze(statement)
+        if bound.set_name is not None:
+            self._check(user, Privilege.SELECT, bound.set_name)
+            analyzed = self.db.analyze(bound.set_name)
+        else:
+            analyzed = []
+            for name in sorted(self.db.catalog.named_names()):
+                if not self.db.catalog.named(name).is_set:
+                    continue
+                if self.db.authz.enabled:
+                    try:
+                        self.db.authz.check(user, Privilege.SELECT, name)
+                    except AuthorizationError:
+                        continue  # analyze-all skips unreadable sets
+                analyzed.extend(self.db.analyze(name))
+        message = (
+            "analyzed " + ", ".join(analyzed) if analyzed else "analyzed 0 sets"
+        )
+        return Result(kind="analyze", count=len(analyzed), message=message)
+
     def _do_abort(self, statement: ast.AbortTransaction, user: str) -> Result:
         self.db.abort()
         # abort() already forces the epoch forward; dropping the entries
@@ -726,6 +761,7 @@ class Interpreter:
             self.db.catalog,
             enabled=self.optimize,
             hash_joins=self.hash_joins,
+            cost_based=self.cost_based,
         )
         report = optimizer.optimize(query)
         root = optimizer.lower(bound_stmt)
@@ -851,6 +887,7 @@ Interpreter._HANDLERS = {
     ast.BeginTransaction: Interpreter._do_begin,
     ast.CommitTransaction: Interpreter._do_commit,
     ast.AbortTransaction: Interpreter._do_abort,
+    ast.Analyze: Interpreter._do_analyze,
     ast.Explain: Interpreter._do_explain,
     ast.Append: Interpreter._run_query_statement,
     ast.Delete: Interpreter._run_query_statement,

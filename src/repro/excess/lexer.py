@@ -21,6 +21,11 @@ from repro.errors import LexicalError
 __all__ = ["TokenType", "Token", "Lexer", "KEYWORDS"]
 
 #: Reserved words of the (reconstructed) EXCESS grammar.
+#:
+#: Statement-starting words that double as useful identifiers — ``add``,
+#: ``alter``, ``begin``/``commit``/``abort``, and ``analyze`` — are
+#: deliberately *not* reserved; the parser recognizes them positionally
+#: at statement start instead.
 KEYWORDS = frozenset({
     "define", "type", "as", "inherits", "with", "rename", "to",
     "create", "destroy", "key", "index", "on", "using", "drop",

@@ -19,10 +19,18 @@ architecture at small scale with three rule families:
    type; if a matching physical index exists, the binding's scan becomes
    an index scan (equality preferred over range).
 
-Finally bindings are **reordered** greedily: indexed bindings first, then
-filtered scans, then bare scans — respecting nested-path dependencies.
-The optimizer is switchable (``enabled=False``) so benchmarks can measure
-its effect (experiment P1).
+Finally bindings are **reordered**. By default the order comes from a
+cost-based search driven by catalog statistics
+(:mod:`repro.core.statistics`): per-binding cardinalities are estimated
+from predicate selectivities (equality via distinct counts, ranges via
+equi-depth histogram interpolation, System R fallbacks when a set was
+never analyzed), join selectivities from distinct counts, and the search
+costs every dependency-valid order exhaustively up to
+:data:`DP_CUTOFF` existential bindings (dynamic programming over order
+prefixes), switching to greedy cheapest-next above. ``cost_based=False``
+restores the older heuristic (indexed first, filtered next, bare scans
+last). The optimizer is switchable (``enabled=False``) so benchmarks can
+measure its effect (experiments P1, P8).
 """
 
 from __future__ import annotations
@@ -31,6 +39,11 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.core.catalog import Catalog
+from repro.core.statistics import (
+    DEFAULT_EQ_SELECTIVITY,
+    DEFAULT_NEQ_SELECTIVITY,
+    DEFAULT_RANGE_SELECTIVITY,
+)
 from repro.core.types import TupleType
 from repro.excess.binder import (
     AggregateRef,
@@ -50,7 +63,14 @@ from repro.excess.binder import (
     VarRef,
 )
 
-__all__ = ["OptimizerReport", "Optimizer"]
+__all__ = ["OptimizerReport", "Optimizer", "CostModel", "DP_CUTOFF"]
+
+#: up to this many existential bindings every dependency-valid order is
+#: costed exhaustively; above it the search goes greedy cheapest-next
+DP_CUTOFF = 4
+
+#: row counts never estimate below this (zero would flatten all costs)
+_MIN_ROWS = 1e-3
 
 
 @dataclass
@@ -66,6 +86,16 @@ class OptimizerReport:
     hash_joins: list[str] = field(default_factory=list)
     #: membership predicates rewritten to cached semi-join probes
     semi_joins: int = 0
+    #: how the binding order was found: "dp" (exhaustive cost search),
+    #: "greedy-cost" (above the DP cutoff), "heuristic" (rule ranks), or
+    #: "" (reorder disabled / optimizer off)
+    search: str = ""
+    #: orders (dp) or candidate extensions (greedy-cost) the search costed
+    considered_orders: int = 0
+    #: estimated cost of the chosen order and of the best rejected
+    #: alternative (``None`` when fewer than two orders were valid)
+    chosen_cost: Optional[float] = None
+    runner_up_cost: Optional[float] = None
 
     def describe(self) -> str:
         """One-line human-readable summary."""
@@ -79,7 +109,154 @@ class OptimizerReport:
             f"semijoin={self.semi_joins}",
             "order=[" + ", ".join(self.binding_order) + "]",
         ]
+        if self.search in ("dp", "greedy-cost"):
+            cost = f"{self.chosen_cost:.1f}" if self.chosen_cost is not None else "?"
+            runner = (
+                f", runner-up={self.runner_up_cost:.1f}"
+                if self.runner_up_cost is not None
+                else ""
+            )
+            parts.append(
+                f"cost[{self.search}: considered={self.considered_orders}, "
+                f"chosen={cost}{runner}]"
+            )
         return "; ".join(parts)
+
+
+class CostModel:
+    """Cardinality and selectivity estimation over catalog statistics.
+
+    Falls back to the System R constants when a set was never analyzed
+    (or its statistics went stale), so every estimate is always defined.
+    """
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+        self.statistics = getattr(catalog, "statistics", None)
+
+    def base_rows(self, binding: RangeBinding) -> float:
+        """Rows the binding's source holds (before any predicate)."""
+        source = binding.source
+        if isinstance(source, NamedSetSource):
+            return float(max(1, self.catalog.cardinality(source.set_name)))
+        if isinstance(source, PathSource):
+            return 4.0  # nested sets are small in this workload family
+        return 8.0  # iterator functions
+
+    def access_selectivity(self, binding: RangeBinding) -> float:
+        """Selectivity of the index probe predicate (1.0 for scans)."""
+        if binding.access != "index" or binding.index_descriptor is None:
+            return 1.0
+        value = (
+            binding.index_key.value
+            if isinstance(binding.index_key, Const)
+            else None
+        )
+        return self._predicate_selectivity(
+            binding, binding.index_descriptor.attribute, binding.index_op, value
+        )
+
+    def conjunct_selectivity(
+        self, binding: RangeBinding, conjunct: BoundExpr
+    ) -> float:
+        """Selectivity of one residual conjunct on one binding."""
+        if isinstance(conjunct, Binary) and conjunct.kind == "compare":
+            probe = self._attr_probe(conjunct, binding.name)
+            if probe is not None:
+                attribute, op, value = probe
+                return self._predicate_selectivity(binding, attribute, op, value)
+            return self._default_selectivity(conjunct.op)
+        return 0.5
+
+    def filtered_rows(self, binding: RangeBinding) -> float:
+        """Estimated rows out of the binding's subtree (access method
+        plus residual filters)."""
+        rows = self.base_rows(binding) * self.access_selectivity(binding)
+        for conjunct in binding.residual:
+            rows *= self.conjunct_selectivity(binding, conjunct)
+        return max(rows, _MIN_ROWS)
+
+    def touch_rows(self, binding: RangeBinding) -> float:
+        """Rows one pass of the access method touches (its scan cost)."""
+        if binding.access == "index":
+            return max(
+                1.0, self.base_rows(binding) * self.access_selectivity(binding)
+            )
+        return self.base_rows(binding)
+
+    def join_selectivity(
+        self,
+        binding_a: RangeBinding,
+        expr_a: BoundExpr,
+        binding_b: RangeBinding,
+        expr_b: BoundExpr,
+    ) -> float:
+        """System R join selectivity: ``1 / max(V(A), V(B))`` with
+        distinct counts from statistics, cardinalities as fallback."""
+        distinct_a = self._side_distinct(binding_a, expr_a)
+        distinct_b = self._side_distinct(binding_b, expr_b)
+        return 1.0 / max(distinct_a, distinct_b, 1.0)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _side_distinct(self, binding: RangeBinding, expr: BoundExpr) -> float:
+        if isinstance(expr, VarRef):
+            # joining on the object itself: every member is distinct
+            return self.base_rows(binding)
+        if (
+            self.statistics is not None
+            and isinstance(expr, AttrStep)
+            and isinstance(expr.base, VarRef)
+            and isinstance(binding.source, NamedSetSource)
+        ):
+            distinct = self.statistics.distinct(
+                binding.source.set_name, expr.attribute
+            )
+            if distinct:
+                return float(distinct)
+        return self.base_rows(binding)
+
+    def _predicate_selectivity(
+        self, binding: RangeBinding, attribute: str, op: str, value: Any
+    ) -> float:
+        if (
+            self.statistics is not None
+            and value is not None
+            and isinstance(binding.source, NamedSetSource)
+        ):
+            set_name = binding.source.set_name
+            if op == "=":
+                return self.statistics.eq_selectivity(set_name, attribute, value)
+            if op in ("<", "<=", ">", ">="):
+                return self.statistics.range_selectivity(
+                    set_name, attribute, op, value
+                )
+        return self._default_selectivity(op)
+
+    @staticmethod
+    def _default_selectivity(op: str) -> float:
+        if op == "=":
+            return DEFAULT_EQ_SELECTIVITY
+        if op in ("<", "<=", ">", ">="):
+            return DEFAULT_RANGE_SELECTIVITY
+        if op == "!=":
+            return DEFAULT_NEQ_SELECTIVITY
+        return 0.5
+
+    @staticmethod
+    def _attr_probe(
+        conjunct: Binary, variable: str
+    ) -> Optional[tuple[str, str, Any]]:
+        """Match ``V.attr op <literal>`` and extract the literal value."""
+        left, right = conjunct.left, conjunct.right
+        if (
+            isinstance(left, AttrStep)
+            and isinstance(left.base, VarRef)
+            and left.base.name == variable
+            and isinstance(right, Const)
+        ):
+            return left.attribute, conjunct.op, right.value
+        return None
 
 
 class Optimizer:
@@ -99,6 +276,7 @@ class Optimizer:
         index_selection: bool = True,
         reorder: bool = True,
         hash_joins: bool = True,
+        cost_based: bool = True,
     ):
         self.catalog = catalog
         self.enabled = enabled
@@ -107,6 +285,8 @@ class Optimizer:
         self.index_rule = index_selection
         self.reorder_rule = reorder
         self.hash_join_rule = hash_joins
+        #: cost-based join-order search (False = the older greedy ranks)
+        self.cost_based = cost_based
 
     def optimize(self, query: BoundQuery) -> OptimizerReport:
         """Apply the rule families to ``query`` (mutating it)."""
@@ -133,13 +313,26 @@ class Optimizer:
                 report.pushed_down += 1
             else:
                 remaining.append(conjunct)
+        consumed: dict[str, BoundExpr] = {}
         if self.index_rule:
             for binding in query.bindings:
-                self._select_access(binding, report)
+                taken = self._select_access(binding, report)
+                if taken is not None:
+                    consumed[binding.name] = taken
+        cost = CostModel(self.catalog)
+        edges = self._join_edges(query, remaining, cost)
+        if self.cost_based and self.hash_join_rule:
+            self._demote_weak_indexes(query, edges, consumed, cost, report)
         if self.reorder_rule:
-            self._order_bindings(query)
+            if self.cost_based:
+                self._order_bindings_cost(query, edges, cost, report)
+            else:
+                self._order_bindings(query)
+                report.search = "heuristic"
+        self._annotate_binding_estimates(query, cost)
         if self.hash_join_rule:
             remaining = self._select_hash_joins(query, remaining, report)
+        self._annotate_cumulative(query, edges, remaining, cost)
         self._mark_semi_joins(query, remaining, report)
         query.where = self._rebuild_conjunction(remaining)
         report.binding_order = [b.name for b in query.bindings]
@@ -272,13 +465,17 @@ class Optimizer:
 
     # -- access selection ------------------------------------------------------------
 
-    def _select_access(self, binding: RangeBinding, report: OptimizerReport) -> None:
+    def _select_access(
+        self, binding: RangeBinding, report: OptimizerReport
+    ) -> Optional[BoundExpr]:
+        """Pick an index access method; returns the conjunct the index
+        probe absorbed (so cost-based search can undo the choice)."""
         if not isinstance(binding.source, NamedSetSource):
-            return
+            return None
         set_name = binding.source.set_name
         element = binding.element_type
         if not isinstance(element, TupleType):
-            return
+            return None
         best: Optional[tuple[int, BoundExpr, str, str, Any, BoundExpr]] = None
         for conjunct in binding.residual:
             probe = self._indexable_probe(conjunct, binding.name, element)
@@ -299,7 +496,7 @@ class Optimizer:
             if best is None or candidate[0] < best[0]:
                 best = candidate
         if best is None:
-            return
+            return None
         _rank, conjunct, attribute, op, descriptor, key_expr = best
         binding.access = "index"
         binding.index_descriptor = descriptor
@@ -309,6 +506,7 @@ class Optimizer:
         report.index_scans.append(
             f"{binding.name}:{descriptor.set_name}.{attribute}:{descriptor.kind}:{op}"
         )
+        return conjunct
 
     def _indexable_probe(
         self, conjunct: BoundExpr, variable: str, element: TupleType
@@ -366,6 +564,296 @@ class Optimizer:
             pending.remove(chosen)
         query.bindings = ordered
 
+    # -- cost-based ordering ------------------------------------------------------------
+
+    def _join_edges(
+        self, query: BoundQuery, remaining: list[BoundExpr], cost: CostModel
+    ) -> dict:
+        """Pairwise join-predicate info for the cost search:
+        ``frozenset({a, b}) → {"sel": float, "equi": bool}`` (selectivities
+        of multiple conjuncts over the same pair multiply)."""
+        by_name = {b.name: b for b in query.bindings}
+        edges: dict = {}
+        for conjunct in remaining:
+            pair = self._equi_join_pair(conjunct, by_name)
+            if pair is not None:
+                (name_a, expr_a), (name_b, expr_b) = pair
+                sel = cost.join_selectivity(
+                    by_name[name_a], expr_a, by_name[name_b], expr_b
+                )
+                equi = True
+            else:
+                if not isinstance(conjunct, Binary):
+                    continue
+                variables = self._variables_of(conjunct)
+                if len(variables) != 2 or "$aggregate" in variables:
+                    continue
+                name_a, name_b = sorted(variables)
+                if name_a not in by_name or name_b not in by_name:
+                    continue
+                sel = (
+                    CostModel._default_selectivity(conjunct.op)
+                    if conjunct.kind == "compare"
+                    else 0.5
+                )
+                equi = False
+            key = frozenset((name_a, name_b))
+            info = edges.setdefault(key, {"sel": 1.0, "equi": False})
+            info["sel"] *= sel
+            info["equi"] = info["equi"] or equi
+        return edges
+
+    def _demote_weak_indexes(
+        self,
+        query: BoundQuery,
+        edges: dict,
+        consumed: dict[str, BoundExpr],
+        cost: CostModel,
+        report: OptimizerReport,
+    ) -> None:
+        """SeqScan vs IndexScan, by cost: an index probe that barely
+        filters (estimated selectivity > 0.5) blocks the hash-join
+        rewrite (build sides must be plain scans), so when the binding
+        has an equi-join edge, scanning and hashing is cheaper — revert
+        the index choice and push the conjunct back to the residuals."""
+        for binding in query.bindings:
+            if binding.access != "index" or binding.name not in consumed:
+                continue
+            if binding.universal or not isinstance(
+                binding.source, NamedSetSource
+            ):
+                continue
+            has_equi = any(
+                binding.name in pair and info["equi"]
+                for pair, info in edges.items()
+            )
+            if not has_equi:
+                continue
+            if cost.access_selectivity(binding) <= 0.5:
+                continue
+            binding.residual.append(consumed.pop(binding.name))
+            binding.access = "scan"
+            binding.index_descriptor = None
+            binding.index_op = ""
+            binding.index_key = None
+            report.index_scans = [
+                entry
+                for entry in report.index_scans
+                if not entry.startswith(binding.name + ":")
+            ]
+
+    def _order_bindings_cost(
+        self,
+        query: BoundQuery,
+        edges: dict,
+        cost: CostModel,
+        report: OptimizerReport,
+    ) -> None:
+        """Cost-based binding order: exhaustive up to :data:`DP_CUTOFF`
+        existential bindings, greedy cheapest-next above. Universal
+        bindings stay last (they lower to :class:`UniversalCheck`)."""
+        existential = [b for b in query.bindings if not b.universal]
+        universal = [b for b in query.bindings if b.universal]
+        if len(existential) <= 1:
+            report.search = "dp"
+            report.considered_orders = 1
+            report.chosen_cost = (
+                cost.touch_rows(existential[0]) if existential else 0.0
+            )
+            query.bindings = existential + universal
+            return
+        names = {b.name for b in existential}
+
+        def dependency(binding: RangeBinding) -> Optional[str]:
+            source = binding.source
+            if isinstance(source, PathSource) and source.parent in names:
+                return source.parent
+            return None
+
+        if len(existential) <= DP_CUTOFF:
+            ordered = self._exhaustive_order(
+                existential, dependency, edges, cost, report
+            )
+        else:
+            ordered = self._greedy_cost_order(
+                existential, dependency, edges, cost, report
+            )
+        query.bindings = ordered + universal
+
+    def _exhaustive_order(
+        self, bindings, dependency, edges: dict, cost: CostModel, report
+    ) -> list:
+        """Cost every dependency-valid order (dynamic programming over
+        order prefixes — at most 4! = 24 full orders below the cutoff)."""
+        declaration = {b.name: i for i, b in enumerate(bindings)}
+        totals: list[tuple[float, tuple, list]] = []
+
+        def extend(order, placed, so_far, rows):
+            if len(order) == len(bindings):
+                totals.append(
+                    (so_far, tuple(declaration[b.name] for b in order), order)
+                )
+                return
+            for binding in bindings:
+                if binding.name in placed:
+                    continue
+                parent = dependency(binding)
+                if parent is not None and parent not in placed:
+                    continue
+                step, out = self._step_cost(binding, placed, rows, edges, cost)
+                extend(
+                    order + [binding],
+                    placed | {binding.name},
+                    so_far + step,
+                    out,
+                )
+
+        extend([], frozenset(), 0.0, None)
+        totals.sort(key=lambda entry: (entry[0], entry[1]))
+        report.search = "dp"
+        report.considered_orders = len(totals)
+        report.chosen_cost = totals[0][0]
+        if len(totals) > 1:
+            report.runner_up_cost = totals[1][0]
+        return totals[0][2]
+
+    def _greedy_cost_order(
+        self, bindings, dependency, edges: dict, cost: CostModel, report
+    ) -> list:
+        """Above the cutoff: repeatedly append the cheapest valid next
+        binding (ties broken by declaration order)."""
+        declaration = {b.name: i for i, b in enumerate(bindings)}
+        pending = list(bindings)
+        order: list = []
+        placed: set = set()
+        rows: Optional[float] = None
+        total = 0.0
+        considered = 0
+        while pending:
+            best = None
+            for binding in pending:
+                parent = dependency(binding)
+                if parent is not None and parent not in placed:
+                    continue
+                step, out = self._step_cost(binding, placed, rows, edges, cost)
+                considered += 1
+                key = (step, declaration[binding.name])
+                if best is None or key < best[0]:
+                    best = (key, binding, step, out)
+            assert best is not None  # dependencies are acyclic
+            _key, binding, step, out = best
+            order.append(binding)
+            placed.add(binding.name)
+            pending.remove(binding)
+            total += step
+            rows = out
+        report.search = "greedy-cost"
+        report.considered_orders = considered
+        report.chosen_cost = total
+        return order
+
+    def _step_cost(
+        self,
+        binding: RangeBinding,
+        placed,
+        rows: Optional[float],
+        edges: dict,
+        cost: CostModel,
+    ) -> tuple[float, float]:
+        """Incremental cost and output rows of appending ``binding`` to a
+        partial order producing ``rows`` rows.
+
+        The first binding costs one pass of its access method. A later
+        binding with an equi-join edge to the prefix and a hashable scan
+        costs one build pass plus one probe per outer row; anything else
+        nested-loops: one access pass per outer row. Output rows shrink
+        by join selectivity only at hash joins — leftover join predicates
+        filter above the joins, exactly as the lowered pipeline does.
+        """
+        touch = cost.touch_rows(binding)
+        out = cost.filtered_rows(binding)
+        if rows is None:
+            return touch, out
+        selectivity = 1.0
+        equi = False
+        for other in placed:
+            info = edges.get(frozenset((binding.name, other)))
+            if info is not None:
+                selectivity *= info["sel"]
+                equi = equi or info["equi"]
+        if equi and self._hashable_build(binding):
+            return touch + rows, max(rows * out * selectivity, _MIN_ROWS)
+        return rows * touch, max(rows * out, _MIN_ROWS)
+
+    # -- estimate annotations -----------------------------------------------------------
+
+    def _annotate_binding_estimates(
+        self, query: BoundQuery, cost: CostModel
+    ) -> None:
+        """Stamp per-binding row estimates for lowering and the
+        build-side swap (universal bindings lower to checks, not rows)."""
+        for binding in query.bindings:
+            if binding.universal:
+                continue
+            access = cost.base_rows(binding) * cost.access_selectivity(binding)
+            binding.est_base_rows = max(1, round(access))
+            binding.est_rows = max(1, round(cost.filtered_rows(binding)))
+
+    def _annotate_cumulative(
+        self,
+        query: BoundQuery,
+        edges: dict,
+        remaining: list[BoundExpr],
+        cost: CostModel,
+    ) -> None:
+        """Walk the final order stamping cumulative row estimates on each
+        join step, then estimate the pipeline's output after the leftover
+        where-clause predicates."""
+        rows: Optional[float] = None
+        placed: list[str] = []
+        absorbed: set = set()
+        for binding in query.bindings:
+            if binding.universal:
+                continue
+            out = float(binding.est_rows or 1)
+            if rows is None:
+                rows = out
+            elif binding.join_strategy == "hash":
+                selectivity = 1.0
+                for other in placed:
+                    key = frozenset((binding.name, other))
+                    info = edges.get(key)
+                    if info is not None and info["equi"]:
+                        selectivity *= info["sel"]
+                        absorbed.add(key)
+                rows = rows * out * selectivity
+            else:
+                rows = rows * out
+            rows = max(rows, _MIN_ROWS)
+            binding.est_cum_rows = max(1, round(rows))
+            placed.append(binding.name)
+        if rows is None:
+            rows = 1.0
+        leftover = 1.0
+        for key, info in edges.items():
+            if key not in absorbed:
+                leftover *= info["sel"]
+        for conjunct in remaining:
+            variables = self._variables_of(conjunct)
+            if len(variables) == 2 and frozenset(variables) in edges:
+                continue  # counted as an edge above
+            leftover *= 0.5
+        query.est_rows = max(1, round(max(rows * leftover, _MIN_ROWS)))
+
+    def _estimated_rows(self, binding: RangeBinding) -> float:
+        """The binding's post-filter row estimate (build-side swaps
+        compare these, not declared cardinalities)."""
+        if binding.est_rows is not None:
+            return float(binding.est_rows)
+        if isinstance(binding.source, NamedSetSource):
+            return float(self.catalog.cardinality(binding.source.set_name))
+        return 4.0
+
     # -- hash joins ---------------------------------------------------------------------
 
     def _select_hash_joins(
@@ -380,7 +868,8 @@ class Optimizer:
         named set is loaded once into a hash table keyed by its side of the
         conjunct, and each outer (probe) row looks up matches instead of
         rescanning. When both sides are plain adjacent scans the pair is
-        swapped so the smaller set (by tracked cardinality) is built.
+        swapped so the smaller side — by *estimated* post-filter rows, not
+        declared cardinality — is built.
         """
         kept: list[BoundExpr] = []
         positions = {b.name: i for i, b in enumerate(query.bindings)}
@@ -405,8 +894,7 @@ class Optimizer:
             if (
                 self._hashable_build(probe)
                 and positions[build_name] - positions[probe_name] == 1
-                and self.catalog.cardinality(probe.source.set_name)
-                < self.catalog.cardinality(build.source.set_name)
+                and self._estimated_rows(probe) < self._estimated_rows(build)
             ):
                 i, j = positions[probe_name], positions[build_name]
                 query.bindings[i], query.bindings[j] = (
@@ -423,7 +911,7 @@ class Optimizer:
             build.hash_join_op = conjunct.op
             build.join_detail = (
                 f"hash(build={build_name}"
-                f"~{self.catalog.cardinality(build.source.set_name)}"
+                f"~{int(self._estimated_rows(build))}"
                 f", probe={probe_name})"
             )
             report.hash_joins.append(f"{probe_name}*{build_name}:{conjunct.op}")

@@ -187,6 +187,14 @@ class Parser:
             return self._parse_add_to_group()
         if token.type is TokenType.IDENT and token.text.lower() == "alter":
             return self._parse_alter_type()
+        if token.type is TokenType.IDENT and token.text.lower() == "analyze":
+            # `analyze [SetName]`; "analyze" is not reserved so it stays
+            # usable as an ordinary identifier
+            self._next()
+            name: Optional[str] = None
+            if self._peek().type is TokenType.IDENT:
+                name = self._next().text
+            return self._at(ast.Analyze(set_name=name), token)
         if token.type is TokenType.IDENT and token.text.lower() in (
             "begin", "commit", "abort"
         ):

@@ -951,26 +951,43 @@ def _flatten_conjuncts(where: Optional[BoundExpr]) -> list[BoundExpr]:
 
 
 def _source_op(binding: RangeBinding, catalog: Any) -> PlanOp:
-    """Lower one binding's source to its access-method operator."""
+    """Lower one binding's source to its access-method operator.
+
+    Estimates come from the optimizer's cost-model annotations when it
+    ran (``est_base_rows``); the structural defaults below cover
+    unoptimized lowering (optimizer off, function bodies) so every
+    operator always carries a non-None ``est_rows``.
+    """
     source = binding.source
     if isinstance(source, NamedSetSource):
         if binding.access == "index" and binding.index_descriptor is not None:
             op: PlanOp = IndexScan(binding)
             cardinality = catalog.cardinality(source.set_name)
-            op.est_rows = 1 if binding.index_op == "=" else max(
-                1, cardinality // 3
+            op.est_rows = (
+                binding.est_base_rows
+                if binding.est_base_rows is not None
+                else (1 if binding.index_op == "=" else max(1, cardinality // 3))
             )
             return op
         op = SeqScan(source.set_name, binding.name)
-        op.est_rows = catalog.cardinality(source.set_name)
+        op.est_rows = (
+            binding.est_base_rows
+            if binding.est_base_rows is not None
+            else catalog.cardinality(source.set_name)
+        )
         return op
     if isinstance(source, PathSource):
         op = PathExpand(source, binding.name)
-        op.est_rows = 4  # nested sets are small in this workload family
+        # nested sets are small in this workload family
+        op.est_rows = (
+            binding.est_base_rows if binding.est_base_rows is not None else 4
+        )
         return op
     if isinstance(source, IteratorSource):
         op = FunctionScan(source, binding.name)
-        op.est_rows = 8
+        op.est_rows = (
+            binding.est_base_rows if binding.est_base_rows is not None else 8
+        )
         return op
     raise EvaluationError(f"unknown binding source {type(source).__name__}")
 
@@ -983,11 +1000,19 @@ def _binding_subtree(binding: RangeBinding, catalog: Any) -> PlanOp:
     semis = [r for r in binding.residual if _is_semi_membership(r)]
     if residual:
         filtered = Filter(op, residual)
-        filtered.est_rows = max(1, (op.est_rows or 1) // 3)
+        filtered.est_rows = (
+            binding.est_rows
+            if binding.est_rows is not None
+            else max(1, (op.est_rows or 1) // 3)
+        )
         op = filtered
     for node in semis:
         probe = SemiJoinProbe(op, node)
-        probe.est_rows = max(1, (op.est_rows or 1) // 2)
+        probe.est_rows = (
+            binding.est_rows
+            if binding.est_rows is not None
+            else max(1, (op.est_rows or 1) // 2)
+        )
         op = probe
     return op
 
@@ -1021,7 +1046,11 @@ def lower_query(query: BoundQuery, catalog: Any) -> PlanOp:
             if isinstance(binding.source, NamedSetSource):
                 cardinality = catalog.cardinality(binding.source.set_name)
             join: PlanOp = HashJoin(root, build, binding, cardinality)
-            join.est_rows = max(root.est_rows or 1, build.est_rows or 1)
+            join.est_rows = (
+                binding.est_cum_rows
+                if binding.est_cum_rows is not None
+                else max(root.est_rows or 1, build.est_rows or 1)
+            )
             root = join
         else:
             inner = _binding_subtree(binding, catalog)
@@ -1029,7 +1058,11 @@ def lower_query(query: BoundQuery, catalog: Any) -> PlanOp:
                 root = inner
             else:
                 join = NestedLoopJoin(root, inner)
-                join.est_rows = (root.est_rows or 1) * (inner.est_rows or 1)
+                join.est_rows = (
+                    binding.est_cum_rows
+                    if binding.est_cum_rows is not None
+                    else (root.est_rows or 1) * (inner.est_rows or 1)
+                )
                 root = join
     if query.where is not None:
         if universal:
@@ -1047,7 +1080,11 @@ def lower_query(query: BoundQuery, catalog: Any) -> PlanOp:
                 root = probe
             if rest:
                 filtered = Filter(root, rest)
-                filtered.est_rows = max(1, (root.est_rows or 1) // 3)
+                filtered.est_rows = (
+                    query.est_rows
+                    if query.est_rows is not None
+                    else max(1, (root.est_rows or 1) // 3)
+                )
                 root = filtered
     if query.aggregates:
         aggregate = Aggregate(root, query)

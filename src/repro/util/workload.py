@@ -16,7 +16,12 @@ from typing import Optional
 from repro.adt.builtin import Date
 from repro.core.database import Database
 
-__all__ = ["CompanyWorkload", "build_company_database"]
+__all__ = [
+    "CompanyWorkload",
+    "build_company_database",
+    "SupplyWorkload",
+    "build_supply_database",
+]
 
 _FIRST_NAMES = [
     "Sue", "Bob", "Ann", "Joe", "Eva", "Max", "Ida", "Ray", "Amy", "Ned",
@@ -125,4 +130,69 @@ def build_company_database(
         top_ten = db.named("TopTen").value
         for slot, (member, _salary) in enumerate(ranked[:10], start=1):
             top_ten.set(slot, member)
+    return db
+
+
+@dataclass
+class SupplyWorkload:
+    """Parameters for a supplier/part/shipment database.
+
+    The shape is adversarial for the old greedy binding order: shipments
+    carry a btree index on ``qty`` whose only use is the vacuous
+    predicate ``qty > 0``, so an index-first heuristic starts the join
+    from the largest set, while a selective unindexed ``region`` filter
+    on the smallest set goes unexploited.
+    """
+
+    #: number of parts; suppliers = parts // 10, shipments = parts * 4
+    parts: int = 300
+    #: distinct region codes (region = N selects ~1/regions of suppliers)
+    regions: int = 20
+    seed: int = 1988
+
+    @property
+    def suppliers(self) -> int:
+        return max(2, self.parts // 10)
+
+    @property
+    def shipments(self) -> int:
+        return self.parts * 4
+
+
+def build_supply_database(workload: Optional[SupplyWorkload] = None) -> Database:
+    """Create and populate the supplier/part/shipment schema.
+
+    * ``Supplier(sid, region)`` — ``sid`` unique, ``region`` is
+      ``sid % regions`` (so every region code up to the supplier count
+      is guaranteed to exist at every scale)
+    * ``Part(pid, supplier)`` — ``supplier`` references a ``sid``
+    * ``Shipment(part, qty)`` — ``part`` references a ``pid``, ``qty``
+      uniform in ``[1, 100]`` (so ``qty > 0`` matches everything)
+
+    A btree index on ``Shipments (qty)`` is created up front.
+    """
+    spec = workload if workload is not None else SupplyWorkload()
+    db = Database()
+    db.execute(
+        """
+        define type Supplier as (sid: int4, region: int4)
+        define type Part as (pid: int4, supplier: int4)
+        define type Shipment as (part: int4, qty: int4)
+        create {own ref Supplier} Suppliers
+        create {own ref Part} Parts
+        create {own ref Shipment} Shipments
+        create index on Shipments (qty) using btree
+        """
+    )
+    rng = random.Random(spec.seed)
+    for sid in range(spec.suppliers):
+        db.insert("Suppliers", sid=sid, region=sid % spec.regions)
+    for pid in range(spec.parts):
+        db.insert("Parts", pid=pid, supplier=rng.randrange(spec.suppliers))
+    for _ in range(spec.shipments):
+        db.insert(
+            "Shipments",
+            part=rng.randrange(spec.parts),
+            qty=rng.randint(1, 100),
+        )
     return db

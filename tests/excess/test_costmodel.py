@@ -1,0 +1,250 @@
+"""Cost-based optimization tests: ``analyze``, estimates, join-order
+search, and plan-cache interaction.
+
+The supply workload (Suppliers/Parts/Shipments) is the adversarial
+3-way-join shape from ``benchmarks/bench_p8_costmodel.py``: a vacuous
+btree predicate on the largest set baits the index-first heuristic,
+while the selective unindexed filter sits on the smallest set.
+"""
+
+import pytest
+
+from repro.errors import BindError, CatalogError
+from repro.util.workload import SupplyWorkload, build_supply_database
+
+SUPPLY_QUERY = (
+    "retrieve (S.sid, P.pid, H.qty) "
+    "from S in Suppliers, P in Parts, H in Shipments "
+    "where S.region = 7 and P.supplier = S.sid "
+    "and H.part = P.pid and H.qty > 0"
+)
+
+
+@pytest.fixture
+def supply():
+    db = build_supply_database(SupplyWorkload(parts=100))
+    db.execute("analyze")
+    return db
+
+
+class TestAnalyzeStatement:
+    def test_analyze_one_set(self, small_company):
+        result = small_company.execute("analyze Employees")
+        assert result.kind == "analyze"
+        assert result.count == 1
+        assert "Employees" in result.message
+        stats = small_company.catalog.statistics.get("Employees")
+        assert stats.analyzed_cardinality == 3
+
+    def test_analyze_all_sets(self, small_company):
+        result = small_company.execute("analyze")
+        assert result.count == 2
+        assert small_company.catalog.statistics.analyzed_sets() == [
+            "Departments",
+            "Employees",
+        ]
+
+    def test_analyze_unknown_set(self, small_company):
+        with pytest.raises(CatalogError):
+            small_company.execute("analyze Nope")
+
+    def test_analyze_non_set(self, small_company):
+        with pytest.raises(BindError):
+            small_company.execute("analyze Today")
+
+    def test_analyze_is_not_reserved(self, small_company):
+        small_company.execute(
+            'append to Departments (dname = "analyze", floor = 3, '
+            "budget = 1.0)"
+        )
+        rows = small_company.execute(
+            'retrieve (D.dname) from D in Departments '
+            'where D.dname = "analyze"'
+        ).rows
+        assert rows == [("analyze",)]
+
+
+class TestEstimates:
+    """Satellite: every executed plan operator carries an estimate."""
+
+    SHAPES = [
+        "retrieve (E.name) from E in Employees",
+        "retrieve (E.name) from E in Employees where E.age > 35",
+        "retrieve (E.name, D.dname) from E in Employees, "
+        "D in Departments where E.dept is D and D.floor = 2",
+        "retrieve (E.name) from E in Employees "
+        "where E.dept.dname = \"Toys\"",
+        "retrieve (K.name) from E in Employees, K in E.kids",
+        "retrieve (D.dname) from D in Departments, E in every Employees "
+        "where E.dept isnot D or E.salary > 45000.0",
+        "retrieve (D.dname, total = sum(E.salary)) "
+        "from D in Departments, E in Employees where E.dept is D",
+        "retrieve unique (E.age) from E in Employees sort by E.age",
+    ]
+
+    @pytest.mark.parametrize("query", SHAPES)
+    def test_no_unknown_estimates_executed(self, small_company, query):
+        result = small_company.execute(query)
+        assert result.plan_tree is not None
+        assert "est=?" not in result.plan_tree
+
+    @pytest.mark.parametrize("query", SHAPES)
+    def test_no_unknown_estimates_after_analyze(self, small_company, query):
+        small_company.execute("analyze")
+        result = small_company.execute(query)
+        assert "est=?" not in result.plan_tree
+
+    def test_no_unknown_estimates_with_optimizer_off(self, small_company):
+        small_company.interpreter.optimize = False
+        try:
+            result = small_company.execute(self.SHAPES[2])
+        finally:
+            small_company.interpreter.optimize = True
+        assert "est=?" not in result.plan_tree
+
+    def test_estimates_track_statistics(self, supply):
+        tree = supply.execute("explain " + SUPPLY_QUERY).plan_tree
+        # region = 7 on 10 suppliers with 10 distinct regions -> 1 row
+        assert "Filter S.region = 7 (est=1)" in tree
+
+
+class TestCostBasedOrder:
+    """Satellite: DP order search beats the greedy heuristic."""
+
+    def test_dp_avoids_the_index_bait(self, supply):
+        message = supply.execute("explain " + SUPPLY_QUERY).message
+        assert "cost[dp: considered=6" in message
+        # the large indexed set must not lead the join
+        assert "order=[H" not in message
+
+    def test_heuristic_takes_the_index_bait(self, supply):
+        supply.interpreter.cost_based = False
+        try:
+            message = supply.execute("explain " + SUPPLY_QUERY).message
+        finally:
+            supply.interpreter.cost_based = True
+        assert "order=[H" in message
+        assert "cost[" not in message
+
+    def test_orders_agree_on_rows(self, supply):
+        cost_rows = sorted(supply.execute(SUPPLY_QUERY).rows)
+        supply.interpreter.cost_based = False
+        try:
+            greedy_rows = sorted(supply.execute(SUPPLY_QUERY).rows)
+        finally:
+            supply.interpreter.cost_based = True
+        assert cost_rows == greedy_rows and cost_rows
+
+    def test_report_cost_fields(self, supply):
+        message = supply.execute("explain " + SUPPLY_QUERY).message
+        assert "chosen=" in message and "runner-up=" in message
+
+    def test_greedy_cost_search_above_cutoff(self, supply):
+        from repro.excess.optimizer import DP_CUTOFF
+
+        names = ["S", "P", "H", "S2", "P2"]
+        assert len(names) > DP_CUTOFF
+        query = (
+            "retrieve (S.sid) from S in Suppliers, P in Parts, "
+            "H in Shipments, S2 in Suppliers, P2 in Parts "
+            "where S.region = 7 and P.supplier = S.sid "
+            "and H.part = P.pid and P2.supplier = S2.sid "
+            "and S2.region = 3"
+        )
+        message = supply.execute("explain " + query).message
+        assert "cost[greedy-cost:" in message
+
+
+class TestBuildSideByEstimate:
+    """Satellite: hash-join build side follows *estimated* rows, not
+    declared cardinality."""
+
+    def test_filtered_big_set_becomes_build(self, supply):
+        # Parts (declared 100) vs Suppliers (declared 10): unfiltered,
+        # the smaller Suppliers is the build side...
+        plain = supply.execute(
+            "explain retrieve (P.pid) from S in Suppliers, P in Parts "
+            "where P.supplier = S.sid"
+        )
+        details = " ".join(str(row) for row in plain.rows)
+        assert "build=S~10" in details
+        # ...but a selective equality on Parts shrinks its estimate to
+        # ~1 row, so the *declared-larger* set becomes the build side.
+        filtered = supply.execute(
+            "explain retrieve (P.pid) from S in Suppliers, P in Parts "
+            "where P.supplier = S.sid and P.pid = 5"
+        )
+        details = " ".join(str(row) for row in filtered.rows)
+        assert "build=P~1" in details
+
+    def test_build_side_rows_match(self, supply):
+        rows = supply.execute(
+            "retrieve (P.pid) from S in Suppliers, P in Parts "
+            "where P.supplier = S.sid and P.pid = 5"
+        ).rows
+        assert rows == [(5,)]
+
+
+class TestAnalyzeInvalidatesPlans:
+    """Satellite: analyze (and histogram staleness) bump the catalog
+    epoch, so cached plans costed under old statistics are dropped."""
+
+    def test_analyze_bumps_epoch_and_invalidates(self, supply):
+        query = "retrieve (S.sid) from S in Suppliers where S.region = 7"
+        assert supply.execute(query).metrics["cache"] == "miss"
+        assert supply.execute(query).metrics["cache"] == "hit"
+        supply.execute("analyze Suppliers")
+        assert supply.execute(query).metrics["cache"] == "miss"
+        assert supply.execute(query).metrics["cache"] == "hit"
+
+    def test_churn_staleness_invalidates(self, supply):
+        query = "retrieve (S.sid) from S in Suppliers where S.region = 7"
+        supply.execute(query)
+        assert supply.execute(query).metrics["cache"] == "hit"
+        stats = supply.catalog.statistics.get("Suppliers")
+        for sid in range(100, 100 + stats.churn_limit() + 1):
+            supply.insert("Suppliers", sid=sid, region=sid % 10)
+        assert stats.stale
+        assert supply.execute(query).metrics["cache"] == "miss"
+
+    def test_cost_based_flag_is_part_of_cache_key(self, supply):
+        query = "retrieve (S.sid) from S in Suppliers where S.region = 7"
+        supply.execute(query)
+        assert supply.execute(query).metrics["cache"] == "hit"
+        supply.interpreter.cost_based = False
+        try:
+            assert supply.execute(query).metrics["cache"] == "miss"
+        finally:
+            supply.interpreter.cost_based = True
+        assert supply.execute(query).metrics["cache"] == "hit"
+
+
+class TestStatisticsTransactions:
+    """Satellite: statistics commit and roll back with the data."""
+
+    def test_stats_survive_commit(self, small_company):
+        db = small_company
+        db.begin()
+        db.execute("analyze Employees")
+        db.commit()
+        assert db.catalog.statistics.get("Employees") is not None
+
+    def test_analyze_rolls_back_on_abort(self, small_company):
+        db = small_company
+        db.begin()
+        db.execute("analyze Employees")
+        db.abort()
+        assert db.catalog.statistics.get("Employees") is None
+
+    def test_churn_rolls_back_on_abort(self, small_company):
+        db = small_company
+        db.execute("analyze Employees")
+        db.begin()
+        db.execute(
+            'append to Employees (name = "Tmp", age = 99, salary = 1.0)'
+        )
+        stats = db.catalog.statistics.get("Employees")
+        assert stats.churn == 1 and stats.attributes["age"].maximum == 99
+        db.abort()
+        stats = db.catalog.statistics.get("Employees")
+        assert stats.churn == 0 and stats.attributes["age"].maximum == 50

@@ -1,6 +1,7 @@
 """Property-based tests of engine equivalences:
 
 * optimized and unoptimized execution return the same rows;
+* cost-based and heuristic join orders return the same rows;
 * indexed and unindexed execution return the same rows;
 * the memory and paged stores answer identically.
 """
@@ -47,6 +48,19 @@ def equi_join_queries(draw):
     return (
         f"retrieve ({targets}) from E in Employees, {second} where {where}"
     )
+
+
+@pytest.fixture(scope="module")
+def analyzed_company():
+    """An indexed + analyzed database, so the cost model runs with real
+    statistics (not just the System R defaults)."""
+    db = build_company_database(
+        CompanyWorkload(departments=4, employees=40, seed=21)
+    )
+    db.execute("create index on Employees (age) using btree")
+    db.execute("create index on Employees (salary) using hash")
+    db.execute("analyze")
+    return db
 
 
 @pytest.fixture(scope="module")
@@ -122,6 +136,30 @@ class TestEquivalences:
             interpreter.optimize = True
             interpreter.hash_joins = True
         assert sorted(hash_rows) == sorted(loop_rows) == sorted(off_rows)
+
+    @given(query=equi_join_queries())
+    @settings(max_examples=30, deadline=None)
+    def test_cost_based_heuristic_and_off_equivalent(
+        self, analyzed_company, query
+    ):
+        """Cost-based ordering, the heuristic order, and the optimizer
+        turned off must return identical row multisets on an analyzed
+        database — the cost model may only change join order/strategy,
+        never results."""
+        db = analyzed_company
+        interpreter = db.interpreter
+        try:
+            cost_rows = db.execute(query).rows
+            interpreter.cost_based = False
+            heuristic_rows = db.execute(query).rows
+            interpreter.optimize = False
+            off_rows = db.execute(query).rows
+        finally:
+            interpreter.optimize = True
+            interpreter.cost_based = True
+        assert (
+            sorted(cost_rows) == sorted(heuristic_rows) == sorted(off_rows)
+        )
 
     @given(predicate=predicates())
     @settings(max_examples=30, deadline=None)

@@ -92,6 +92,40 @@ class TestMetaCommands:
         assert "optimizer off" in output
         assert "optimizer on" in output
 
+    def test_stats_without_statistics_hints_analyze(self):
+        output = run_shell(["\\stats"])
+        assert "set statistics: none (run \\analyze)" in output
+
+    def test_analyze_then_stats_shows_per_set_section(self):
+        db = Database()
+        db.execute("define type T as (x: int4)")
+        db.execute("create {own ref T} S")
+        db.insert("S", x=1)
+        db.insert("S", x=2)
+        output = run_shell(["\\analyze", "\\stats"], database=db)
+        assert "analyzed S" in output
+        assert "S: cardinality=2" in output
+        assert "(fresh)" in output
+
+    def test_analyze_one_set(self):
+        db = Database()
+        db.execute("define type T as (x: int4)")
+        db.execute("create {own ref T} S")
+        output = run_shell(["\\analyze S"], database=db)
+        assert "analyzed S" in output
+
+    def test_stats_marks_stale_sets(self):
+        db = Database()
+        db.execute("define type T as (x: int4)")
+        db.execute("create {own ref T} S")
+        db.insert("S", x=0)
+        db.analyze("S")
+        limit = db.catalog.statistics.get("S").churn_limit()
+        for i in range(limit + 1):
+            db.insert("S", x=i)
+        output = run_shell(["\\stats"], database=db)
+        assert "(stale)" in output
+
     def test_save_and_load(self, tmp_path):
         path = os.path.join(tmp_path, "x.snap")
         output = run_shell([
