@@ -62,6 +62,10 @@ class Grant:
 class AuthorizationManager:
     """Stores grants and answers privilege checks."""
 
+    #: the open transaction's undo log (attached by ``Database.begin``);
+    #: class attribute so snapshots from before this field existed load
+    undo = None
+
     def __init__(self, directory: Optional[UserDirectory] = None):
         self.directory = directory if directory is not None else UserDirectory()
         self._grants: set[Grant] = set()
@@ -69,10 +73,17 @@ class AuthorizationManager:
         self._owners: dict[str, str] = {}
         self.enabled = True
 
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("undo", None)  # undo logs never survive pickling
+        return state
+
     # -- ownership ---------------------------------------------------------------
 
     def record_owner(self, object_name: str, user: str) -> None:
         """Record that ``user`` created ``object_name``."""
+        if self.undo is not None:
+            self.undo.note_map_set(self._owners, object_name)
         self._owners[object_name] = user
 
     def owner_of(self, object_name: str) -> Optional[str]:
@@ -96,6 +107,8 @@ class AuthorizationManager:
         if not self._may_administer(grantor, privilege, object_name):
             raise AuthorizationError(grantor, privilege.value, object_name)
         record = Grant(principal, privilege, object_name, grantor)
+        if self.undo is not None and record not in self._grants:
+            self.undo.op(lambda: self._grants.discard(record))
         self._grants.add(record)
         return record
 
@@ -115,6 +128,9 @@ class AuthorizationManager:
             and g.object_name == object_name
             and (g.privilege is privilege or privilege is Privilege.ALL)
         ]
+        if self.undo is not None and matches:
+            restored = list(matches)
+            self.undo.op(lambda: self._grants.update(restored))
         for grant in matches:
             self._grants.discard(grant)
         return bool(matches)

@@ -36,11 +36,20 @@ class Group:
 class UserDirectory:
     """Tracks users, groups, and group membership."""
 
+    #: the open transaction's undo log (attached by ``Database.begin``);
+    #: class attribute so snapshots from before this field existed load
+    undo = None
+
     def __init__(self, dba: str = "dba"):
         self._users: dict[str, User] = {}
         self._groups: dict[str, Group] = {ALL_USERS: Group(ALL_USERS)}
         self.dba = dba
         self.add_user(dba)
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("undo", None)  # undo logs never survive pickling
+        return state
 
     # -- users ---------------------------------------------------------------
 
@@ -51,6 +60,8 @@ class UserDirectory:
         user = self._users.get(name)
         if user is None:
             user = User(name)
+            if self.undo is not None:
+                self.undo.note_map_set(self._users, name)
             self._users[name] = user
         return user
 
@@ -71,6 +82,8 @@ class UserDirectory:
         group = self._groups.get(name)
         if group is None:
             group = Group(name)
+            if self.undo is not None:
+                self.undo.note_map_set(self._groups, name)
             self._groups[name] = group
         return group
 
@@ -92,14 +105,19 @@ class UserDirectory:
             raise CatalogError(f"unknown user or group {member!r}")
         if member == group_name:
             raise CatalogError("a group cannot contain itself")
+        if self.undo is not None and member not in group.members:
+            self.undo.op(lambda: group.members.discard(member))
         group.members.add(member)
 
     def remove_member(self, group_name: str, member: str) -> None:
         """Remove a member from a group."""
         try:
-            self._groups[group_name].members.discard(member)
+            group = self._groups[group_name]
         except KeyError:
             raise CatalogError(f"unknown group {group_name!r}") from None
+        if self.undo is not None and member in group.members:
+            self.undo.op(lambda: group.members.add(member))
+        group.members.discard(member)
 
     # -- principal resolution --------------------------------------------------------
 

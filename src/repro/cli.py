@@ -17,6 +17,9 @@ start with a backslash:
 ``\\analyze [SET]``     rebuild optimizer statistics (all sets or one)
 ``\\save PATH``  snapshot the database to PATH
 ``\\load PATH``  replace the session database with a snapshot
+``\\open DIR``   open a durable database (WAL + crash recovery) in DIR
+``\\checkpoint`` snapshot durable state and truncate the WAL
+``\\wal``        show write-ahead-log status (durable databases)
 ``\\user NAME``  switch the session user (authorization applies)
 ``\\authz on|off``      toggle authorization enforcement
 ``\\optimizer on|off``  toggle the query optimizer (for comparisons)
@@ -164,6 +167,30 @@ class Shell:
         elif command == "load" and args:
             self.db = Database.load(args[0])
             self._write(f"loaded {args[0]}")
+        elif command == "open" and args:
+            self.db.close()  # release a previous durable session's WAL
+            self.db = Database.open(args[0])
+            status = self.db.durability.status()
+            self._write(
+                f"opened durable database in {args[0]} "
+                f"(next LSN {status['next_lsn']})"
+            )
+        elif command == "checkpoint":
+            try:
+                info = self.db.checkpoint()
+            except ExtraError as exc:
+                self._write(f"error: {exc}")
+            else:
+                self._write(
+                    f"checkpointed {info['bytes']} bytes through "
+                    f"LSN {info['wal_lsn']}"
+                )
+        elif command == "wal":
+            if self.db.durability is None:
+                self._write("not a durable database (use \\open DIR)")
+            else:
+                for key, value in self.db.durability.status().items():
+                    self._write(f"{key}: {value}")
         elif command == "user" and args:
             self.db.authz.directory.add_user(args[0])
             self.user = args[0]

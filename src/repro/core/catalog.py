@@ -55,6 +55,10 @@ class NamedObject:
 class Catalog:
     """All name → definition mappings for one database."""
 
+    #: the open transaction's undo log (attached by ``Database.begin``);
+    #: class attribute so snapshots from before this field existed load
+    undo = None
+
     def __init__(self) -> None:
         self._types: dict[str, SchemaType] = {}
         self._named: dict[str, NamedObject] = {}
@@ -77,6 +81,11 @@ class Catalog:
         self.statistics = StatisticsManager(on_stale=self.bump_epoch)
         self.indexes.on_change = self.bump_epoch
 
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("undo", None)  # undo logs never survive pickling
+        return state
+
     # -- plan-cache epoch -------------------------------------------------------
 
     @property
@@ -98,6 +107,8 @@ class Catalog:
         tracked a direct measurement (which already reflects the change)
         seeds the counter instead of ``measurement + delta``.
         """
+        if self.undo is not None:
+            self.undo.save_cardinality(self, set_name)
         current = self._cardinalities.get(set_name)
         if current is None:
             self._cardinalities[set_name] = self._measure_cardinality(set_name)
@@ -109,6 +120,8 @@ class Catalog:
         on first request."""
         count = self._cardinalities.get(set_name)
         if count is None:
+            if self.undo is not None:  # seeding mutates the counter map
+                self.undo.save_cardinality(self, set_name)
             count = self._measure_cardinality(set_name)
             self._cardinalities[set_name] = count
         return count
@@ -147,6 +160,8 @@ class Catalog:
         schema_type = SchemaType(
             name, attributes, parents=parent_types, renames=list(renames)
         )
+        if self.undo is not None:
+            self.undo.note_map_set(self._types, name)
         self._types[name] = schema_type
         self.bump_epoch()
         return schema_type
@@ -155,6 +170,8 @@ class Catalog:
         """Register an already-constructed schema type (used by the
         interpreter's two-phase self-referential construction)."""
         self._check_fresh_name(schema_type.name)
+        if self.undo is not None:
+            self.undo.note_map_set(self._types, schema_type.name)
         self._types[schema_type.name] = schema_type
         self.bump_epoch()
         return schema_type
@@ -200,6 +217,8 @@ class Catalog:
                 f"cannot drop type {name!r}: named objects use it: "
                 f"{', '.join(sorted(users))}"
             )
+        if self.undo is not None:
+            self.undo.note_map_set(self._types, name)
         del self._types[name]
         self.bump_epoch()
 
@@ -208,6 +227,8 @@ class Catalog:
     def create_named(self, named: NamedObject) -> NamedObject:
         """Register a named persistent object (``create``)."""
         self._check_fresh_name(named.name)
+        if self.undo is not None:
+            self.undo.note_map_set(self._named, named.name)
         self._named[named.name] = named
         self.bump_epoch()
         return named
@@ -230,6 +251,9 @@ class Catalog:
     def destroy_named(self, name: str) -> NamedObject:
         """Remove a named object from the catalog (``destroy``); the
         caller is responsible for cascading deletes of owned members."""
+        if self.undo is not None and name in self._named:
+            self.undo.note_map_set(self._named, name)
+            self.undo.save_cardinality(self, name)
         try:
             removed = self._named.pop(name)
         except KeyError:
@@ -254,12 +278,16 @@ class Catalog:
                 f"function {function.name!r} already defined for type "
                 f"{function.type_name!r}"
             )
+        if self.undo is not None:
+            self.undo.note_map_set(self._functions, key)
         self._functions[key] = function
         self.bump_epoch()
 
     def undefine_function(self, type_name: str, name: str) -> None:
         """Remove a function registration (used to roll back a definition
         whose body failed validation)."""
+        if self.undo is not None:
+            self.undo.note_map_set(self._functions, (type_name, name))
         self._functions.pop((type_name, name), None)
         self.bump_epoch()
 
@@ -295,6 +323,8 @@ class Catalog:
         """Register a stored procedure (IDM-style stored command)."""
         if procedure.name in self._procedures:
             raise CatalogError(f"procedure {procedure.name!r} already defined")
+        if self.undo is not None:
+            self.undo.note_map_set(self._procedures, procedure.name)
         self._procedures[procedure.name] = procedure
         self.bump_epoch()
 

@@ -39,7 +39,12 @@ from repro.core.values import (
     SetInstance,
     TupleInstance,
 )
-from repro.errors import CatalogError, IntegrityError, TypeSystemError
+from repro.errors import (
+    CatalogError,
+    IntegrityError,
+    StorageError,
+    TypeSystemError,
+)
 
 __all__ = ["Database", "Session"]
 
@@ -54,6 +59,16 @@ class Database:
     #: every insert/remove/delete/update bumps it, so plan-level caches
     #: keyed by it (hash-join build tables) are never served stale
     data_version: int = 0
+
+    #: how :meth:`begin` captures rollback state: ``"undo"`` (default)
+    #: records per-mutation inverses, O(state touched); ``"pickle"`` is
+    #: the seed's whole-database snapshot, kept as an ablation and
+    #: equivalence baseline (class attribute so old snapshots load)
+    transaction_mode: str = "undo"
+
+    #: the :class:`~repro.storage.recovery.DurabilityManager` when the
+    #: database was opened durably via :meth:`open`; None otherwise
+    durability: Any = None
 
     def __init__(
         self,
@@ -95,6 +110,7 @@ class Database:
         state = dict(self.__dict__)
         state["_interpreter"] = None  # rebuilt lazily after load
         state["_transaction"] = None  # transactions never survive pickling
+        state.pop("durability", None)  # holds an open WAL file handle
         return state
 
     # -- transactions --------------------------------------------------------------
@@ -104,47 +120,93 @@ class Database:
         """True while a transaction is open."""
         return self._transaction is not None
 
+    def _undo_targets(self) -> tuple:
+        """Every manager that records undo information for open
+        transactions (they all carry an ``undo`` attribute)."""
+        return (
+            self.objects,
+            self.catalog,
+            self.catalog.statistics,
+            self.catalog.indexes,
+            self.authz,
+            self.authz.directory,
+        )
+
+    def _attach_undo(self, undo: Any) -> None:
+        for target in self._undo_targets():
+            target.undo = undo
+
+    def _detach_undo(self) -> None:
+        for target in self._undo_targets():
+            target.__dict__.pop("undo", None)  # falls back to class None
+
     def begin(self) -> None:
-        """Open a transaction: snapshot the full engine state in memory.
+        """Open a transaction.
 
         The EXODUS storage manager provided transactions; this engine
-        reproduces the *interface* with whole-state snapshots, which is
-        exact (aborts restore everything: data, schema, indexes, grants)
-        at the cost of copying — fine at the laptop scale this
-        reproduction targets. Nested transactions are not supported.
+        reproduces the *interface*. The default ``"undo"`` mode attaches
+        an incremental :class:`~repro.core.undo.UndoLog` to every
+        manager: each mutation records an inverse, so abort costs
+        O(state touched), not O(database). Setting
+        ``Database.transaction_mode = "pickle"`` restores the seed's
+        whole-state snapshot as an ablation baseline. Nested
+        transactions are not supported.
         """
-        import pickle
-
         if self._transaction is not None:
             raise IntegrityError("a transaction is already open")
-        self._transaction = pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+        if self.transaction_mode == "pickle":
+            import pickle
+
+            self._transaction = (
+                "pickle",
+                pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL),
+            )
+        else:
+            from repro.core.undo import UndoLog
+
+            undo = UndoLog(self)
+            self._attach_undo(undo)
+            self._transaction = ("undo", undo)
 
     def commit(self) -> None:
         """Make the transaction's changes permanent."""
         if self._transaction is None:
             raise IntegrityError("no transaction is open")
+        mode, _payload = self._transaction
+        if mode == "undo":
+            self._detach_undo()
         self._transaction = None
+        if self.durability is not None:
+            self.durability.on_commit()
 
     def abort(self) -> None:
         """Undo every change made since :meth:`begin`."""
-        import pickle
-
         if self._transaction is None:
             raise IntegrityError("no transaction is open")
-        restored = pickle.loads(self._transaction)
-        interpreter = self._interpreter  # keep session state (range decls)
+        mode, payload = self._transaction
         seen_epoch = self.catalog.epoch
         seen_version = self.data_version
-        self.__dict__.update(restored.__dict__)
-        self._transaction = None
-        self._interpreter = interpreter
-        # The restored catalog carries the epoch as of begin(); force it
-        # past every epoch observed during the transaction so query plans
+        if mode == "undo":
+            self._detach_undo()
+            self._transaction = None
+            payload.rollback()
+        else:
+            import pickle
+
+            restored = pickle.loads(payload)
+            interpreter = self._interpreter  # keep session state (range decls)
+            self.__dict__.update(restored.__dict__)
+            self._transaction = None
+            self._interpreter = interpreter
+        # The rolled-back catalog carries stale epochs; force the epoch
+        # past every value observed during the transaction so query plans
         # cached against the rolled-back state can never be served again.
         # The data version moves forward the same way: hash-join build
         # tables memoized during the transaction must not survive it.
         self.catalog._epoch = max(self.catalog.epoch, seen_epoch) + 1
         self.data_version = max(self.data_version, seen_version) + 1
+        if self.durability is not None:
+            self.durability.on_abort()
 
     # -- schema definition ----------------------------------------------------------
 
@@ -310,6 +372,9 @@ class Database:
             named = self.catalog.named(name)
             if isinstance(named.value, SetInstance) and named.value.contains(reference):
                 self._index_delete(name, named.value, reference)
+                undo = self.objects.undo
+                if undo is not None:
+                    undo.save_set(named.value)
                 named.value.remove(reference)
                 self.catalog.note_cardinality(name, -1)
                 self.catalog.statistics.observe_remove(
@@ -369,6 +434,9 @@ class Database:
         """Write raw-form attribute changes into ``instance`` with full
         integrity checking (no index maintenance — use
         :meth:`update_member` for indexed sets)."""
+        undo = self.objects.undo
+        if undo is not None and changes:
+            undo.save_tuple(instance)
         for name, raw in changes.items():
             spec = instance.type.attribute(name)
             old = instance.get(name)
@@ -490,6 +558,52 @@ class Database:
         from repro.storage.persistence import load_snapshot
 
         return load_snapshot(path)
+
+    @classmethod
+    def open(
+        cls,
+        directory: str,
+        *,
+        storage: str = "memory",
+        fsync: bool = True,
+        dba: str = "dba",
+        authorization: bool = False,
+        pool_capacity: int = 64,
+    ) -> "Database":
+        """Open (or create) a *durable* database rooted at ``directory``.
+
+        Recovery loads the latest checkpoint snapshot, repairs any torn
+        tail on the write-ahead log, and replays the committed suffix;
+        from then on every committed mutating statement is appended to
+        the log before the engine acknowledges it. See
+        :mod:`repro.storage.recovery`.
+        """
+        from repro.storage.recovery import open_database
+
+        return open_database(
+            directory,
+            storage=storage,
+            fsync=fsync,
+            dba=dba,
+            authorization=authorization,
+            pool_capacity=pool_capacity,
+        )
+
+    def checkpoint(self) -> dict[str, Any]:
+        """Snapshot durable state and truncate the write-ahead log
+        (durable mode only); returns a status summary."""
+        if self.durability is None:
+            raise StorageError(
+                "checkpoint requires a database opened with Database.open()"
+            )
+        return self.durability.checkpoint()
+
+    def close(self) -> None:
+        """Release durable-mode resources (the WAL file handle); a
+        no-op for purely in-memory databases."""
+        if self.durability is not None:
+            self.durability.close()
+            self.durability = None
 
     # -- misc -------------------------------------------------------------------------------------------
 

@@ -71,6 +71,12 @@ def alter_type(
     affected = [target] + catalog.subtypes_of(name)
     affected.sort(key=lambda t: len(t.ancestors()))  # parents first
     snapshots = [(t, dict(t.__dict__)) for t in affected]
+    undo = database.objects.undo
+    if undo is not None:
+        # the snapshots taken for conflict rollback double as the
+        # transaction's before-images of the shared type objects
+        for schema_type, state in snapshots:
+            undo.op(_make_type_restore(schema_type, state))
     try:
         for schema_type in affected:
             locals_list = _local_attributes(schema_type)
@@ -102,6 +108,14 @@ def alter_type(
         f"{patched} instance(s) patched"
         + (f"; {dropped_indexes} index(es) dropped" if dropped_indexes else "")
     )
+
+
+def _make_type_restore(schema_type: SchemaType, state: dict) -> Any:
+    def restore() -> None:
+        schema_type.__dict__.clear()
+        schema_type.__dict__.update(state)
+
+    return restore
 
 
 def _local_attributes(schema_type: SchemaType) -> list[tuple[str, ComponentSpec]]:
@@ -153,6 +167,7 @@ def _patch_instances(
     """Bring every reachable instance of an affected type up to shape."""
     patched = 0
     seen: set[int] = set()
+    undo = database.objects.undo
 
     def patch_tuple(instance: TupleInstance) -> None:
         nonlocal patched
@@ -163,6 +178,8 @@ def _patch_instances(
             isinstance(instance.type, SchemaType)
             and instance.type.name in affected_names
         ):
+            if undo is not None and (adds or drops):
+                undo.save_tuple(instance)
             changed = False
             for attribute, spec in adds:
                 if attribute not in instance._slots:

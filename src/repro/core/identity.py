@@ -125,10 +125,19 @@ class ObjectTable:
       null without ambiguity.
     """
 
+    #: the open transaction's undo log (attached by ``Database.begin``);
+    #: class attribute so snapshots from before this field existed load
+    undo = None
+
     def __init__(self, store: Optional[ObjectStore] = None):
         self._store: ObjectStore = store if store is not None else MemoryObjectStore()
         self._next_oid: Oid = 1
         self._tombstones: set[Oid] = set()
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("undo", None)  # undo logs never survive pickling
+        return state
 
     # -- allocation ---------------------------------------------------------
 
@@ -150,6 +159,8 @@ class ObjectTable:
         record = StoredObject(oid=oid, value=value, owner=owner, owner_name=owner_name)
         self._store.insert(oid, record)
         value.oid = oid
+        if self.undo is not None:
+            self.undo.note_object_registered(self, oid)
         return oid
 
     # -- lookup -------------------------------------------------------------
@@ -214,6 +225,8 @@ class ObjectTable:
         """
         if oid not in self._store:
             raise UnknownObjectError(oid)
+        if self.undo is not None:
+            self.undo.note_object_deleted(self, self._store.fetch(oid))
         self._store.delete(oid)
         self._tombstones.add(oid)
 
@@ -259,6 +272,8 @@ class ObjectTable:
                 f"object {oid} is already owned by {current}; own ref components "
                 "are exclusive"
             )
+        if self.undo is not None:
+            self.undo.note_ownership(self, oid, record.owner, record.owner_name)
         record.owner = owner
         record.owner_name = owner_name
         self._store.update(oid, record)
@@ -267,6 +282,8 @@ class ObjectTable:
         """Drop the ownership claim on ``oid`` (e.g. when it is removed
         from an owned collection without being deleted)."""
         record = self.record(oid)
+        if self.undo is not None:
+            self.undo.note_ownership(self, oid, record.owner, record.owner_name)
         record.owner = None
         record.owner_name = None
         self._store.update(oid, record)

@@ -56,6 +56,11 @@ class IntegrityManager:
         self._objects = objects
         self._catalog = catalog
 
+    @property
+    def _undo(self):
+        """The open transaction's undo log (lives on the object table)."""
+        return self._objects.undo
+
     # -- creation -----------------------------------------------------------------
 
     def create_object(
@@ -238,15 +243,22 @@ class IntegrityManager:
 
     def _remove_ref_from_holder(self, holder: TupleInstance, oid: Oid) -> None:
         """Scrub ``Ref(oid)`` out of one tuple instance's slots."""
+        undo = self._undo
         for name, value in holder.attributes().items():
             if isinstance(value, Ref) and value.oid == oid:
+                if undo is not None:
+                    undo.save_tuple(holder)
                 holder._slots[name] = NULL
             elif isinstance(value, SetInstance):
+                if undo is not None and value.contains(Ref(oid)):
+                    undo.save_set(value)
                 value.remove(Ref(oid))
             elif isinstance(value, ArrayInstance):
                 for index in range(1, len(value) + 1):
                     slot = value.get(index)
                     if isinstance(slot, Ref) and slot.oid == oid:
+                        if undo is not None:
+                            undo.save_array(value)
                         value._slots[index - 1] = NULL
 
     # -- set membership ---------------------------------------------------------------
@@ -291,6 +303,8 @@ class IntegrityManager:
             if isinstance(value, Ref):
                 # claiming an existing object: exclusivity check
                 self._objects.claim(member.oid, owner_name=named.name)
+        if self._undo is not None:
+            self._undo.save_set(collection)
         added = collection.insert(member)
         if not added and isinstance(value, Ref) and element.semantics is Semantics.OWN_REF:
             self._objects.release(member.oid)
@@ -306,6 +320,8 @@ class IntegrityManager:
         member object too (it cannot outlive its owner) unless
         ``delete_owned`` is False, in which case ownership is released.
         """
+        if self._undo is not None and collection.contains(member):
+            self._undo.save_set(collection)
         removed = collection.remove(member)
         if not removed:
             return False
@@ -395,6 +411,8 @@ class IntegrityManager:
         scrubbed = 0
         for name, value in instance.attributes().items():
             if isinstance(value, Ref) and not self._objects.is_live(value.oid):
+                if self._undo is not None:
+                    self._undo.save_tuple(instance)
                 instance._slots[name] = NULL
                 scrubbed += 1
             else:
@@ -406,6 +424,8 @@ class IntegrityManager:
         if isinstance(value, SetInstance):
             for member in value.members():
                 if isinstance(member, Ref) and not self._objects.is_live(member.oid):
+                    if self._undo is not None:
+                        self._undo.save_set(value)
                     value.remove(member)
                     scrubbed += 1
                 elif isinstance(member, TupleInstance):
@@ -414,6 +434,8 @@ class IntegrityManager:
             for index in range(1, len(value) + 1):
                 slot = value.get(index)
                 if isinstance(slot, Ref) and not self._objects.is_live(slot.oid):
+                    if self._undo is not None:
+                        self._undo.save_array(value)
                     value._slots[index - 1] = NULL
                     scrubbed += 1
                 elif isinstance(slot, TupleInstance):

@@ -132,9 +132,24 @@ class StatisticsManager:
     so the plan cache drops plans costed under the old histograms.
     """
 
+    #: the open transaction's undo log (attached by ``Database.begin``);
+    #: class attribute so snapshots from before this field existed load
+    undo = None
+
     def __init__(self, on_stale: Optional[Callable[[], None]] = None):
         self._stats: dict[str, SetStats] = {}
         self.on_stale = on_stale
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("undo", None)  # undo logs never survive pickling
+        return state
+
+    def _note(self, set_name: str) -> None:
+        """Before-image hook: snapshot a set's stats on first touch of an
+        open transaction (the same sites that feed incremental upkeep)."""
+        if self.undo is not None:
+            self.undo.save_stats(self, set_name)
 
     # -- access ------------------------------------------------------------------
 
@@ -146,9 +161,12 @@ class StatisticsManager:
         return sorted(self._stats)
 
     def forget(self, set_name: str) -> None:
+        self._note(set_name)
         self._stats.pop(set_name, None)
 
     def clear(self) -> None:
+        for set_name in list(self._stats):
+            self._note(set_name)
         self._stats.clear()
 
     # -- analyze -----------------------------------------------------------------
@@ -162,6 +180,7 @@ class StatisticsManager:
         member); non-scalar values were already filtered out by the
         caller except that nulls arrive as :data:`NULL`.
         """
+        self._note(set_name)
         stats = SetStats(
             set_name=set_name,
             analyzed_cardinality=len(rows),
@@ -230,6 +249,7 @@ class StatisticsManager:
         stats = self._stats.get(set_name)
         if stats is None:
             return
+        self._note(set_name)
         if row:
             for attribute, value in row.items():
                 attr = stats.attributes.get(attribute)
@@ -256,6 +276,7 @@ class StatisticsManager:
         stats = self._stats.get(set_name)
         if stats is None:
             return
+        self._note(set_name)
         if row:
             for attribute, value in row.items():
                 attr = stats.attributes.get(attribute)
@@ -282,6 +303,7 @@ class StatisticsManager:
         stats = self._stats.get(set_name)
         if stats is None:
             return
+        self._note(set_name)
         if old_row:
             changed = {
                 k: v

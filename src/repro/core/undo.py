@@ -1,0 +1,244 @@
+"""Incremental undo logging for transactions.
+
+Replaces the seed's whole-database pickle with per-mutation inverse
+records: ``Database.begin()`` opens an :class:`UndoLog` and attaches it
+to every manager that can mutate durable state (object table, catalog,
+statistics, indexes, authorization); each mutation site records either
+
+* a **before-image** — a copy-on-first-touch snapshot of the container
+  it is about to change (a tuple's slot dict, a set's member list, an
+  array's slot list, one set's :class:`SetStats`, a named object's
+  value binding, one cardinality counter), deduplicated per container
+  so a transaction touching one object a thousand times saves it once;
+  or
+* a **structural inverse** — a closure undoing a structural change
+  (object registered → unregister it, object deleted → re-insert its
+  record, ownership claimed → restore prior owner, index entry added →
+  remove it, grant added → discard it, …).
+
+``rollback()`` applies the structural inverses in reverse order, then
+the before-images (which are idempotent snapshots of begin-time state,
+so ordering among them does not matter), then re-serializes every
+touched live object into the store (paged stores pickle on write).
+
+Cost: O(state touched by the transaction), not O(database) — the
+property bench_p9 pins. The pickle path survives behind
+``Database.transaction_mode = "pickle"`` as an ablation/equivalence
+baseline.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from repro.core.values import ArrayInstance, SetInstance, TupleInstance
+
+__all__ = ["UndoLog"]
+
+#: sentinel distinguishing "key was absent" from "key held None"
+_ABSENT = object()
+
+
+class UndoLog:
+    """The inverse-operation log of one open transaction."""
+
+    def __init__(self, database: Any):
+        self.db = database
+        #: structural inverse closures, applied in reverse on rollback
+        self._inverses: list[Callable[[], None]] = []
+        #: dedup keys of containers whose before-image is already saved
+        self._seen: set = set()
+        #: strong refs keeping id()-keyed containers alive for the txn
+        self._keepalive: list = []
+        #: OIDs whose live instances were touched (re-serialized on abort)
+        self._dirty_oids: set[int] = set()
+        #: total records (inverses + before-images), for diagnostics
+        self.records = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def op(self, inverse: Callable[[], None]) -> None:
+        """Record one structural inverse."""
+        self._inverses.append(inverse)
+        self.records += 1
+
+    def _first_touch(self, key: tuple, container: Any) -> bool:
+        if key in self._seen:
+            return False
+        self._seen.add(key)
+        self._keepalive.append(container)
+        self.records += 1
+        return True
+
+    # before-images --------------------------------------------------------
+
+    def save_tuple(self, instance: "TupleInstance") -> None:
+        """Snapshot a tuple instance's slots before the first mutation."""
+        if not self._first_touch(("slots", id(instance)), instance):
+            return
+        saved = dict(instance._slots)
+        if instance.oid is not None:
+            self._dirty_oids.add(instance.oid)
+
+        def restore() -> None:
+            instance._slots.clear()
+            instance._slots.update(saved)
+
+        self._inverses.append(restore)
+
+    def save_set(self, collection: "SetInstance") -> None:
+        """Snapshot a set instance's member list before mutation."""
+        if not self._first_touch(("members", id(collection)), collection):
+            return
+        saved = list(collection._members)
+
+        def restore() -> None:
+            collection._members[:] = saved
+
+        self._inverses.append(restore)
+
+    def save_array(self, array: "ArrayInstance") -> None:
+        """Snapshot an array instance's slots before mutation."""
+        if not self._first_touch(("array", id(array)), array):
+            return
+        saved = list(array._slots)
+
+        def restore() -> None:
+            array._slots[:] = saved
+
+        self._inverses.append(restore)
+
+    def save_value(self, value: Any) -> None:
+        """Snapshot whichever mutable container ``value`` is (no-op for
+        scalars and references, which are immutable)."""
+        from repro.core.values import ArrayInstance, SetInstance, TupleInstance
+
+        if isinstance(value, TupleInstance):
+            self.save_tuple(value)
+        elif isinstance(value, SetInstance):
+            self.save_set(value)
+        elif isinstance(value, ArrayInstance):
+            self.save_array(value)
+
+    def note_dirty(self, oid: Optional[int]) -> None:
+        """Mark a stored object as touched so rollback re-serializes it
+        (used when the mutation happens inside an embedded collection
+        whose owner lives in a paged store)."""
+        if oid is not None:
+            self._dirty_oids.add(oid)
+
+    def save_named_binding(self, named: Any) -> None:
+        """Snapshot a named object's ``value`` binding (``set Name = …``
+        rebinds the slot itself rather than mutating the container)."""
+        if not self._first_touch(("binding", id(named)), named):
+            return
+        saved = named.value
+
+        def restore() -> None:
+            named.value = saved
+
+        self._inverses.append(restore)
+
+    def save_stats(self, manager: Any, set_name: str) -> None:
+        """Snapshot one set's optimizer statistics (deep — the upkeep
+        hooks mutate :class:`AttributeStats` fields in place)."""
+        if not self._first_touch(("stats", set_name), manager):
+            return
+        saved = copy.deepcopy(manager._stats.get(set_name))
+
+        def restore() -> None:
+            if saved is None:
+                manager._stats.pop(set_name, None)
+            else:
+                manager._stats[set_name] = saved
+
+        self._inverses.append(restore)
+
+    def save_cardinality(self, catalog: Any, set_name: str) -> None:
+        """Snapshot one tracked set cardinality counter."""
+        if not self._first_touch(("card", set_name), catalog):
+            return
+        saved = catalog._cardinalities.get(set_name, _ABSENT)
+
+        def restore() -> None:
+            if saved is _ABSENT:
+                catalog._cardinalities.pop(set_name, None)
+            else:
+                catalog._cardinalities[set_name] = saved
+
+        self._inverses.append(restore)
+
+    # structural inverses --------------------------------------------------
+
+    def note_object_registered(self, table: Any, oid: int) -> None:
+        """A fresh object got identity: unregister it on rollback."""
+
+        def inverse() -> None:
+            if oid in table._store:
+                table._store.delete(oid)
+            table._tombstones.discard(oid)
+
+        self.op(inverse)
+
+    def note_object_deleted(self, table: Any, record: Any) -> None:
+        """An object died: resurrect its stored record on rollback.
+
+        ``record`` is captured at delete time; if the transaction also
+        mutated the instance earlier, its (earlier-recorded, hence
+        later-applied) before-image restores the begin-time slots after
+        resurrection.
+        """
+        self._dirty_oids.add(record.oid)
+
+        def inverse() -> None:
+            if record.oid not in table._store:
+                table._store.insert(record.oid, record)
+            table._tombstones.discard(record.oid)
+
+        self.op(inverse)
+
+    def note_ownership(
+        self, table: Any, oid: int, owner: Optional[int], owner_name: Optional[str]
+    ) -> None:
+        """Ownership is about to change: restore the prior owner."""
+        self._dirty_oids.add(oid)
+
+        def inverse() -> None:
+            if oid in table._store:
+                record = table._store.fetch(oid)
+                record.owner = owner
+                record.owner_name = owner_name
+                table._store.update(oid, record)
+
+        self.op(inverse)
+
+    def note_map_set(self, mapping: dict, key: Any) -> None:
+        """A dict entry is about to be set/replaced/popped: restore it.
+
+        Generic inverse for catalog registries (types, named objects,
+        functions, procedures) and authorization owner records.
+        """
+        saved = mapping.get(key, _ABSENT)
+
+        def inverse() -> None:
+            if saved is _ABSENT:
+                mapping.pop(key, None)
+            else:
+                mapping[key] = saved
+
+        self.op(inverse)
+
+    # -- rollback ----------------------------------------------------------
+
+    def rollback(self) -> None:
+        """Apply every recorded inverse, newest first, then write every
+        touched live object back to the store (paged stores serialize
+        on write, so restored slots must be re-pickled)."""
+        for inverse in reversed(self._inverses):
+            inverse()
+        objects = self.db.objects
+        for oid in self._dirty_oids:
+            if objects.is_live(oid):
+                objects.mark_dirty(oid)

@@ -278,10 +278,13 @@ class Evaluator:
     def _append_one(
         self, target: CollectionTarget, payload: Any, env: Env, tables: dict
     ) -> bool:
+        undo = self.db.objects.undo
         if target.kind == "named":
             named = self.db.named(target.name)
             collection = named.value
             if isinstance(collection, ArrayInstance):
+                if undo is not None:
+                    undo.save_array(collection)
                 collection.append(self._array_payload(collection, payload))
                 return True
             if isinstance(payload, dict):
@@ -291,6 +294,10 @@ class Evaluator:
         owner, collection = self._resolve_collection(target, env, tables)
         if collection is None:
             return False
+        if undo is not None:
+            undo.save_value(collection)
+            if isinstance(owner, TupleInstance):
+                undo.note_dirty(owner.oid)
         if isinstance(collection, ArrayInstance):
             collection.append(self._array_payload(collection, payload))
             self._mark_owner_dirty(owner)
@@ -392,6 +399,9 @@ class Evaluator:
                     named = self.db.named(set_name)
                     self.db.integrity.remove_member(named, collection, member)
                 else:
+                    undo = self.db.objects.undo
+                    if undo is not None:
+                        undo.save_set(collection)
                     collection.remove(member)
                 deleted += 1
         return Result(kind="delete", count=deleted, message=f"deleted {deleted}")
@@ -489,6 +499,9 @@ class Evaluator:
                     canonical = copy_value(canonical)
                 if isinstance(canonical, Ref):
                     self.db.integrity.check_ref_target(named.spec, canonical)
+                undo = self.db.objects.undo
+                if undo is not None:
+                    undo.save_named_binding(named)
                 named.value = canonical
                 count += 1
             elif kind == "slot":
@@ -513,6 +526,9 @@ class Evaluator:
                     raise EvaluationError("set target is not an array")
                 if isinstance(value, Ref):
                     self.db.integrity.check_ref_target(base.element, value)
+                undo = self.db.objects.undo
+                if undo is not None:
+                    undo.save_array(base)
                 base.set(index, value)
                 count += 1
         return Result(kind="set", count=count, message=f"set {count}")

@@ -161,6 +161,39 @@ class Interpreter:
         ast.Explain,
     )
 
+    #: statement types whose successful execution mutates durable state
+    #: and therefore gets written to the WAL of a durable database.
+    #: Queries (Retrieve, Explain, SetOperation) and the transaction
+    #: brackets (Begin/Commit/Abort) are deliberately absent: commits
+    #: flush the buffered statements as one record, aborts drop them.
+    #: RangeDecl is logged because later logged statements may only bind
+    #: under the session's range declarations.
+    _DURABLE_TYPES = (
+        ast.DefineType,
+        ast.CreateNamed,
+        ast.DestroyNamed,
+        ast.CreateIndex,
+        ast.DropIndex,
+        ast.RangeDecl,
+        ast.GrantStatement,
+        ast.RevokeStatement,
+        ast.CreateUser,
+        ast.CreateGroup,
+        ast.AddToGroup,
+        ast.DefineFunction,
+        ast.DefineProcedure,
+        ast.ExecuteProcedure,
+        ast.AlterType,
+        ast.Analyze,
+        ast.Append,
+        ast.Delete,
+        ast.Replace,
+        ast.SetStatement,
+    )
+
+    #: prepared-plan kinds that mutate (the fast path's analogue)
+    _DURABLE_KINDS = frozenset({"append", "delete", "replace", "set"})
+
     def __init__(self, database: Database, optimize: bool = True):
         self.db = database
         self.optimize = optimize
@@ -210,7 +243,10 @@ class Interpreter:
         key = self._cache_key(text, user)
         plan = self.plan_cache.get(key)
         if plan is not None:
-            return self._execute_prepared(plan, user, cache="hit")
+            result = self._execute_prepared(plan, user, cache="hit")
+            if plan.kind in self._DURABLE_KINDS:
+                self._log_durable(text, user)
+            return result
         table = self._operator_table()
         script = parse_script(text, table)
         if not script.statements:
@@ -220,7 +256,10 @@ class Interpreter:
             plan = self._prepare(statements[0])
             self.plan_cache.put(key, plan)
             cache = "miss" if self.plan_cache.enabled else "off"
-            return self._execute_prepared(plan, user, cache=cache)
+            result = self._execute_prepared(plan, user, cache=cache)
+            if plan.kind in self._DURABLE_KINDS:
+                self._log_durable(text, user)
+            return result
         result = Result(kind="empty")
         for statement in statements:
             result = self.execute_statement(statement, user)
@@ -233,7 +272,21 @@ class Interpreter:
             raise ExcessError(
                 f"no handler for statement {type(statement).__name__}"
             )
-        return handler(self, statement, user)
+        result = handler(self, statement, user)
+        if isinstance(statement, self._DURABLE_TYPES):
+            from repro.excess.printer import unparse
+
+            self._log_durable(unparse(statement), user)
+        return result
+
+    def _log_durable(self, text: str, user: str) -> None:
+        """Append a successfully executed mutating statement to the WAL
+        of a durable database (buffered inside explicit transactions).
+        The statement is only acknowledged to the caller *after* this
+        returns, so every acknowledged auto-commit is on disk."""
+        durability = self.db.durability
+        if durability is not None:
+            durability.log_statement(text, user)
 
     # -- type expression builder ---------------------------------------------------------
 

@@ -360,6 +360,10 @@ def _explain(node: ast.Explain) -> str:
     return f"explain {unparse(node.statement)}"
 
 
+def _analyze(node: ast.Analyze) -> str:
+    return f"analyze {node.set_name}" if node.set_name else "analyze"
+
+
 def _script(node: ast.Script) -> str:
     return "\n".join(unparse(s) for s in node.statements)
 
@@ -396,6 +400,7 @@ _HANDLERS = {
     ast.AddToGroup: _add_to_group,
     ast.AlterType: _alter_type,
     ast.Explain: _explain,
+    ast.Analyze: _analyze,
     ast.BeginTransaction: _begin,
     ast.CommitTransaction: _commit,
     ast.AbortTransaction: _abort,

@@ -154,11 +154,20 @@ class IndexManager:
     indexed set change; the planner asks :meth:`find` for a usable index.
     """
 
+    #: the open transaction's undo log (attached by ``Database.begin``);
+    #: class attribute so snapshots from before this field existed load
+    undo = None
+
     def __init__(self) -> None:
         self._indexes: dict[tuple[str, str, str], IndexDescriptor] = {}
         #: invoked after every create/drop so the catalog can invalidate
         #: cached query plans (set by Catalog; None when standalone)
         self.on_change: Optional[Callable[[], None]] = None
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("undo", None)  # undo logs never survive pickling
+        return state
 
     def _notify(self) -> None:
         if self.on_change is not None:
@@ -176,14 +185,19 @@ class IndexManager:
             )
         index = HashIndex() if kind == "hash" else BTreeIndex()
         descriptor = IndexDescriptor(set_name, attribute, kind, index)
+        if self.undo is not None:
+            self.undo.note_map_set(self._indexes, key)
         self._indexes[key] = descriptor
         self._notify()
         return descriptor
 
     def drop(self, set_name: str, attribute: str, kind: str) -> None:
         """Remove an index."""
+        key = (set_name, attribute, kind)
+        if self.undo is not None and key in self._indexes:
+            self.undo.note_map_set(self._indexes, key)
         try:
-            del self._indexes[(set_name, attribute, kind)]
+            del self._indexes[key]
         except KeyError:
             raise CatalogError(
                 f"no index on {set_name}.{attribute} of kind {kind}"
@@ -216,6 +230,7 @@ class IndexManager:
             key = key_of(descriptor.attribute)
             if key is not None:
                 descriptor.index.insert(key, oid)
+                self._note_entry(descriptor, key, oid, added=True)
 
     def on_delete(self, set_name: str, oid: int, key_of: Callable[[str], Any]) -> None:
         """Remove a member from all indexes over its set."""
@@ -223,6 +238,20 @@ class IndexManager:
             key = key_of(descriptor.attribute)
             if key is not None:
                 descriptor.index.delete(key, oid)
+                self._note_entry(descriptor, key, oid, added=False)
+
+    def _note_entry(
+        self, descriptor: IndexDescriptor, key: Any, oid: int, added: bool
+    ) -> None:
+        """Record the entry-level inverse on the open undo log: O(1) per
+        mutation instead of before-imaging whole index structures."""
+        if self.undo is None:
+            return
+        index = descriptor.index
+        if added:
+            self.undo.op(lambda: index.delete(key, oid))
+        else:
+            self.undo.op(lambda: index.insert(key, oid))
 
     def on_update(
         self,
@@ -239,5 +268,7 @@ class IndexManager:
                 continue
             if old_key is not None:
                 descriptor.index.delete(old_key, oid)
+                self._note_entry(descriptor, old_key, oid, added=False)
             if new_key is not None:
                 descriptor.index.insert(new_key, oid)
+                self._note_entry(descriptor, new_key, oid, added=True)

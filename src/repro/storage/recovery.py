@@ -1,0 +1,193 @@
+"""Crash recovery: durable open, commit logging, checkpointing.
+
+The EXODUS storage manager owned "recovery and a form of versioning for
+large storage objects" (paper §2); this module reproduces the user-level
+contract for the whole engine with a *logical* redo log:
+
+* :func:`open_database` (``Database.open``) roots a database in a
+  directory holding a checkpoint snapshot (``snapshot.db``) and a
+  write-ahead log of committed statements (``wal.log``). Opening loads
+  the latest snapshot, repairs any torn tail on the log (CRC-detected,
+  truncated at the last valid record), and replays the committed suffix
+  through the EXCESS interpreter.
+* :class:`DurabilityManager` logs every top-level mutating statement at
+  commit time: auto-committed statements append (and fsync) one record
+  each; statements inside an explicit transaction buffer in memory and
+  flush as a **single** record on commit — so replay can never apply
+  half a transaction. Aborted work is never logged.
+* ``checkpoint()`` writes a new snapshot carrying the last logged LSN in
+  its footer, then rotates the log. A crash between the two is safe:
+  replay skips records at or below the snapshot's LSN.
+
+The crash matrix (see ``tests/integration/test_faultinjection.py``)
+drives a :class:`~repro.util.faultinject.SimulatedCrash` through every
+registered crash point and checks the two invariants that define the
+contract: every *acknowledged* commit survives recovery, and no
+*unacknowledged* work does.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Optional
+
+from repro.errors import StorageError
+from repro.storage.persistence import read_snapshot, save_snapshot
+from repro.storage.wal import WriteAheadLog, read_wal, repair_torn_tail
+from repro.util import faultinject
+
+__all__ = ["DurabilityManager", "open_database", "SNAPSHOT_NAME", "WAL_NAME"]
+
+SNAPSHOT_NAME = "snapshot.db"
+WAL_NAME = "wal.log"
+
+faultinject.register("commit.before_log")
+faultinject.register("commit.after_log")
+faultinject.register("checkpoint.before_snapshot")
+faultinject.register("checkpoint.before_rotate")
+faultinject.register("checkpoint.after_rotate")
+
+
+class DurabilityManager:
+    """Bridges the interpreter's commit points to the write-ahead log."""
+
+    def __init__(self, database: Any, directory: str, wal: WriteAheadLog):
+        self.db = database
+        self.directory = directory
+        self.wal = wal
+        #: set while recovery replays the log, so replayed statements are
+        #: never appended again (recovery attaches the manager only after
+        #: replay, making this a second line of defense)
+        self.replaying = False
+        #: statements of the open explicit transaction, flushed as one
+        #: record on commit and dropped on abort
+        self._pending: list[tuple[str, str]] = []
+
+    # -- commit-time logging -----------------------------------------------
+
+    def log_statement(self, text: str, user: str) -> None:
+        """Record one successfully executed mutating statement.
+
+        Inside an explicit transaction the statement only buffers; the
+        engine's acknowledgement of the *statement* promises nothing
+        until commit. Outside one, the statement auto-commits and the
+        record is on disk before the caller sees the result.
+        """
+        if self.replaying:
+            return
+        if self.db.in_transaction:
+            self._pending.append((user, text))
+            return
+        faultinject.crash_point("commit.before_log")
+        self.wal.commit([(user, text)])
+        faultinject.crash_point("commit.after_log")
+
+    def on_commit(self) -> None:
+        """Flush the transaction's statements as one atomic record."""
+        if self.replaying:
+            self._pending.clear()
+            return
+        if not self._pending:
+            return
+        entries = list(self._pending)
+        self._pending.clear()
+        faultinject.crash_point("commit.before_log")
+        self.wal.commit(entries)
+        faultinject.crash_point("commit.after_log")
+
+    def on_abort(self) -> None:
+        """Drop the aborted transaction's buffered statements."""
+        self._pending.clear()
+
+    # -- checkpointing -----------------------------------------------------
+
+    def checkpoint(self) -> dict[str, Any]:
+        """Snapshot the database and truncate the log.
+
+        The snapshot's footer records the last LSN it contains; the log
+        is rotated only after the snapshot is durable, and a crash in
+        between is idempotent (replay skips records ≤ the footer LSN).
+        """
+        if self.db.in_transaction:
+            raise StorageError("cannot checkpoint inside an open transaction")
+        last_lsn = self.wal.next_lsn - 1
+        snapshot_path = os.path.join(self.directory, SNAPSHOT_NAME)
+        faultinject.crash_point("checkpoint.before_snapshot")
+        written = save_snapshot(self.db, snapshot_path, wal_lsn=last_lsn)
+        faultinject.crash_point("checkpoint.before_rotate")
+        self.wal.rotate()
+        faultinject.crash_point("checkpoint.after_rotate")
+        return {"snapshot": snapshot_path, "bytes": written, "wal_lsn": last_lsn}
+
+    # -- diagnostics -------------------------------------------------------
+
+    def status(self) -> dict[str, Any]:
+        """Status summary for the CLI's ``\\wal`` command."""
+        out = self.wal.status()
+        out["directory"] = self.directory
+        out["buffered_statements"] = len(self._pending)
+        return out
+
+    def close(self) -> None:
+        self.wal.close()
+
+
+def open_database(
+    directory: str,
+    *,
+    storage: str = "memory",
+    fsync: bool = True,
+    dba: str = "dba",
+    authorization: bool = False,
+    pool_capacity: int = 64,
+) -> Any:
+    """Open (creating if needed) a durable database rooted at ``directory``.
+
+    Recovery sequence: load the newest checkpoint snapshot (or start
+    empty), truncate any torn tail off the log, replay every record with
+    an LSN above the snapshot's footer through the interpreter, then
+    attach a :class:`DurabilityManager` continuing the LSN sequence.
+    """
+    from repro.core.database import Database
+
+    os.makedirs(directory, exist_ok=True)
+    snapshot_path = os.path.join(directory, SNAPSHOT_NAME)
+    wal_path = os.path.join(directory, WAL_NAME)
+
+    base_lsn = 0
+    if os.path.exists(snapshot_path):
+        db, base_lsn = read_snapshot(snapshot_path)
+    else:
+        db = Database(
+            storage=storage,
+            pool_capacity=pool_capacity,
+            dba=dba,
+            authorization=authorization,
+        )
+
+    next_lsn = base_lsn + 1
+    on_disk = 0
+    if os.path.exists(wal_path):
+        repair_torn_tail(wal_path)
+        records, _valid = read_wal(wal_path)
+        on_disk = len(records)
+        # db.durability is still None here, so replayed statements are
+        # not re-logged while they re-execute
+        for record in records:
+            if record.lsn <= base_lsn:
+                continue  # already inside the checkpoint snapshot
+            for user, text in record.entries:
+                try:
+                    db.interpreter.execute(text, user=user)
+                except Exception as exc:
+                    raise StorageError(
+                        f"WAL replay failed at LSN {record.lsn} for "
+                        f"statement {text!r}: {exc}"
+                    ) from exc
+            next_lsn = record.lsn + 1
+
+    wal = WriteAheadLog(
+        wal_path, fsync=fsync, next_lsn=next_lsn, existing_records=on_disk
+    )
+    db.durability = DurabilityManager(db, directory, wal)
+    return db

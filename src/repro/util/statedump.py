@@ -1,0 +1,136 @@
+"""A canonical, comparable dump of a database's durable state.
+
+:func:`canonical_state` renders everything a transaction or a crash
+recovery must preserve — schema, named values, object graph, indexes,
+statistics, authorization — into plain nested Python structures that
+compare with ``==``.
+
+Object identifiers are **renumbered** during a deterministic traversal
+(sorted named-object names, member order within collections), because
+two equivalent states need not share raw OIDs: the incremental undo log
+rolls mutations back without rewinding the OID allocator, while the
+pickle-snapshot mode restores the allocator too, and WAL replay
+re-allocates from wherever the checkpoint left off. Equality of the
+canonical forms is graph isomorphism on everything observable.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.values import (
+    NULL,
+    ArrayInstance,
+    Ref,
+    SetInstance,
+    TupleInstance,
+)
+
+__all__ = ["canonical_state"]
+
+
+def canonical_state(db: Any, include_stats: bool = True) -> dict:
+    """Render ``db``'s durable state with renumbered object identity."""
+    oid_map: dict[int, int] = {}
+    objects: dict[int, Any] = {}
+
+    def canon(oid: int) -> int:
+        if oid not in oid_map:
+            oid_map[oid] = len(oid_map) + 1
+        return oid_map[oid]
+
+    def render(value: Any) -> Any:
+        if value is NULL:
+            return "null"
+        if isinstance(value, Ref):
+            cid = canon(value.oid)
+            if cid not in objects:
+                objects[cid] = "…"  # reserve: stops reference cycles
+                instance = db.objects.deref(value.oid)
+                objects[cid] = (
+                    render_tuple(instance) if instance is not None else "dead"
+                )
+            return ("ref", cid)
+        if isinstance(value, TupleInstance):
+            return render_tuple(value)
+        if isinstance(value, SetInstance):
+            return ("set", [render(m) for m in value.members()])
+        if isinstance(value, ArrayInstance):
+            return ("array", [render(s) for s in value._slots])
+        if isinstance(value, (bool, int, float, str)) or value is None:
+            return value
+        return repr(value)  # ADT instances (Date, Complex, …)
+
+    def render_tuple(instance: TupleInstance) -> Any:
+        type_name = getattr(instance.type, "name", str(instance.type))
+        return (
+            "tuple",
+            type_name,
+            {name: render(instance.get(name)) for name in sorted(instance._slots)},
+        )
+
+    catalog = db.catalog
+    state: dict[str, Any] = {
+        "types": {
+            name: catalog.schema_type(name).describe_full()
+            for name in sorted(catalog.type_names())
+        },
+        "named": {
+            name: {
+                "spec": catalog.named(name).spec.describe(),
+                "key": catalog.named(name).value.key
+                if isinstance(catalog.named(name).value, SetInstance)
+                else None,
+                "value": render(catalog.named(name).value),
+            }
+            for name in sorted(catalog.named_names())
+        },
+        "objects": objects,
+        "indexes": {
+            descriptor.name: sorted(
+                (repr(key), sorted(canon(oid) for oid in descriptor.index.search(key)))
+                for key in descriptor.index.keys()
+            )
+            for descriptor in sorted(
+                catalog.indexes.all_indexes(), key=lambda d: d.name
+            )
+        },
+        "functions": sorted(
+            f"{type_name}.{name}" for type_name, name in catalog._functions
+        ),
+        "procedures": sorted(catalog._procedures),
+        "users": db.authz.directory.users(),
+        "groups": {
+            name: sorted(db.authz.directory._groups[name].members)
+            for name in db.authz.directory.groups()
+        },
+        "grants": sorted(
+            (g.principal, g.privilege.value, g.object_name, g.grantor)
+            for g in db.authz._grants
+        ),
+        "owners": dict(sorted(db.authz._owners.items())),
+        "cardinalities": dict(sorted(catalog._cardinalities.items())),
+    }
+    if include_stats:
+        state["statistics"] = {
+            name: _render_stats(catalog.statistics.get(name))
+            for name in sorted(catalog.statistics.analyzed_sets())
+        }
+    return state
+
+
+def _render_stats(stats: Any) -> dict:
+    return {
+        "cardinality": stats.analyzed_cardinality,
+        "churn": stats.churn,
+        "attributes": {
+            name: {
+                "distinct": attr.n_distinct,
+                "nulls": attr.null_fraction,
+                "min": attr.minimum,
+                "max": attr.maximum,
+                "histogram": list(attr.boundaries),
+            }
+            for name, attr in sorted(stats.attributes.items())
+        },
+    }

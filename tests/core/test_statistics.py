@@ -327,3 +327,85 @@ class TestDatabaseAnalyze:
         company.analyze("Employees")
         company.execute("destroy Employees")
         assert company.catalog.statistics.get("Employees") is None
+
+
+class TestTransactionInterplay:
+    """Abort must restore statistics together with the data they
+    describe, and must push the catalog epoch and data version forward
+    so no cached plan prepared against in-transaction state survives.
+
+    Exercised under both rollback implementations.
+    """
+
+    @pytest.fixture(params=["undo", "pickle"])
+    def txn_company(self, request, company, monkeypatch):
+        from repro.core.database import Database
+
+        monkeypatch.setattr(Database, "transaction_mode", request.param)
+        return company
+
+    def test_abort_restores_statistics_deeply(self, txn_company):
+        from repro.util.statedump import _render_stats
+
+        db = txn_company
+        db.analyze("Employees")
+        before = _render_stats(db.catalog.statistics.get("Employees"))
+        db.begin()
+        db.execute('append to Employees (name = "Kid", age = 1, salary = 1.0)')
+        db.execute("replace E (age = E.age + 1) from E in Employees")
+        db.analyze("Employees")
+        assert _render_stats(db.catalog.statistics.get("Employees")) != before
+        db.abort()
+        assert _render_stats(db.catalog.statistics.get("Employees")) == before
+
+    def test_aborted_analyze_leaves_no_stats(self, txn_company):
+        db = txn_company
+        assert db.catalog.statistics.get("Employees") is None
+        db.begin()
+        db.analyze("Employees")
+        assert db.catalog.statistics.get("Employees") is not None
+        db.abort()
+        assert db.catalog.statistics.get("Employees") is None
+        assert db.catalog.statistics.analyzed_sets() == []
+
+    def test_abort_forces_epoch_and_data_version_forward(self, txn_company):
+        db = txn_company
+        db.begin()
+        db.analyze("Employees")  # bumps the epoch inside the transaction
+        db.execute('append to Employees (name = "T", age = 2, salary = 2.0)')
+        seen_epoch = db.catalog.epoch
+        seen_version = db.data_version
+        db.abort()
+        # never reuse an epoch/version observed inside the aborted
+        # transaction, or stale cached plans/stats would look current
+        assert db.catalog.epoch > seen_epoch
+        assert db.data_version > seen_version
+
+    def test_cached_plan_reprepared_after_abort(self, txn_company):
+        db = txn_company
+        query = "retrieve (E.name) from E in Employees where E.age > 30"
+        db.execute(query)
+        assert db.execute(query).metrics["cache"] == "hit"
+        db.begin()
+        db.execute("create index on Employees (age) using btree")
+        db.execute(query)
+        db.abort()
+        # the index is gone; a plan prepared against it must not be reused
+        result = db.execute(query)
+        assert result.metrics["cache"] == "miss"
+        assert db.execute(query).metrics["cache"] == "hit"
+
+    def test_churn_tracking_survives_abort(self, txn_company):
+        db = txn_company
+        db.analyze("Employees")
+        db.execute('append to Employees (name = "C1", age = 3, salary = 3.0)')
+        churn_before = db.catalog.statistics.get("Employees").churn
+        db.begin()
+        for index in range(5):
+            db.execute(
+                f'append to Employees (name = "C{index}x", age = 4, '
+                "salary = 4.0)"
+            )
+        assert db.catalog.statistics.get("Employees").churn > churn_before
+        db.abort()
+        assert db.catalog.statistics.get("Employees").churn == churn_before

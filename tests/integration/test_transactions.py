@@ -1,9 +1,20 @@
-"""Tests for snapshot transactions: begin / commit / abort."""
+"""Tests for transactions: begin / commit / abort.
+
+Every test runs twice — once under the default incremental undo log and
+once under the seed's whole-database pickle snapshot — pinning the two
+rollback implementations to identical observable behavior.
+"""
 
 import pytest
 
 from repro import Database
 from repro.errors import IntegrityError
+
+
+@pytest.fixture(params=["undo", "pickle"], autouse=True)
+def txn_mode(request, monkeypatch):
+    monkeypatch.setattr(Database, "transaction_mode", request.param)
+    return request.param
 
 
 class TestTransactionApi:
