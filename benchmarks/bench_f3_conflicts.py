@@ -28,8 +28,6 @@ def test_renaming_resolution(benchmark, width):
         f"rename Left.c{i} to lc{i}, rename Right.c{i} to rc{i}"
         for i in range(width)
     )
-    counter = {"i": 0}
-
     def setup():
         db = Database()
         build_parents(db, width)

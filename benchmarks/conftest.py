@@ -3,14 +3,23 @@
 Benchmarks use the same deterministic generator as the tests so runs are
 reproducible; database construction happens once per module where
 possible (the benchmarked operations are read-only unless noted).
+
+:func:`write_bench_json` persists acceptance-test measurements as
+machine-readable JSON under ``benchmarks/results/`` so experiment
+tables can be regenerated without scraping pytest output.
 """
 
 from __future__ import annotations
+
+import json
+from pathlib import Path
 
 import pytest
 
 from repro import Database
 from repro.util.workload import CompanyWorkload, build_company_database
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 #: standard scale used by most experiments
 N_EMPLOYEES = 300
@@ -50,3 +59,15 @@ def fresh_company(employees: int = N_EMPLOYEES, **kwargs) -> Database:
             **kwargs,
         )
     )
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Write an acceptance-test measurement to benchmarks/results/.
+
+    ``name`` is the experiment tag (e.g. ``p10``); the file lands at
+    ``benchmarks/results/BENCH_<name>.json``. Returns the path.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

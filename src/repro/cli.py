@@ -23,6 +23,7 @@ start with a backslash:
 ``\\user NAME``  switch the session user (authorization applies)
 ``\\authz on|off``      toggle authorization enforcement
 ``\\optimizer on|off``  toggle the query optimizer (for comparisons)
+``\\compile on|off``    toggle compiled expression closures (ablation)
 ``\\timing on|off``     print per-statement wall time + plan-cache hit/miss
 ``\\schema``     list types and named objects
 ==============  =====================================================
@@ -202,6 +203,10 @@ class Shell:
             self.db.interpreter.optimize = args[0] == "on"
             state = "on" if self.db.interpreter.optimize else "off"
             self._write(f"optimizer {state}")
+        elif command == "compile" and args:
+            mode = "closure" if args[0] == "on" else "off"
+            self.db.interpreter.compile_mode = mode
+            self._write(f"expression compilation {mode}")
         elif command == "timing" and args:
             self.timing = args[0] == "on"
             self._write(f"timing {'on' if self.timing else 'off'}")

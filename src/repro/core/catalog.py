@@ -18,7 +18,7 @@ from repro.adt.generics import SetFunctionRegistry
 from repro.adt.registry import AdtRegistry
 from repro.core.schema import Rename, SchemaType
 from repro.core.statistics import StatisticsManager
-from repro.core.types import ComponentSpec, SetType, Type
+from repro.core.types import ComponentSpec, SetType
 from repro.errors import CatalogError, SchemaError
 from repro.storage.access import AccessMethodTable, IndexManager
 

@@ -389,8 +389,7 @@ class Database:
 
         ``changes`` values use the same raw forms as :meth:`insert`.
         """
-        named = self.catalog.named(set_name)
-        collection = named.value
+        self.catalog.named(set_name)  # raises CatalogError on unknown sets
         instance = self.objects.deref(member.oid)
         if instance is None:
             raise IntegrityError(f"cannot update dead object {member.oid}")

@@ -38,7 +38,6 @@ from repro.core.types import (
     Semantics,
     SetType,
     TupleType,
-    Type,
 )
 from repro.errors import EvaluationError, TypeSystemError
 

@@ -704,7 +704,6 @@ class Binder:
             )
         # Case 3: a session-level range variable used before this query.
         if root in self.session_ranges:
-            declared = self.session_ranges[root]
             binding = self._declare_session_range(root, scope, query)
             if steps:
                 return self._bind_nested_source(
@@ -1235,7 +1234,7 @@ class Binder:
                 adt = self._try_adt_prefix(node.op, operand)
                 if adt is not None:
                     return adt
-                raise BindError(f"unary '-' requires a numeric operand")
+                raise BindError("unary '-' requires a numeric operand")
             return Unary(op="-", operand=operand, type=operand.type)
         adt = self._try_adt_prefix(node.op, operand)
         if adt is not None:

@@ -1,0 +1,510 @@
+"""Expression compilation: bound expressions lowered to Python closures.
+
+The evaluator's :meth:`~repro.excess.evaluator.Evaluator._eval` walks a
+:class:`~repro.excess.binder.BoundExpr` tree per row, paying an
+``isinstance`` dispatch chain plus operator-kind tests for every node on
+every candidate row. This module removes that per-row interpretation:
+:func:`compile_expr` translates a bound expression **once** into a tree
+of nested Python closures — each node becomes a function ``fn(env, ctx)
+-> value`` whose body contains only the work that node actually does,
+with EXCESS null semantics (three-valued comparison and Kleene logic,
+dangling references reading as null) baked in at compile time.
+
+Compilation is total: every expression compiles. Node types whose
+evaluation is entangled with per-statement evaluator state —
+:class:`~repro.excess.binder.AdtCall` (registered ADT functions),
+:class:`~repro.excess.binder.ExcessCall` (recursion-depth accounting,
+dynamic dispatch), :class:`~repro.excess.binder.AggregateRef`
+(precomputed partition tables), :class:`~repro.excess.binder.Membership`
+(memoized semi-join key sets) — compile to a thin callback into the
+existing interpreter, so mixed expressions still run their compilable
+subtrees as closures. A compiled expression therefore never needs a
+plan-level bailout; operators report ``closure`` when the whole tree
+compiled directly and ``fallback`` when any callback remains.
+
+Closures are deliberately stateless: they capture only the expression's
+constants and sub-closures, and take the per-execution state (the shared
+environment dict and the :class:`~repro.excess.plan.PlanContext`) as
+arguments. That keeps compiled plans shareable across executions exactly
+like the operator trees that carry them, and keeps them out of pickled
+transaction snapshots (plan nodes drop their compiled caches on
+``__getstate__`` and recompile lazily).
+
+Semantics are pinned against the interpreter by a Hypothesis property
+(``tests/property/test_query_equivalence.py``) and a per-figure parity
+suite (``tests/integration/test_compile_parity.py``): for every query,
+``compile_mode="closure"`` and ``compile_mode="off"`` must produce
+identical rows, messages, and errors.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, NamedTuple, Optional
+
+from repro.core.values import NULL, ArrayInstance, Ref, TupleInstance, value_equal
+from repro.errors import EvaluationError
+from repro.excess.binder import (
+    AttrStep,
+    Binary,
+    BoundExpr,
+    Const,
+    IndexStepB,
+    NamedValue,
+    Unary,
+    VarRef,
+)
+
+__all__ = ["CompiledExpr", "compile_expr", "compile_all", "compiled_label"]
+
+#: a compiled expression: ``fn(env, ctx) -> value`` where ``env`` is the
+#: shared environment dict and ``ctx`` the plan's execution context
+CompiledFn = Callable[[dict, Any], Any]
+
+
+class CompiledExpr(NamedTuple):
+    """One compiled expression and how completely it compiled."""
+
+    fn: CompiledFn
+    #: True when the whole tree lowered to direct closures; False when
+    #: any node fell back to an interpreter callback
+    full: bool
+
+
+# ---------------------------------------------------------------------------
+# Shared runtime helpers (mirroring the evaluator's semantics exactly)
+# ---------------------------------------------------------------------------
+
+
+def _truth(value: Any) -> Optional[bool]:
+    """Three-valued truth: NULL is unknown, non-booleans are errors."""
+    if value is NULL:
+        return None
+    if isinstance(value, bool):
+        return value
+    raise EvaluationError(f"boolean operand expected, got {value!r}")
+
+
+def _object_oid(value: Any) -> Optional[int]:
+    if value is NULL:
+        return None
+    if isinstance(value, Ref):
+        return value.oid
+    if isinstance(value, TupleInstance) and value.oid is not None:
+        return value.oid
+    raise EvaluationError(
+        f"'is'/'isnot' compares object references, got {value!r}"
+    )
+
+
+#: value comparators per operator; ``=``/``!=`` use structural equality
+_COMPARATORS: dict[str, Callable[[Any, Any], Any]] = {
+    "=": value_equal,
+    "!=": lambda left, right: not value_equal(left, right),
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+# ---------------------------------------------------------------------------
+# Node compilers
+# ---------------------------------------------------------------------------
+
+
+def _compile_fallback(node: BoundExpr) -> CompiledExpr:
+    """A thin callback into the interpreter for nodes that need
+    per-statement evaluator state (ADT/EXCESS calls, aggregates,
+    memberships) — and, defensively, any unrecognized shape."""
+
+    def run(env: dict, ctx: Any, _node: BoundExpr = node) -> Any:
+        return ctx.evaluator._eval(_node, env, ctx.tables)
+
+    return CompiledExpr(run, False)
+
+
+def _compile_const(node: Const) -> CompiledExpr:
+    value = node.value
+
+    def run(env: dict, ctx: Any) -> Any:
+        return value
+
+    return CompiledExpr(run, True)
+
+
+def _compile_var(node: VarRef) -> CompiledExpr:
+    name = node.name
+
+    def run(env: dict, ctx: Any) -> Any:
+        value = env.get(name, NULL)
+        if isinstance(value, Ref) and not ctx.objects.is_live(value.oid):
+            return NULL  # dangling reference reads as null (GEM)
+        return value
+
+    return CompiledExpr(run, True)
+
+
+def _compile_named(node: NamedValue) -> CompiledExpr:
+    name = node.name
+
+    def run(env: dict, ctx: Any) -> Any:
+        value = ctx.db.named(name).value
+        if isinstance(value, Ref) and not ctx.objects.is_live(value.oid):
+            return NULL
+        return value
+
+    return CompiledExpr(run, True)
+
+
+def _compile_attr(node: AttrStep) -> CompiledExpr:
+    base_fn, base_full = _compile(node.base)
+    attribute = node.attribute
+
+    def run(env: dict, ctx: Any) -> Any:
+        base = base_fn(env, ctx)
+        if isinstance(base, Ref):
+            base = ctx.objects.deref(base.oid)
+            if base is None:
+                return NULL
+        elif not isinstance(base, TupleInstance):
+            return NULL  # attribute of null (or a non-object) is null
+        value = base.get(attribute)
+        if isinstance(value, Ref) and not ctx.objects.is_live(value.oid):
+            return NULL
+        return value
+
+    return CompiledExpr(run, base_full)
+
+
+def _compile_index(node: IndexStepB) -> CompiledExpr:
+    base_fn, base_full = _compile(node.base)
+    index_fn, index_full = _compile(node.index)
+
+    def run(env: dict, ctx: Any) -> Any:
+        base = base_fn(env, ctx)
+        index = index_fn(env, ctx)
+        if base is NULL or index is NULL:
+            return NULL
+        if not isinstance(base, ArrayInstance):
+            raise EvaluationError(f"indexing a non-array value {base!r}")
+        if not isinstance(index, int) or isinstance(index, bool):
+            raise EvaluationError("array index must be an integer")
+        if index < 1 or index > len(base):
+            return NULL  # reads beyond the end are null; writes error
+        value = base.get(index)
+        if isinstance(value, Ref) and not ctx.objects.is_live(value.oid):
+            return NULL
+        return value
+
+    return CompiledExpr(run, base_full and index_full)
+
+
+def _compile_bool(node: Binary) -> CompiledExpr:
+    """Kleene three-valued and/or; short-circuits exactly like the
+    interpreter (the right operand is not evaluated when the left side
+    already decides)."""
+    left_fn, left_full = _compile(node.left)
+    right_fn, right_full = _compile(node.right)
+    full = left_full and right_full
+
+    if node.op == "and":
+
+        def run(env: dict, ctx: Any) -> Any:
+            left = _truth(left_fn(env, ctx))
+            if left is False:
+                return False
+            right = _truth(right_fn(env, ctx))
+            if right is False:
+                return False
+            if left is None or right is None:
+                return NULL
+            return True
+
+        return CompiledExpr(run, full)
+
+    if node.op == "or":
+
+        def run(env: dict, ctx: Any) -> Any:
+            left = _truth(left_fn(env, ctx))
+            if left is True:
+                return True
+            right = _truth(right_fn(env, ctx))
+            if right is True:
+                return True
+            if left is None or right is None:
+                return NULL
+            return False
+
+        return CompiledExpr(run, full)
+
+    return _compile_fallback(node)
+
+
+def _compile_object_equality(node: Binary) -> CompiledExpr:
+    left_fn, left_full = _compile(node.left)
+    right_fn, right_full = _compile(node.right)
+    negated = node.op != "is"
+
+    def run(env: dict, ctx: Any) -> Any:
+        left = left_fn(env, ctx)
+        right = right_fn(env, ctx)
+        objects = ctx.objects
+        if isinstance(left, Ref) and not objects.is_live(left.oid):
+            left = NULL
+        if isinstance(right, Ref) and not objects.is_live(right.oid):
+            right = NULL
+        if left is NULL or right is NULL:
+            # `X is null` tests for null-ness; two nulls are the same
+            # (both denote no object), a null and anything else are not.
+            same = left is NULL and right is NULL
+        else:
+            same = _object_oid(left) == _object_oid(right)
+        return not same if negated else same
+
+    return CompiledExpr(run, left_full and right_full)
+
+
+def _compile_compare(node: Binary) -> CompiledExpr:
+    compare = _COMPARATORS.get(node.op)
+    if compare is None:
+        return _compile_fallback(node)
+    left_fn, left_full = _compile(node.left)
+    right_fn, right_full = _compile(node.right)
+    full = left_full and right_full
+
+    if node.enum_labels is not None:
+        # bake the declaration-order ordinals in at compile time
+        labels = node.enum_labels
+        ordinals = {label: position for position, label in enumerate(labels)}
+
+        def run(env: dict, ctx: Any) -> Any:
+            left = left_fn(env, ctx)
+            right = right_fn(env, ctx)
+            if left is NULL or right is NULL:
+                return NULL
+            if isinstance(left, str):
+                try:
+                    left = ordinals[left]
+                except KeyError:
+                    raise EvaluationError(
+                        f"{left!r} is not a label of the enumeration"
+                    ) from None
+            if isinstance(right, str):
+                try:
+                    right = ordinals[right]
+                except KeyError:
+                    raise EvaluationError(
+                        f"{right!r} is not a label of the enumeration"
+                    ) from None
+            try:
+                return compare(left, right)
+            except TypeError as exc:
+                raise EvaluationError(f"incomparable values: {exc}") from exc
+
+        return CompiledExpr(run, full)
+
+    def run(env: dict, ctx: Any) -> Any:
+        left = left_fn(env, ctx)
+        right = right_fn(env, ctx)
+        if left is NULL or right is NULL:
+            return NULL
+        try:
+            return compare(left, right)
+        except TypeError as exc:
+            raise EvaluationError(f"incomparable values: {exc}") from exc
+
+    return CompiledExpr(run, full)
+
+
+def _compile_concat(node: Binary) -> CompiledExpr:
+    left_fn, left_full = _compile(node.left)
+    right_fn, right_full = _compile(node.right)
+
+    def run(env: dict, ctx: Any) -> Any:
+        left = left_fn(env, ctx)
+        right = right_fn(env, ctx)
+        if left is NULL or right is NULL:
+            return NULL
+        return str(left) + str(right)
+
+    return CompiledExpr(run, left_full and right_full)
+
+
+def _compile_arith(node: Binary) -> CompiledExpr:
+    left_fn, left_full = _compile(node.left)
+    right_fn, right_full = _compile(node.right)
+    full = left_full and right_full
+    op = node.op
+
+    if op == "+":
+
+        def run(env: dict, ctx: Any) -> Any:
+            left = left_fn(env, ctx)
+            right = right_fn(env, ctx)
+            if left is NULL or right is NULL:
+                return NULL
+            try:
+                return left + right
+            except TypeError as exc:
+                raise EvaluationError(
+                    f"bad arithmetic operands: {exc}"
+                ) from exc
+
+    elif op == "-":
+
+        def run(env: dict, ctx: Any) -> Any:
+            left = left_fn(env, ctx)
+            right = right_fn(env, ctx)
+            if left is NULL or right is NULL:
+                return NULL
+            try:
+                return left - right
+            except TypeError as exc:
+                raise EvaluationError(
+                    f"bad arithmetic operands: {exc}"
+                ) from exc
+
+    elif op == "*":
+
+        def run(env: dict, ctx: Any) -> Any:
+            left = left_fn(env, ctx)
+            right = right_fn(env, ctx)
+            if left is NULL or right is NULL:
+                return NULL
+            try:
+                return left * right
+            except TypeError as exc:
+                raise EvaluationError(
+                    f"bad arithmetic operands: {exc}"
+                ) from exc
+
+    elif op == "/":
+
+        def run(env: dict, ctx: Any) -> Any:
+            left = left_fn(env, ctx)
+            right = right_fn(env, ctx)
+            if left is NULL or right is NULL:
+                return NULL
+            try:
+                if right == 0:
+                    raise EvaluationError("division by zero")
+                if isinstance(left, int) and isinstance(right, int):
+                    return left // right if left % right == 0 else left / right
+                return left / right
+            except TypeError as exc:
+                raise EvaluationError(
+                    f"bad arithmetic operands: {exc}"
+                ) from exc
+
+    elif op == "%":
+
+        def run(env: dict, ctx: Any) -> Any:
+            left = left_fn(env, ctx)
+            right = right_fn(env, ctx)
+            if left is NULL or right is NULL:
+                return NULL
+            try:
+                if right == 0:
+                    raise EvaluationError("modulo by zero")
+                return left % right
+            except TypeError as exc:
+                raise EvaluationError(
+                    f"bad arithmetic operands: {exc}"
+                ) from exc
+
+    else:
+        return _compile_fallback(node)
+
+    return CompiledExpr(run, full)
+
+
+def _compile_binary(node: Binary) -> CompiledExpr:
+    if node.kind == "bool":
+        return _compile_bool(node)
+    if node.kind == "object":
+        return _compile_object_equality(node)
+    if node.kind == "compare":
+        return _compile_compare(node)
+    if node.kind == "concat":
+        return _compile_concat(node)
+    if node.kind == "arith":
+        return _compile_arith(node)
+    return _compile_fallback(node)
+
+
+def _compile_unary(node: Unary) -> CompiledExpr:
+    operand_fn, operand_full = _compile(node.operand)
+
+    if node.op == "not":
+
+        def run(env: dict, ctx: Any) -> Any:
+            truth = _truth(operand_fn(env, ctx))
+            if truth is None:
+                return NULL
+            return not truth
+
+        return CompiledExpr(run, operand_full)
+
+    if node.op == "-":
+
+        def run(env: dict, ctx: Any) -> Any:
+            value = operand_fn(env, ctx)
+            if value is NULL:
+                return NULL
+            try:
+                return -value
+            except TypeError as exc:
+                raise EvaluationError(f"cannot negate {value!r}") from exc
+
+        return CompiledExpr(run, operand_full)
+
+    return _compile_fallback(node)
+
+
+#: compile-time dispatch: exact node class → handler (AdtCall, ExcessCall,
+#: AggregateRef, Membership, and anything unknown go through the fallback)
+_HANDLERS: dict[type, Callable[[Any], CompiledExpr]] = {
+    Const: _compile_const,
+    VarRef: _compile_var,
+    NamedValue: _compile_named,
+    AttrStep: _compile_attr,
+    IndexStepB: _compile_index,
+    Binary: _compile_binary,
+    Unary: _compile_unary,
+}
+
+
+def _compile(node: BoundExpr) -> CompiledExpr:
+    handler = _HANDLERS.get(type(node))
+    if handler is None:
+        return _compile_fallback(node)
+    return handler(node)
+
+
+# ---------------------------------------------------------------------------
+# Public interface
+# ---------------------------------------------------------------------------
+
+
+def compile_expr(node: BoundExpr) -> CompiledExpr:
+    """Compile one bound expression into a closure.
+
+    Always succeeds: uncompilable nodes become interpreter callbacks
+    inside an otherwise-compiled tree (``full=False``).
+    """
+    return _compile(node)
+
+
+def compile_all(nodes: list[BoundExpr]) -> tuple[list[CompiledFn], bool]:
+    """Compile a list of expressions; returns the closures plus whether
+    every tree compiled fully (for the ``compiled=`` plan annotation)."""
+    compiled = [_compile(node) for node in nodes]
+    return [entry.fn for entry in compiled], all(
+        entry.full for entry in compiled
+    )
+
+
+def compiled_label(full: bool) -> str:
+    """The per-operator EXPLAIN annotation for a compiled expression set."""
+    return "closure" if full else "fallback"

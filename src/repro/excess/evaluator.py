@@ -160,13 +160,41 @@ class Evaluator:
 
     MAX_FUNCTION_DEPTH = 32
 
-    def __init__(self, database: Database, user: str = "dba"):
+    def __init__(
+        self,
+        database: Database,
+        user: str = "dba",
+        compile_mode: str = "closure",
+    ):
         self.db = database
         self.user = user
         self._function_depth = 0
         self.metrics = ExecMetrics()
         #: id(membership node) → materialized member-key set (semi-join)
         self._semi_sets: dict[int, set] = {}
+        #: "closure" runs compiled expression closures on plan hot
+        #: paths; "off" forces the recursive interpreter (ablation)
+        self.compile_mode = compile_mode
+        #: id(bound node) → compiled closure (aggregate hot paths; nodes
+        #: stay alive on the bound statement for this evaluator's life)
+        self._compiled_memo: dict[int, Any] = {}
+        self._compiled_ctx: Optional[PlanContext] = None
+
+    def _eval_compiled(self, node: BoundExpr, env: Env, tables: dict) -> Any:
+        """Evaluate through the compiled-closure memo (used by the
+        aggregate machinery, which evaluates outside the plan operators'
+        own compiled caches)."""
+        from repro.excess.compile import compile_expr
+
+        fn = self._compiled_memo.get(id(node))
+        if fn is None:
+            fn = compile_expr(node).fn
+            self._compiled_memo[id(node)] = fn
+        ctx = self._compiled_ctx
+        if ctx is None or ctx.tables is not tables:
+            ctx = PlanContext(self, tables)
+            self._compiled_ctx = ctx
+        return fn(env, ctx)
 
     def _invalidate_exec_caches(self) -> None:
         """Invalidate memoized execution state before data mutates.
@@ -622,6 +650,9 @@ class Evaluator:
         running their inner pipelines; correlated ones get a memo dict
         filled on demand (the :class:`~repro.excess.plan.Aggregate`
         operator calls this at open, before any downstream evaluation)."""
+        evaluate = (
+            self._eval_compiled if self.compile_mode == "closure" else self._eval
+        )
         for aggregate in query.aggregates:
             if aggregate.mode == "correlated":
                 tables[aggregate.aggregate_id] = ("correlated", aggregate, {})
@@ -629,13 +660,13 @@ class Evaluator:
             groups: dict[Any, list] = {}
             inner = self._aggregate_query(aggregate)
             for env in self._query_rows(inner, base_env, tables):
-                value = self._eval(aggregate.argument, env, tables)
+                value = evaluate(aggregate.argument, env, tables)
                 if value is NULL:
                     continue
                 if aggregate.mode == "partition":
                     assert aggregate.inner_key is not None
                     key = canonical_key(
-                        self._eval(aggregate.inner_key, env, tables)
+                        evaluate(aggregate.inner_key, env, tables)
                     )
                 else:
                     key = ()
@@ -651,13 +682,16 @@ class Evaluator:
         self, node: AggregateRef, env: Env, tables: dict
     ) -> Any:
         mode, aggregate, computed = tables[node.aggregate_id]
+        evaluate = (
+            self._eval_compiled if self.compile_mode == "closure" else self._eval
+        )
         if mode == "global":
             if () in computed:
                 return self._null_if_none(computed[()])
             return self._empty_aggregate(aggregate)
         if mode == "partition":
             assert node.outer_key is not None
-            key = canonical_key(self._eval(node.outer_key, env, tables))
+            key = canonical_key(evaluate(node.outer_key, env, tables))
             if key in computed:
                 return self._null_if_none(computed[key])
             return self._empty_aggregate(aggregate)
@@ -671,7 +705,7 @@ class Evaluator:
         values: list = []
         inner = self._aggregate_query(aggregate)
         for inner_env in self._query_rows(inner, env, tables):
-            value = self._eval(aggregate.argument, inner_env, tables)
+            value = evaluate(aggregate.argument, inner_env, tables)
             if value is not NULL:
                 values.append(value)
         if values:
@@ -735,7 +769,7 @@ class Evaluator:
             if not isinstance(base, ArrayInstance):
                 raise EvaluationError(f"indexing a non-array value {base!r}")
             if not isinstance(index, int) or isinstance(index, bool):
-                raise EvaluationError(f"array index must be an integer")
+                raise EvaluationError("array index must be an integer")
             if index < 1 or index > len(base):
                 return NULL  # reads beyond the end are null; writes error
             return self._normalize_ref(base.get(index))

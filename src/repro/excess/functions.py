@@ -19,7 +19,7 @@ from typing import TYPE_CHECKING, Any, Optional
 
 from repro.core.schema import SchemaType
 from repro.core.types import ComponentSpec, SetType, Type
-from repro.core.values import NULL, Ref, SetInstance
+from repro.core.values import NULL, SetInstance
 from repro.errors import EvaluationError, FunctionError
 from repro.excess import ast_nodes as ast
 from repro.excess.binder import Binder, BoundRetrieve, Scope, VarRef

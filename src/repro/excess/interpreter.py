@@ -202,6 +202,9 @@ class Interpreter:
         #: whether binding order comes from the cost-based search
         #: (False forces the older heuristic ranks, for ablation)
         self.cost_based = True
+        #: "closure" executes compiled expression closures on plan hot
+        #: paths; "off" forces the recursive interpreter (ablation)
+        self.compile_mode = "closure"
         #: LRU of prepared plans; entries self-invalidate via the epoch key
         self.plan_cache = PlanCache()
         #: session-level `range of` declarations, QUEL-style
@@ -230,6 +233,7 @@ class Interpreter:
             self.optimize,
             self.hash_joins,
             self.cost_based,
+            self.compile_mode,
         )
 
     def execute(self, text: str, user: str = "dba") -> Result:
@@ -551,8 +555,11 @@ class Interpreter:
             enabled=self.optimize,
             hash_joins=self.hash_joins,
             cost_based=self.cost_based,
+            compile_mode=self.compile_mode,
         ).optimize(query)
-        evaluator = Evaluator(self.db, user=procedure.definer)
+        evaluator = Evaluator(
+            self.db, user=procedure.definer, compile_mode=self.compile_mode
+        )
         tables: dict = {}
         bindings: list[dict] = []
         for env in evaluator.env_stream(query, {}, tables):
@@ -580,6 +587,7 @@ class Interpreter:
             enabled=self.optimize,
             hash_joins=self.hash_joins,
             cost_based=self.cost_based,
+            compile_mode=self.compile_mode,
         )
         if isinstance(statement, ast.Retrieve):
             kind, bound = "retrieve", binder.bind_retrieve(statement)
@@ -607,7 +615,7 @@ class Interpreter:
         """Run a prepared plan: authorization checks (every execution,
         never cached) then evaluation, collecting execution metrics."""
         start = time.perf_counter()
-        evaluator = Evaluator(self.db, user=user)
+        evaluator = Evaluator(self.db, user=user, compile_mode=self.compile_mode)
         evaluator.metrics.cache = cache
         bound = plan.bound
         if plan.kind == "explain":
@@ -653,12 +661,15 @@ class Interpreter:
             # counter snapshot is taken here, since a cached plan's live
             # counters are reset by its next execution.
             root = plan.plan_root
+            mode = self.compile_mode
             if plan.kind == "explain":
-                result.plan_tree = render_plan(root, actuals=False)
+                result.plan_tree = render_plan(
+                    root, actuals=False, compile_mode=mode
+                )
             else:
                 snap = snapshot_stats(root)
-                result._plan_tree_thunk = (
-                    lambda: render_plan(root, actuals=True, snapshot=snap)
+                result._plan_tree_thunk = lambda: render_plan(
+                    root, actuals=True, snapshot=snap, compile_mode=mode
                 )
         evaluator.metrics.wall_ms = (time.perf_counter() - start) * 1000.0
         result.metrics = evaluator.metrics.as_dict()
@@ -815,6 +826,7 @@ class Interpreter:
             enabled=self.optimize,
             hash_joins=self.hash_joins,
             cost_based=self.cost_based,
+            compile_mode=self.compile_mode,
         )
         report = optimizer.optimize(query)
         root = optimizer.lower(bound_stmt)

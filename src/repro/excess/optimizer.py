@@ -96,11 +96,17 @@ class OptimizerReport:
     #: alternative (``None`` when fewer than two orders were valid)
     chosen_cost: Optional[float] = None
     runner_up_cost: Optional[float] = None
+    #: expression-execution mode the plan will run under ("closure" |
+    #: "off"; "" when prepared outside the interpreter)
+    compile_mode: str = ""
 
     def describe(self) -> str:
         """One-line human-readable summary."""
         if not self.enabled:
-            return "optimizer disabled: nested-loop scan in declaration order"
+            message = "optimizer disabled: nested-loop scan in declaration order"
+            if self.compile_mode:
+                message += f"; exprs={self.compile_mode}"
+            return message
         parts = [
             f"pushdown={self.pushed_down}",
             f"normalized={self.normalized}",
@@ -120,6 +126,8 @@ class OptimizerReport:
                 f"cost[{self.search}: considered={self.considered_orders}, "
                 f"chosen={cost}{runner}]"
             )
+        if self.compile_mode:
+            parts.append(f"exprs={self.compile_mode}")
         return "; ".join(parts)
 
 
@@ -277,6 +285,7 @@ class Optimizer:
         reorder: bool = True,
         hash_joins: bool = True,
         cost_based: bool = True,
+        compile_mode: str = "",
     ):
         self.catalog = catalog
         self.enabled = enabled
@@ -287,10 +296,15 @@ class Optimizer:
         self.hash_join_rule = hash_joins
         #: cost-based join-order search (False = the older greedy ranks)
         self.cost_based = cost_based
+        #: recorded on the report for EXPLAIN (execution-layer flag; the
+        #: optimizer itself is mode-independent)
+        self.compile_mode = compile_mode
 
     def optimize(self, query: BoundQuery) -> OptimizerReport:
         """Apply the rule families to ``query`` (mutating it)."""
-        report = OptimizerReport(enabled=self.enabled)
+        report = OptimizerReport(
+            enabled=self.enabled, compile_mode=self.compile_mode
+        )
         # annotations are about to change; any previously lowered plan
         # for this bound query is stale
         query.plan = None

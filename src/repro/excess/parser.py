@@ -818,7 +818,6 @@ class Parser:
             if symbol is None:
                 return left
             info = self._ops.infix(symbol)
-            special = symbol in ("is", "isnot", "in", "contains", "not-in")
             precedence = info.precedence if info else OperatorTable.COMPARISON
             if precedence < min_precedence:
                 return left

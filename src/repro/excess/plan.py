@@ -95,6 +95,7 @@ from repro.excess.binder import (
     Unary,
     VarRef,
 )
+from repro.excess.compile import compile_all, compile_expr, compiled_label
 
 __all__ = [
     "PlanContext",
@@ -153,15 +154,20 @@ class PlanContext:
     stats.
     """
 
-    __slots__ = ("evaluator", "tables")
+    __slots__ = ("evaluator", "tables", "db", "objects", "compiled")
 
     def __init__(self, evaluator: Any, tables: Optional[dict] = None):
         self.evaluator = evaluator
         self.tables = {} if tables is None else tables
-
-    @property
-    def db(self) -> Any:
-        return self.evaluator.db
+        # hot-path attributes (compiled closures read these per row)
+        self.db = evaluator.db
+        self.objects = evaluator.db.objects
+        #: True when this execution runs compiled closures on the hot
+        #: paths; plans are shared across modes (function bodies, cached
+        #: statements), so operators branch on this per execution
+        self.compiled = (
+            getattr(evaluator, "compile_mode", "closure") == "closure"
+        )
 
     def eval(self, expr: BoundExpr, env: Env) -> Any:
         """Evaluate a bound expression under this execution's tables."""
@@ -248,10 +254,13 @@ class PlanOp:
 
     def __getstate__(self) -> dict:
         # bound statements (and their cached plans) are pickled by
-        # transaction snapshots; generators are transient execution state
+        # transaction snapshots; generators are transient execution
+        # state, and compiled closures are unpicklable by nature — both
+        # are dropped here and rebuilt lazily after unpickling
         state = dict(self.__dict__)
         state["_iters"] = []
         state["running"] = 0
+        state.pop("_compiled", None)
         return state
 
     def _run(self, ctx: PlanContext, env: Env) -> Iterator[Any]:
@@ -291,6 +300,12 @@ class PlanOp:
     def extra_counters(self) -> str:
         """Operator-specific counters appended to the actuals display."""
         return ""
+
+    def compiled_note(self) -> Optional[str]:
+        """``closure``/``fallback`` for operators that evaluate
+        expressions (compiling them on demand), None otherwise — the
+        per-operator ``compiled=`` annotation of the rendered plan."""
+        return None
 
 
 # ---------------------------------------------------------------------------
@@ -384,8 +399,21 @@ class IndexScan(_BindingOp):
             f"{describe_expr(self.key_expr)}) as {self.var}"
         )
 
+    def _compiled_key(self) -> tuple:
+        cached = self.__dict__.get("_compiled")
+        if cached is None:
+            cached = compile_expr(self.key_expr)
+            self.__dict__["_compiled"] = cached
+        return cached
+
+    def compiled_note(self) -> Optional[str]:
+        return compiled_label(self._compiled_key().full)
+
     def _run(self, ctx: PlanContext, env: Env) -> Iterator[Env]:
-        key = ctx.eval(self.key_expr, env)
+        if ctx.compiled:
+            key = self._compiled_key().fn(env, ctx)
+        else:
+            key = ctx.eval(self.key_expr, env)
         if key is NULL:
             return
         index = self.descriptor.index
@@ -480,8 +508,21 @@ class FunctionScan(_BindingOp):
         args = ", ".join(describe_expr(a) for a in self.args)
         return f"FunctionScan {self.function.name}({args}) as {self.var}"
 
+    def _compiled_args(self) -> tuple:
+        cached = self.__dict__.get("_compiled")
+        if cached is None:
+            cached = compile_all(self.args)
+            self.__dict__["_compiled"] = cached
+        return cached
+
+    def compiled_note(self) -> Optional[str]:
+        return compiled_label(self._compiled_args()[1])
+
     def _run(self, ctx: PlanContext, env: Env) -> Iterator[Env]:
-        args = [ctx.eval(a, env) for a in self.args]
+        if ctx.compiled:
+            args = [fn(env, ctx) for fn in self._compiled_args()[0]]
+        else:
+            args = [ctx.eval(a, env) for a in self.args]
         if any(a is NULL for a in args):
             return
         saved = env.get(self.var, _MISSING)
@@ -515,7 +556,32 @@ class Filter(PlanOp):
             describe_expr(p) for p in self.predicates
         )
 
+    def _compiled_predicates(self) -> tuple:
+        cached = self.__dict__.get("_compiled")
+        if cached is None:
+            cached = compile_all(self.predicates)
+            self.__dict__["_compiled"] = cached
+        return cached
+
+    def compiled_note(self) -> Optional[str]:
+        return compiled_label(self._compiled_predicates()[1])
+
     def _run(self, ctx: PlanContext, env: Env) -> Iterator[Env]:
+        if ctx.compiled:
+            fns, _full = self._compiled_predicates()
+            if len(fns) == 1:
+                predicate = fns[0]
+                for row in self._pull(self.children[0], ctx, env):
+                    if predicate(row, ctx) is True:
+                        yield row
+            else:
+                for row in self._pull(self.children[0], ctx, env):
+                    for predicate in fns:
+                        if predicate(row, ctx) is not True:
+                            break
+                    else:
+                        yield row
+            return
         for row in self._pull(self.children[0], ctx, env):
             if all(ctx.eval(p, row) is True for p in self.predicates):
                 yield row
@@ -534,6 +600,15 @@ class SemiJoinProbe(PlanOp):
 
     def describe(self) -> str:
         return f"SemiJoinProbe {describe_expr(self.membership)}"
+
+    def compiled_note(self) -> Optional[str]:
+        # Membership always lowers to an interpreter callback (the
+        # memoized key-set machinery lives on the evaluator)
+        cached = self.__dict__.get("_compiled")
+        if cached is None:
+            cached = compile_expr(self.membership)
+            self.__dict__["_compiled"] = cached
+        return compiled_label(cached.full)
 
     def _run(self, ctx: PlanContext, env: Env) -> Iterator[Env]:
         node = self.membership
@@ -627,6 +702,18 @@ class HashJoin(PlanOp):
         self._table = None
         self._table_version = -1
 
+    def _compiled_keys(self) -> tuple:
+        cached = self.__dict__.get("_compiled")
+        if cached is None:
+            build = compile_expr(self.build_key)
+            probe = compile_expr(self.probe_key)
+            cached = (build.fn, probe.fn, build.full and probe.full)
+            self.__dict__["_compiled"] = cached
+        return cached
+
+    def compiled_note(self) -> Optional[str]:
+        return compiled_label(self._compiled_keys()[2])
+
     def _table_for(self, ctx: PlanContext) -> dict:
         version = ctx.db.data_version
         if self._table is None or self._table_version != version:
@@ -642,11 +729,16 @@ class HashJoin(PlanOp):
         build.open(ctx, env)
         build_iter = build._iters[-1]
         build_stats = build.stats
+        build_fn = self._compiled_keys()[0] if ctx.compiled else None
         try:
             for _ in build_iter:
                 build_stats.rows_out += 1
                 self.stats.build_rows += 1
-                key = join_key(ctx.eval(self.build_key, env), self.join_op)
+                if build_fn is not None:
+                    value = build_fn(env, ctx)
+                else:
+                    value = ctx.eval(self.build_key, env)
+                key = join_key(value, self.join_op)
                 if key is None:
                     continue
                 table.setdefault(key, []).append(env[self.var])
@@ -657,10 +749,15 @@ class HashJoin(PlanOp):
     def _run(self, ctx: PlanContext, env: Env) -> Iterator[Env]:
         table = self._table_for(ctx)
         saved = env.get(self.var, _MISSING)
+        probe_fn = self._compiled_keys()[1] if ctx.compiled else None
         try:
             for row in self._pull(self.children[0], ctx, env):
                 self.stats.probes += 1
-                key = join_key(ctx.eval(self.probe_key, row), self.join_op)
+                if probe_fn is not None:
+                    value = probe_fn(row, ctx)
+                else:
+                    value = ctx.eval(self.probe_key, row)
+                key = join_key(value, self.join_op)
                 if key is None:
                     continue
                 for member in table.get(key, ()):
@@ -707,6 +804,16 @@ class UniversalCheck(PlanOp):
         )
         return roles
 
+    def _compiled_where(self) -> tuple:
+        cached = self.__dict__.get("_compiled")
+        if cached is None:
+            cached = compile_expr(self.where)
+            self.__dict__["_compiled"] = cached
+        return cached
+
+    def compiled_note(self) -> Optional[str]:
+        return compiled_label(self._compiled_where().full)
+
     def _run(self, ctx: PlanContext, env: Env) -> Iterator[Env]:
         for row in self._pull(self.children[0], ctx, env):
             if self._holds(ctx, row, 0):
@@ -714,6 +821,8 @@ class UniversalCheck(PlanOp):
 
     def _holds(self, ctx: PlanContext, env: Env, depth: int) -> bool:
         if depth == len(self.checks):
+            if ctx.compiled:
+                return self._compiled_where().fn(env, ctx) is True
             return ctx.eval(self.where, env) is True
         binding, subtree = self.checks[depth]
         saved = env.get(binding.name, _MISSING)
@@ -754,6 +863,21 @@ class Aggregate(PlanOp):
     def describe(self) -> str:
         modes = ", ".join(a.mode for a in self.query.aggregates)
         return f"Aggregate [{modes}]"
+
+    def compiled_note(self) -> Optional[str]:
+        # input extraction (argument + partition key) is compiled by the
+        # evaluator's per-statement memo; this only reports completeness
+        cached = self.__dict__.get("_compiled")
+        if cached is None:
+            exprs: list[BoundExpr] = []
+            for aggregate in self.query.aggregates:
+                exprs.append(aggregate.argument)
+                if aggregate.inner_key is not None:
+                    exprs.append(aggregate.inner_key)
+            _fns, full = compile_all(exprs)
+            cached = (None, full)
+            self.__dict__["_compiled"] = cached
+        return compiled_label(cached[1])
 
     def open(self, ctx: PlanContext, env: Env) -> None:
         # tables must be filled before any downstream next() — eagerly,
@@ -797,10 +921,41 @@ class Project(PlanOp):
         unique = "unique " if self.unique else ""
         return f"Project {unique}[{cols}]"
 
+    def _compiled_targets(self) -> tuple:
+        cached = self.__dict__.get("_compiled")
+        if cached is None:
+            target_fns, targets_full = compile_all(
+                [t.expression for t in self.targets]
+            )
+            order_fns, order_full = compile_all(
+                [expr for expr, _desc in self.order]
+            )
+            cached = (target_fns, order_fns, targets_full and order_full)
+            self.__dict__["_compiled"] = cached
+        return cached
+
+    def compiled_note(self) -> Optional[str]:
+        return compiled_label(self._compiled_targets()[2])
+
     def _run(self, ctx: PlanContext, env: Env) -> Iterator[Any]:
         from repro.excess.evaluator import canonical_key
 
         seen: set = set()
+        if ctx.compiled:
+            target_fns, order_fns, _full = self._compiled_targets()
+            for row_env in self._pull(self.children[0], ctx, env):
+                row = tuple(fn(row_env, ctx) for fn in target_fns)
+                if self.unique:
+                    key = tuple(canonical_key(v) for v in row)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                if order_fns:
+                    keys = tuple(fn(row_env, ctx) for fn in order_fns)
+                    yield row, keys
+                else:
+                    yield row
+            return
         for row_env in self._pull(self.children[0], ctx, env):
             row = tuple(
                 ctx.eval(t.expression, row_env) for t in self.targets
@@ -1223,10 +1378,17 @@ def render_plan(
     root: PlanOp,
     actuals: bool = True,
     snapshot: Optional[dict] = None,
+    compile_mode: Optional[str] = None,
 ) -> str:
     """Pretty-print the operator tree, one operator per line, with the
     estimated and (when ``actuals``) last-execution row counts — from
-    ``snapshot`` (see :func:`snapshot_stats`) when given, else live."""
+    ``snapshot`` (see :func:`snapshot_stats`) when given, else live.
+
+    With ``compile_mode`` given, expression-bearing operators carry a
+    ``compiled=`` annotation: ``closure`` (every expression lowered to a
+    direct closure), ``fallback`` (some expression runs through an
+    interpreter callback), or ``off`` (ablation: interpretation forced).
+    """
     lines: list[str] = []
 
     def emit(op: PlanOp, depth: int, role: str) -> None:
@@ -1240,6 +1402,12 @@ def render_plan(
             else:
                 rows_out, extra = op.stats.rows_out, op.extra_counters()
             counters += f", rows={rows_out}{extra}"
+        if compile_mode is not None:
+            note = op.compiled_note()
+            if note is not None:
+                if compile_mode != "closure":
+                    note = "off"
+                counters += f", compiled={note}"
         counters += ")"
         lines.append(f"{prefix}{tag}{op.describe()} {counters}")
         for child_role, child in op.child_roles():

@@ -258,7 +258,6 @@ class BTreeIndex:
         return len(node.keys) < self._min_keys()
 
     def _rebalance(self, parent: _BTreeNode, index: int) -> None:
-        child = parent.children[index]
         left = parent.children[index - 1] if index > 0 else None
         right = (
             parent.children[index + 1] if index + 1 < len(parent.children) else None

@@ -29,7 +29,7 @@ contract: every *acknowledged* commit survives recovery, and no
 from __future__ import annotations
 
 import os
-from typing import Any, Optional
+from typing import Any
 
 from repro.errors import StorageError
 from repro.storage.persistence import read_snapshot, save_snapshot

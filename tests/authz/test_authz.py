@@ -3,7 +3,6 @@ and the paper's encapsulation-through-authorization design (§4.2.3)."""
 
 import pytest
 
-from repro import Database
 from repro.authz.grants import AuthorizationManager, Privilege
 from repro.authz.users import ALL_USERS, UserDirectory
 from repro.errors import AuthorizationError, CatalogError

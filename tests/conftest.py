@@ -32,8 +32,7 @@ def company() -> Database:
     )
 
 
-@pytest.fixture
-def small_company() -> Database:
+def build_small_company() -> Database:
     """A hand-built tiny company database with exactly known contents.
 
     Departments: Toys (floor 2), Shoes (floor 1).
@@ -79,3 +78,9 @@ def small_company() -> Database:
         """
     )
     return db
+
+
+@pytest.fixture
+def small_company() -> Database:
+    """Fixture form of :func:`build_small_company`."""
+    return build_small_company()

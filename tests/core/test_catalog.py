@@ -3,8 +3,7 @@
 import pytest
 
 from repro.core.catalog import Catalog, NamedObject
-from repro.core.schema import SchemaType
-from repro.core.types import INT4, SetType, char, own, own_ref, ref
+from repro.core.types import INT4, SetType, char, own, own_ref
 from repro.core.values import SetInstance
 from repro.errors import CatalogError, SchemaError
 
@@ -104,14 +103,13 @@ class TestNamedObjects:
             catalog.destroy_named("X")
 
     def test_scalar_named_object_is_not_set(self):
-        catalog = make_catalog()
         named = NamedObject(name="Today", spec=own(INT4), value=None)
         assert not named.is_set
 
 
 class TestFunctionLookup:
     def _function(self, type_name, fn_name, replace=False):
-        from repro.excess.functions import ExcessFunction, FunctionParam
+        from repro.excess.functions import ExcessFunction
         from repro.core.types import ComponentSpec, Semantics, FLOAT8
         from repro.excess import ast_nodes as ast
 

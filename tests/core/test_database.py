@@ -16,7 +16,7 @@ from repro.core.types import (
     own_ref,
     ref,
 )
-from repro.core.values import NULL, ArrayInstance, Ref, SetInstance
+from repro.core.values import NULL, ArrayInstance, Ref
 from repro.errors import CatalogError, IntegrityError, TypeSystemError
 
 

@@ -5,7 +5,7 @@ import pytest
 
 from repro import Database
 from repro.core.types import FLOAT8, INT4, SetType, char, own, own_ref, ref
-from repro.core.values import NULL, Ref, SetInstance
+from repro.core.values import NULL, Ref
 from repro.errors import IntegrityError, OwnershipError, TypeSystemError
 
 
@@ -54,7 +54,6 @@ class TestCreation:
             db.type("Employee"), {"name": "E2", "age": 31}
         )
         kids = db.objects.fetch(emp1.oid).get("kids")
-        named = db.named("Employees")
         db.integrity.check_ref_target(kids.element, emp2)  # no raise
 
     def test_ref_to_dead_object_rejected(self, db_with_schema):
@@ -101,7 +100,7 @@ class TestExclusivity:
         db = db_with_schema
         e1 = db.insert("Employees", name="A", age=30, salary=1.0,
                        kids=[{"name": "K", "age": 3}])
-        e2 = db.insert("Employees", name="B", age=31, salary=1.0)
+        db.insert("Employees", name="B", age=31, salary=1.0)
         kid = db.objects.fetch(e1.oid).get("kids").members()[0]
         with pytest.raises(OwnershipError):
             db.integrity.create_object(
@@ -239,7 +238,7 @@ class TestVacuum:
     def test_vacuum_idempotent(self, db_with_schema):
         db = db_with_schema
         d = db.insert("Departments", dname="Toys", floor=2)
-        e = db.insert("Employees", name="A", age=30, salary=1.0, dept=d)
+        db.insert("Employees", name="A", age=30, salary=1.0, dept=d)
         db.delete(d)
         db.vacuum()
         assert db.vacuum() == 0

@@ -6,7 +6,6 @@ from repro.core.types import (
     ArrayType,
     INT4,
     SetType,
-    TEXT,
     TupleType,
     char,
     own,

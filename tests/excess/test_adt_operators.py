@@ -4,7 +4,7 @@ precedence (paper §4.1, Figure 7)."""
 
 import pytest
 
-from repro import Complex, Database, Date
+from repro import Complex, Date
 from repro.core.types import FLOAT8
 from repro.errors import BindError, CatalogError, EvaluationError
 
@@ -88,7 +88,6 @@ class TestNewAdtRegistration:
     def register_money(self, db):
         """Register a Money ADT with a new `~+~` operator at explicit
         precedence, exercising the paper's new-operator path."""
-        from repro.core.types import FLOAT8 as F8
 
         class Money:
             def __init__(self, cents: int):
@@ -117,7 +116,7 @@ class TestNewAdtRegistration:
         return Money
 
     def test_new_operator_usable_immediately(self, db):
-        Money = self.register_money(db)
+        self.register_money(db)
         result = db.execute(
             "retrieve (c = Cents(Money(100) ~+~ Money(250)))"
         )
@@ -126,14 +125,14 @@ class TestNewAdtRegistration:
     def test_new_operator_precedence(self, db):
         # ~+~ at 55 binds tighter than + (50): parses as a + (b ~+~ c)
         # which then fails to bind (+ over Money) — proving precedence.
-        Money = self.register_money(db)
+        self.register_money(db)
         with pytest.raises(BindError):
             db.execute(
                 "retrieve (x = Cents(Money(1)) + Money(2) ~+~ Money(3))"
             )
 
     def test_adt_columns_in_named_objects(self, db):
-        Money = self.register_money(db)
+        self.register_money(db)
         db.execute("create Money Budget")
         db.execute("set Budget = Money(5000)")
         result = db.execute("retrieve (c = Cents(Budget))")

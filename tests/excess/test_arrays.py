@@ -3,8 +3,8 @@ variable arrays, reference arrays, iteration, and updates."""
 
 import pytest
 
-from repro.core.values import NULL, Ref
-from repro.errors import EvaluationError, IntegrityError
+from repro.core.values import NULL
+from repro.errors import IntegrityError
 
 
 class TestNamedReferenceArrays:
@@ -38,11 +38,11 @@ class TestNamedReferenceArrays:
 
     def test_ref_array_type_checked(self, small_company):
         db = small_company
-        dept = db.execute(
+        db.execute(
             'retrieve (D) from D in Departments where D.dname = "Toys"'
-        ).rows[0][0]
+        )
         with pytest.raises(IntegrityError):
-            named = db.named("TopTen")
+            db.named("TopTen")
             db.execute(
                 'set TopTen[4] = D from D in Departments '
                 'where D.dname = "Toys"'

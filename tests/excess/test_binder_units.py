@@ -7,7 +7,6 @@ from repro.core.types import INT4, TEXT, own
 from repro.errors import BindError
 from repro.excess.binder import (
     Binder,
-    BoundQuery,
     NamedSetSource,
     PathSource,
     RangeBinding,

@@ -3,7 +3,7 @@ through the lattice, virtual vs fixed dispatch (paper §4.2.1)."""
 
 import pytest
 
-from repro.core.values import NULL, SetInstance
+from repro.core.values import NULL
 from repro.errors import BindError, EvaluationError, FunctionError
 
 

@@ -3,7 +3,7 @@ and interaction with other constructs."""
 
 import pytest
 
-from repro.core.values import NULL, SetInstance
+from repro.core.values import SetInstance
 from repro.errors import AuthorizationError
 
 

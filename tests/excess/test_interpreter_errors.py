@@ -3,7 +3,6 @@ and statement-level robustness."""
 
 import pytest
 
-from repro import Database
 from repro.errors import (
     BindError,
     CatalogError,

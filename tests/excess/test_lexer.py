@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import LexicalError
-from repro.excess.lexer import Lexer, Token, TokenType
+from repro.excess.lexer import Lexer, TokenType
 
 
 def lex(text: str, extra=()):

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.values import NULL
 
 
 @pytest.fixture

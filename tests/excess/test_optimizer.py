@@ -2,7 +2,6 @@
 normalization, index selection, binding reorder, and the equivalence of
 optimized and unoptimized execution."""
 
-import pytest
 
 from repro.excess.binder import Binder
 from repro.excess.optimizer import Optimizer

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import Database
 from repro.core.values import NULL, Ref
 from repro.errors import BindError
 

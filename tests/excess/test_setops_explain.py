@@ -3,7 +3,6 @@ and the explain statement."""
 
 import pytest
 
-from repro import Database
 from repro.errors import BindError
 
 

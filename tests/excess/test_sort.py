@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.core.values import NULL
-from repro.errors import BindError, EvaluationError
+from repro.errors import BindError
 
 
 @pytest.fixture

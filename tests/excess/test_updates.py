@@ -3,7 +3,7 @@
 
 import pytest
 
-from repro.core.values import NULL, Ref
+from repro.core.values import NULL
 from repro.errors import BindError, IntegrityError
 
 

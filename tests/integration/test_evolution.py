@@ -4,7 +4,7 @@ future work, implemented)."""
 import pytest
 
 from repro import Database
-from repro.core.values import NULL, SetInstance
+from repro.core.values import NULL
 from repro.errors import (
     BindError,
     InheritanceConflictError,

@@ -8,13 +8,9 @@ figure and prose rule runs with the prescribed semantics.
 
 import pytest
 
-from repro import Database, Date, OwnershipError
+from repro import OwnershipError
 from repro.core.values import NULL
-from repro.errors import (
-    AuthorizationError,
-    BindError,
-    InheritanceConflictError,
-)
+from repro.errors import AuthorizationError, InheritanceConflictError
 
 
 class TestF1SchemaAndInstances:

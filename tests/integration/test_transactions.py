@@ -108,8 +108,7 @@ class TestTransactionStatements:
     def test_aborted_oids_not_reused(self, small_company):
         db = small_company
         db.begin()
-        member = db.insert("Employees", name="Temp", age=1, salary=1.0)
-        temp_oid = member.oid
+        db.insert("Employees", name="Temp", age=1, salary=1.0)
         db.abort()
         fresh = db.insert("Employees", name="After", age=2, salary=2.0)
         # restoring rolled the allocator back with the rest of the state;

@@ -3,13 +3,13 @@
 * optimized and unoptimized execution return the same rows;
 * cost-based and heuristic join orders return the same rows;
 * indexed and unindexed execution return the same rows;
-* the memory and paged stores answer identically.
+* the memory and paged stores answer identically;
+* compiled-closure and interpreted expression execution agree.
 """
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro import Database
 from repro.util.workload import CompanyWorkload, build_company_database
 
 ages = st.integers(min_value=20, max_value=66)
@@ -160,6 +160,42 @@ class TestEquivalences:
         assert (
             sorted(cost_rows) == sorted(heuristic_rows) == sorted(off_rows)
         )
+
+    @given(predicate=predicates())
+    @settings(max_examples=40, deadline=None)
+    def test_compiled_and_interpreted_equivalent(self, company_pair, predicate):
+        """compile_mode="closure" and "off" must return identical rows
+        for random single-variable predicates (the Filter/Project hot
+        path runs compiled closures in one mode, the recursive
+        interpreter in the other)."""
+        memory, _paged = company_pair
+        interpreter = memory.interpreter
+        query = (
+            f"retrieve (E.name, E.salary) from E in Employees "
+            f"where {predicate}"
+        )
+        compiled = memory.execute(query).rows
+        interpreter.compile_mode = "off"
+        try:
+            interpreted = memory.execute(query).rows
+        finally:
+            interpreter.compile_mode = "closure"
+        assert sorted(compiled) == sorted(interpreted)
+
+    @given(query=equi_join_queries())
+    @settings(max_examples=30, deadline=None)
+    def test_compiled_joins_equivalent(self, analyzed_company, query):
+        """Compiled key extraction in hash joins (and compiled residual
+        filters) must not change any join's result multiset."""
+        db = analyzed_company
+        interpreter = db.interpreter
+        compiled = db.execute(query).rows
+        interpreter.compile_mode = "off"
+        try:
+            interpreted = db.execute(query).rows
+        finally:
+            interpreter.compile_mode = "closure"
+        assert sorted(compiled) == sorted(interpreted)
 
     @given(predicate=predicates())
     @settings(max_examples=30, deadline=None)

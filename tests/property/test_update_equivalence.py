@@ -7,7 +7,6 @@ DDL, transactions) runs against both stores, and full logical dumps must
 match afterwards.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.util.workload import CompanyWorkload, build_company_database

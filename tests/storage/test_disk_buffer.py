@@ -66,11 +66,15 @@ class TestBufferPool:
     def test_lru_order(self):
         disk = DiskManager()
         pool = BufferPool(disk, capacity=2)
-        a = pool.new_page(); pool.unpin(a.page_no)
-        b = pool.new_page(); pool.unpin(b.page_no)
+        a = pool.new_page()
+        pool.unpin(a.page_no)
+        b = pool.new_page()
+        pool.unpin(b.page_no)
         # touch a so b becomes LRU
-        pool.fetch_page(a.page_no); pool.unpin(a.page_no)
-        c = pool.new_page(); pool.unpin(c.page_no)
+        pool.fetch_page(a.page_no)
+        pool.unpin(a.page_no)
+        c = pool.new_page()
+        pool.unpin(c.page_no)
         assert b.page_no not in pool.cached_pages()
         assert a.page_no in pool.cached_pages()
 
@@ -78,7 +82,8 @@ class TestBufferPool:
         disk = DiskManager()
         pool = BufferPool(disk, capacity=2)
         a = pool.new_page()  # stays pinned
-        b = pool.new_page(); pool.unpin(b.page_no)
+        b = pool.new_page()
+        pool.unpin(b.page_no)
         pool.new_page()  # must evict b, not a
         assert a.page_no in pool.cached_pages()
 

@@ -86,7 +86,7 @@ class TestScan:
 
     def test_scan_skips_deleted(self):
         heap = make_heap()
-        keep = heap.insert(b"keep")
+        heap.insert(b"keep")
         drop = heap.insert(b"drop")
         heap.delete(drop)
         assert [r for _rid, r in heap.scan()] == [b"keep"]

@@ -78,7 +78,6 @@ class TestPagedStore:
     def test_update_growing_record_relocates(self):
         store = PagedObjectStore()
         store.insert(1, make_record(1, "a"))
-        rid_before = store.rid_of(1)
         # grow it past its page's free space by inserting filler first
         for oid in range(2, 30):
             store.insert(oid, make_record(oid, "f" * 100))

@@ -3,7 +3,6 @@
 import io
 import os
 
-import pytest
 
 from repro import Database
 from repro.cli import Shell, main
