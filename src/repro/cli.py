@@ -24,6 +24,7 @@ start with a backslash:
 ``\\authz on|off``      toggle authorization enforcement
 ``\\optimizer on|off``  toggle the query optimizer (for comparisons)
 ``\\compile on|off``    toggle compiled expression closures (ablation)
+``\\exec MODE``  execution mode: ``fused`` | ``batch`` | ``row`` (ablation)
 ``\\timing on|off``     print per-statement wall time + plan-cache hit/miss
 ``\\schema``     list types and named objects
 ==============  =====================================================
@@ -207,6 +208,13 @@ class Shell:
             mode = "closure" if args[0] == "on" else "off"
             self.db.interpreter.compile_mode = mode
             self._write(f"expression compilation {mode}")
+        elif command == "exec" and args:
+            mode = args[0]
+            if mode not in ("fused", "batch", "row"):
+                self._write("usage: \\exec fused|batch|row")
+            else:
+                self.db.interpreter.exec_mode = mode
+                self._write(f"execution mode {mode}")
         elif command == "timing" and args:
             self.timing = args[0] == "on"
             self._write(f"timing {'on' if self.timing else 'off'}")

@@ -321,16 +321,14 @@ class Database:
         if value is not None and attributes:
             raise TypeSystemError("pass either a value or attributes, not both")
         raw = value if value is not None else dict(attributes)
-        before = set()
-        if collection.element.semantics.is_object:
-            before = {m.oid for m in collection.members() if isinstance(m, Ref)}
+        size_before = len(collection)
         added = self.integrity.insert_member(named, collection, raw)
         if not added:
             return None
-        member = collection.members()[-1]
-        if isinstance(member, Ref) and member.oid in before:
+        member = collection._members[-1]
+        if len(collection) == size_before:
             # insert() appends; a re-inserted duplicate returns False above,
-            # so reaching here with a known oid cannot happen — guard anyway.
+            # so reaching here without growth cannot happen — guard anyway.
             return member
         self._index_insert(set_name, collection, member)
         self.catalog.note_cardinality(set_name, +1)

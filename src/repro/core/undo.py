@@ -96,6 +96,7 @@ class UndoLog:
 
         def restore() -> None:
             collection._members[:] = saved
+            collection.invalidate_index()
 
         self._inverses.append(restore)
 

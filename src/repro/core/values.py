@@ -206,17 +206,37 @@ class SetInstance:
     which can see through references.
     """
 
-    __slots__ = ("type", "key", "_members")
+    __slots__ = ("type", "key", "_members", "_oids")
 
     def __init__(self, set_type: SetType, key: Optional[tuple[str, ...]] = None):
         self.type = set_type
         self.key = tuple(key) if key else None
         self._members: list[Any] = []
+        # lazily built OID membership index for reference-element sets;
+        # None means "not built" (value sets never build one)
+        self._oids: Optional[set[int]] = None
 
     @property
     def element(self) -> ComponentSpec:
         """The element component spec of this set's type."""
         return self.type.element
+
+    def _oid_index(self) -> Optional[set[int]]:
+        """The OID index, building it on first use (None for value
+        sets). Code that mutates ``_members`` directly instead of going
+        through insert/remove/clear must call :meth:`invalidate_index`.
+        """
+        if not self.element.semantics.is_object:
+            return None
+        oids = getattr(self, "_oids", None)
+        if oids is None:
+            oids = {m.oid for m in self._members if isinstance(m, Ref)}
+            self._oids = oids
+        return oids
+
+    def invalidate_index(self) -> None:
+        """Drop the OID index after direct ``_members`` surgery."""
+        self._oids = None
 
     def insert(self, value: Any) -> bool:
         """Add ``value`` to the set.
@@ -227,23 +247,41 @@ class SetInstance:
         if value is NULL:
             raise TypeSystemError("sets cannot contain null members")
         canonical = check_slot(self.element, value)
+        oids = self._oid_index()
+        if oids is not None and isinstance(canonical, Ref):
+            if canonical.oid in oids:
+                return False
+            self._members.append(canonical)
+            oids.add(canonical.oid)
+            return True
         if self.contains(canonical):
             return False
         if self.element.semantics is Semantics.OWN:
             canonical = copy_value(canonical)
         self._members.append(canonical)
+        self._oids = None
         return True
 
     def remove(self, value: Any) -> bool:
         """Remove the member equal to ``value``; returns True if found."""
+        oids = self._oid_index()
+        if oids is not None and isinstance(value, Ref) and value.oid not in oids:
+            return False
         for index, member in enumerate(self._members):
             if _members_equal(self.element, member, value):
                 del self._members[index]
+                if oids is not None and isinstance(member, Ref):
+                    oids.discard(member.oid)
                 return True
         return False
 
     def contains(self, value: Any) -> bool:
         """Membership test with set-element equality (OID or deep value)."""
+        oids = self._oid_index()
+        if oids is not None:
+            # reference elements compare by OID only; anything that is
+            # not a Ref can never equal a stored member
+            return isinstance(value, Ref) and value.oid in oids
         return any(_members_equal(self.element, m, value) for m in self._members)
 
     def members(self) -> list[Any]:
@@ -253,6 +291,7 @@ class SetInstance:
     def clear(self) -> None:
         """Remove all members."""
         self._members.clear()
+        self._oids = None
 
     def __iter__(self) -> Iterator[Any]:
         return iter(list(self._members))

@@ -165,6 +165,8 @@ class Evaluator:
         database: Database,
         user: str = "dba",
         compile_mode: str = "closure",
+        exec_mode: str = "fused",
+        batch_size: int = 1024,
     ):
         self.db = database
         self.user = user
@@ -175,6 +177,12 @@ class Evaluator:
         #: "closure" runs compiled expression closures on plan hot
         #: paths; "off" forces the recursive interpreter (ablation)
         self.compile_mode = compile_mode
+        #: "fused" runs generated whole-pipeline functions where regions
+        #: allow, "batch" exchanges row batches operator to operator,
+        #: "row" keeps the tuple-at-a-time Volcano path (ablation)
+        self.exec_mode = exec_mode
+        #: target rows per exchanged batch (batch/fused modes)
+        self.batch_size = batch_size
         #: id(bound node) → compiled closure (aggregate hot paths; nodes
         #: stay alive on the bound statement for this evaluator's life)
         self._compiled_memo: dict[int, Any] = {}
@@ -285,17 +293,20 @@ class Evaluator:
         """Execute an append statement."""
         tables: dict = {}
         pending: list[tuple[Env, Any]] = []
+        evaluate = (
+            self._eval_compiled if self.compile_mode == "closure" else self._eval
+        )
         for env in self.env_stream(bound.query, base_env, tables):
             if bound.assignments:
                 raw = {
-                    attribute: self._eval(expression, env, tables)
+                    attribute: evaluate(expression, env, tables)
                     for attribute, expression in bound.assignments
                 }
                 raw = {k: v for k, v in raw.items() if v is not NULL}
                 pending.append((env, raw))
             else:
                 assert bound.expression is not None
-                pending.append((env, self._eval(bound.expression, env, tables)))
+                pending.append((env, evaluate(bound.expression, env, tables)))
         count = 0
         self._invalidate_exec_caches()
         for env, payload in pending:
@@ -463,12 +474,15 @@ class Evaluator:
         """Execute a replace statement."""
         tables: dict = {}
         pending: list[tuple[Any, dict[str, Any]]] = []
+        evaluate = (
+            self._eval_compiled if self.compile_mode == "closure" else self._eval
+        )
         for env in self.env_stream(bound.query, base_env, tables):
-            target_value = self._eval(bound.target, env, tables)
+            target_value = evaluate(bound.target, env, tables)
             if target_value is NULL:
                 continue
             changes = {
-                attribute: self._eval(expression, env, tables)
+                attribute: evaluate(expression, env, tables)
                 for attribute, expression in bound.assignments
             }
             pending.append((target_value, changes))
@@ -514,8 +528,11 @@ class Evaluator:
         """Execute a set (slot assignment) statement."""
         tables: dict = {}
         pending: list[tuple[Env, Any]] = []
+        evaluate = (
+            self._eval_compiled if self.compile_mode == "closure" else self._eval
+        )
         for env in self.env_stream(bound.query, base_env, tables):
-            pending.append((env, self._eval(bound.expression, env, tables)))
+            pending.append((env, evaluate(bound.expression, env, tables)))
         count = 0
         self._invalidate_exec_caches()
         for env, value in pending:
@@ -580,6 +597,19 @@ class Evaluator:
         if not nested:
             reset_stats(root)
         root.running += 1
+        if ctx.exec_mode != "row":
+            # batch/fused execution: drain batches (the root's rows_out
+            # is counted here, per the batch stats contract)
+            root_stats = root.stats
+            try:
+                for batch in root.batches(ctx, env, ctx.batch_size):
+                    root_stats.rows_out += len(batch)
+                    yield from batch
+            finally:
+                root.running -= 1
+                if not nested:
+                    self._absorb_stats(root)
+            return
         root.open(ctx, env)
         root_iter = root._iters[-1]
         root_stats = root.stats
@@ -628,6 +658,11 @@ class Evaluator:
         """
         if tables is None:
             tables = {}
+        if self.exec_mode != "row":
+            # batch/fused rows are already private per-row snapshots —
+            # consumers may retain them without copying
+            yield from self._query_rows(query, base_env or {}, tables)
+            return
         for env in self._query_rows(query, base_env or {}, tables):
             yield dict(env)
 

@@ -60,7 +60,7 @@ from repro.excess.functions import (
 )
 from repro.excess.optimizer import Optimizer
 from repro.excess.parser import OperatorTable, parse_script
-from repro.excess.plan import render_plan, snapshot_stats
+from repro.excess.plan import pipeline_sources, render_plan, snapshot_stats
 from repro.excess.procedures import Procedure, bind_procedure_body, run_procedure
 from repro.excess.result import Result
 
@@ -205,6 +205,13 @@ class Interpreter:
         #: "closure" executes compiled expression closures on plan hot
         #: paths; "off" forces the recursive interpreter (ablation)
         self.compile_mode = "closure"
+        #: "fused" runs generated whole-pipeline functions where plan
+        #: regions allow (falling back to batches elsewhere), "batch"
+        #: exchanges fixed-size row batches operator to operator, "row"
+        #: keeps the tuple-at-a-time Volcano path (ablation)
+        self.exec_mode = "fused"
+        #: target rows per exchanged batch (batch/fused modes)
+        self.batch_size = 1024
         #: LRU of prepared plans; entries self-invalidate via the epoch key
         self.plan_cache = PlanCache()
         #: session-level `range of` declarations, QUEL-style
@@ -234,6 +241,7 @@ class Interpreter:
             self.hash_joins,
             self.cost_based,
             self.compile_mode,
+            self.exec_mode,
         )
 
     def execute(self, text: str, user: str = "dba") -> Result:
@@ -556,14 +564,24 @@ class Interpreter:
             hash_joins=self.hash_joins,
             cost_based=self.cost_based,
             compile_mode=self.compile_mode,
+            exec_mode=self.exec_mode,
         ).optimize(query)
         evaluator = Evaluator(
-            self.db, user=procedure.definer, compile_mode=self.compile_mode
+            self.db,
+            user=procedure.definer,
+            compile_mode=self.compile_mode,
+            exec_mode=self.exec_mode,
+            batch_size=self.batch_size,
         )
         tables: dict = {}
         bindings: list[dict] = []
+        evaluate = (
+            evaluator._eval_compiled
+            if evaluator.compile_mode == "closure"
+            else evaluator._eval
+        )
         for env in evaluator.env_stream(query, {}, tables):
-            values = [evaluator._eval(a, env, tables) for a in bound_args]
+            values = [evaluate(a, env, tables) for a in bound_args]
             bindings.append(
                 {
                     f"@{param.name}": value
@@ -588,6 +606,7 @@ class Interpreter:
             hash_joins=self.hash_joins,
             cost_based=self.cost_based,
             compile_mode=self.compile_mode,
+            exec_mode=self.exec_mode,
         )
         if isinstance(statement, ast.Retrieve):
             kind, bound = "retrieve", binder.bind_retrieve(statement)
@@ -606,7 +625,7 @@ class Interpreter:
         report = optimizer.optimize(bound.query)
         # lower to the physical operator tree now, so cache hits re-execute
         # the prepared tree without re-lowering
-        root = optimizer.lower(bound)
+        root = optimizer.lower(bound, report)
         return _PreparedPlan(kind=kind, bound=bound, report=report, plan_root=root)
 
     def _execute_prepared(
@@ -615,7 +634,13 @@ class Interpreter:
         """Run a prepared plan: authorization checks (every execution,
         never cached) then evaluation, collecting execution metrics."""
         start = time.perf_counter()
-        evaluator = Evaluator(self.db, user=user, compile_mode=self.compile_mode)
+        evaluator = Evaluator(
+            self.db,
+            user=user,
+            compile_mode=self.compile_mode,
+            exec_mode=self.exec_mode,
+            batch_size=self.batch_size,
+        )
         evaluator.metrics.cache = cache
         bound = plan.bound
         if plan.kind == "explain":
@@ -662,14 +687,32 @@ class Interpreter:
             # counters are reset by its next execution.
             root = plan.plan_root
             mode = self.compile_mode
+            emode = self.exec_mode
+            bsize = self.batch_size
             if plan.kind == "explain":
                 result.plan_tree = render_plan(
-                    root, actuals=False, compile_mode=mode
+                    root,
+                    actuals=False,
+                    compile_mode=mode,
+                    exec_mode=emode,
+                    batch_size=bsize,
                 )
             else:
                 snap = snapshot_stats(root)
                 result._plan_tree_thunk = lambda: render_plan(
-                    root, actuals=True, snapshot=snap, compile_mode=mode
+                    root,
+                    actuals=True,
+                    snapshot=snap,
+                    compile_mode=mode,
+                    exec_mode=emode,
+                    batch_size=bsize,
+                )
+            if emode == "fused":
+                # debug hook: the generated source of every fused region
+                # (rendered lazily, like the tree)
+                fused_compiled = mode == "closure"
+                result._pipeline_source_thunk = lambda: pipeline_sources(
+                    root, fused_compiled
                 )
         evaluator.metrics.wall_ms = (time.perf_counter() - start) * 1000.0
         result.metrics = evaluator.metrics.as_dict()
@@ -827,9 +870,10 @@ class Interpreter:
             hash_joins=self.hash_joins,
             cost_based=self.cost_based,
             compile_mode=self.compile_mode,
+            exec_mode=self.exec_mode,
         )
         report = optimizer.optimize(query)
-        root = optimizer.lower(bound_stmt)
+        root = optimizer.lower(bound_stmt, report)
         rows: list[tuple] = []
         for position, binding in enumerate(query.bindings, start=1):
             source = binding.source

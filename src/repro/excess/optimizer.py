@@ -99,6 +99,12 @@ class OptimizerReport:
     #: expression-execution mode the plan will run under ("closure" |
     #: "off"; "" when prepared outside the interpreter)
     compile_mode: str = ""
+    #: plan-execution mode ("fused" | "batch" | "row"; "" when prepared
+    #: outside the interpreter)
+    exec_mode: str = ""
+    #: fusable Scan→Filter…→Project regions the lowered plan contains
+    #: (each runs as one generated function in fused mode)
+    pipelines: int = 0
 
     def describe(self) -> str:
         """One-line human-readable summary."""
@@ -106,6 +112,10 @@ class OptimizerReport:
             message = "optimizer disabled: nested-loop scan in declaration order"
             if self.compile_mode:
                 message += f"; exprs={self.compile_mode}"
+            if self.exec_mode:
+                message += f"; exec={self.exec_mode}"
+                if self.exec_mode == "fused":
+                    message += f" (pipelines={self.pipelines})"
             return message
         parts = [
             f"pushdown={self.pushed_down}",
@@ -128,6 +138,11 @@ class OptimizerReport:
             )
         if self.compile_mode:
             parts.append(f"exprs={self.compile_mode}")
+        if self.exec_mode:
+            note = f"exec={self.exec_mode}"
+            if self.exec_mode == "fused":
+                note += f" (pipelines={self.pipelines})"
+            parts.append(note)
         return "; ".join(parts)
 
 
@@ -286,6 +301,7 @@ class Optimizer:
         hash_joins: bool = True,
         cost_based: bool = True,
         compile_mode: str = "",
+        exec_mode: str = "",
     ):
         self.catalog = catalog
         self.enabled = enabled
@@ -296,14 +312,17 @@ class Optimizer:
         self.hash_join_rule = hash_joins
         #: cost-based join-order search (False = the older greedy ranks)
         self.cost_based = cost_based
-        #: recorded on the report for EXPLAIN (execution-layer flag; the
+        #: recorded on the report for EXPLAIN (execution-layer flags; the
         #: optimizer itself is mode-independent)
         self.compile_mode = compile_mode
+        self.exec_mode = exec_mode
 
     def optimize(self, query: BoundQuery) -> OptimizerReport:
         """Apply the rule families to ``query`` (mutating it)."""
         report = OptimizerReport(
-            enabled=self.enabled, compile_mode=self.compile_mode
+            enabled=self.enabled,
+            compile_mode=self.compile_mode,
+            exec_mode=self.exec_mode,
         )
         # annotations are about to change; any previously lowered plan
         # for this bound query is stale
@@ -361,23 +380,34 @@ class Optimizer:
             aggregate.inner_query = None
         return report
 
-    def lower(self, bound: Any) -> Any:
+    def lower(self, bound: Any, report: Optional[OptimizerReport] = None) -> Any:
         """Lower an optimized bound statement to its physical plan.
 
         Retrieves lower to their full pipeline
         (``StoreInto?(Sort?(Project(...)))``); update statements lower
         their query block to the shared binding pipeline. The plan is
         cached on the bound objects, so cached statements skip lowering.
+        With ``report`` given, the lowered tree's fusable pipeline
+        regions are counted onto it (EXPLAIN's ``pipelines=``).
         """
         from repro.excess.binder import BoundRetrieve
-        from repro.excess.plan import ensure_query_plan, ensure_retrieve_plan
+        from repro.excess.plan import (
+            ensure_query_plan,
+            ensure_retrieve_plan,
+            fused_regions,
+        )
 
         if isinstance(bound, BoundRetrieve):
-            return ensure_retrieve_plan(bound, self.catalog)
-        query = getattr(bound, "query", None)
-        if isinstance(query, BoundQuery):
-            return ensure_query_plan(query, self.catalog)
-        return None
+            root = ensure_retrieve_plan(bound, self.catalog)
+        else:
+            query = getattr(bound, "query", None)
+            if isinstance(query, BoundQuery):
+                root = ensure_query_plan(query, self.catalog)
+            else:
+                root = None
+        if report is not None and root is not None:
+            report.pipelines = len(fused_regions(root))
+        return root
 
     # -- conjunct handling -------------------------------------------------------
 

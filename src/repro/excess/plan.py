@@ -127,6 +127,9 @@ __all__ = [
     "plan_ops",
     "walk_plan",
     "reset_stats",
+    "fusable_ops",
+    "fused_regions",
+    "pipeline_sources",
 ]
 
 Env = dict
@@ -154,7 +157,15 @@ class PlanContext:
     stats.
     """
 
-    __slots__ = ("evaluator", "tables", "db", "objects", "compiled")
+    __slots__ = (
+        "evaluator",
+        "tables",
+        "db",
+        "objects",
+        "compiled",
+        "exec_mode",
+        "batch_size",
+    )
 
     def __init__(self, evaluator: Any, tables: Optional[dict] = None):
         self.evaluator = evaluator
@@ -168,6 +179,12 @@ class PlanContext:
         self.compiled = (
             getattr(evaluator, "compile_mode", "closure") == "closure"
         )
+        #: "fused" runs generated whole-pipeline functions where regions
+        #: allow, "batch" exchanges row batches operator to operator,
+        #: "row" preserves the tuple-at-a-time Volcano path (ablation)
+        self.exec_mode = getattr(evaluator, "exec_mode", "fused")
+        #: target rows per exchanged batch (batch/fused modes)
+        self.batch_size = getattr(evaluator, "batch_size", 1024)
 
     def eval(self, expr: BoundExpr, env: Env) -> Any:
         """Evaluate a bound expression under this execution's tables."""
@@ -261,10 +278,69 @@ class PlanOp:
         state["_iters"] = []
         state["running"] = 0
         state.pop("_compiled", None)
+        state.pop("_fused", None)
         return state
 
     def _run(self, ctx: PlanContext, env: Env) -> Iterator[Any]:
         raise NotImplementedError
+
+    # -- batch protocol ---------------------------------------------------
+
+    def batches(self, ctx: PlanContext, env: Env, size: int) -> Iterator[list]:
+        """Stream output as non-empty row batches (batch/fused modes).
+
+        In fused mode, when this operator roots a fusable
+        Scan→Filter…→Project region, the whole region executes as one
+        generated Python function (cached on the node like ``_compiled``,
+        dropped by ``__getstate__``); everything else runs the operator's
+        native :meth:`run_batches`.  Rows inside a batch are *private*:
+        binding-level rows are per-row snapshot dicts (never the shared
+        environment), so consumers may retain or mutate them freely.
+        """
+        if ctx.exec_mode == "fused":
+            from repro.excess.compile import fused_pipeline
+
+            fused = fused_pipeline(self, ctx.compiled)
+            if fused is not None:
+                rows = fused.fn(ctx, env)
+                for start in range(0, len(rows), size):
+                    yield rows[start : start + size]
+                return
+        yield from self.run_batches(ctx, env, size)
+
+    def run_batches(self, ctx: PlanContext, env: Env, size: int) -> Iterator[list]:
+        """Native batch execution (overridden per operator).
+
+        The base implementation adapts :meth:`_run`, snapshotting
+        shared-environment rows into private dicts — a safety net for
+        future operators; every current operator overrides it.
+        Implementations count their own ``opens`` and pull children
+        through :meth:`_pull_batches`; an operator's ``rows_out`` is
+        counted by its consumer (or the executor, at the root).
+        """
+        self.stats.opens += 1
+        batch: list = []
+        for row in self._run(ctx, env):
+            batch.append(dict(row) if type(row) is dict else row)
+            if len(batch) >= size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
+
+    def _pull_batches(
+        self, child: "PlanOp", ctx: PlanContext, env: Env, size: int
+    ) -> Iterator[list]:
+        """Stream ``child``'s batches, counting its ``rows_out`` and this
+        operator's ``rows_in`` per batch (the batch-mode analogue of
+        :meth:`_pull`, amortized to one increment per batch)."""
+        child_stats = child.stats
+        stats = self.stats
+        for batch in child.batches(ctx, env, size):
+            n = len(batch)
+            child_stats.rows_out += n
+            stats.rows_in += n
+            yield batch
 
     # -- helpers ---------------------------------------------------------
 
@@ -326,6 +402,10 @@ class Singleton(PlanOp):
     def _run(self, ctx: PlanContext, env: Env) -> Iterator[Env]:
         yield env
 
+    def run_batches(self, ctx: PlanContext, env: Env, size: int) -> Iterator[list]:
+        self.stats.opens += 1
+        yield [dict(env)]
+
 
 class _BindingOp(PlanOp):
     """Base for operators that bind one range variable in the shared
@@ -376,6 +456,34 @@ class SeqScan(_BindingOp):
             else:
                 env[self.var] = saved
 
+    def run_batches(self, ctx: PlanContext, env: Env, size: int) -> Iterator[list]:
+        self.stats.opens += 1
+        db = ctx.db
+        collection = db.named(self.set_name).value
+        if isinstance(collection, ArrayInstance):
+            is_live = db.objects.is_live
+            members: Any = (
+                slot
+                for slot in collection
+                if slot is not NULL
+                and not (isinstance(slot, Ref) and not is_live(slot.oid))
+            )
+        elif isinstance(collection, SetInstance):
+            members = db.integrity.live_members(collection)
+        else:
+            raise EvaluationError(f"{self.set_name!r} is not a collection")
+        var = self.var
+        batch: list = []
+        for member in members:
+            row = dict(env)
+            row[var] = member
+            batch.append(row)
+            if len(batch) >= size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
+
 
 class IndexScan(_BindingOp):
     """Probe a physical index with an equality or range key.
@@ -410,23 +518,9 @@ class IndexScan(_BindingOp):
         return compiled_label(self._compiled_key().full)
 
     def _run(self, ctx: PlanContext, env: Env) -> Iterator[Env]:
-        if ctx.compiled:
-            key = self._compiled_key().fn(env, ctx)
-        else:
-            key = ctx.eval(self.key_expr, env)
-        if key is NULL:
+        oids = self._probe_oids(ctx, env)
+        if oids is None:
             return
-        index = self.descriptor.index
-        if self.op == "=":
-            oids = index.search(key)
-        else:
-            if not getattr(index, "supports_range", False):
-                raise EvaluationError("index does not support range scans")
-            if self.op in ("<", "<="):
-                pairs = index.range_scan(None, key, include_high=(self.op == "<="))
-            else:
-                pairs = index.range_scan(key, None, include_low=(self.op == ">="))
-            oids = [oid for _key, oid in pairs]
         db = ctx.db
         saved = env.get(self.var, _MISSING)
         try:
@@ -439,6 +533,45 @@ class IndexScan(_BindingOp):
                 env.pop(self.var, None)
             else:
                 env[self.var] = saved
+
+    def _probe_oids(self, ctx: PlanContext, env: Env) -> Optional[list]:
+        """Evaluate the key once against ``env`` and probe the index;
+        None when the key is null (3VL: nothing compares to null)."""
+        if ctx.compiled:
+            key = self._compiled_key().fn(env, ctx)
+        else:
+            key = ctx.eval(self.key_expr, env)
+        if key is NULL:
+            return None
+        index = self.descriptor.index
+        if self.op == "=":
+            return list(index.search(key))
+        if not getattr(index, "supports_range", False):
+            raise EvaluationError("index does not support range scans")
+        if self.op in ("<", "<="):
+            pairs = index.range_scan(None, key, include_high=(self.op == "<="))
+        else:
+            pairs = index.range_scan(key, None, include_low=(self.op == ">="))
+        return [oid for _key, oid in pairs]
+
+    def run_batches(self, ctx: PlanContext, env: Env, size: int) -> Iterator[list]:
+        self.stats.opens += 1
+        oids = self._probe_oids(ctx, env)
+        if oids is None:
+            return
+        is_live = ctx.db.objects.is_live
+        var = self.var
+        batch: list = []
+        for oid in oids:
+            if is_live(oid):
+                row = dict(env)
+                row[var] = Ref(oid)
+                batch.append(row)
+                if len(batch) >= size:
+                    yield batch
+                    batch = []
+        if batch:
+            yield batch
 
 
 class PathExpand(_BindingOp):
@@ -456,20 +589,28 @@ class PathExpand(_BindingOp):
         path = ".".join([self.parent, *self.steps])
         return f"PathExpand {path} as {self.var}"
 
-    def _run(self, ctx: PlanContext, env: Env) -> Iterator[Env]:
+    def _resolve_collection(self, ctx: PlanContext, env: Env) -> Any:
+        """Walk the path under the bound parent; None when any step is
+        null, dangling, or not an object (the binding produces no rows)."""
         evaluator = ctx.evaluator
         current: Any = evaluator._resolve_instance(env.get(self.parent))
         for step in self.steps:
             if not isinstance(current, TupleInstance):
-                return
+                return None
             value = current.get(step)
             if value is NULL:
-                return
+                return None
             if isinstance(value, Ref):
                 value = evaluator._deref(value)
                 if value is None:
-                    return
+                    return None
             current = value
+        return current
+
+    def _run(self, ctx: PlanContext, env: Env) -> Iterator[Env]:
+        current = self._resolve_collection(ctx, env)
+        if current is None:
+            return
         saved = env.get(self.var, _MISSING)
         try:
             if isinstance(current, SetInstance):
@@ -491,6 +632,33 @@ class PathExpand(_BindingOp):
                 env.pop(self.var, None)
             else:
                 env[self.var] = saved
+
+    def run_batches(self, ctx: PlanContext, env: Env, size: int) -> Iterator[list]:
+        self.stats.opens += 1
+        current = self._resolve_collection(ctx, env)
+        if isinstance(current, SetInstance):
+            members: Any = ctx.db.integrity.live_members(current)
+        elif isinstance(current, ArrayInstance):
+            is_live = ctx.db.objects.is_live
+            members = (
+                slot
+                for slot in current
+                if slot is not NULL
+                and not (isinstance(slot, Ref) and not is_live(slot.oid))
+            )
+        else:
+            return
+        var = self.var
+        batch: list = []
+        for member in members:
+            row = dict(env)
+            row[var] = member
+            batch.append(row)
+            if len(batch) >= size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
 
 
 class FunctionScan(_BindingOp):
@@ -535,6 +703,26 @@ class FunctionScan(_BindingOp):
                 env.pop(self.var, None)
             else:
                 env[self.var] = saved
+
+    def run_batches(self, ctx: PlanContext, env: Env, size: int) -> Iterator[list]:
+        self.stats.opens += 1
+        if ctx.compiled:
+            args = [fn(env, ctx) for fn in self._compiled_args()[0]]
+        else:
+            args = [ctx.eval(a, env) for a in self.args]
+        if any(a is NULL for a in args):
+            return
+        var = self.var
+        batch: list = []
+        for value in self.function.impl(*args):
+            row = dict(env)
+            row[var] = value
+            batch.append(row)
+            if len(batch) >= size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
 
 
 # ---------------------------------------------------------------------------
@@ -586,6 +774,40 @@ class Filter(PlanOp):
             if all(ctx.eval(p, row) is True for p in self.predicates):
                 yield row
 
+    def run_batches(self, ctx: PlanContext, env: Env, size: int) -> Iterator[list]:
+        self.stats.opens += 1
+        child = self.children[0]
+        if ctx.compiled:
+            fns, _full = self._compiled_predicates()
+            if len(fns) == 1:
+                predicate = fns[0]
+                for batch in self._pull_batches(child, ctx, env, size):
+                    kept = [row for row in batch if predicate(row, ctx) is True]
+                    if kept:
+                        yield kept
+                return
+            for batch in self._pull_batches(child, ctx, env, size):
+                kept = []
+                for row in batch:
+                    for predicate in fns:
+                        if predicate(row, ctx) is not True:
+                            break
+                    else:
+                        kept.append(row)
+                if kept:
+                    yield kept
+            return
+        predicates = self.predicates
+        evaluate = ctx.eval
+        for batch in self._pull_batches(child, ctx, env, size):
+            kept = [
+                row
+                for row in batch
+                if all(evaluate(p, row) is True for p in predicates)
+            ]
+            if kept:
+                yield kept
+
 
 class SemiJoinProbe(PlanOp):
     """A (possibly negated) membership predicate over a named set,
@@ -616,6 +838,17 @@ class SemiJoinProbe(PlanOp):
             self.stats.probes += 1
             if ctx.eval(node, row) is True:
                 yield row
+
+    def run_batches(self, ctx: PlanContext, env: Env, size: int) -> Iterator[list]:
+        self.stats.opens += 1
+        node = self.membership
+        stats = self.stats
+        evaluate = ctx.eval
+        for batch in self._pull_batches(self.children[0], ctx, env, size):
+            stats.probes += len(batch)
+            kept = [row for row in batch if evaluate(node, row) is True]
+            if kept:
+                yield kept
 
     def extra_counters(self) -> str:
         return f" probes={self.stats.probes}"
@@ -650,6 +883,24 @@ class NestedLoopJoin(PlanOp):
                     yield match
             finally:
                 inner.close()
+
+    def run_batches(self, ctx: PlanContext, env: Env, size: int) -> Iterator[list]:
+        self.stats.opens += 1
+        outer, inner = self.children
+        inner_stats = inner.stats
+        pending: list = []
+        for batch in self._pull_batches(outer, ctx, env, size):
+            for row in batch:
+                # the inner subtree sees the outer row as its incoming
+                # environment; its batches already carry private rows
+                for inner_batch in inner.batches(ctx, row, size):
+                    inner_stats.rows_out += len(inner_batch)
+                    pending.extend(inner_batch)
+                    if len(pending) >= size:
+                        yield pending
+                        pending = []
+        if pending:
+            yield pending
 
 
 class HashJoin(PlanOp):
@@ -725,11 +976,28 @@ class HashJoin(PlanOp):
         self.stats.builds += 1
         table: dict[Any, list] = {}
         build = self.children[1]
+        build_stats = build.stats
+        build_fn = self._compiled_keys()[0] if ctx.compiled else None
+        if ctx.exec_mode != "row":
+            # batch-at-a-time build: the pipeline breaker consumes the
+            # build subtree's batches (which may themselves run fused)
+            stats = self.stats
+            for batch in build.batches(ctx, {}, ctx.batch_size):
+                build_stats.rows_out += len(batch)
+                stats.build_rows += len(batch)
+                for row in batch:
+                    if build_fn is not None:
+                        value = build_fn(row, ctx)
+                    else:
+                        value = ctx.eval(self.build_key, row)
+                    key = join_key(value, self.join_op)
+                    if key is None:
+                        continue
+                    table.setdefault(key, []).append(row[self.var])
+            return table
         env: Env = {}
         build.open(ctx, env)
         build_iter = build._iters[-1]
-        build_stats = build.stats
-        build_fn = self._compiled_keys()[0] if ctx.compiled else None
         try:
             for _ in build_iter:
                 build_stats.rows_out += 1
@@ -768,6 +1036,44 @@ class HashJoin(PlanOp):
                 env.pop(self.var, None)
             else:
                 env[self.var] = saved
+
+    def run_batches(self, ctx: PlanContext, env: Env, size: int) -> Iterator[list]:
+        self.stats.opens += 1
+        table = self._table_for(ctx)
+        stats = self.stats
+        var = self.var
+        join_op = self.join_op
+        probe_fn = self._compiled_keys()[1] if ctx.compiled else None
+        evaluate = ctx.eval
+        probe_key = self.probe_key
+        pending: list = []
+        for batch in self._pull_batches(self.children[0], ctx, env, size):
+            for row in batch:
+                stats.probes += 1
+                if probe_fn is not None:
+                    value = probe_fn(row, ctx)
+                else:
+                    value = evaluate(probe_key, row)
+                key = join_key(value, join_op)
+                if key is None:
+                    continue
+                members = table.get(key)
+                if not members:
+                    continue
+                if len(members) == 1:
+                    # rows are private snapshots: bind in place, no copy
+                    row[var] = members[0]
+                    pending.append(row)
+                else:
+                    for member in members:
+                        match = dict(row)
+                        match[var] = member
+                        pending.append(match)
+                if len(pending) >= size:
+                    yield pending
+                    pending = []
+        if pending:
+            yield pending
 
 
 class UniversalCheck(PlanOp):
@@ -818,6 +1124,16 @@ class UniversalCheck(PlanOp):
         for row in self._pull(self.children[0], ctx, env):
             if self._holds(ctx, row, 0):
                 yield row
+
+    def run_batches(self, ctx: PlanContext, env: Env, size: int) -> Iterator[list]:
+        # the ∀ check subtrees always iterate row-at-a-time (they bind
+        # into the candidate row and early-exit per combination); only
+        # the input side exchanges batches
+        self.stats.opens += 1
+        for batch in self._pull_batches(self.children[0], ctx, env, size):
+            kept = [row for row in batch if self._holds(ctx, row, 0)]
+            if kept:
+                yield kept
 
     def _holds(self, ctx: PlanContext, env: Env, depth: int) -> bool:
         if depth == len(self.checks):
@@ -887,6 +1203,13 @@ class Aggregate(PlanOp):
 
     def _run(self, ctx: PlanContext, env: Env) -> Iterator[Env]:
         yield from self._pull(self.children[0], ctx, env)
+
+    def run_batches(self, ctx: PlanContext, env: Env, size: int) -> Iterator[list]:
+        # pipeline breaker: aggregate tables must exist before any
+        # downstream evaluation, exactly as in the row-mode open()
+        self.stats.opens += 1
+        ctx.evaluator._precompute_aggregates(self.query, env, ctx.tables)
+        yield from self._pull_batches(self.children[0], ctx, env, size)
 
 
 # ---------------------------------------------------------------------------
@@ -973,6 +1296,63 @@ class Project(PlanOp):
             else:
                 yield row
 
+    def run_batches(self, ctx: PlanContext, env: Env, size: int) -> Iterator[list]:
+        from repro.excess.evaluator import canonical_key
+
+        self.stats.opens += 1
+        seen: set = set()
+        unique = self.unique
+        out: list = []
+        if ctx.compiled:
+            target_fns, order_fns, _full = self._compiled_targets()
+            for batch in self._pull_batches(self.children[0], ctx, env, size):
+                for row_env in batch:
+                    row = tuple(fn(row_env, ctx) for fn in target_fns)
+                    if unique:
+                        key = tuple(canonical_key(v) for v in row)
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                    if order_fns:
+                        out.append(
+                            (row, tuple(fn(row_env, ctx) for fn in order_fns))
+                        )
+                    else:
+                        out.append(row)
+                if len(out) >= size:
+                    yield out
+                    out = []
+            if out:
+                yield out
+            return
+        for batch in self._pull_batches(self.children[0], ctx, env, size):
+            for row_env in batch:
+                row = tuple(
+                    ctx.eval(t.expression, row_env) for t in self.targets
+                )
+                if unique:
+                    key = tuple(canonical_key(v) for v in row)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                if self.order:
+                    out.append(
+                        (
+                            row,
+                            tuple(
+                                ctx.eval(expr, row_env)
+                                for expr, _desc in self.order
+                            ),
+                        )
+                    )
+                else:
+                    out.append(row)
+            if len(out) >= size:
+                yield out
+                out = []
+        if out:
+            yield out
+
 
 class Sort(PlanOp):
     """Materialize and stably sort the input rows by their sort keys;
@@ -995,6 +1375,17 @@ class Sort(PlanOp):
         pairs = list(self._pull(self.children[0], ctx, env))
         yield from sort_rows(pairs, self.order)
 
+    def run_batches(self, ctx: PlanContext, env: Env, size: int) -> Iterator[list]:
+        # pipeline breaker: materialize every input batch, sort once,
+        # re-emit in batch-sized slices
+        self.stats.opens += 1
+        pairs: list = []
+        for batch in self._pull_batches(self.children[0], ctx, env, size):
+            pairs.extend(batch)
+        rows = sort_rows(pairs, self.order)
+        for start in range(0, len(rows), size):
+            yield rows[start : start + size]
+
 
 class StoreInto(PlanOp):
     """Materialize the finished rows as a named set of tuples
@@ -1015,6 +1406,15 @@ class StoreInto(PlanOp):
         rows = list(self._pull(self.children[0], ctx, env))
         self.message = ctx.evaluator._store_rows(self.bound, rows)
         yield from rows
+
+    def run_batches(self, ctx: PlanContext, env: Env, size: int) -> Iterator[list]:
+        self.stats.opens += 1
+        rows: list = []
+        for batch in self._pull_batches(self.children[0], ctx, env, size):
+            rows.extend(batch)
+        self.message = ctx.evaluator._store_rows(self.bound, rows)
+        for start in range(0, len(rows), size):
+            yield rows[start : start + size]
 
 
 SCAN_OPS = (SeqScan, IndexScan, PathExpand, FunctionScan)
@@ -1315,6 +1715,91 @@ def reset_stats(root: PlanOp) -> None:
         op.stats.reset()
 
 
+def fusable_ops(op: PlanOp) -> Optional[list[PlanOp]]:
+    """The operator chain of the fusable region rooted at ``op`` (root
+    first), or None when ``op`` does not root one.
+
+    A fusable region is ``Project?(Filter*(SeqScan|IndexScan))`` — the
+    dominant pipeline shape — whose whole body the compiler can emit as
+    one Python function: scan loop, predicate tests, and target/sort-key
+    evaluation fused, with no per-operator handoff in between.
+    """
+    chain: list[PlanOp] = []
+    current = op
+    if isinstance(current, Project):
+        chain.append(current)
+        current = current.children[0]
+    while isinstance(current, Filter):
+        chain.append(current)
+        current = current.children[0]
+    if isinstance(current, (SeqScan, IndexScan)):
+        chain.append(current)
+        return chain
+    return None
+
+
+def fused_regions(root: PlanOp) -> list[list[PlanOp]]:
+    """Every fusable region of the tree (each a chain, root first),
+    exactly as ``exec_mode="fused"`` would execute them.
+
+    Mirrors the batch executor's dispatch: a region fires wherever
+    ``batches()`` is invoked — at the tree root, at every child pull, at
+    nested-loop inner and hash-join build boundaries.  UniversalCheck's
+    ∀ subtrees always run row-at-a-time and are never fused.
+    """
+    regions: list[list[PlanOp]] = []
+
+    def visit(op: PlanOp) -> None:
+        chain = fusable_ops(op)
+        if chain is not None:
+            regions.append(chain)
+            return
+        if isinstance(op, UniversalCheck):
+            visit(op.children[0])
+            return
+        for _role, child in op.child_roles():
+            visit(child)
+
+    visit(root)
+    return regions
+
+
+def _row_mode_ids(root: PlanOp) -> set[int]:
+    """ids of operators that run row-at-a-time even in batch/fused modes
+    (the ∀ check subtrees of UniversalCheck operators)."""
+    ids: set[int] = set()
+
+    def mark(op: PlanOp) -> None:
+        ids.add(id(op))
+        for _role, child in op.child_roles():
+            mark(child)
+
+    def visit(op: PlanOp) -> None:
+        if isinstance(op, UniversalCheck):
+            visit(op.children[0])
+            for _binding, subtree in op.checks:
+                mark(subtree)
+            return
+        for _role, child in op.child_roles():
+            visit(child)
+
+    visit(root)
+    return ids
+
+
+def pipeline_sources(root: PlanOp, compiled: bool = True) -> str:
+    """The generated Python source of every fused region of the plan,
+    for inspection (the ``Result.pipeline_source`` debug hook)."""
+    from repro.excess.compile import fused_pipeline
+
+    sources: list[str] = []
+    for region in fused_regions(root):
+        fused = fused_pipeline(region[0], compiled)
+        if fused is not None:
+            sources.append(fused.source)
+    return "\n\n".join(sources)
+
+
 def describe_expr(node: Optional[BoundExpr]) -> str:
     """A compact, human-readable rendering of a bound expression for
     operator descriptions (best effort — not a full unparser)."""
@@ -1379,6 +1864,8 @@ def render_plan(
     actuals: bool = True,
     snapshot: Optional[dict] = None,
     compile_mode: Optional[str] = None,
+    exec_mode: Optional[str] = None,
+    batch_size: Optional[int] = None,
 ) -> str:
     """Pretty-print the operator tree, one operator per line, with the
     estimated and (when ``actuals``) last-execution row counts — from
@@ -1388,8 +1875,29 @@ def render_plan(
     ``compiled=`` annotation: ``closure`` (every expression lowered to a
     direct closure), ``fallback`` (some expression runs through an
     interpreter callback), or ``off`` (ablation: interpretation forced).
+
+    With ``exec_mode`` given, every operator carries an ``exec=``
+    annotation: ``fused`` (the operator's work is folded into a
+    generated whole-pipeline function), ``batch`` (operators exchange
+    row batches of ``batch_size``), or ``row`` (tuple-at-a-time — the
+    whole tree in the ``row`` ablation, and always the ∀ check subtrees
+    of UniversalCheck).
     """
     lines: list[str] = []
+    fused_ids: set[int] = set()
+    row_ids: set[int] = set()
+    if exec_mode == "fused":
+        for region in fused_regions(root):
+            fused_ids.update(id(op) for op in region)
+    if exec_mode in ("fused", "batch"):
+        row_ids = _row_mode_ids(root)
+
+    def exec_label(op: PlanOp) -> str:
+        if exec_mode == "row" or id(op) in row_ids:
+            return "row"
+        if id(op) in fused_ids:
+            return "fused"
+        return "batch"
 
     def emit(op: PlanOp, depth: int, role: str) -> None:
         prefix = "  " * depth
@@ -1408,6 +1916,11 @@ def render_plan(
                 if compile_mode != "closure":
                     note = "off"
                 counters += f", compiled={note}"
+        if exec_mode is not None:
+            label = exec_label(op)
+            counters += f", exec={label}"
+            if label != "row" and batch_size is not None:
+                counters += f", batch_size={batch_size}"
         counters += ")"
         lines.append(f"{prefix}{tag}{op.describe()} {counters}")
         for child_role, child in op.child_roles():

@@ -75,6 +75,11 @@ class Result:
     #: per-statement hot path pays only a counter snapshot, not string
     #: formatting
     _plan_tree_thunk: Optional[Any] = field(default=None, repr=False)
+    #: generated Python source of the plan's fused pipeline regions
+    #: (fused exec mode only) — backing store for the lazy
+    #: :attr:`pipeline_source` debug hook
+    _pipeline_source: Optional[str] = field(default=None, repr=False)
+    _pipeline_source_thunk: Optional[Any] = field(default=None, repr=False)
 
     @property
     def plan_tree(self) -> Optional[str]:
@@ -87,6 +92,21 @@ class Result:
     def plan_tree(self, value: Optional[str]) -> None:
         self._plan_tree = value
         self._plan_tree_thunk = None
+
+    @property
+    def pipeline_source(self) -> Optional[str]:
+        """The generated source of every fused pipeline region the
+        statement's plan contains (None outside fused exec mode, ``""``
+        when the plan has no fusable region)."""
+        if self._pipeline_source is None and self._pipeline_source_thunk is not None:
+            self._pipeline_source = self._pipeline_source_thunk()
+            self._pipeline_source_thunk = None
+        return self._pipeline_source
+
+    @pipeline_source.setter
+    def pipeline_source(self, value: Optional[str]) -> None:
+        self._pipeline_source = value
+        self._pipeline_source_thunk = None
 
     def __iter__(self) -> Iterator[tuple]:
         return iter(self.rows)

@@ -369,12 +369,18 @@ class TestPickling:
         plan = interpreter.plan_cache.get(key)
         assert plan is not None
         root = plan.plan_root
+        # fused execution caches generated pipeline functions; row/batch
+        # execution caches per-operator compiled expressions — either way
+        # something unpicklable lives on the tree
         assert any(
-            op.__dict__.get("_compiled") is not None for op in plan_ops(root)
+            op.__dict__.get("_compiled") is not None
+            or op.__dict__.get("_fused") is not None
+            for op in plan_ops(root)
         )
         revived = pickle.loads(pickle.dumps(root))
         for op in plan_ops(revived):
             assert op.__dict__.get("_compiled") is None
+            assert op.__dict__.get("_fused") is None
         # the revived tree still renders (and recompiles) cleanly
         assert "compiled=closure" in render_plan(
             revived, actuals=False, compile_mode="closure"

@@ -180,7 +180,7 @@ class TestPlanTreeCounters:
         result = small_company.execute(JOIN_QUERY)
         tree = result.plan_tree
         # per-operator actuals: 3 employees scanned, 3 rows joined out
-        assert "SeqScan Employees as E (est=3, rows=3)" in tree
+        assert "SeqScan Employees as E (est=3, rows=3" in tree
         assert "builds=1 probes=3" in tree
 
     def test_explain_tree_shows_estimates_only(self, small_company):

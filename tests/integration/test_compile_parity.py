@@ -1,12 +1,13 @@
 """Compiled ≡ interpreted parity over the paper-figure query corpus.
 
-Every query family the walkthrough exercises (F1–F13) is executed twice
-— ``compile_mode="closure"`` and ``compile_mode="off"`` — against the
-same database, and must return identical row multisets (or raise the
-identical error). This pins the closure compiler to the recursive
-interpreter's semantics on exactly the queries the paper defines, plus
-the null-semantics edge cases where the two implementations could
-plausibly diverge.
+Every query family the walkthrough exercises (F1–F13) is executed under
+every ``exec_mode`` (``fused`` / ``batch`` / ``row``) ×
+``compile_mode`` (``closure`` / ``off``) combination against the same
+database, and must return identical row multisets (or raise the
+identical error). This pins the closure compiler and the batch/fused
+executors to the recursive row-at-a-time interpreter's semantics on
+exactly the queries the paper defines, plus the null-semantics edge
+cases where the implementations could plausibly diverge.
 """
 
 from __future__ import annotations
@@ -102,30 +103,46 @@ def corpus_db():
     return db
 
 
-def both_modes(db: Database, query: str):
+#: the full ablation grid: execution strategy × expression compilation
+MODE_MATRIX = [
+    (exec_mode, compile_mode)
+    for exec_mode in ("fused", "batch", "row")
+    for compile_mode in ("closure", "off")
+]
+
+
+def all_modes(db: Database, query: str) -> dict[tuple[str, str], list[tuple]]:
+    """Row lists per (exec_mode, compile_mode) combination, with the
+    session flags restored afterwards."""
     interpreter = db.interpreter
-    interpreter.compile_mode = "closure"
-    compiled = db.execute(query).rows
-    interpreter.compile_mode = "off"
+    results = {}
     try:
-        interpreted = db.execute(query).rows
+        for exec_mode, compile_mode in MODE_MATRIX:
+            interpreter.exec_mode = exec_mode
+            interpreter.compile_mode = compile_mode
+            results[(exec_mode, compile_mode)] = db.execute(query).rows
     finally:
+        interpreter.exec_mode = "fused"
         interpreter.compile_mode = "closure"
-    return compiled, interpreted
+    return results
+
+
+def _assert_all_agree(results: dict[tuple[str, str], list[tuple]]) -> None:
+    baseline = sorted(map(repr, results[("row", "off")]))
+    for combo, rows in results.items():
+        assert sorted(map(repr, rows)) == baseline, combo
 
 
 @pytest.mark.parametrize(
     "figure,query", PAPER_QUERIES, ids=[f"{f}-{i}" for i, (f, _q) in enumerate(PAPER_QUERIES)]
 )
 def test_paper_figure_parity(corpus_db, figure, query):
-    compiled, interpreted = both_modes(corpus_db, query)
-    assert sorted(map(repr, compiled)) == sorted(map(repr, interpreted))
+    _assert_all_agree(all_modes(corpus_db, query))
 
 
 @pytest.mark.parametrize("query", NULL_EDGE_QUERIES)
 def test_null_semantics_parity(corpus_db, query):
-    compiled, interpreted = both_modes(corpus_db, query)
-    assert sorted(map(repr, compiled)) == sorted(map(repr, interpreted))
+    _assert_all_agree(all_modes(corpus_db, query))
 
 
 def test_out_of_range_read_is_null_in_both_modes(corpus_db):
@@ -136,21 +153,27 @@ def test_out_of_range_read_is_null_in_both_modes(corpus_db):
 
 
 def test_errors_agree_across_modes(corpus_db):
-    """Runtime errors must carry the same message in both modes."""
+    """Runtime errors must carry the same message in every exec_mode ×
+    compile_mode combination."""
     cases = [
         'retrieve (TopTen["x"].name)',
         "retrieve (E.age / (E.age - E.age)) from E in Employees",
         "retrieve (E.age % (E.age - E.age)) from E in Employees",
     ]
+    interpreter = corpus_db.interpreter
     for query in cases:
-        messages = []
-        for mode in ("closure", "off"):
-            corpus_db.interpreter.compile_mode = mode
-            with pytest.raises(EvaluationError) as excinfo:
-                corpus_db.execute(query)
-            messages.append(str(excinfo.value))
-        corpus_db.interpreter.compile_mode = "closure"
-        assert messages[0] == messages[1]
+        messages = set()
+        try:
+            for exec_mode, compile_mode in MODE_MATRIX:
+                interpreter.exec_mode = exec_mode
+                interpreter.compile_mode = compile_mode
+                with pytest.raises(EvaluationError) as excinfo:
+                    corpus_db.execute(query)
+                messages.add(str(excinfo.value))
+        finally:
+            interpreter.exec_mode = "fused"
+            interpreter.compile_mode = "closure"
+        assert len(messages) == 1, messages
 
 
 def test_update_statements_parity():

@@ -4,7 +4,8 @@
 * cost-based and heuristic join orders return the same rows;
 * indexed and unindexed execution return the same rows;
 * the memory and paged stores answer identically;
-* compiled-closure and interpreted expression execution agree.
+* compiled-closure and interpreted expression execution agree;
+* fused, batch, and row-at-a-time execution agree.
 """
 
 import pytest
@@ -196,6 +197,45 @@ class TestEquivalences:
         finally:
             interpreter.compile_mode = "closure"
         assert sorted(compiled) == sorted(interpreted)
+
+    @given(predicate=predicates(), batch_size=st.sampled_from([1, 3, 1024]))
+    @settings(max_examples=40, deadline=None)
+    def test_exec_modes_equivalent(self, company_pair, predicate, batch_size):
+        """fused / batch / row execution must return identical rows for
+        random single-variable predicates at awkward batch sizes."""
+        memory, _paged = company_pair
+        interpreter = memory.interpreter
+        query = (
+            f"retrieve (E.name, E.salary) from E in Employees "
+            f"where {predicate}"
+        )
+        rows = {}
+        try:
+            interpreter.batch_size = batch_size
+            for mode in ("fused", "batch", "row"):
+                interpreter.exec_mode = mode
+                rows[mode] = sorted(memory.execute(query).rows)
+        finally:
+            interpreter.exec_mode = "fused"
+            interpreter.batch_size = 1024
+        assert rows["fused"] == rows["batch"] == rows["row"]
+
+    @given(query=equi_join_queries())
+    @settings(max_examples=30, deadline=None)
+    def test_exec_mode_joins_equivalent(self, analyzed_company, query):
+        """Batch-at-a-time hash-join build/probe (and fused scan regions
+        feeding the join) must not change any join's result multiset."""
+        db = analyzed_company
+        interpreter = db.interpreter
+        fused = db.execute(query).rows
+        rows = {}
+        try:
+            for mode in ("batch", "row"):
+                interpreter.exec_mode = mode
+                rows[mode] = sorted(db.execute(query).rows)
+        finally:
+            interpreter.exec_mode = "fused"
+        assert sorted(fused) == rows["batch"] == rows["row"]
 
     @given(predicate=predicates())
     @settings(max_examples=30, deadline=None)
