@@ -108,7 +108,11 @@ class AuthorizationManager:
             raise AuthorizationError(grantor, privilege.value, object_name)
         record = Grant(principal, privilege, object_name, grantor)
         if self.undo is not None and record not in self._grants:
-            self.undo.op(lambda: self._grants.discard(record))
+            self.undo.op(
+                lambda: self._grants.discard(record),
+                redo=lambda: self._grants.add(record),
+                key=("grant", record),
+            )
         self._grants.add(record)
         return record
 
@@ -130,7 +134,11 @@ class AuthorizationManager:
         ]
         if self.undo is not None and matches:
             restored = list(matches)
-            self.undo.op(lambda: self._grants.update(restored))
+            self.undo.op(
+                lambda: self._grants.update(restored),
+                redo=lambda: self._grants.difference_update(restored),
+                key=("revoke", principal, privilege, object_name),
+            )
         for grant in matches:
             self._grants.discard(grant)
         return bool(matches)

@@ -106,7 +106,11 @@ class UserDirectory:
         if member == group_name:
             raise CatalogError("a group cannot contain itself")
         if self.undo is not None and member not in group.members:
-            self.undo.op(lambda: group.members.discard(member))
+            self.undo.op(
+                lambda: group.members.discard(member),
+                redo=lambda: group.members.add(member),
+                key=("group", group_name, member),
+            )
         group.members.add(member)
 
     def remove_member(self, group_name: str, member: str) -> None:
@@ -116,7 +120,11 @@ class UserDirectory:
         except KeyError:
             raise CatalogError(f"unknown group {group_name!r}") from None
         if self.undo is not None and member in group.members:
-            self.undo.op(lambda: group.members.add(member))
+            self.undo.op(
+                lambda: group.members.add(member),
+                redo=lambda: group.members.discard(member),
+                key=("group", group_name, member),
+            )
         group.members.discard(member)
 
     # -- principal resolution --------------------------------------------------------

@@ -20,11 +20,14 @@ start with a backslash:
 ``\\open DIR``   open a durable database (WAL + crash recovery) in DIR
 ``\\checkpoint`` snapshot durable state and truncate the WAL
 ``\\wal``        show write-ahead-log status (durable databases)
+``\\connect HOST PORT [USER]``  attach to a network server (own session)
+``\\disconnect`` detach from the server, back to the local database
 ``\\user NAME``  switch the session user (authorization applies)
 ``\\authz on|off``      toggle authorization enforcement
 ``\\optimizer on|off``  toggle the query optimizer (for comparisons)
 ``\\compile on|off``    toggle compiled expression closures (ablation)
 ``\\exec MODE``  execution mode: ``fused`` | ``batch`` | ``row`` (ablation)
+``\\batch N``    rows per batch in batch execution mode
 ``\\timing on|off``     print per-statement wall time + plan-cache hit/miss
 ``\\schema``     list types and named objects
 ==============  =====================================================
@@ -63,6 +66,8 @@ class Shell:
         self.user = self.db.authz.directory.dba
         self.timing = timing
         self.done = False
+        #: when connected to a network server, statements route there
+        self.remote = None
 
     # -- output -----------------------------------------------------------------
 
@@ -106,7 +111,10 @@ class Shell:
         """Run one complete EXCESS input (may hold several statements)."""
         start = time.perf_counter()
         try:
-            result = self.db.execute(text, user=self.user)
+            if self.remote is not None:
+                result = self.remote.query(text)
+            else:
+                result = self.db.execute(text, user=self.user)
         except ExtraError as exc:
             self._write(f"error: {exc}")
             return
@@ -150,6 +158,9 @@ class Shell:
         command = parts[0] if parts else ""
         args = parts[1:]
         if command in ("quit", "q", "exit"):
+            if self.remote is not None:
+                self.remote.close()
+                self.remote = None
             if self.snapshot_path:
                 size = self.db.save(self.snapshot_path)
                 self._write(f"saved {size} bytes to {self.snapshot_path}")
@@ -178,6 +189,12 @@ class Shell:
                 f"(next LSN {status['next_lsn']})"
             )
         elif command == "checkpoint":
+            if self.db.durability is None:
+                self._write(
+                    "not in durable mode — use \\open DIR to open a "
+                    "durable database first"
+                )
+                return
             try:
                 info = self.db.checkpoint()
             except ExtraError as exc:
@@ -189,10 +206,44 @@ class Shell:
                 )
         elif command == "wal":
             if self.db.durability is None:
-                self._write("not a durable database (use \\open DIR)")
+                self._write(
+                    "not in durable mode — use \\open DIR to open a "
+                    "durable database first"
+                )
             else:
                 for key, value in self.db.durability.status().items():
                     self._write(f"{key}: {value}")
+        elif command == "connect":
+            if not (2 <= len(args) <= 3):
+                self._write("usage: \\connect HOST PORT [USER]")
+                return
+            try:
+                port = int(args[1])
+            except ValueError:
+                self._write(f"error: PORT must be an integer, got {args[1]!r}")
+                return
+            from repro.server.client import Client
+
+            if self.remote is not None:
+                self.remote.close()
+                self.remote = None
+            user = args[2] if len(args) == 3 else self.user
+            try:
+                self.remote = Client(args[0], port, user=user)
+            except OSError as exc:
+                self._write(f"error: cannot connect to {args[0]}:{port}: {exc}")
+                return
+            self._write(
+                f"connected to {args[0]}:{port} as {self.remote.user} "
+                f"(session {self.remote.session})"
+            )
+        elif command == "disconnect":
+            if self.remote is None:
+                self._write("not connected")
+            else:
+                self.remote.close()
+                self.remote = None
+                self._write("disconnected (statements run locally again)")
         elif command == "user" and args:
             self.db.authz.directory.add_user(args[0])
             self.user = args[0]
@@ -204,17 +255,38 @@ class Shell:
             self.db.interpreter.optimize = args[0] == "on"
             state = "on" if self.db.interpreter.optimize else "off"
             self._write(f"optimizer {state}")
-        elif command == "compile" and args:
+        elif command == "compile":
+            if len(args) != 1 or args[0] not in ("on", "off"):
+                self._write(
+                    "usage: \\compile on|off"
+                    + (f" (got {' '.join(args)!r})" if args else "")
+                )
+                return
             mode = "closure" if args[0] == "on" else "off"
             self.db.interpreter.compile_mode = mode
             self._write(f"expression compilation {mode}")
-        elif command == "exec" and args:
-            mode = args[0]
-            if mode not in ("fused", "batch", "row"):
-                self._write("usage: \\exec fused|batch|row")
-            else:
-                self.db.interpreter.exec_mode = mode
-                self._write(f"execution mode {mode}")
+        elif command == "exec":
+            if len(args) != 1 or args[0] not in ("fused", "batch", "row"):
+                self._write(
+                    "usage: \\exec fused|batch|row"
+                    + (f" (got {' '.join(args)!r})" if args else "")
+                )
+                return
+            self.db.interpreter.exec_mode = args[0]
+            self._write(f"execution mode {args[0]}")
+        elif command == "batch":
+            if len(args) != 1:
+                self._write("usage: \\batch N (a positive integer)")
+                return
+            try:
+                self.db.interpreter.batch_size = int(args[0])
+            except (ValueError, ExtraError):
+                self._write(
+                    f"error: batch size must be a positive integer, "
+                    f"got {args[0]!r}"
+                )
+                return
+            self._write(f"batch size {self.db.interpreter.batch_size}")
         elif command == "timing" and args:
             self.timing = args[0] == "on"
             self._write(f"timing {'on' if self.timing else 'off'}")

@@ -66,6 +66,13 @@ class Database:
     #: equivalence baseline (class attribute so old snapshots load)
     transaction_mode: str = "undo"
 
+    #: multi-session concurrency control: ``"mvcc"`` (default) gives
+    #: each session snapshot isolation via workspace parking and the
+    #: version log (see :mod:`repro.core.session`); ``"none"`` is the
+    #: ablation baseline — sessions share live state with no parking,
+    #: versioning, or conflict detection (the seed's behavior)
+    isolation_mode: str = "mvcc"
+
     #: the :class:`~repro.storage.recovery.DurabilityManager` when the
     #: database was opened durably via :meth:`open`; None otherwise
     durability: Any = None
@@ -102,23 +109,58 @@ class Database:
         register_builtin_adts(self.catalog.adts, self.catalog.access_table)
         self.data_version = 0
         self._interpreter: Any = None
-        self._transaction: Any = None
 
     # -- pickling (snapshots) ----------------------------------------------------
 
     def __getstate__(self) -> dict:
         state = dict(self.__dict__)
         state["_interpreter"] = None  # rebuilt lazily after load
-        state["_transaction"] = None  # transactions never survive pickling
+        # sessions and transaction workspaces never survive pickling
+        state.pop("_transactions", None)
+        state.pop("_default_session", None)
         state.pop("durability", None)  # holds an open WAL file handle
         return state
 
-    # -- transactions --------------------------------------------------------------
+    # -- sessions and transactions -------------------------------------------------
+
+    @property
+    def transactions(self) -> Any:
+        """The (lazily constructed) multi-session transaction manager."""
+        manager = self.__dict__.get("_transactions")
+        if manager is None:
+            from repro.core.session import TransactionManager
+
+            manager = TransactionManager(self)
+            self.__dict__["_transactions"] = manager
+        return manager
+
+    @property
+    def default_session(self) -> Any:
+        """The session backing the single-session Python API: every
+        ``db.execute`` / ``db.begin`` call without an explicit session
+        runs here, preserving the seed's one-session semantics."""
+        session = self.__dict__.get("_default_session")
+        if session is None or session.closed:
+            session = self.transactions.create_session(
+                self.authz.directory.dba, name="default", is_default=True
+            )
+            self.__dict__["_default_session"] = session
+        return session
+
+    def connect(self, user: Optional[str] = None, name: Optional[str] = None) -> Any:
+        """Open a new isolated session (its own range declarations,
+        flag overrides, and snapshot-isolated transactions)."""
+        user = user or self.authz.directory.dba
+        self.authz.directory.add_user(user)
+        return self.transactions.create_session(user, name=name)
 
     @property
     def in_transaction(self) -> bool:
-        """True while a transaction is open."""
-        return self._transaction is not None
+        """True while any session has an open transaction."""
+        manager = self.__dict__.get("_transactions")
+        if manager is None:
+            return False
+        return any(s.txn is not None for s in manager.sessions.values())
 
     def _undo_targets(self) -> tuple:
         """Every manager that records undo information for open
@@ -141,72 +183,27 @@ class Database:
             target.__dict__.pop("undo", None)  # falls back to class None
 
     def begin(self) -> None:
-        """Open a transaction.
+        """Open a transaction in the default session.
 
         The EXODUS storage manager provided transactions; this engine
         reproduces the *interface*. The default ``"undo"`` mode attaches
         an incremental :class:`~repro.core.undo.UndoLog` to every
-        manager: each mutation records an inverse, so abort costs
-        O(state touched), not O(database). Setting
-        ``Database.transaction_mode = "pickle"`` restores the seed's
-        whole-state snapshot as an ablation baseline. Nested
+        manager: each mutation records a bidirectional swap, so abort
+        costs O(state touched), not O(database), and multi-session MVCC
+        (:mod:`repro.core.session`) can park and version workspaces.
+        Setting ``Database.transaction_mode = "pickle"`` restores the
+        seed's whole-state snapshot as an ablation baseline. Nested
         transactions are not supported.
         """
-        if self._transaction is not None:
-            raise IntegrityError("a transaction is already open")
-        if self.transaction_mode == "pickle":
-            import pickle
-
-            self._transaction = (
-                "pickle",
-                pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL),
-            )
-        else:
-            from repro.core.undo import UndoLog
-
-            undo = UndoLog(self)
-            self._attach_undo(undo)
-            self._transaction = ("undo", undo)
+        self.transactions.begin(self.default_session)
 
     def commit(self) -> None:
-        """Make the transaction's changes permanent."""
-        if self._transaction is None:
-            raise IntegrityError("no transaction is open")
-        mode, _payload = self._transaction
-        if mode == "undo":
-            self._detach_undo()
-        self._transaction = None
-        if self.durability is not None:
-            self.durability.on_commit()
+        """Make the default session's transaction permanent."""
+        self.transactions.commit(self.default_session)
 
     def abort(self) -> None:
         """Undo every change made since :meth:`begin`."""
-        if self._transaction is None:
-            raise IntegrityError("no transaction is open")
-        mode, payload = self._transaction
-        seen_epoch = self.catalog.epoch
-        seen_version = self.data_version
-        if mode == "undo":
-            self._detach_undo()
-            self._transaction = None
-            payload.rollback()
-        else:
-            import pickle
-
-            restored = pickle.loads(payload)
-            interpreter = self._interpreter  # keep session state (range decls)
-            self.__dict__.update(restored.__dict__)
-            self._transaction = None
-            self._interpreter = interpreter
-        # The rolled-back catalog carries stale epochs; force the epoch
-        # past every value observed during the transaction so query plans
-        # cached against the rolled-back state can never be served again.
-        # The data version moves forward the same way: hash-join build
-        # tables memoized during the transaction must not survive it.
-        self.catalog._epoch = max(self.catalog.epoch, seen_epoch) + 1
-        self.data_version = max(self.data_version, seen_version) + 1
-        if self.durability is not None:
-            self.durability.on_abort()
+        self.transactions.abort(self.default_session)
 
     # -- schema definition ----------------------------------------------------------
 

@@ -75,8 +75,8 @@ def alter_type(
     if undo is not None:
         # the snapshots taken for conflict rollback double as the
         # transaction's before-images of the shared type objects
-        for schema_type, state in snapshots:
-            undo.op(_make_type_restore(schema_type, state))
+        for schema_type, _state in snapshots:
+            undo.save_object_dict(schema_type)
     try:
         for schema_type in affected:
             locals_list = _local_attributes(schema_type)
@@ -108,14 +108,6 @@ def alter_type(
         f"{patched} instance(s) patched"
         + (f"; {dropped_indexes} index(es) dropped" if dropped_indexes else "")
     )
-
-
-def _make_type_restore(schema_type: SchemaType, state: dict) -> Any:
-    def restore() -> None:
-        schema_type.__dict__.clear()
-        schema_type.__dict__.update(state)
-
-    return restore
 
 
 def _local_attributes(schema_type: SchemaType) -> list[tuple[str, ComponentSpec]]:

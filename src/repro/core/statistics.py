@@ -132,8 +132,10 @@ class StatisticsManager:
     so the plan cache drops plans costed under the old histograms.
     """
 
-    #: the open transaction's undo log (attached by ``Database.begin``);
-    #: class attribute so snapshots from before this field existed load
+    #: the executing transaction's undo log, attached and detached by
+    #: the :class:`~repro.core.session.TransactionManager` as sessions'
+    #: workspaces are parked and resumed; class attribute so snapshots
+    #: from before this field existed load
     undo = None
 
     def __init__(self, on_stale: Optional[Callable[[], None]] = None):

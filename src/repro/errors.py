@@ -136,3 +136,14 @@ class ProcedureError(ExcessError):
 
 class FunctionError(ExcessError):
     """An EXCESS function definition or invocation is invalid."""
+
+
+class SerializationError(IntegrityError):
+    """A transaction lost a snapshot-isolation conflict.
+
+    Raised when first-committer-wins validation (or the eager
+    first-updater check) finds that another transaction committed a
+    change to state this transaction read-modified under an older
+    snapshot. The losing transaction is aborted; the client should
+    retry it against a fresh snapshot.
+    """

@@ -167,9 +167,21 @@ class Evaluator:
         compile_mode: str = "closure",
         exec_mode: str = "fused",
         batch_size: int = 1024,
+        session: Any = None,
     ):
         self.db = database
         self.user = user
+        self.session = session
+        #: snapshot component of the hash-build memo stamp: executions
+        #: inside a transaction key their memoized build tables by
+        #: (snapshot timestamp, transaction id) so a table built against
+        #: one snapshot is never served to a different one (the data
+        #: version alone does not move when versions rewind)
+        if session is not None and session.txn is not None:
+            txn = session.txn
+            self.session_stamp = (txn.snapshot_ts, txn.txn_id)
+        else:
+            self.session_stamp = (None, None)
         self._function_depth = 0
         self.metrics = ExecMetrics()
         #: id(membership node) → materialized member-key set (semi-join)

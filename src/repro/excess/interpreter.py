@@ -43,6 +43,7 @@ from repro.errors import (
     FunctionError,
     ProcedureError,
     SchemaError,
+    SerializationError,
 )
 from repro.excess import ast_nodes as ast
 from repro.excess.binder import (
@@ -214,8 +215,47 @@ class Interpreter:
         self.batch_size = 1024
         #: LRU of prepared plans; entries self-invalidate via the epoch key
         self.plan_cache = PlanCache()
-        #: session-level `range of` declarations, QUEL-style
-        self.session_ranges: dict[str, ast.RangeDecl] = {}
+        #: the session whose statement is currently executing (set by
+        #: :meth:`execute`; statements run one at a time, so a plain
+        #: attribute suffices); ``None`` resolves to the default session
+        self._current_session: Any = None
+
+    # -- sessions ------------------------------------------------------------------
+
+    def _session(self) -> Any:
+        """The session the current statement runs in."""
+        session = self._current_session
+        return session if session is not None else self.db.default_session
+
+    @property
+    def session_ranges(self) -> dict[str, ast.RangeDecl]:
+        """The active session's ``range of`` declarations. Outside a
+        connected session this is the default session's dict — shared
+        across :meth:`Database.session` users, as the seed behaved."""
+        return self._session().ranges
+
+    def _flag(self, name: str) -> Any:
+        """Resolve an execution flag: the active session's override
+        when one is set, the interpreter-global attribute otherwise."""
+        session = self._current_session
+        if session is not None and name in session.overrides:
+            return session.overrides[name]
+        return getattr(self, name)
+
+    # -- validated flags -----------------------------------------------------------
+
+    @property
+    def batch_size(self) -> int:
+        """Target rows per exchanged batch (batch/fused modes)."""
+        return self._batch_size
+
+    @batch_size.setter
+    def batch_size(self, value: Any) -> None:
+        if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+            raise ExcessError(
+                f"batch_size must be a positive integer, got {value!r}"
+            )
+        self._batch_size = value
 
     # -- operator table ------------------------------------------------------------
 
@@ -232,32 +272,88 @@ class Interpreter:
 
     # -- entry point -----------------------------------------------------------------
 
-    def _cache_key(self, text: str, user: str) -> tuple:
+    def _cache_key(self, text: str, user: str, session: Any = None) -> tuple:
+        if session is None:
+            flag = lambda name: getattr(self, name)  # noqa: E731
+            token: tuple = ()
+        else:
+            flag = session.flag
+            token = session.plan_token()
         return (
             text,
             user,
             self.db.catalog.epoch,
-            self.optimize,
-            self.hash_joins,
-            self.cost_based,
-            self.compile_mode,
-            self.exec_mode,
-        )
+            flag("optimize"),
+            flag("hash_joins"),
+            flag("cost_based"),
+            flag("compile_mode"),
+            flag("exec_mode"),
+        ) + token
 
-    def execute(self, text: str, user: str = "dba") -> Result:
+    #: statement types that never mutate durable state (no implicit
+    #: transaction needed even when other sessions' snapshots are open)
+    _READ_ONLY_TYPES = (ast.Retrieve, ast.Explain, ast.SetOperation)
+    #: transaction brackets manage transactions themselves
+    _CONTROL_TYPES = (
+        ast.BeginTransaction, ast.CommitTransaction, ast.AbortTransaction
+    )
+
+    @staticmethod
+    def _statement_kind(statement: ast.Statement) -> str:
+        if isinstance(statement, Interpreter._CONTROL_TYPES):
+            return "control"
+        if isinstance(statement, Interpreter._READ_ONLY_TYPES):
+            return "read"
+        return "write"
+
+    def execute(self, text: str, user: str = "dba", session: Any = None) -> Result:
         """Run one or more statements; returns the last statement's result.
 
-        Single-statement query scripts go through the plan cache: on a
-        hit the lexer/parser/binder/optimizer are skipped entirely and
-        the prepared plan is re-executed (authorization is still checked
-        per execution).
+        ``session`` scopes the execution: its range declarations, flag
+        overrides, and (under MVCC) its transaction snapshot. Without
+        one, the shared default session is used — the seed's
+        single-session semantics. Single-statement query scripts go
+        through the plan cache: on a hit the lexer/parser/binder/
+        optimizer are skipped entirely and the prepared plan is
+        re-executed (authorization is still checked per execution).
         """
-        key = self._cache_key(text, user)
+        if session is None:
+            session = self.db.default_session
+        previous = self._current_session
+        self._current_session = session
+        try:
+            return self._execute_in_session(text, user, session)
+        finally:
+            self._current_session = previous
+
+    def _execute_in_session(self, text: str, user: str, session: Any) -> Result:
+        transactions = self.db.transactions
+        txn = session.txn
+        if txn is not None and txn.doomed is not None:
+            # a doomed transaction may only abort: its parked workspace
+            # is stale against newer commits and must never resume
+            script = parse_script(text, self._operator_table())
+            statements = script.statements
+            if not statements or not all(
+                isinstance(s, ast.AbortTransaction) for s in statements
+            ):
+                raise SerializationError(
+                    f"transaction {txn.txn_id} aborted: {txn.doomed} "
+                    "(run 'abort' to continue)"
+                )
+            result = Result(kind="empty")
+            for statement in statements:
+                with transactions.statement(session, kind="control"):
+                    result = self.execute_statement(statement, user)
+            return result
+        key = self._cache_key(text, user, session)
         plan = self.plan_cache.get(key)
         if plan is not None:
-            result = self._execute_prepared(plan, user, cache="hit")
-            if plan.kind in self._DURABLE_KINDS:
-                self._log_durable(text, user)
+            kind = "read" if plan.kind in ("retrieve", "explain") else "write"
+            with transactions.statement(session, kind=kind):
+                result = self._execute_prepared(plan, user, cache="hit")
+                if plan.kind in self._DURABLE_KINDS:
+                    self._log_durable(text, user)
             return result
         table = self._operator_table()
         script = parse_script(text, table)
@@ -265,16 +361,19 @@ class Interpreter:
             return Result(kind="empty", message="no statements")
         statements = script.statements
         if len(statements) == 1 and isinstance(statements[0], self._CACHEABLE):
-            plan = self._prepare(statements[0])
-            self.plan_cache.put(key, plan)
-            cache = "miss" if self.plan_cache.enabled else "off"
-            result = self._execute_prepared(plan, user, cache=cache)
-            if plan.kind in self._DURABLE_KINDS:
-                self._log_durable(text, user)
+            statement = statements[0]
+            with transactions.statement(session, kind=self._statement_kind(statement)):
+                plan = self._prepare(statement)
+                self.plan_cache.put(key, plan)
+                cache = "miss" if self.plan_cache.enabled else "off"
+                result = self._execute_prepared(plan, user, cache=cache)
+                if plan.kind in self._DURABLE_KINDS:
+                    self._log_durable(text, user)
             return result
         result = Result(kind="empty")
         for statement in statements:
-            result = self.execute_statement(statement, user)
+            with transactions.statement(session, kind=self._statement_kind(statement)):
+                result = self.execute_statement(statement, user)
         return result
 
     def execute_statement(self, statement: ast.Statement, user: str) -> Result:
@@ -293,12 +392,14 @@ class Interpreter:
 
     def _log_durable(self, text: str, user: str) -> None:
         """Append a successfully executed mutating statement to the WAL
-        of a durable database (buffered inside explicit transactions).
-        The statement is only acknowledged to the caller *after* this
-        returns, so every acknowledged auto-commit is on disk."""
+        of a durable database (buffered inside explicit — and implicit
+        MVCC — transactions; the durability manager flushes the
+        session's buffer as one record at commit). The statement is
+        only acknowledged to the caller *after* this returns, so every
+        acknowledged auto-commit is on disk."""
         durability = self.db.durability
         if durability is not None:
-            durability.log_statement(text, user)
+            durability.log_statement(text, user, session=self._session())
 
     # -- type expression builder ---------------------------------------------------------
 
@@ -422,7 +523,9 @@ class Interpreter:
         scope = Scope()
         query = BoundQuery()
         binder._bind_range_source(statement.source, scope, query)
-        self.session_ranges[statement.variable] = statement
+        session = self._session()
+        session.ranges[statement.variable] = statement
+        session.ranges_epoch += 1
         # plans bound under the previous declaration of this variable are stale
         self.db.catalog.bump_epoch()
         kind = "universal range" if statement.universal else "range"
@@ -560,18 +663,19 @@ class Interpreter:
         binder._finalize(scope, query)
         Optimizer(
             self.db.catalog,
-            enabled=self.optimize,
-            hash_joins=self.hash_joins,
-            cost_based=self.cost_based,
-            compile_mode=self.compile_mode,
-            exec_mode=self.exec_mode,
+            enabled=self._flag("optimize"),
+            hash_joins=self._flag("hash_joins"),
+            cost_based=self._flag("cost_based"),
+            compile_mode=self._flag("compile_mode"),
+            exec_mode=self._flag("exec_mode"),
         ).optimize(query)
         evaluator = Evaluator(
             self.db,
             user=procedure.definer,
-            compile_mode=self.compile_mode,
-            exec_mode=self.exec_mode,
-            batch_size=self.batch_size,
+            compile_mode=self._flag("compile_mode"),
+            exec_mode=self._flag("exec_mode"),
+            batch_size=self._flag("batch_size"),
+            session=self._session(),
         )
         tables: dict = {}
         bindings: list[dict] = []
@@ -602,11 +706,11 @@ class Interpreter:
         binder = self._binder()
         optimizer = Optimizer(
             self.db.catalog,
-            enabled=self.optimize,
-            hash_joins=self.hash_joins,
-            cost_based=self.cost_based,
-            compile_mode=self.compile_mode,
-            exec_mode=self.exec_mode,
+            enabled=self._flag("optimize"),
+            hash_joins=self._flag("hash_joins"),
+            cost_based=self._flag("cost_based"),
+            compile_mode=self._flag("compile_mode"),
+            exec_mode=self._flag("exec_mode"),
         )
         if isinstance(statement, ast.Retrieve):
             kind, bound = "retrieve", binder.bind_retrieve(statement)
@@ -637,9 +741,10 @@ class Interpreter:
         evaluator = Evaluator(
             self.db,
             user=user,
-            compile_mode=self.compile_mode,
-            exec_mode=self.exec_mode,
-            batch_size=self.batch_size,
+            compile_mode=self._flag("compile_mode"),
+            exec_mode=self._flag("exec_mode"),
+            batch_size=self._flag("batch_size"),
+            session=self._session(),
         )
         evaluator.metrics.cache = cache
         bound = plan.bound
@@ -686,9 +791,9 @@ class Interpreter:
             # counter snapshot is taken here, since a cached plan's live
             # counters are reset by its next execution.
             root = plan.plan_root
-            mode = self.compile_mode
-            emode = self.exec_mode
-            bsize = self.batch_size
+            mode = self._flag("compile_mode")
+            emode = self._flag("exec_mode")
+            bsize = self._flag("batch_size")
             if plan.kind == "explain":
                 result.plan_tree = render_plan(
                     root,
@@ -736,11 +841,11 @@ class Interpreter:
         return Result(kind="alter", message=message)
 
     def _do_begin(self, statement: ast.BeginTransaction, user: str) -> Result:
-        self.db.begin()
+        self.db.transactions.begin(self._session())
         return Result(kind="transaction", message="transaction started")
 
     def _do_commit(self, statement: ast.CommitTransaction, user: str) -> Result:
-        self.db.commit()
+        self.db.transactions.commit(self._session())
         return Result(kind="transaction", message="committed")
 
     def _do_analyze(self, statement: ast.Analyze, user: str) -> Result:
@@ -770,7 +875,7 @@ class Interpreter:
         return Result(kind="analyze", count=len(analyzed), message=message)
 
     def _do_abort(self, statement: ast.AbortTransaction, user: str) -> Result:
-        self.db.abort()
+        self.db.transactions.abort(self._session())
         # abort() already forces the epoch forward; dropping the entries
         # just keeps the LRU from carrying dead plans around
         self.plan_cache.clear()
@@ -866,11 +971,11 @@ class Interpreter:
         query = bound_stmt.query
         optimizer = Optimizer(
             self.db.catalog,
-            enabled=self.optimize,
-            hash_joins=self.hash_joins,
-            cost_based=self.cost_based,
-            compile_mode=self.compile_mode,
-            exec_mode=self.exec_mode,
+            enabled=self._flag("optimize"),
+            hash_joins=self._flag("hash_joins"),
+            cost_based=self._flag("cost_based"),
+            compile_mode=self._flag("compile_mode"),
+            exec_mode=self._flag("exec_mode"),
         )
         report = optimizer.optimize(query)
         root = optimizer.lower(bound_stmt, report)

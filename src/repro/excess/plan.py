@@ -165,6 +165,7 @@ class PlanContext:
         "compiled",
         "exec_mode",
         "batch_size",
+        "session_stamp",
     )
 
     def __init__(self, evaluator: Any, tables: Optional[dict] = None):
@@ -173,6 +174,9 @@ class PlanContext:
         # hot-path attributes (compiled closures read these per row)
         self.db = evaluator.db
         self.objects = evaluator.db.objects
+        #: (snapshot_ts, txn_id) of the executing session's transaction
+        #: (None, None outside one) — part of the hash-build memo stamp
+        self.session_stamp = getattr(evaluator, "session_stamp", (None, None))
         #: True when this execution runs compiled closures on the hot
         #: paths; plans are shared across modes (function bodies, cached
         #: statements), so operators branch on this per execution
@@ -931,9 +935,11 @@ class HashJoin(PlanOp):
         self.join_op = binding.hash_join_op
         self.detail = binding.join_detail
         self.build_cardinality = cardinality
-        #: memoized build table, valid while the data version matches
-        self._table: Optional[dict] = None
-        self._table_version: int = -1
+        #: memoized build table as one (stamp, table) tuple — written
+        #: and read with single attribute operations so concurrent
+        #: readers sharing a cached plan across threads always see a
+        #: consistent pair (never a table paired with another's stamp)
+        self._memo: Optional[tuple] = None
 
     def describe(self) -> str:
         op = self.join_op
@@ -950,8 +956,7 @@ class HashJoin(PlanOp):
 
     def invalidate(self) -> None:
         """Drop the memoized build table (tests / explicit flushes)."""
-        self._table = None
-        self._table_version = -1
+        self._memo = None
 
     def _compiled_keys(self) -> tuple:
         cached = self.__dict__.get("_compiled")
@@ -966,11 +971,13 @@ class HashJoin(PlanOp):
         return compiled_label(self._compiled_keys()[2])
 
     def _table_for(self, ctx: PlanContext) -> dict:
-        version = ctx.db.data_version
-        if self._table is None or self._table_version != version:
-            self._table = self._build(ctx)
-            self._table_version = version
-        return self._table
+        stamp = (ctx.db.data_version, ctx.session_stamp)
+        memo = self._memo  # single read: thread-consistent pair
+        if memo is not None and memo[0] == stamp:
+            return memo[1]
+        table = self._build(ctx)
+        self._memo = (stamp, table)
+        return table
 
     def _build(self, ctx: PlanContext) -> dict:
         self.stats.builds += 1

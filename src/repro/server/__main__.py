@@ -1,0 +1,7 @@
+"""``python -m repro.server`` — serve a database over TCP."""
+
+import sys
+
+from repro.server.server import main
+
+sys.exit(main())  # pragma: no cover - process entry point

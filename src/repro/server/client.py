@@ -1,0 +1,125 @@
+"""A blocking client for the EXTRA/EXCESS wire protocol.
+
+Used by the CLI's ``\\connect``, the tests, and the benchmark's worker
+processes. ``query()`` reconstructs a regular
+:class:`~repro.excess.result.Result` from the response payload, so code
+written against the embedded API (including the shell's result
+printer) works unchanged against a remote server.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Optional
+
+from repro.errors import ExtraError
+from repro.excess.result import Result
+from repro.server.protocol import ProtocolError, encode_message, read_message
+
+__all__ = ["Client", "RemoteError"]
+
+
+class RemoteError(ExtraError):
+    """An error reported by the server.
+
+    ``remote_type`` is the server-side exception class name;
+    ``serialization`` is True for snapshot-isolation conflicts (the
+    canonical client response is to abort and retry the transaction).
+    """
+
+    def __init__(self, message: str, remote_type: str = "ExtraError",
+                 serialization: bool = False):
+        super().__init__(message)
+        self.remote_type = remote_type
+        self.serialization = serialization
+
+
+class Client:
+    """One connection = one server-side session."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        user: Optional[str] = None,
+        name: Optional[str] = None,
+        timeout: Optional[float] = 30.0,
+    ):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.closed = False
+        hello = self.call({"op": "hello", "user": user, "name": name})
+        self.session = hello["session"]
+        self.user = hello["user"]
+        self.protocol = hello["protocol"]
+
+    # -- request/response --------------------------------------------------
+
+    def call(self, request: dict) -> dict:
+        """One round trip; raises :class:`RemoteError` on an error
+        response and :class:`ProtocolError` on a dropped connection."""
+        self._sock.sendall(encode_message(request))
+        response = read_message(self._sock)
+        if response is None:
+            self.closed = True
+            raise ProtocolError("server closed the connection")
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise RemoteError(
+                error.get("message", "unknown server error"),
+                remote_type=error.get("type", "ExtraError"),
+                serialization=bool(error.get("serialization")),
+            )
+        return response
+
+    # -- the session API ---------------------------------------------------
+
+    def query(self, text: str) -> Result:
+        """Run EXCESS statements in this session."""
+        payload = self.call({"op": "query", "text": text})
+        result = Result(
+            kind=payload["kind"],
+            columns=payload["columns"],
+            rows=[tuple(row) for row in payload["rows"]],
+            count=payload["count"],
+            message=payload["message"],
+            metrics=payload["metrics"],
+        )
+        result._plan_tree = payload.get("plan")
+        return result
+
+    execute = query  # embedded-API spelling
+
+    def begin(self) -> None:
+        self.call({"op": "begin"})
+
+    def commit(self) -> None:
+        self.call({"op": "commit"})
+
+    def abort(self) -> None:
+        self.call({"op": "abort"})
+
+    def set_flag(self, flag: str, value: Any) -> None:
+        """Install a session-local ablation override."""
+        self.call({"op": "set", "flag": flag, "value": value})
+
+    def status(self) -> dict:
+        return self.call({"op": "status"})
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        try:
+            self._sock.sendall(encode_message({"op": "bye"}))
+            read_message(self._sock)
+        except (OSError, ProtocolError):  # pragma: no cover - best effort
+            pass
+        finally:
+            self.closed = True
+            self._sock.close()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()

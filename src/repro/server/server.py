@@ -1,0 +1,371 @@
+"""The asyncio TCP server fronting one database with many sessions.
+
+Each accepted connection gets its own coroutine and its own
+:class:`~repro.core.session.SessionContext`. Statements from all
+connections serialize through the engine under one lock — the MVCC
+manager parks and resumes per-session workspaces around each statement,
+so interleaved transactions stay snapshot-isolated even though only one
+statement executes at a time (the engine mutates shared state in
+place and is not internally thread-safe).
+
+Request ops (full wire reference in ``docs/LANGUAGE.md``):
+
+=============  =========================================================
+``hello``      ``{user, name?}`` → session created; must be first
+``query``      ``{text}`` → columns/rows/count/message/metrics/plan
+``begin``      open a transaction in this session
+``commit``     commit it (first-committer-wins; conflicts report
+               ``error.serialization = true`` so clients can retry)
+``abort``      abort it
+``set``        ``{flag, value}`` → session-local ablation override
+``status``     server + session diagnostics
+``bye``        close the session and the connection
+=============  =========================================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+from typing import Any, Optional
+
+from repro.core.database import Database
+from repro.errors import ExcessError, ExtraError, SerializationError
+from repro.excess.result import Result, render_value
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    encode_message,
+    read_message_async,
+)
+
+__all__ = ["ExcessServer", "ServerThread", "main"]
+
+#: session flags a client may override (mirrors the CLI's ablation
+#: toggles); values are validators raising :class:`ExcessError`
+_FLAG_VALUES: dict[str, Any] = {
+    "optimize": (True, False),
+    "compile_mode": ("closure", "off"),
+    "exec_mode": ("fused", "batch", "row"),
+    "batch_size": None,  # validated as a positive integer below
+}
+
+
+def _validate_flag(flag: str, value: Any) -> Any:
+    if flag not in _FLAG_VALUES:
+        raise ExcessError(
+            f"unknown session flag {flag!r} "
+            f"(expected one of {sorted(_FLAG_VALUES)})"
+        )
+    if flag == "batch_size":
+        if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+            raise ExcessError(
+                f"batch_size must be a positive integer, got {value!r}"
+            )
+        return value
+    allowed = _FLAG_VALUES[flag]
+    if value not in allowed:
+        raise ExcessError(
+            f"flag {flag!r} must be one of {list(allowed)}, got {value!r}"
+        )
+    return value
+
+
+def _json_cell(value: Any) -> Any:
+    """One result cell as a JSON-safe value (EXTRA values render to
+    their textual form — the wire carries display semantics, not refs
+    into the server's heap)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return render_value(value)
+
+
+def result_payload(result: Result) -> dict:
+    """A :class:`Result` as a response payload."""
+    return {
+        "kind": result.kind,
+        "columns": list(result.columns),
+        "rows": [[_json_cell(cell) for cell in row] for row in result.rows],
+        "count": result.count,
+        "message": result.message,
+        "metrics": result.metrics,
+        "plan": result.plan_tree,
+    }
+
+
+def _error_payload(exc: Exception) -> dict:
+    return {
+        "ok": False,
+        "error": {
+            "type": type(exc).__name__,
+            "message": str(exc),
+            "serialization": isinstance(exc, SerializationError),
+        },
+    }
+
+
+class ExcessServer:
+    """One database served to many TCP sessions."""
+
+    def __init__(
+        self,
+        database: Optional[Database] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.db = database if database is not None else Database()
+        self.host = host
+        self.port = port
+        self.address: Optional[tuple[str, int]] = None
+        self.connections = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._lock: Optional[asyncio.Lock] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the bound ``(host, port)``."""
+        self._lock = asyncio.Lock()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        bound = self._server.sockets[0].getsockname()
+        self.address = (bound[0], bound[1])
+        return self.address
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    # -- one connection ----------------------------------------------------
+
+    async def _handle(self, reader: Any, writer: Any) -> None:
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            # each message is one small frame; never batch them
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.connections += 1
+        session = None
+        try:
+            while True:
+                try:
+                    request = await read_message_async(reader)
+                except ProtocolError as exc:
+                    writer.write(encode_message(_error_payload(exc)))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                response, done = await self._respond(session, request)
+                if session is None and response.get("ok") and \
+                        request.get("op") == "hello":
+                    session = response.pop("_session")
+                writer.write(encode_message(response))
+                await writer.drain()
+                if done:
+                    break
+        finally:
+            self.connections -= 1
+            if session is not None:
+                async with self._lock:
+                    session.close()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _respond(
+        self, session: Any, request: dict
+    ) -> tuple[dict, bool]:
+        """Dispatch one request; returns ``(response, close_after)``."""
+        op = request.get("op")
+        if session is None and op != "hello":
+            return (
+                _error_payload(
+                    ProtocolError("the first request must be 'hello'")
+                ),
+                True,
+            )
+        try:
+            async with self._lock:
+                return self._dispatch(session, op, request)
+        except (ExtraError, ProtocolError) as exc:
+            return _error_payload(exc), False
+        except Exception as exc:  # engine bug: report, keep serving
+            return _error_payload(exc), False
+
+    def _dispatch(self, session: Any, op: Any, request: dict) -> tuple[dict, bool]:
+        if op == "hello":
+            if session is not None:
+                raise ProtocolError("session already established")
+            user = request.get("user") or None
+            context = self.db.connect(user=user, name=request.get("name"))
+            return (
+                {
+                    "ok": True,
+                    "server": "extra-excess",
+                    "protocol": PROTOCOL_VERSION,
+                    "session": context.name,
+                    "user": context.user,
+                    "_session": context,
+                },
+                False,
+            )
+        if op == "query":
+            text = request.get("text")
+            if not isinstance(text, str):
+                raise ProtocolError("'query' requires a string 'text'")
+            result = session.execute(text)
+            payload = result_payload(result)
+            payload["ok"] = True
+            return payload, False
+        if op == "begin":
+            session.begin()
+            return {"ok": True, "message": "transaction started"}, False
+        if op == "commit":
+            session.commit()
+            return {"ok": True, "message": "transaction committed"}, False
+        if op == "abort":
+            session.abort()
+            return {"ok": True, "message": "transaction aborted"}, False
+        if op == "set":
+            flag = request.get("flag")
+            value = _validate_flag(flag, request.get("value"))
+            session.overrides[flag] = value
+            return {"ok": True, "flag": flag, "value": value}, False
+        if op == "status":
+            return (
+                {
+                    "ok": True,
+                    "session": session.name,
+                    "user": session.user,
+                    "in_transaction": session.in_transaction,
+                    "connections": self.connections,
+                    "isolation_mode": self.db.isolation_mode,
+                    "open_transactions": sum(
+                        1
+                        for s in self.db.transactions.sessions.values()
+                        if s.txn is not None
+                    ),
+                },
+                False,
+            )
+        if op == "bye":
+            return {"ok": True, "message": "goodbye"}, True
+        raise ProtocolError(f"unknown op {op!r}")
+
+
+class ServerThread:
+    """An :class:`ExcessServer` on a daemon thread's event loop.
+
+    The blocking shape tests, benchmarks, and the CLI want::
+
+        server = ServerThread(db)
+        host, port = server.start()
+        ...
+        server.stop()
+    """
+
+    def __init__(
+        self,
+        database: Optional[Database] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.server = ExcessServer(database, host=host, port=port)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def db(self) -> Database:
+        return self.server.db
+
+    def start(self) -> tuple[str, int]:
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        self._ready.wait(timeout=10.0)
+        if self._startup_error is not None:
+            raise self._startup_error
+        assert self.server.address is not None
+        return self.server.address
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self.server.start())
+        except BaseException as exc:  # bind failure and the like
+            self._startup_error = exc
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(self.server.stop())
+            loop.close()
+
+    def stop(self) -> None:
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        self._loop = None
+        self._thread = None
+
+
+def main(argv: Optional[list] = None) -> int:  # pragma: no cover - CLI glue
+    """``python -m repro.server`` — serve a database over TCP."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.server",
+        description="EXTRA/EXCESS network server (EXODUS reproduction)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8727)
+    parser.add_argument(
+        "--open", metavar="DIR",
+        help="serve a durable database rooted at DIR (WAL + recovery)",
+    )
+    parser.add_argument(
+        "--storage", choices=["memory", "paged"], default="memory",
+        help="object store for a fresh in-memory database",
+    )
+    options = parser.parse_args(argv)
+
+    if options.open:
+        db = Database.open(options.open)
+    else:
+        db = Database(storage=options.storage)
+
+    async def serve() -> None:
+        server = ExcessServer(db, host=options.host, port=options.port)
+        host, port = await server.start()
+        print(f"extra-excess server listening on {host}:{port}")
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:  # pragma: no cover
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        db.close()
+    return 0

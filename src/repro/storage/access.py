@@ -247,11 +247,19 @@ class IndexManager:
         mutation instead of before-imaging whole index structures."""
         if self.undo is None:
             return
+        # no conflict key: the member-list before-image of the indexed
+        # set already covers the write for conflict-detection purposes
         index = descriptor.index
         if added:
-            self.undo.op(lambda: index.delete(key, oid))
+            self.undo.op(
+                lambda: index.delete(key, oid),
+                redo=lambda: index.insert(key, oid),
+            )
         else:
-            self.undo.op(lambda: index.insert(key, oid))
+            self.undo.op(
+                lambda: index.insert(key, oid),
+                redo=lambda: index.delete(key, oid),
+            )
 
     def on_update(
         self,

@@ -59,45 +59,51 @@ class DurabilityManager:
         #: never appended again (recovery attaches the manager only after
         #: replay, making this a second line of defense)
         self.replaying = False
-        #: statements of the open explicit transaction, flushed as one
-        #: record on commit and dropped on abort
-        self._pending: list[tuple[str, str]] = []
+        #: session id → statements of that session's open transaction,
+        #: flushed as one record on commit and dropped on abort
+        self._pending: dict[int, list[tuple[str, str]]] = {}
 
     # -- commit-time logging -----------------------------------------------
 
-    def log_statement(self, text: str, user: str) -> None:
+    def log_statement(self, text: str, user: str, session: Any = None) -> None:
         """Record one successfully executed mutating statement.
 
-        Inside an explicit transaction the statement only buffers; the
-        engine's acknowledgement of the *statement* promises nothing
-        until commit. Outside one, the statement auto-commits and the
-        record is on disk before the caller sees the result.
+        Inside a transaction (explicit, or the implicit one MVCC wraps
+        around concurrent auto-commits) the statement only buffers in
+        its session's slot; the engine's acknowledgement of the
+        *statement* promises nothing until commit. Outside one, the
+        statement auto-commits and the record is on disk before the
+        caller sees the result.
         """
         if self.replaying:
             return
-        if self.db.in_transaction:
-            self._pending.append((user, text))
+        if session is None:
+            session = self.db.default_session
+        if session.txn is not None:
+            self._pending.setdefault(session.id, []).append((user, text))
             return
         faultinject.crash_point("commit.before_log")
-        self.wal.commit([(user, text)])
+        self.wal.commit([(user, text)], session=session.name)
         faultinject.crash_point("commit.after_log")
 
-    def on_commit(self) -> None:
-        """Flush the transaction's statements as one atomic record."""
-        if self.replaying:
-            self._pending.clear()
+    def on_commit(self, session: Any = None, txn_id: Any = None) -> None:
+        """Flush one session's transaction statements as one atomic
+        record (stamped with the transaction id and session name)."""
+        if session is None:
+            session = self.db.default_session
+        entries = self._pending.pop(session.id, None)
+        if self.replaying or not entries:
             return
-        if not self._pending:
-            return
-        entries = list(self._pending)
-        self._pending.clear()
         faultinject.crash_point("commit.before_log")
-        self.wal.commit(entries)
+        self.wal.commit(entries, txn=txn_id, session=session.name)
         faultinject.crash_point("commit.after_log")
 
-    def on_abort(self) -> None:
+    def on_abort(self, session: Any = None) -> None:
         """Drop the aborted transaction's buffered statements."""
-        self._pending.clear()
+        if session is None:
+            self._pending.clear()
+        else:
+            self._pending.pop(session.id, None)
 
     # -- checkpointing -----------------------------------------------------
 
@@ -125,7 +131,9 @@ class DurabilityManager:
         """Status summary for the CLI's ``\\wal`` command."""
         out = self.wal.status()
         out["directory"] = self.directory
-        out["buffered_statements"] = len(self._pending)
+        out["buffered_statements"] = sum(
+            len(entries) for entries in self._pending.values()
+        )
         return out
 
     def close(self) -> None:
@@ -172,19 +180,37 @@ def open_database(
         records, _valid = read_wal(wal_path)
         on_disk = len(records)
         # db.durability is still None here, so replayed statements are
-        # not re-logged while they re-execute
+        # not re-logged while they re-execute. Records carry their
+        # originating session name; each distinct name replays in its
+        # own session context so session-scoped range declarations (and
+        # any interleaving of commits across sessions) bind exactly as
+        # they did before the crash.
+        replay_sessions: dict[str, Any] = {}
         for record in records:
             if record.lsn <= base_lsn:
                 continue  # already inside the checkpoint snapshot
+            name = record.session
+            if name is None or name == "default":
+                context = None  # the default session
+            else:
+                context = replay_sessions.get(name)
+                if context is None:
+                    context = db.connect(
+                        user=record.entries[0][0] if record.entries else None,
+                        name=name,
+                    )
+                    replay_sessions[name] = context
             for user, text in record.entries:
                 try:
-                    db.interpreter.execute(text, user=user)
+                    db.interpreter.execute(text, user=user, session=context)
                 except Exception as exc:
                     raise StorageError(
                         f"WAL replay failed at LSN {record.lsn} for "
                         f"statement {text!r}: {exc}"
                     ) from exc
             next_lsn = record.lsn + 1
+        for context in replay_sessions.values():
+            context.close()
 
     wal = WriteAheadLog(
         wal_path, fsync=fsync, next_lsn=next_lsn, existing_records=on_disk

@@ -59,24 +59,38 @@ faultinject.register("wal.append.after_sync")
 @dataclass
 class WalRecord:
     """One commit unit: every statement of one transaction (or one
-    auto-committed statement)."""
+    auto-committed statement).
+
+    ``txn`` and ``session`` stamp records written by multi-session
+    databases (the transaction id and originating session name), so
+    recovery can replay each session's statements in a matching
+    per-session context. Records written before these fields existed
+    decode with both ``None`` — replay then uses the default session.
+    """
 
     lsn: int
     entries: list  # [(user, statement_text), ...]
+    txn: Optional[int] = None
+    session: Optional[str] = None
 
     def encode(self) -> bytes:
-        payload = json.dumps(
-            {"lsn": self.lsn, "entries": [list(e) for e in self.entries]},
-            ensure_ascii=False,
-        ).encode("utf-8")
+        doc: dict = {"lsn": self.lsn, "entries": [list(e) for e in self.entries]}
+        if self.txn is not None:
+            doc["txn"] = self.txn
+        if self.session is not None:
+            doc["session"] = self.session
+        payload = json.dumps(doc, ensure_ascii=False).encode("utf-8")
         return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
 
 
 def _decode_payload(payload: bytes) -> WalRecord:
     doc = json.loads(payload.decode("utf-8"))
+    txn = doc.get("txn")
     return WalRecord(
         lsn=int(doc["lsn"]),
         entries=[(user, text) for user, text in doc["entries"]],
+        txn=int(txn) if txn is not None else None,
+        session=doc.get("session"),
     )
 
 
@@ -103,7 +117,8 @@ class WriteAheadLog:
 
     # -- appending -----------------------------------------------------------
 
-    def commit(self, entries: list) -> int:
+    def commit(self, entries: list, txn: Optional[int] = None,
+               session: Optional[str] = None) -> int:
         """Append one commit record; returns its LSN.
 
         The record is flushed to the OS unconditionally and fsynced
@@ -111,7 +126,7 @@ class WriteAheadLog:
         transaction always travel in one record (atomic on replay).
         """
         lsn = self.next_lsn
-        record = WalRecord(lsn=lsn, entries=entries)
+        record = WalRecord(lsn=lsn, entries=entries, txn=txn, session=session)
         blob = record.encode()
         faultinject.crash_point("wal.append.before_write")
         cut = faultinject.torn_cut("wal.append.torn_write", len(blob))

@@ -1,0 +1,149 @@
+"""Session isolation primitives: ranges, flags, plan-cache identity,
+and thread safety of memoized hash-join builds.
+
+These pin the refactor that moved per-session state off the global
+interpreter: range declarations and ablation-flag overrides live on
+:class:`~repro.core.session.SessionContext`, the plan cache keys on the
+session's token, and the hash-join memo tolerates concurrent readers.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import ExcessError, ExtraError
+
+
+class TestSessionRanges:
+    def test_ranges_are_per_session(self, small_company):
+        db = small_company
+        a = db.connect(user="alice")
+        b = db.connect(user="bob")
+        a.execute("range of Z is Employees")
+        assert a.execute("retrieve (count(Z.age))").scalar() == 3
+        with pytest.raises(ExtraError):
+            b.execute("retrieve (count(Z.age))")
+        assert "Z" in a.ranges and "Z" not in b.ranges
+
+    def test_default_session_ranges_match_seed_behavior(self, small_company):
+        db = small_company
+        db.execute("range of Z is Employees")
+        # the interpreter's session_ranges view is the default session's
+        assert "Z" in db.interpreter.session_ranges
+        assert db.execute("retrieve (count(Z.age))").scalar() == 3
+
+    def test_redeclaration_bumps_ranges_epoch(self, small_company):
+        db = small_company
+        session = db.connect(user="alice")
+        before = session.ranges_epoch
+        session.execute("range of Z is Employees")
+        mid = session.ranges_epoch
+        session.execute("range of Z is Departments")
+        after = session.ranges_epoch
+        assert before < mid < after
+
+    def test_redeclared_range_never_serves_stale_plan(self, small_company):
+        db = small_company
+        db.execute("create {ref Employee} Staff")
+        db.execute('append to Staff (E) from E in Employees '
+                   'where E.name = "Bob"')
+        session = db.connect(user="alice")
+        session.execute("range of X is Employees")
+        text = "retrieve (X.name)"
+        assert sorted(r[0] for r in session.execute(text).rows) == [
+            "Ann", "Bob", "Sue",
+        ]
+        session.execute("range of X is Staff")
+        assert [r[0] for r in session.execute(text).rows] == ["Bob"]
+
+
+class TestPlanCacheIdentity:
+    def test_sessions_without_state_share_cache_entries(self, small_company):
+        db = small_company
+        text = "retrieve (E.name) from E in Employees"
+        a = db.connect(user="shared")
+        b = db.connect(user="shared")
+        a.execute(text)
+        assert b.execute(text).metrics["cache"] == "hit"
+
+    def test_cache_keyed_by_user(self, small_company):
+        db = small_company
+        text = "retrieve (E.name) from E in Employees"
+        a = db.connect(user="alice")
+        b = db.connect(user="bob")
+        a.execute(text)
+        assert b.execute(text).metrics["cache"] == "miss"
+
+    def test_transaction_plans_not_shared(self, small_company):
+        """Plans bound inside a transaction key on the transaction id —
+        they may be bound against uncommitted catalog state."""
+        db = small_company
+        text = "retrieve (E.name) from E in Employees"
+        session = db.connect(user="alice")
+        db.execute(text, user="alice")  # warm the shared entry
+        session.begin()
+        in_txn = session.execute(text)
+        assert in_txn.metrics["cache"] == "miss"
+        session.commit()
+
+    def test_flag_override_splits_cache_key(self, small_company):
+        db = small_company
+        text = "retrieve (E.name) from E in Employees"
+        a = db.connect(user="shared")
+        b = db.connect(user="shared")
+        a.execute(text)
+        b.overrides["optimize"] = False
+        assert b.execute(text).metrics["cache"] == "miss"
+        assert b.flag("optimize") is False
+        assert a.flag("optimize") is True
+
+
+class TestBatchSizeValidation:
+    @pytest.mark.parametrize("bad", [0, -3, True, "many", 2.5, None])
+    def test_invalid_batch_size_rejected(self, db, bad):
+        with pytest.raises(ExcessError, match="positive integer"):
+            db.interpreter.batch_size = bad
+
+    def test_valid_batch_size_accepted(self, db):
+        db.interpreter.batch_size = 7
+        assert db.interpreter.batch_size == 7
+
+
+class TestConcurrentMemoizedBuilds:
+    def test_hash_join_memo_is_thread_safe(self, small_company):
+        """Many threads running the same cached join plan (sharing one
+        HashJoin node, hence one memo slot) must all compute the right
+        answer — the memo is a single-slot publish, never a lock."""
+        db = small_company
+        text = ("retrieve (E.name, D.dname) from E in Employees, "
+                "D in Departments where E.dept is D")
+        expected = sorted(db.execute(text).rows)
+        assert expected  # the plan (and its hash build) is now cached
+        errors = []
+
+        def probe():
+            try:
+                for _ in range(25):
+                    rows = sorted(db.execute(text).rows)
+                    assert rows == expected
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=probe) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors, errors
+
+    def test_memo_invalidates_across_commits(self, small_company):
+        db = small_company
+        text = ("retrieve (E.name, D.dname) from E in Employees, "
+                "D in Departments where E.dept is D")
+        before = len(db.execute(text).rows)
+        db.execute('append to Departments (dname = "New", floor = 9, '
+                   'budget = 1.0)')
+        db.execute('append to Employees (name = "New", age = 20, '
+                   'salary = 1.0, dept = D) from D in Departments '
+                   'where D.dname = "New"')
+        assert len(db.execute(text).rows) == before + 1

@@ -114,6 +114,7 @@ def _clean_faults():
 
 def _all_points() -> list[str]:
     # importing the durability stack registers every point
+    import repro.core.session  # noqa: F401
     import repro.storage.persistence  # noqa: F401
     import repro.storage.recovery  # noqa: F401
     import repro.storage.wal  # noqa: F401
@@ -124,9 +125,9 @@ def _all_points() -> list[str]:
 def test_crash_matrix_is_complete():
     """The sweep below must cover the full registered surface."""
     points = _all_points()
-    assert len(points) >= 12
+    assert len(points) >= 15
     groups = {p.split(".")[0] for p in points}
-    assert groups == {"wal", "snapshot", "commit", "checkpoint"}
+    assert groups == {"wal", "snapshot", "commit", "checkpoint", "txn"}
 
 
 @pytest.mark.parametrize("fsync", [True, False], ids=["fsync_on", "fsync_off"])
@@ -163,8 +164,9 @@ def test_crash_and_recover_at_every_point(tmp_path, point, on_hit, fsync):
     if point == "wal.append.torn_write":
         # the record never became valid — CRC must reject it
         assert not committed_in_flight
-    if point == "commit.before_log":
-        # crash before the append: the effect cannot have survived
+    if point == "commit.before_log" or point.startswith("txn.commit."):
+        # crash before the append (every txn.commit.* point precedes
+        # the durable record): the effect cannot have survived
         assert not committed_in_flight
     if point in ("wal.append.after_sync", "commit.after_log"):
         # the record was durable before the crash

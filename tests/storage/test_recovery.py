@@ -268,4 +268,7 @@ class TestCli:
         out = io.StringIO()
         shell = Shell(out=out)
         shell.meta("\\wal")
-        assert "not a durable database" in out.getvalue()
+        assert "not in durable mode" in out.getvalue()
+        assert "\\open" in out.getvalue()
+        shell.meta("\\checkpoint")
+        assert out.getvalue().count("not in durable mode") == 2
