@@ -1,0 +1,224 @@
+"""P13 — parallel sharded execution over the worker pool.
+
+The parallel_mode ablation compares the same plans serially and over
+exchange operators on a multiprocessing worker pool:
+
+* ``off`` — the serial executor (byte-identical to the pre-parallel
+  engine: no exchange operators are even lowered);
+* ``process`` — the anchor scan is range- or hash-partitioned across
+  ``workers`` forked processes, small join build sides are broadcast
+  (each worker builds from its inherited snapshot), large ones are
+  hash-repartitioned, and an order-preserving merge gathers the parts.
+
+Workloads are the two shapes the exchange operators exist for:
+
+* scan-heavy — a wide scan→filter→project pipeline (range partition,
+  fused codegen slicing the member list per shard);
+* partitioned hash join — a self equi-join whose build side exceeds the
+  broadcast ceiling, so both sides hash-partition on the join key.
+
+Perf claims from this iteration:
+
+* with >= 4 cores, 4 workers run both workloads >= 2x faster than
+  serial at the 1M-object scale (asserted when ``os.cpu_count() >= 4``);
+* on smaller runners the parallel engine's *auto* configuration must
+  not regress: with the default worker budget the process mode stays
+  within noise of serial (>= 0.85x asserted — on a 1-CPU runner the
+  cost model keeps plans serial, so the ratio is ~1.0 by construction);
+* serial and parallel rows are byte-identical, order included.
+
+Every datapoint records ``cpu_count``, the worker budget, and the
+optimizer's chosen dop so the perf trajectory is interpretable across
+runner shapes. Measurements land in ``benchmarks/results/BENCH_p13.json``
+via the shared conftest helper; ``--bench-workers N`` overrides the
+worker budget.
+"""
+
+import os
+import statistics
+import time
+
+import pytest
+
+from conftest import fresh_company, write_bench_json
+
+#: range-partitioned shape: wide scan, two predicates, two columns
+SCAN_QUERY = (
+    "retrieve (E.name, E.salary) from E in Employees "
+    "where E.age > 30 and E.salary < 90000.0"
+)
+
+#: hash-partitioned shape: self equi-join on a unique key — the
+#: unfiltered build side is the whole set, far above the broadcast
+#: ceiling, so both sides hash-repartition on the join key
+JOIN_QUERY = (
+    "retrieve (E.name, X.salary) from E in Employees, X in Employees "
+    "where E.name = X.name"
+)
+
+SCALES = [10000, 100000]
+#: the 1M-object scaling claim needs real cores; opt in explicitly on
+#: smaller machines with BENCH_P13_FULL=1
+if (os.cpu_count() or 1) >= 4 or os.environ.get("BENCH_P13_FULL"):
+    SCALES.append(1000000)
+
+_DB_CACHE: dict = {}
+
+
+def company_db(employees: int):
+    """One shared database per scale (read-only workloads)."""
+    if employees not in _DB_CACHE:
+        _DB_CACHE[employees] = fresh_company(employees=employees)
+    return _DB_CACHE[employees]
+
+
+def median_time(db, query: str, repeats: int = 5) -> float:
+    db.execute(query)  # warm the plan cache (and the worker pool)
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        db.execute(query)
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def run_modes(db, query: str, workers: int, repeats: int):
+    """{'serial': s, 'parallel': s, 'dop': str, 'rows_equal': bool}."""
+    interpreter = db.interpreter
+    saved = interpreter.workers
+    interpreter.workers = workers
+    try:
+        interpreter.parallel_mode = "off"
+        serial_rows = db.execute(query).rows
+        serial = median_time(db, query, repeats)
+        interpreter.parallel_mode = "process"
+        parallel_result = db.execute(query)
+        parallel = median_time(db, query, repeats)
+        return {
+            "serial": serial,
+            "parallel": parallel,
+            "dop": parallel_result.plan.parallel or "serial",
+            "rows_equal": parallel_result.rows == serial_rows,
+        }
+    finally:
+        interpreter.parallel_mode = "process"
+        interpreter.workers = saved
+
+
+# -- pytest-benchmark timing grid ---------------------------------------------
+
+
+@pytest.mark.parametrize("employees", SCALES)
+@pytest.mark.parametrize("mode", ["off", "process"])
+@pytest.mark.benchmark(group="p13-scan")
+def test_scan_mode(benchmark, bench_workers, employees, mode):
+    db = company_db(employees)
+    interpreter = db.interpreter
+    interpreter.workers = bench_workers
+    interpreter.parallel_mode = mode
+    try:
+        result = benchmark(db.execute, SCAN_QUERY)
+    finally:
+        interpreter.parallel_mode = "process"
+    assert result.rows
+
+
+@pytest.mark.parametrize("employees", SCALES)
+@pytest.mark.parametrize("mode", ["off", "process"])
+@pytest.mark.benchmark(group="p13-join")
+def test_join_mode(benchmark, bench_workers, employees, mode):
+    db = company_db(employees)
+    interpreter = db.interpreter
+    interpreter.workers = bench_workers
+    interpreter.parallel_mode = mode
+    try:
+        result = benchmark(db.execute, JOIN_QUERY)
+    finally:
+        interpreter.parallel_mode = "process"
+    assert result.rows
+
+
+# -- CI smoke (smallest scale only) -------------------------------------------
+
+
+def test_smoke_smallest_scale(bench_workers):
+    """Correctness smoke at the smallest scale: parallel rows (scan and
+    partitioned join) are byte-identical to serial, and the parallel
+    plan actually carries exchange operators when workers >= 2."""
+    db = company_db(SCALES[0])
+    workers = max(2, bench_workers)
+    measured = run_modes(db, SCAN_QUERY, workers, repeats=1)
+    assert measured["rows_equal"]
+    assert measured["dop"].startswith("dop=")
+    measured = run_modes(db, JOIN_QUERY, workers, repeats=1)
+    assert measured["rows_equal"]
+    db.interpreter.shutdown_parallel()
+
+
+# -- acceptance ---------------------------------------------------------------
+
+
+def test_parallel_speedup_writes_json(bench_workers):
+    """Acceptance: with >= 4 cores, 4 workers deliver >= 2x over serial
+    on both workloads at the largest scale; otherwise the default
+    configuration must not regress (>= 0.85x of serial, noise allowance
+    — the cost model keeps plans serial below the worker/row
+    thresholds). Byte-identical rows are asserted at every datapoint,
+    and every datapoint records cpu_count, the worker budget, and the
+    optimizer's chosen dop."""
+    cpu_count = os.cpu_count() or 1
+    multi_core = cpu_count >= 4
+    workers = max(4, bench_workers) if multi_core else bench_workers
+    payload: dict = {
+        "cpu_count": cpu_count,
+        "workers": workers,
+        "scan": {},
+        "join": {},
+    }
+    for tag, query in (("scan", SCAN_QUERY), ("join", JOIN_QUERY)):
+        for employees in SCALES:
+            db = company_db(employees)
+            repeats = 3 if employees >= 100000 else 5
+            measured = run_modes(db, query, workers, repeats)
+            assert measured["rows_equal"], (tag, employees)
+            payload[tag][str(employees)] = {
+                "serial_ms": round(measured["serial"] * 1000, 3),
+                "parallel_ms": round(measured["parallel"] * 1000, 3),
+                "speedup": round(
+                    measured["serial"] / measured["parallel"], 2
+                ),
+                "dop": measured["dop"],
+                "cpu_count": cpu_count,
+                "workers": workers,
+            }
+            db.interpreter.shutdown_parallel()
+
+    # Unasserted interpretability datapoint: force two workers at the
+    # smallest scale so the JSON always demonstrates the exchange
+    # machinery (dop, partitioning mode, pool overhead) even on 1-CPU
+    # runners where the asserted run above stays serial by design.
+    forced: dict = {}
+    for tag, query in (("scan", SCAN_QUERY), ("join", JOIN_QUERY)):
+        db = company_db(SCALES[0])
+        measured = run_modes(db, query, workers=2, repeats=3)
+        assert measured["rows_equal"], (tag, "forced")
+        forced[tag] = {
+            "serial_ms": round(measured["serial"] * 1000, 3),
+            "parallel_ms": round(measured["parallel"] * 1000, 3),
+            "speedup": round(measured["serial"] / measured["parallel"], 2),
+            "dop": measured["dop"],
+            "cpu_count": cpu_count,
+            "workers": 2,
+        }
+        db.interpreter.shutdown_parallel()
+    payload["forced_dop2_smallest_scale"] = forced
+
+    write_bench_json("p13", payload)
+
+    largest = str(SCALES[-1])
+    for tag in ("scan", "join"):
+        speedup = payload[tag][largest]["speedup"]
+        if multi_core:
+            assert speedup >= 2.0, payload
+        else:
+            assert speedup >= 0.85, payload

@@ -12,6 +12,7 @@ tables can be regenerated without scraping pytest output.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import pytest
@@ -20,6 +21,30 @@ from repro import Database
 from repro.util.workload import CompanyWorkload, build_company_database
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-workers",
+        type=int,
+        default=None,
+        help=(
+            "worker-process budget for the parallel-execution benchmarks "
+            "(default: min(4, cpu_count) — recorded per datapoint in "
+            "BENCH_p13.json so results stay interpretable across runner "
+            "shapes)"
+        ),
+    )
+
+
+@pytest.fixture
+def bench_workers(request) -> int:
+    """The parallel-bench worker budget: ``--bench-workers`` if given,
+    otherwise min(4, cpu_count)."""
+    option = request.config.getoption("--bench-workers")
+    if option is not None:
+        return max(1, option)
+    return max(1, min(4, os.cpu_count() or 1))
 
 #: standard scale used by most experiments
 N_EMPLOYEES = 300

@@ -42,6 +42,8 @@ __all__ = [
     "HISTOGRAM_BUCKETS",
     "STALE_CHURN_FRACTION",
     "STALE_CHURN_MIN",
+    "PARALLEL_MIN_PARTITION_ROWS",
+    "PARALLEL_BROADCAST_MAX_ROWS",
 ]
 
 #: System R magic numbers: the fallbacks when no statistics exist.
@@ -61,6 +63,17 @@ STALE_CHURN_MIN = 8
 #: Estimates never go below this selectivity (zero estimates would make
 #: every downstream cost identical).
 _FLOOR = 1e-4
+
+#: Parallel execution: one scan partition per this many estimated input
+#: rows (degree-of-parallelism = est // this, capped at the worker
+#: count).  Below 2× this a plan stays serial — process dispatch plus
+#: result pickling costs more than the scan itself on small inputs.
+PARALLEL_MIN_PARTITION_ROWS = 2048
+
+#: A hash join's build side is replicated to every worker (broadcast)
+#: up to this many estimated rows; past it the optimizer hash-partitions
+#: both sides on the join key so each worker builds only its bucket.
+PARALLEL_BROADCAST_MAX_ROWS = 4096
 
 
 def _is_numeric(value: Any) -> bool:

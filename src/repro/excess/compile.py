@@ -952,10 +952,18 @@ def _build_fused(op: Any, compiled: bool) -> Optional[FusedPipeline]:
         return None
     project = chain[0] if isinstance(chain[0], plan.Project) else None
     filters = [o for o in chain if isinstance(o, plan.Filter)]
+    partition = next(
+        (o for o in chain if isinstance(o, plan.ExchangePartition)), None
+    )
     leaf = chain[-1]
-    # execution order: scan, then filters bottom-up, then the projection
+    # execution order: scan, then the range partition (a member-list
+    # slice, active only under a worker shard), then filters bottom-up,
+    # then the projection
     filters_exec = list(reversed(filters))
-    exec_chain: list = [leaf, *filters_exec]
+    exec_chain: list = [leaf]
+    if partition is not None:
+        exec_chain.append(partition)
+    exec_chain.extend(filters_exec)
     if project is not None:
         exec_chain.append(project)
 
@@ -1017,6 +1025,18 @@ def _build_fused(op: Any, compiled: bool) -> Optional[FusedPipeline]:
         emit("            _members = _db.integrity.live_members(_collection)")
         emit("        else:")
         emit('            raise EvaluationError(f"{_set_name!r} is not a collection")')
+        if partition is not None:
+            # range partitioning: slice the member list before any row
+            # work — the whole saving of a parallel scan (a passthrough
+            # when no worker shard is active)
+            emit("        _ex = ctx.exchange")
+            emit("        if _ex is not None:")
+            emit("            _members = list(_members)")
+            emit("            _mn = len(_members)")
+            emit(
+                "            _members = _members[(_ex.part * _mn) // _ex.dop"
+                " : ((_ex.part + 1) * _mn) // _ex.dop]"
+            )
     else:  # IndexScan
         ns["_descriptor"] = leaf.descriptor
         key_name = closure(leaf.key_expr)
@@ -1079,6 +1099,7 @@ def _build_fused(op: Any, compiled: bool) -> Optional[FusedPipeline]:
             body.append(f"{pad}{out} = {name}(_row, ctx)")
             return out
 
+        counter_base = 1 if partition is None else 2
         for findex, flt in enumerate(filters_exec):
             for predicate in flt.predicates:
                 stmts, reg = lowering.lower(predicate, pad)
@@ -1090,8 +1111,8 @@ def _build_fused(op: Any, compiled: bool) -> Optional[FusedPipeline]:
                     pred_name = closure(predicate)
                     body.append(f"{pad}if {pred_name}(_row, ctx) is not True:")
                 body.append(f"{pad}    continue")
-            if findex + 1 < n_counters:
-                body.append(f"{pad}_n{findex + 1} += 1")
+            if findex + counter_base < n_counters:
+                body.append(f"{pad}_n{findex + counter_base} += 1")
         if project is None:
             # Filter-rooted region: emit surviving envs as snapshots
             body.append(f"{pad}_append(dict(_row))")
@@ -1129,6 +1150,9 @@ def _build_fused(op: Any, compiled: bool) -> Optional[FusedPipeline]:
         if uses_row:
             emit(f"            _row[{var!r}] = _member")
         emit("            _n0 += 1")
+        if partition is not None and n_counters > 1:
+            # the partition's output equals the (already sliced) scan
+            emit("            _n1 += 1")
         if lowering.uses_scan_object:
             # one dereference of the scan member shared by every inline
             # attribute read of this row

@@ -199,6 +199,13 @@ class Evaluator:
         #: stay alive on the bound statement for this evaluator's life)
         self._compiled_memo: dict[int, Any] = {}
         self._compiled_ctx: Optional[PlanContext] = None
+        #: parent-side worker-pool dispatcher (interpreter-attached when
+        #: parallel_mode=process; exchange merges and aggregate
+        #: precompute consult it, everything else ignores it)
+        self.parallel: Any = None
+        #: worker-side shard descriptor (set only inside pool workers:
+        #: restricts ExchangePartition — and fused scans — to one part)
+        self.exchange: Any = None
 
     def _eval_compiled(self, node: BoundExpr, env: Env, tables: dict) -> Any:
         """Evaluate through the compiled-closure memo (used by the
@@ -704,6 +711,14 @@ class Evaluator:
             if aggregate.mode == "correlated":
                 tables[aggregate.aggregate_id] = ("correlated", aggregate, {})
                 continue
+            if self.parallel is not None and not base_env:
+                # partial→final on the worker pool; None = stay serial
+                computed = self.parallel.run_aggregate(self, aggregate, tables)
+                if computed is not None:
+                    tables[aggregate.aggregate_id] = (
+                        aggregate.mode, aggregate, computed
+                    )
+                    continue
             groups: dict[Any, list] = {}
             inner = self._aggregate_query(aggregate)
             for env in self._query_rows(inner, base_env, tables):

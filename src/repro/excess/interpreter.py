@@ -10,6 +10,7 @@ when the database has it enabled.
 
 from __future__ import annotations
 
+import os
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -213,6 +214,16 @@ class Interpreter:
         self.exec_mode = "fused"
         #: target rows per exchanged batch (batch/fused modes)
         self.batch_size = 1024
+        #: "process" lowers eligible retrieve pipelines with exchange
+        #: operators and runs them on a multi-core worker pool; "off"
+        #: keeps every plan serial — byte-identical to the pre-parallel
+        #: lowering (ablation)
+        self.parallel_mode = "process"
+        #: worker-process budget for parallel plans (the chosen degree
+        #: of parallelism never exceeds this)
+        self.workers = max(1, os.cpu_count() or 1)
+        #: lazily created worker-pool dispatcher, shared by statements
+        self._parallel_runner: Any = None
         #: LRU of prepared plans; entries self-invalidate via the epoch key
         self.plan_cache = PlanCache()
         #: the session whose statement is currently executing (set by
@@ -257,6 +268,54 @@ class Interpreter:
             )
         self._batch_size = value
 
+    @property
+    def parallel_mode(self) -> str:
+        """Parallel execution mode: "process" or "off"."""
+        return self._parallel_mode
+
+    @parallel_mode.setter
+    def parallel_mode(self, value: Any) -> None:
+        if value not in ("process", "off"):
+            raise ExcessError(
+                f"parallel_mode must be 'process' or 'off', got {value!r}"
+            )
+        self._parallel_mode = value
+
+    @property
+    def workers(self) -> int:
+        """Worker-process budget for parallel plans."""
+        return self._workers
+
+    @workers.setter
+    def workers(self, value: Any) -> None:
+        if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+            raise ExcessError(
+                f"workers must be a positive integer, got {value!r}"
+            )
+        self._workers = value
+
+    # -- parallel execution ---------------------------------------------------------
+
+    def _parallel(self) -> Any:
+        """The interpreter's worker-pool dispatcher (created on first
+        parallel-eligible execution; pool processes start lazily)."""
+        runner = self._parallel_runner
+        if runner is None:
+            from repro.excess.parallel import ParallelRunner
+
+            runner = ParallelRunner(self.db)
+            self._parallel_runner = runner
+        runner.workers = self._flag("workers")
+        return runner
+
+    def shutdown_parallel(self) -> None:
+        """Stop the worker pool, if one is running (tests, benches, and
+        embedders that want deterministic teardown; pools restart on the
+        next parallel execution)."""
+        runner = self._parallel_runner
+        if runner is not None:
+            runner.stop()
+
     # -- operator table ------------------------------------------------------------
 
     def _operator_table(self) -> OperatorTable:
@@ -288,6 +347,8 @@ class Interpreter:
             flag("cost_based"),
             flag("compile_mode"),
             flag("exec_mode"),
+            flag("parallel_mode"),
+            flag("workers"),
         ) + token
 
     #: statement types that never mutate durable state (no implicit
@@ -711,6 +772,8 @@ class Interpreter:
             cost_based=self._flag("cost_based"),
             compile_mode=self._flag("compile_mode"),
             exec_mode=self._flag("exec_mode"),
+            parallel_mode=self._flag("parallel_mode"),
+            workers=self._flag("workers"),
         )
         if isinstance(statement, ast.Retrieve):
             kind, bound = "retrieve", binder.bind_retrieve(statement)
@@ -747,6 +810,12 @@ class Interpreter:
             session=self._session(),
         )
         evaluator.metrics.cache = cache
+        if (
+            plan.kind == "retrieve"
+            and self._flag("parallel_mode") == "process"
+            and self._flag("workers") >= 2
+        ):
+            evaluator.parallel = self._parallel()
         bound = plan.bound
         if plan.kind == "explain":
             message = plan.report.describe()
@@ -976,6 +1045,8 @@ class Interpreter:
             cost_based=self._flag("cost_based"),
             compile_mode=self._flag("compile_mode"),
             exec_mode=self._flag("exec_mode"),
+            parallel_mode=self._flag("parallel_mode"),
+            workers=self._flag("workers"),
         )
         report = optimizer.optimize(query)
         root = optimizer.lower(bound_stmt, report)

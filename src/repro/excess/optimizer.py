@@ -105,6 +105,10 @@ class OptimizerReport:
     #: fusable Scan→Filter…→Project regions the lowered plan contains
     #: (each runs as one generated function in fused mode)
     pipelines: int = 0
+    #: parallel lowering outcome: "dop=N, range|hash" when exchange
+    #: operators were inserted, "serial" when parallel mode considered
+    #: the plan and declined, "" when parallel mode is off
+    parallel: str = ""
 
     def describe(self) -> str:
         """One-line human-readable summary."""
@@ -116,6 +120,8 @@ class OptimizerReport:
                 message += f"; exec={self.exec_mode}"
                 if self.exec_mode == "fused":
                     message += f" (pipelines={self.pipelines})"
+            if self.parallel:
+                message += f"; parallel={self.parallel}"
             return message
         parts = [
             f"pushdown={self.pushed_down}",
@@ -143,6 +149,8 @@ class OptimizerReport:
             if self.exec_mode == "fused":
                 note += f" (pipelines={self.pipelines})"
             parts.append(note)
+        if self.parallel:
+            parts.append(f"parallel={self.parallel}")
         return "; ".join(parts)
 
 
@@ -302,6 +310,8 @@ class Optimizer:
         cost_based: bool = True,
         compile_mode: str = "",
         exec_mode: str = "",
+        parallel_mode: str = "",
+        workers: int = 0,
     ):
         self.catalog = catalog
         self.enabled = enabled
@@ -316,6 +326,10 @@ class Optimizer:
         #: optimizer itself is mode-independent)
         self.compile_mode = compile_mode
         self.exec_mode = exec_mode
+        #: exchange-operator insertion during lowering ("process" = on;
+        #: anything else leaves plans serial and byte-identical)
+        self.parallel_mode = parallel_mode
+        self.workers = workers
 
     def optimize(self, query: BoundQuery) -> OptimizerReport:
         """Apply the rule families to ``query`` (mutating it)."""
@@ -395,10 +409,22 @@ class Optimizer:
             ensure_query_plan,
             ensure_retrieve_plan,
             fused_regions,
+            parallelize_pipeline,
         )
 
         if isinstance(bound, BoundRetrieve):
             root = ensure_retrieve_plan(bound, self.catalog)
+            if self.parallel_mode == "process" and self.workers >= 2:
+                root, info = parallelize_pipeline(
+                    root, self.catalog, self.workers
+                )
+                bound.pipeline = root
+                if report is not None:
+                    report.parallel = (
+                        f"dop={info['dop']}, {info['mode']}"
+                        if info is not None
+                        else "serial"
+                    )
         else:
             query = getattr(bound, "query", None)
             if isinstance(query, BoundQuery):

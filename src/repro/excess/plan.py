@@ -64,6 +64,7 @@ execution and are reset by the executor before each execution, so
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Any, Iterator, Optional
 
@@ -115,8 +116,14 @@ __all__ = [
     "Project",
     "Sort",
     "StoreInto",
+    "ExchangePartition",
+    "ExchangeMerge",
+    "ExchangeBroadcast",
     "join_key",
+    "partition_hash",
     "sort_rows",
+    "parallelize_pipeline",
+    "parallelize_query_block",
     "lower_query",
     "lower_retrieve",
     "ensure_query_plan",
@@ -166,6 +173,8 @@ class PlanContext:
         "exec_mode",
         "batch_size",
         "session_stamp",
+        "exchange",
+        "parallel",
     )
 
     def __init__(self, evaluator: Any, tables: Optional[dict] = None):
@@ -189,6 +198,15 @@ class PlanContext:
         self.exec_mode = getattr(evaluator, "exec_mode", "fused")
         #: target rows per exchanged batch (batch/fused modes)
         self.batch_size = getattr(evaluator, "batch_size", 1024)
+        #: worker-side shard descriptor (``.part``/``.dop``) — set only
+        #: inside a parallel worker; :class:`ExchangePartition` (and the
+        #: fused codegen) read it to restrict the scan to one partition.
+        #: None in the parent process, where partitions pass through.
+        self.exchange = getattr(evaluator, "exchange", None)
+        #: parent-side parallel runner (``repro.excess.parallel``) — set
+        #: when parallel execution is enabled; :class:`ExchangeMerge`
+        #: dispatches its fragment through it. None ⇒ serial fallback.
+        self.parallel = getattr(evaluator, "parallel", None)
 
     def eval(self, expr: BoundExpr, env: Env) -> Any:
         """Evaluate a bound expression under this execution's tables."""
@@ -275,14 +293,22 @@ class PlanOp:
 
     def __getstate__(self) -> dict:
         # bound statements (and their cached plans) are pickled by
-        # transaction snapshots; generators are transient execution
-        # state, and compiled closures are unpicklable by nature — both
-        # are dropped here and rebuilt lazily after unpickling
+        # transaction snapshots, and plan fragments are shipped to
+        # parallel workers; generators are transient execution state,
+        # and compiled closures are unpicklable by nature — every
+        # per-node runtime cache is dropped here and rebuilt lazily
+        # after unpickling (workers recompile on first execution)
         state = dict(self.__dict__)
         state["_iters"] = []
         state["running"] = 0
         state.pop("_compiled", None)
         state.pop("_fused", None)
+        state.pop("_plan_ops", None)
+        state.pop("_fragment_key", None)
+        if "_memo" in state:
+            # memoized hash-build tables hold live object references and
+            # a stamp from the building process — never ship them
+            state["_memo"] = None
         return state
 
     def _run(self, ctx: PlanContext, env: Env) -> Iterator[Any]:
@@ -387,10 +413,34 @@ class PlanOp:
         per-operator ``compiled=`` annotation of the rendered plan."""
         return None
 
+    def exchange_note(self) -> Optional[str]:
+        """``[hash(k), dop=N]``-style annotation for exchange operators,
+        None for ordinary (serial) operators — the ``exchange=``
+        annotation of the rendered plan."""
+        return None
+
 
 # ---------------------------------------------------------------------------
 # Row sources
 # ---------------------------------------------------------------------------
+
+
+def _scan_members(db: Any, set_name: str) -> Iterator[Any]:
+    """Live members of a named set (or a named array's live, non-null
+    slots, in order) — the shared row source behind ``SeqScan`` and the
+    range-partitioning exchange specialization."""
+    collection = db.named(set_name).value
+    if isinstance(collection, ArrayInstance):
+        is_live = db.objects.is_live
+        return (
+            slot
+            for slot in collection
+            if slot is not NULL
+            and not (isinstance(slot, Ref) and not is_live(slot.oid))
+        )
+    if isinstance(collection, SetInstance):
+        return iter(db.integrity.live_members(collection))
+    raise EvaluationError(f"{set_name!r} is not a collection")
 
 
 class Singleton(PlanOp):
@@ -462,20 +512,7 @@ class SeqScan(_BindingOp):
 
     def run_batches(self, ctx: PlanContext, env: Env, size: int) -> Iterator[list]:
         self.stats.opens += 1
-        db = ctx.db
-        collection = db.named(self.set_name).value
-        if isinstance(collection, ArrayInstance):
-            is_live = db.objects.is_live
-            members: Any = (
-                slot
-                for slot in collection
-                if slot is not NULL
-                and not (isinstance(slot, Ref) and not is_live(slot.oid))
-            )
-        elif isinstance(collection, SetInstance):
-            members = db.integrity.live_members(collection)
-        else:
-            raise EvaluationError(f"{self.set_name!r} is not a collection")
+        members = _scan_members(ctx.db, self.set_name)
         var = self.var
         batch: list = []
         for member in members:
@@ -1424,6 +1461,276 @@ class StoreInto(PlanOp):
             yield rows[start : start + size]
 
 
+# ---------------------------------------------------------------------------
+# Exchange operators (parallel execution)
+# ---------------------------------------------------------------------------
+
+
+def _canonical_partition(value: Any) -> Any:
+    """Collapse values that compare (and hash-bucket) equal in serial
+    execution onto one representation: ``1``, ``1.0`` and ``True`` are
+    the same dict key, so they must land in the same partition."""
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    if isinstance(value, tuple):
+        return tuple(_canonical_partition(item) for item in value)
+    return value
+
+
+def partition_hash(key: Any) -> int:
+    """A process-stable hash of a canonical join key.
+
+    Python's ``hash()`` is randomized per process (PYTHONHASHSEED), so
+    spawn-started workers would disagree about bucket assignment.
+    CRC-32 over the repr of the canonicalized key is stable everywhere;
+    collisions are harmless (partitioning only needs co-location, not
+    injectivity).
+    """
+    text = repr(_canonical_partition(key))
+    return zlib.crc32(text.encode("utf-8", "backslashreplace"))
+
+
+class ExchangePartition(PlanOp):
+    """Restrict the child's stream to the current worker's partition.
+
+    With no shard descriptor on the context (serial execution, or the
+    parent process running the plan itself), the operator is a pure
+    passthrough — the same plan object executes serially and in
+    parallel workers without rewriting.
+
+    ``mode="range"`` takes a contiguous slice of the child's output (for
+    a SeqScan child the member list is sliced *before* row dicts are
+    built), so concatenating the parts in part order reproduces the
+    serial stream exactly.  ``mode="hash"`` routes each row by
+    ``partition_hash(join_key(key))`` so all rows of one key value land
+    in one partition; ``tag_pos=True`` additionally stamps the row's
+    global input position into ``"#pos"`` so the merge can restore
+    serial order.
+    """
+
+    label = "ExchangePartition"
+
+    def __init__(
+        self,
+        child: PlanOp,
+        mode: str,
+        dop: int,
+        key: Optional[BoundExpr] = None,
+        key_op: str = "=",
+        tag_pos: bool = False,
+    ) -> None:
+        super().__init__([child])
+        self.mode = mode
+        self.dop = dop
+        self.key = key
+        self.key_op = key_op
+        self.tag_pos = tag_pos
+        self.est_rows = child.est_rows
+
+    def describe(self) -> str:
+        if self.mode == "hash":
+            return f"ExchangePartition hash({describe_expr(self.key)})"
+        return "ExchangePartition range"
+
+    def exchange_note(self) -> Optional[str]:
+        if self.mode == "hash":
+            return f"[hash({describe_expr(self.key)}), dop={self.dop}]"
+        return f"[range, dop={self.dop}]"
+
+    def _compiled_key(self) -> tuple:
+        cached = self.__dict__.get("_compiled")
+        if cached is None:
+            compiled = compile_expr(self.key)
+            cached = (compiled.fn, compiled.full)
+            self.__dict__["_compiled"] = cached
+        return cached
+
+    def compiled_note(self) -> Optional[str]:
+        if self.mode != "hash":
+            return None
+        return compiled_label(self._compiled_key()[1])
+
+    def _slice(self, n: int, shard: Any) -> tuple[int, int]:
+        return (shard.part * n) // shard.dop, ((shard.part + 1) * n) // shard.dop
+
+    def run_batches(self, ctx: PlanContext, env: Env, size: int) -> Iterator[list]:
+        self.stats.opens += 1
+        shard = ctx.exchange
+        if shard is None:
+            yield from self._pull_batches(self.children[0], ctx, env, size)
+            return
+        if self.mode == "range":
+            yield from self._range_batches(ctx, env, size, shard)
+        else:
+            yield from self._hash_batches(ctx, env, size, shard)
+
+    def _range_batches(
+        self, ctx: PlanContext, env: Env, size: int, shard: Any
+    ) -> Iterator[list]:
+        child = self.children[0]
+        child_stats = child.stats
+        stats = self.stats
+        if isinstance(child, SeqScan) and not env:
+            # slice the member list before building row dicts: the whole
+            # point of range partitioning is that each worker pays only
+            # for its 1/dop share of the scan
+            child_stats.opens += 1
+            members = list(_scan_members(ctx.db, child.set_name))
+            lo, hi = self._slice(len(members), shard)
+            var = child.var
+            batch: list = []
+            for member in members[lo:hi]:
+                batch.append({var: member})
+                if len(batch) >= size:
+                    child_stats.rows_out += len(batch)
+                    stats.rows_in += len(batch)
+                    yield batch
+                    batch = []
+            if batch:
+                child_stats.rows_out += len(batch)
+                stats.rows_in += len(batch)
+                yield batch
+            return
+        rows: list = []
+        for chunk in self._pull_batches(child, ctx, env, size):
+            rows.extend(chunk)
+        lo, hi = self._slice(len(rows), shard)
+        for start in range(lo, hi, size):
+            yield rows[start : min(start + size, hi)]
+
+    def _hash_batches(
+        self, ctx: PlanContext, env: Env, size: int, shard: Any
+    ) -> Iterator[list]:
+        part, dop = shard.part, shard.dop
+        key_fn = self._compiled_key()[0] if ctx.compiled else None
+        evaluate = ctx.eval
+        key_expr = self.key
+        key_op = self.key_op
+        tag = self.tag_pos
+        pos = -1
+        out: list = []
+        for chunk in self._pull_batches(self.children[0], ctx, env, size):
+            for row in chunk:
+                pos += 1
+                try:
+                    value = key_fn(row, ctx) if key_fn else evaluate(key_expr, row)
+                    key = join_key(value, key_op)
+                except EvaluationError:
+                    # a partition-key failure is a placement decision,
+                    # not an error: keep the row locally so the operator
+                    # that evaluates this expression for real raises (or
+                    # a filter in between drops the row, as serially)
+                    key = None
+                bucket = (partition_hash(key) if key is not None else pos) % dop
+                if bucket != part:
+                    continue
+                if tag:
+                    row["#pos"] = pos
+                out.append(row)
+                if len(out) >= size:
+                    yield out
+                    out = []
+        if out:
+            yield out
+
+    def _run(self, ctx: PlanContext, env: Env) -> Iterator[Env]:
+        if ctx.exchange is None:
+            yield from self._pull(self.children[0], ctx, env)
+            return
+        # workers always execute fragments batch-at-a-time; the row-mode
+        # path only ever runs serially (passthrough above)
+        for batch in self.run_batches(ctx, env, ctx.batch_size):
+            yield from batch
+
+
+class ExchangeMerge(PlanOp):
+    """Gather the partitioned pipeline below from the worker pool.
+
+    When the executing evaluator carries a parallel runner (parent
+    process, ``parallel_mode=process``), the merge hands its subtree to
+    the runner, which ships it to the workers and returns the gathered
+    rows — order-preserving for both modes (range parts concatenate in
+    part order; hash parts carry ``"#pos"`` tags and are stably
+    re-sorted).  Without a runner — or when the runner declines (MVCC
+    snapshot active, pool failure) — the merge is a passthrough and the
+    subtree runs serially in-process, bit-identically.
+    """
+
+    label = "ExchangeMerge"
+
+    def __init__(
+        self, child: PlanOp, dop: int, mode: str, ordered: bool = True
+    ) -> None:
+        super().__init__([child])
+        self.dop = dop
+        self.mode = mode
+        self.ordered = ordered
+        self.est_rows = child.est_rows
+
+    def describe(self) -> str:
+        return "ExchangeMerge"
+
+    def exchange_note(self) -> Optional[str]:
+        return f"[gather, dop={self.dop}]"
+
+    def _gather(self, ctx: PlanContext, env: Env) -> Optional[list]:
+        runner = ctx.parallel
+        if runner is None or env:
+            return None
+        rows = runner.run_exchange(self, ctx)
+        if rows is not None:
+            self.stats.rows_in += len(rows)
+        return rows
+
+    def run_batches(self, ctx: PlanContext, env: Env, size: int) -> Iterator[list]:
+        self.stats.opens += 1
+        rows = self._gather(ctx, env)
+        if rows is not None:
+            for start in range(0, len(rows), size):
+                yield rows[start : start + size]
+            return
+        yield from self._pull_batches(self.children[0], ctx, env, size)
+
+    def _run(self, ctx: PlanContext, env: Env) -> Iterator[Any]:
+        rows = self._gather(ctx, env)
+        if rows is not None:
+            yield from rows
+            return
+        yield from self._pull(self.children[0], ctx, env)
+
+
+class ExchangeBroadcast(PlanOp):
+    """Mark a subtree as replicated to every worker.
+
+    Execution is a pure passthrough: each worker simply runs the subtree
+    in full against its inherited snapshot (no rows cross processes), so
+    the operator only exists to make the replication decision visible in
+    EXPLAIN and auditable by tests.
+    """
+
+    label = "ExchangeBroadcast"
+
+    def __init__(self, child: PlanOp, dop: int) -> None:
+        super().__init__([child])
+        self.dop = dop
+        self.est_rows = child.est_rows
+
+    def describe(self) -> str:
+        return "ExchangeBroadcast"
+
+    def exchange_note(self) -> Optional[str]:
+        return f"[broadcast, dop={self.dop}]"
+
+    def run_batches(self, ctx: PlanContext, env: Env, size: int) -> Iterator[list]:
+        self.stats.opens += 1
+        yield from self._pull_batches(self.children[0], ctx, env, size)
+
+    def _run(self, ctx: PlanContext, env: Env) -> Iterator[Any]:
+        yield from self._pull(self.children[0], ctx, env)
+
+
 SCAN_OPS = (SeqScan, IndexScan, PathExpand, FunctionScan)
 
 
@@ -1691,6 +1998,218 @@ def ensure_retrieve_plan(bound: BoundRetrieve, catalog: Any) -> PlanOp:
 
 
 # ---------------------------------------------------------------------------
+# Parallelization: exchange insertion over a lowered pipeline
+# ---------------------------------------------------------------------------
+
+#: operators a parallel fragment may contain — everything here executes
+#: correctly against a forked database snapshot with no cross-process
+#: coordination (scans enumerate the snapshot, joins build local tables,
+#: semi-probes memoize local key sets)
+_PARALLEL_FRAGMENT_OPS = (
+    SeqScan,
+    IndexScan,
+    Filter,
+    SemiJoinProbe,
+    NestedLoopJoin,
+    HashJoin,
+    PathExpand,
+)
+
+
+def _key_var(expr: Optional[BoundExpr]) -> Optional[str]:
+    """The range variable a key expression is rooted at (``E.dept.name``
+    → ``E``), or None for anything more exotic."""
+    if isinstance(expr, VarRef):
+        return expr.name
+    if isinstance(expr, AttrStep):
+        return _key_var(expr.base)
+    if isinstance(expr, IndexStepB):
+        return _key_var(expr.base)
+    return None
+
+
+def _fragment_shape(qroot: PlanOp) -> tuple[Optional[list], Optional[SeqScan]]:
+    """``(spine, anchor)`` of a parallelizable binding pipeline, or
+    ``(None, None)``.
+
+    Eligible pipelines contain only :data:`_PARALLEL_FRAGMENT_OPS` and
+    their outer spine (the ``children[0]`` descent) must bottom out at a
+    :class:`SeqScan` — the partitionable row source.  ``spine`` is the
+    descent path, qroot first, anchor excluded.
+    """
+    for op in walk_plan(qroot):
+        if not isinstance(op, _PARALLEL_FRAGMENT_OPS):
+            return None, None
+    spine: list[PlanOp] = []
+    current = qroot
+    while not isinstance(current, SeqScan):
+        if not current.children:
+            return None, None
+        spine.append(current)
+        current = current.children[0]
+    return spine, current
+
+
+def _choose_dop(anchor: SeqScan, catalog: Any, workers: int) -> int:
+    """Degree of parallelism from the anchor's estimated rows: one
+    partition per :data:`~repro.core.statistics.
+    PARALLEL_MIN_PARTITION_ROWS` estimated input rows, capped at the
+    worker count — small inputs are not worth the dispatch overhead."""
+    from repro.core.statistics import PARALLEL_MIN_PARTITION_ROWS
+
+    base = anchor.est_rows
+    if base is None:
+        base = catalog.cardinality(anchor.set_name)
+    return min(workers, max(1, int(base or 0) // PARALLEL_MIN_PARTITION_ROWS))
+
+
+def parallelize_pipeline(
+    root: PlanOp, catalog: Any, workers: int
+) -> tuple[PlanOp, Optional[dict]]:
+    """Insert exchange operators into a lowered retrieve pipeline.
+
+    Returns ``(root, info)`` — the possibly rewritten pipeline plus an
+    ``{"dop", "mode", "broadcasts"}`` summary — or ``(root, None)`` when
+    the plan stays serial: too few estimated rows for ``workers``, or an
+    ineligible shape (unique projection, object-valued targets or sort
+    keys, aggregates, universal quantifiers, a non-SeqScan anchor).
+
+    Strategy: the anchor scan is partitioned across ``dop`` workers —
+    by contiguous **range** normally, or by **hash** of the probe key
+    when the spine carries a hash join whose build side is too large to
+    replicate (build estimate > :data:`~repro.core.statistics.
+    PARALLEL_BROADCAST_MAX_ROWS`) and whose probe key is rooted at the
+    anchor variable; that join's build side is then hash-partitioned on
+    the build key so each worker builds only its bucket.  Every other
+    hash-join build side is marked :class:`ExchangeBroadcast` (each
+    worker builds the full, small table from its snapshot).  An
+    :class:`ExchangeMerge` above the projection gathers the parts in
+    serial order.
+
+    The rewritten tree still executes serially — and bit-identically —
+    when no worker pool drives it: every exchange operator degrades to a
+    passthrough.
+    """
+    from repro.core.statistics import PARALLEL_BROADCAST_MAX_ROWS
+
+    for op in walk_plan(root):
+        if isinstance(op, ExchangeMerge):
+            # already parallelized (cached pipeline re-lowered)
+            broadcasts = sum(
+                isinstance(o, ExchangeBroadcast) for o in walk_plan(root)
+            )
+            return root, {
+                "dop": op.dop,
+                "mode": op.mode,
+                "broadcasts": broadcasts,
+            }
+    store = root if isinstance(root, StoreInto) else None
+    below = store.children[0] if store is not None else root
+    sort = below if isinstance(below, Sort) else None
+    project = sort.children[0] if sort is not None else below
+    if not isinstance(project, Project) or project.unique:
+        return root, None
+    if any(t.expression.is_object for t in project.targets):
+        # object-valued results must be the parent's live instances, not
+        # pickled worker copies
+        return root, None
+    if any(expr.is_object for expr, _desc in project.order):
+        return root, None
+    qroot = project.children[0]
+    spine, anchor = _fragment_shape(qroot)
+    if anchor is None:
+        return root, None
+    dop = _choose_dop(anchor, catalog, workers)
+    if dop < 2:
+        return root, None
+
+    repartition: Optional[HashJoin] = None
+    for op in spine:
+        if not isinstance(op, HashJoin):
+            continue
+        build = op.children[1]
+        build_est = (
+            build.est_rows if build.est_rows is not None else op.build_cardinality
+        )
+        if (build_est or 0) > PARALLEL_BROADCAST_MAX_ROWS and _key_var(
+            op.probe_key
+        ) == anchor.var:
+            repartition = op  # keep the deepest qualifying join
+
+    if repartition is not None:
+        mode = "hash"
+        partition = ExchangePartition(
+            anchor,
+            "hash",
+            dop,
+            key=repartition.probe_key,
+            key_op=repartition.join_op,
+            tag_pos=True,
+        )
+        repartition.children[1] = ExchangePartition(
+            repartition.children[1],
+            "hash",
+            dop,
+            key=repartition.build_key,
+            key_op=repartition.join_op,
+        )
+    else:
+        mode = "range"
+        partition = ExchangePartition(anchor, "range", dop)
+
+    broadcasts = 0
+    for op in walk_plan(qroot):
+        if isinstance(op, HashJoin) and op is not repartition:
+            op.children[1] = ExchangeBroadcast(op.children[1], dop)
+            broadcasts += 1
+
+    owner = spine[-1] if spine else project
+    owner.children[0] = partition
+    merge = ExchangeMerge(project, dop, mode)
+    if sort is not None:
+        sort.children[0] = merge
+    elif store is not None:
+        store.children[0] = merge
+    else:
+        root = merge
+    for op in walk_plan(root):
+        # the tree changed shape: drop any memoized walks/fusions
+        op.__dict__.pop("_plan_ops", None)
+        op.__dict__.pop("_fused", None)
+    return root, {"dop": dop, "mode": mode, "broadcasts": broadcasts}
+
+
+def parallelize_query_block(query: BoundQuery, catalog: Any, workers: int) -> int:
+    """Range-partition a bound query's binding pipeline in place — the
+    aggregate-inner-block analogue of :func:`parallelize_pipeline`
+    (no projection above; the worker evaluates aggregate arguments over
+    its slice of the pipeline's environments).
+
+    Returns the chosen degree of parallelism (0 = stays serial).
+    Idempotent: an already partitioned pipeline reports its dop.
+    """
+    qroot = ensure_query_plan(query, catalog)
+    for op in walk_plan(qroot):
+        if isinstance(op, ExchangePartition):
+            return op.dop
+    spine, anchor = _fragment_shape(qroot)
+    if anchor is None:
+        return 0
+    dop = _choose_dop(anchor, catalog, workers)
+    if dop < 2:
+        return 0
+    partition = ExchangePartition(anchor, "range", dop)
+    if spine:
+        spine[-1].children[0] = partition
+    else:
+        query.plan = partition
+    for op in walk_plan(query.plan):
+        op.__dict__.pop("_plan_ops", None)
+        op.__dict__.pop("_fused", None)
+    return dop
+
+
+# ---------------------------------------------------------------------------
 # Introspection: walking, stats, rendering
 # ---------------------------------------------------------------------------
 
@@ -1726,10 +2245,14 @@ def fusable_ops(op: PlanOp) -> Optional[list[PlanOp]]:
     """The operator chain of the fusable region rooted at ``op`` (root
     first), or None when ``op`` does not root one.
 
-    A fusable region is ``Project?(Filter*(SeqScan|IndexScan))`` — the
-    dominant pipeline shape — whose whole body the compiler can emit as
-    one Python function: scan loop, predicate tests, and target/sort-key
-    evaluation fused, with no per-operator handoff in between.
+    A fusable region is ``Project?(Filter*(Exchange?(SeqScan)|SeqScan|
+    IndexScan))`` — the dominant pipeline shape — whose whole body the
+    compiler can emit as one Python function: scan loop, predicate
+    tests, and target/sort-key evaluation fused, with no per-operator
+    handoff in between.  A range-mode :class:`ExchangePartition` over a
+    SeqScan joins the region (the generated loop slices the member list
+    when a worker shard is active); hash-mode partitions never fuse —
+    they need the generic per-row routing path.
     """
     chain: list[PlanOp] = []
     current = op
@@ -1739,6 +2262,14 @@ def fusable_ops(op: PlanOp) -> Optional[list[PlanOp]]:
     while isinstance(current, Filter):
         chain.append(current)
         current = current.children[0]
+    if (
+        isinstance(current, ExchangePartition)
+        and current.mode == "range"
+        and isinstance(current.children[0], SeqScan)
+    ):
+        chain.append(current)
+        chain.append(current.children[0])
+        return chain
     if isinstance(current, (SeqScan, IndexScan)):
         chain.append(current)
         return chain
@@ -1917,6 +2448,9 @@ def render_plan(
             else:
                 rows_out, extra = op.stats.rows_out, op.extra_counters()
             counters += f", rows={rows_out}{extra}"
+        exchange = op.exchange_note()
+        if exchange is not None:
+            counters += f", exchange={exchange}"
         if compile_mode is not None:
             note = op.compiled_note()
             if note is not None:

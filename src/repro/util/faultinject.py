@@ -18,9 +18,22 @@ Torn writes: a point registered with ``torn=True`` is consulted via
 :func:`torn_cut`, which (when armed) returns how many bytes of the
 record to actually write before crashing — simulating a power loss
 mid-``write``, the failure mode the WAL's CRC records exist to detect.
+
+**Process locality.** The registry is module state and therefore
+**process-local on purpose**: armed crash points model *this* process
+dying, and a fault armed in a test must never fire inside a pool worker
+spawned by :mod:`repro.excess.parallel` (the worker would die, the
+parent would see an infrastructure failure, and the test would observe
+a serial fallback instead of the crash it armed).  Two mechanisms
+enforce this: ``os.register_at_fork`` below disarms everything in any
+forked child at fork time, and pool workers additionally call
+:func:`reset` at startup, which also covers spawn-start children that
+re-import this module armed-state-free anyway.
 """
 
 from __future__ import annotations
+
+import os
 
 from dataclasses import dataclass
 from typing import Optional
@@ -130,3 +143,9 @@ def hits(name: str) -> int:
     """How many times ``name`` was hit since the last reset/arm."""
     point = _points.get(name)
     return point.hits if point is not None else 0
+
+
+if hasattr(os, "register_at_fork"):  # not on every platform
+    # forked children (worker pools) must start with every crash point
+    # disarmed — see the process-locality note in the module docstring
+    os.register_at_fork(after_in_child=reset)

@@ -247,3 +247,87 @@ class TestEquivalences:
         indexed = memory.execute(query)
         unindexed = paged.execute(query)
         assert sorted(indexed.rows) == sorted(unindexed.rows)
+
+
+@st.composite
+def parallel_queries(draw):
+    """Random single-variable retrieves for the parallel sweep: plain or
+    error-prone targets, optionally sorted (order must survive the
+    exchange round-trip byte-identically)."""
+    predicate = draw(predicates())
+    if draw(st.booleans()):
+        targets = f"E.name, E.salary / (E.age - {draw(ages)})"
+    else:
+        targets = "E.name, E.salary"
+    order = draw(
+        st.sampled_from(["", " sort by E.salary desc", " sort by E.name"])
+    )
+    return (
+        f"retrieve ({targets}) from E in Employees where {predicate}{order}"
+    )
+
+
+@pytest.fixture(scope="module")
+def parallel_company():
+    """A 2-worker database whose partition threshold is lowered so even
+    the 40-row test sets produce dop=2 parallel plans."""
+    import repro.core.statistics as statistics
+
+    saved = statistics.PARALLEL_MIN_PARTITION_ROWS
+    statistics.PARALLEL_MIN_PARTITION_ROWS = 1
+    db = build_company_database(
+        CompanyWorkload(departments=4, employees=40, seed=21)
+    )
+    db.interpreter.workers = 2
+    yield db
+    statistics.PARALLEL_MIN_PARTITION_ROWS = saved
+    db.interpreter.shutdown_parallel()
+
+
+def _outcome(db, query):
+    """(rows, error message) — the full observable result of a query."""
+    from repro.errors import EvaluationError
+
+    try:
+        return db.execute(query).rows, None
+    except EvaluationError as exc:
+        return None, str(exc)
+
+
+class TestParallelEquivalence:
+    @given(
+        query=parallel_queries(),
+        exec_mode=st.sampled_from(["fused", "batch", "row"]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_parallel_on_off_equivalent(self, parallel_company, query, exec_mode):
+        """parallel_mode on/off × exec_mode must be byte-identical:
+        same rows, same order, same error message if any."""
+        db = parallel_company
+        interpreter = db.interpreter
+        try:
+            interpreter.exec_mode = exec_mode
+            interpreter.parallel_mode = "off"
+            serial = _outcome(db, query)
+            interpreter.parallel_mode = "process"
+            parallel = _outcome(db, query)
+        finally:
+            interpreter.exec_mode = "fused"
+            interpreter.parallel_mode = "process"
+        assert parallel == serial
+
+    @given(query=equi_join_queries())
+    @settings(max_examples=25, deadline=None)
+    def test_parallel_joins_equivalent(self, parallel_company, query):
+        """Broadcast and repartitioned joins return exactly the serial
+        rows (order included — the merge restores it)."""
+        db = parallel_company
+        interpreter = db.interpreter
+        try:
+            interpreter.parallel_mode = "off"
+            serial = _outcome(db, query)
+            interpreter.parallel_mode = "process"
+            parallel = _outcome(db, query)
+        finally:
+            interpreter.parallel_mode = "process"
+        assert parallel == serial
