@@ -28,6 +28,8 @@ start with a backslash:
 ``\\compile on|off``    toggle compiled expression closures (ablation)
 ``\\exec MODE``  execution mode: ``fused`` | ``batch`` | ``row`` (ablation)
 ``\\batch N``    rows per batch in batch execution mode
+``\\timeout MS`` statement timeout in milliseconds (0 disables)
+``\\budget BYTES``      operator memory budget; spill to disk beyond it
 ``\\timing on|off``     print per-statement wall time + plan-cache hit/miss
 ``\\schema``     list types and named objects
 ==============  =====================================================
@@ -287,6 +289,41 @@ class Shell:
                 )
                 return
             self._write(f"batch size {self.db.interpreter.batch_size}")
+        elif command == "timeout":
+            if len(args) != 1:
+                self._write(
+                    "usage: \\timeout MS (milliseconds, 0 disables)"
+                )
+                return
+            try:
+                self.db.interpreter.statement_timeout_ms = int(args[0])
+            except (ValueError, ExtraError):
+                self._write(
+                    f"error: statement timeout must be a non-negative "
+                    f"integer of milliseconds, got {args[0]!r}"
+                )
+                return
+            ms = self.db.interpreter.statement_timeout_ms
+            self._write(
+                f"statement timeout {ms} ms" if ms else "statement timeout off"
+            )
+        elif command == "budget":
+            if len(args) != 1:
+                self._write("usage: \\budget BYTES (0 disables spilling)")
+                return
+            try:
+                self.db.interpreter.memory_budget = int(args[0])
+            except (ValueError, ExtraError):
+                self._write(
+                    f"error: memory budget must be a non-negative integer "
+                    f"of bytes, got {args[0]!r}"
+                )
+                return
+            budget = self.db.interpreter.memory_budget
+            self._write(
+                f"memory budget {budget} bytes (operators spill beyond it)"
+                if budget else "memory budget off"
+            )
         elif command == "timing" and args:
             self.timing = args[0] == "on"
             self._write(f"timing {'on' if self.timing else 'off'}")

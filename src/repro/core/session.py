@@ -559,6 +559,31 @@ class TransactionManager:
             self.db.durability.on_abort(session)
         self._gc_versions()
 
+    # -- diagnostics -------------------------------------------------------
+
+    def introspect(self) -> dict:
+        """A leak-detection snapshot for tests and chaos harnesses:
+        session/transaction/version counts plus whether any workspace
+        is applied or parked. A quiesced engine (no open transactions)
+        must show zero open transactions, zero parked workspaces, an
+        empty version log, and no applied workspace."""
+        open_txns = [
+            s.txn for s in self.sessions.values() if s.txn is not None
+        ]
+        return {
+            "sessions": len(self.sessions),
+            "open_transactions": len(open_txns),
+            "doomed_transactions": sum(
+                1 for t in open_txns if t.doomed is not None
+            ),
+            "parked_workspaces": sum(
+                1 for t in open_txns
+                if t.mode == "undo" and t.undo is not None and t.undo.parked
+            ),
+            "version_entries": len(self.versions),
+            "applied": self.applied is not None,
+        }
+
     # -- version-log garbage collection ------------------------------------
 
     def _gc_versions(self) -> None:

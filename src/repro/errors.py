@@ -147,3 +147,30 @@ class SerializationError(IntegrityError):
     snapshot. The losing transaction is aborted; the client should
     retry it against a fresh snapshot.
     """
+
+
+class StatementTimeout(ExtraError):
+    """A statement exceeded its session's ``statement_timeout_ms``.
+
+    Raised cooperatively at batch boundaries (and fused-pipeline
+    epilogues), so the engine is always at a consistent point when the
+    statement unwinds: MVCC workspaces, the version log, and the plan
+    cache are untouched by the cancellation itself. The error is
+    **retryable** — the statement had no effect (reads) or its implicit
+    transaction was discarded (writes), so the client may simply run it
+    again, ideally with a larger timeout.
+
+    The message-only constructor keeps instances picklable, which is
+    what lets parallel workers propagate a timeout across the process
+    boundary byte-identically.
+    """
+
+
+class ServerOverloadedError(ExtraError):
+    """The server refused work to protect itself (admission control).
+
+    Raised when a connection arrives past ``max_connections`` or a
+    statement arrives while the pending-statement queue is full (or the
+    server is draining for shutdown). Always **retryable**: nothing was
+    executed, so the client should back off and try again.
+    """

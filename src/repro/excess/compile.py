@@ -1165,6 +1165,14 @@ def _build_fused(op: Any, compiled: bool) -> Optional[FusedPipeline]:
             emit("                _obj = NULL")
         lines.extend(body)
 
+    # --- loop epilogue: cooperative cancellation point --------------------
+    # a fused region materializes its whole output in one call, so the
+    # statement deadline is checked once here, after the loop — the
+    # region's cancellation granularity (documented in DESIGN §14)
+    emit("        _gv = ctx.governor")
+    emit("        if _gv is not None:")
+    emit('            _gv.check_timeout("fused")')
+
     # --- fold the per-operator counters ----------------------------------
     emit("    finally:")
     for position, region_op in enumerate(exec_chain):

@@ -80,16 +80,20 @@ from repro.excess.binder import (
     Unary,
     VarRef,
 )
+from repro.core.governor import ResourceGovernor, row_footprint
 from repro.excess.plan import (
     HashJoin,
     PlanContext,
     PlanOp,
     SCAN_OPS,
+    SPILL_PARTITIONS,
     ensure_query_plan,
     ensure_retrieve_plan,
+    partition_hash,
     plan_ops,
     reset_stats,
 )
+from repro.storage.spill import SpillFile
 from repro.excess.result import Result
 
 __all__ = ["Evaluator", "ExecMetrics", "canonical_key"]
@@ -168,6 +172,8 @@ class Evaluator:
         exec_mode: str = "fused",
         batch_size: int = 1024,
         session: Any = None,
+        statement_timeout_ms: int = 0,
+        memory_budget: int = 0,
     ):
         self.db = database
         self.user = user
@@ -206,6 +212,14 @@ class Evaluator:
         #: worker-side shard descriptor (set only inside pool workers:
         #: restricts ExchangePartition — and fused scans — to one part)
         self.exchange: Any = None
+        #: per-statement resource governor (deadline + memory budget);
+        #: None when neither flag is active, so ungoverned execution
+        #: pays nothing — operators read it through PlanContext
+        self.governor: Optional[ResourceGovernor] = (
+            ResourceGovernor(statement_timeout_ms, memory_budget)
+            if statement_timeout_ms or memory_budget
+            else None
+        )
 
     def _eval_compiled(self, node: BoundExpr, env: Env, tables: dict) -> Any:
         """Evaluate through the compiled-closure memo (used by the
@@ -616,12 +630,15 @@ class Evaluator:
         if not nested:
             reset_stats(root)
         root.running += 1
+        governor = ctx.governor
         if ctx.exec_mode != "row":
             # batch/fused execution: drain batches (the root's rows_out
             # is counted here, per the batch stats contract)
             root_stats = root.stats
             try:
                 for batch in root.batches(ctx, env, ctx.batch_size):
+                    if governor is not None:
+                        governor.check_timeout("root")
                     root_stats.rows_out += len(batch)
                     yield from batch
             finally:
@@ -634,6 +651,8 @@ class Evaluator:
         root_stats = root.stats
         try:
             for row in root_iter:
+                if governor is not None:
+                    governor.check_timeout("root")
                 root_stats.rows_out += 1
                 yield row
         finally:
@@ -698,15 +717,26 @@ class Evaluator:
         return aggregate.inner_query
 
     def _precompute_aggregates(
-        self, query: BoundQuery, base_env: Env, tables: dict
+        self,
+        query: BoundQuery,
+        base_env: Env,
+        tables: dict,
+        stats: Any = None,
     ) -> dict:
         """Fill ``tables`` for global and partitioned aggregates by
         running their inner pipelines; correlated ones get a memo dict
         filled on demand (the :class:`~repro.excess.plan.Aggregate`
-        operator calls this at open, before any downstream evaluation)."""
+        operator calls this at open, before any downstream evaluation).
+
+        ``stats`` is the calling Aggregate operator's counters (spill
+        accounting for EXPLAIN); an active governor adds cooperative
+        timeout checks per inner row and may spill the accumulating
+        groups to disk partitions (:meth:`_governed_aggregate`).
+        """
         evaluate = (
             self._eval_compiled if self.compile_mode == "closure" else self._eval
         )
+        governor = self.governor
         for aggregate in query.aggregates:
             if aggregate.mode == "correlated":
                 tables[aggregate.aggregate_id] = ("correlated", aggregate, {})
@@ -719,26 +749,110 @@ class Evaluator:
                         aggregate.mode, aggregate, computed
                     )
                     continue
-            groups: dict[Any, list] = {}
             inner = self._aggregate_query(aggregate)
+            if governor is not None:
+                computed = self._governed_aggregate(
+                    aggregate, inner, base_env, tables, evaluate,
+                    governor, stats,
+                )
+            else:
+                groups: dict[Any, list] = {}
+                for env in self._query_rows(inner, base_env, tables):
+                    value = evaluate(aggregate.argument, env, tables)
+                    if value is NULL:
+                        continue
+                    if aggregate.mode == "partition":
+                        assert aggregate.inner_key is not None
+                        key = canonical_key(
+                            evaluate(aggregate.inner_key, env, tables)
+                        )
+                    else:
+                        key = ()
+                    groups.setdefault(key, []).append(value)
+                computed = {
+                    key: aggregate.function.impl(values)
+                    for key, values in groups.items()
+                }
+            tables[aggregate.aggregate_id] = (aggregate.mode, aggregate, computed)
+        return tables
+
+    def _governed_aggregate(
+        self,
+        aggregate: BoundAggregate,
+        inner: BoundQuery,
+        base_env: Env,
+        tables: dict,
+        evaluate: Any,
+        governor: ResourceGovernor,
+        stats: Any,
+    ) -> dict:
+        """The governed accumulation path: timeout checks per inner row,
+        and group values spilled to hash partitions past the budget.
+
+        Spilling preserves per-key value order (a key's values land in
+        one partition file, flushed prefix first, then streamed in
+        encounter order), so non-commutative aggregate functions see the
+        exact sequence the in-memory path feeds them. The computed table
+        is only ever read by key lookup, so its (partition-major) dict
+        order is unobservable.
+        """
+        groups: dict[Any, list] = {}
+        parts: Optional[list] = None
+        reserved = 0
+        partitioned = aggregate.mode == "partition"
+        if partitioned:
+            assert aggregate.inner_key is not None
+        try:
             for env in self._query_rows(inner, base_env, tables):
+                governor.check_timeout("aggregate")
                 value = evaluate(aggregate.argument, env, tables)
                 if value is NULL:
                     continue
-                if aggregate.mode == "partition":
-                    assert aggregate.inner_key is not None
+                if partitioned:
                     key = canonical_key(
                         evaluate(aggregate.inner_key, env, tables)
                     )
                 else:
                     key = ()
-                groups.setdefault(key, []).append(value)
-            computed = {
-                key: aggregate.function.impl(values)
-                for key, values in groups.items()
-            }
-            tables[aggregate.aggregate_id] = (aggregate.mode, aggregate, computed)
-        return tables
+                if parts is None:
+                    cost = row_footprint(value)
+                    if governor.reserve(cost):
+                        reserved += cost
+                        groups.setdefault(key, []).append(value)
+                        continue
+                    # over budget: spill what accumulated, then stream
+                    parts = [SpillFile() for _ in range(SPILL_PARTITIONS)]
+                    for gkey, values in groups.items():
+                        part = parts[partition_hash(gkey) % SPILL_PARTITIONS]
+                        for held in values:
+                            part.append((gkey, held))
+                    groups = {}
+                    governor.release(reserved)
+                    reserved = 0
+                    governor.spilled()
+                parts[partition_hash(key) % SPILL_PARTITIONS].append(
+                    (key, value)
+                )
+            if parts is None:
+                return {
+                    key: aggregate.function.impl(values)
+                    for key, values in groups.items()
+                }
+            computed: dict = {}
+            for part in parts:
+                pgroups: dict[Any, list] = {}
+                for key, value in part:
+                    pgroups.setdefault(key, []).append(value)
+                for key, values in pgroups.items():
+                    computed[key] = aggregate.function.impl(values)
+            if stats is not None:
+                stats.spill_partitions += len(parts)
+                stats.spill_bytes += sum(p.bytes_written for p in parts)
+            return computed
+        finally:
+            if parts is not None:
+                for part in parts:
+                    part.close()
 
     def _eval_aggregate_ref(
         self, node: AggregateRef, env: Env, tables: dict

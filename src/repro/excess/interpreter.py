@@ -222,6 +222,12 @@ class Interpreter:
         #: worker-process budget for parallel plans (the chosen degree
         #: of parallelism never exceeds this)
         self.workers = max(1, os.cpu_count() or 1)
+        #: per-statement wall-clock budget in milliseconds, enforced
+        #: cooperatively at batch boundaries (0 = no timeout)
+        self.statement_timeout_ms = 0
+        #: bytes the pipeline-breaking operators (hash builds, sorts,
+        #: aggregates) may hold in memory before spilling (0 = unbounded)
+        self.memory_budget = 0
         #: lazily created worker-pool dispatcher, shared by statements
         self._parallel_runner: Any = None
         #: LRU of prepared plans; entries self-invalidate via the epoch key
@@ -293,6 +299,34 @@ class Interpreter:
                 f"workers must be a positive integer, got {value!r}"
             )
         self._workers = value
+
+    @property
+    def statement_timeout_ms(self) -> int:
+        """Per-statement deadline in milliseconds (0 = no timeout)."""
+        return self._statement_timeout_ms
+
+    @statement_timeout_ms.setter
+    def statement_timeout_ms(self, value: Any) -> None:
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise ExcessError(
+                f"statement_timeout_ms must be a non-negative integer, "
+                f"got {value!r}"
+            )
+        self._statement_timeout_ms = value
+
+    @property
+    def memory_budget(self) -> int:
+        """Pipeline-breaker memory budget in bytes (0 = unbounded)."""
+        return self._memory_budget
+
+    @memory_budget.setter
+    def memory_budget(self, value: Any) -> None:
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise ExcessError(
+                f"memory_budget must be a non-negative integer, "
+                f"got {value!r}"
+            )
+        self._memory_budget = value
 
     # -- parallel execution ---------------------------------------------------------
 
@@ -737,6 +771,8 @@ class Interpreter:
             exec_mode=self._flag("exec_mode"),
             batch_size=self._flag("batch_size"),
             session=self._session(),
+            statement_timeout_ms=self._flag("statement_timeout_ms"),
+            memory_budget=self._flag("memory_budget"),
         )
         tables: dict = {}
         bindings: list[dict] = []
@@ -808,6 +844,8 @@ class Interpreter:
             exec_mode=self._flag("exec_mode"),
             batch_size=self._flag("batch_size"),
             session=self._session(),
+            statement_timeout_ms=self._flag("statement_timeout_ms"),
+            memory_budget=self._flag("memory_budget"),
         )
         evaluator.metrics.cache = cache
         if (

@@ -107,6 +107,8 @@ def _stats_tuple(stats: Any) -> tuple:
         stats.builds,
         stats.build_rows,
         stats.probes,
+        stats.spill_partitions,
+        stats.spill_bytes,
     )
 
 
@@ -123,22 +125,34 @@ def _fold_stats(root: PlanOp, replies: list) -> None:
             stats.builds += tup[3]
             stats.build_rows += tup[4]
             stats.probes += tup[5]
+            stats.spill_partitions += tup[6]
+            stats.spill_bytes += tup[7]
 
 
 def _worker_evaluator(db: Any, flags: tuple) -> Any:
     from repro.excess.evaluator import Evaluator
 
-    user, compile_mode, exec_mode, batch_size = flags
+    # tolerate the pre-governor 4-tuple (tests drive the task functions
+    # directly); the runner always ships the full 6-tuple
+    user, compile_mode, exec_mode, batch_size = flags[:4]
+    remaining_ms = flags[4] if len(flags) > 4 else None
+    budget = flags[5] if len(flags) > 5 else 0
     if exec_mode == "row":
         # workers always run fragments batch-at-a-time; results are
         # mode-independent (pinned by the exec_mode equivalence suite)
         exec_mode = "batch"
+    # the parent ships its *remaining* statement time (floored at 1ms
+    # when already expired, so the worker's own first cooperative check
+    # raises the timeout) and the memory budget; each worker governs
+    # its shard independently
     return Evaluator(
         db,
         user=user,
         compile_mode=compile_mode,
         exec_mode=exec_mode,
         batch_size=batch_size,
+        statement_timeout_ms=remaining_ms or 0,
+        memory_budget=budget or 0,
     )
 
 
@@ -165,7 +179,10 @@ def run_fragment_task(
     rows: list = []
     if mode == "range":
         frag_stats = frag.stats
+        governor = ctx.governor
         for batch in frag.batches(ctx, {}, ctx.batch_size):
+            if governor is not None:
+                governor.check_timeout("worker")
             frag_stats.rows_out += len(batch)
             rows.extend(batch)
     else:
@@ -515,11 +532,14 @@ class ParallelRunner:
     @staticmethod
     def _flags(ctx: PlanContext) -> tuple:
         evaluator = ctx.evaluator
+        governor = getattr(evaluator, "governor", None)
         return (
             evaluator.user,
             getattr(evaluator, "compile_mode", "closure"),
             getattr(evaluator, "exec_mode", "fused"),
             ctx.batch_size,
+            governor.remaining_ms() if governor is not None else None,
+            governor.memory_budget if governor is not None else 0,
         )
 
     # -- exchange fragments ----------------------------------------------
@@ -600,11 +620,14 @@ class ParallelRunner:
                 return None
             if dop < 2:
                 return None
+            governor = getattr(evaluator, "governor", None)
             flags = (
                 evaluator.user,
                 getattr(evaluator, "compile_mode", "closure"),
                 getattr(evaluator, "exec_mode", "fused"),
                 getattr(evaluator, "batch_size", 1024),
+                governor.remaining_ms() if governor is not None else None,
+                governor.memory_budget if governor is not None else 0,
             )
             payload = (
                 inner,

@@ -64,10 +64,13 @@ execution and are reset by the executor before each execution, so
 
 from __future__ import annotations
 
+import heapq
 import zlib
 from dataclasses import dataclass
+from itertools import chain
 from typing import Any, Iterator, Optional
 
+from repro.core.governor import row_footprint
 from repro.core.values import (
     NULL,
     ArrayInstance,
@@ -76,6 +79,7 @@ from repro.core.values import (
     TupleInstance,
 )
 from repro.errors import EvaluationError
+from repro.storage.spill import SpillFile
 from repro.excess.binder import (
     AdtCall,
     AggregateRef,
@@ -148,6 +152,22 @@ _MISSING = object()
 #: members enumerated from binding sources) in ExecMetrics
 SCAN_OPS: tuple = ()  # filled in below, after the classes exist
 
+#: fan-out of Grace hash-join and aggregate spills (number of on-disk
+#: partitions); enough that each partition's rebuilt table is ~1/8 of
+#: the over-budget build while keeping file handles trivial
+SPILL_PARTITIONS = 8
+
+
+def _spill_note(stats: "OpStats") -> str:
+    """The ``spill=[partitions=N, bytes=M]`` EXPLAIN suffix (empty when
+    the operator stayed in memory)."""
+    if not stats.spill_partitions:
+        return ""
+    return (
+        f" spill=[partitions={stats.spill_partitions},"
+        f" bytes={stats.spill_bytes}]"
+    )
+
 
 # ---------------------------------------------------------------------------
 # Execution context and statistics
@@ -175,6 +195,7 @@ class PlanContext:
         "session_stamp",
         "exchange",
         "parallel",
+        "governor",
     )
 
     def __init__(self, evaluator: Any, tables: Optional[dict] = None):
@@ -207,6 +228,10 @@ class PlanContext:
         #: when parallel execution is enabled; :class:`ExchangeMerge`
         #: dispatches its fragment through it. None ⇒ serial fallback.
         self.parallel = getattr(evaluator, "parallel", None)
+        #: per-statement :class:`~repro.core.governor.ResourceGovernor`
+        #: (deadline + memory budget) — None when neither flag is set,
+        #: which keeps the batch hot path a single ``is None`` test
+        self.governor = getattr(evaluator, "governor", None)
 
     def eval(self, expr: BoundExpr, env: Env) -> Any:
         """Evaluate a bound expression under this execution's tables."""
@@ -229,6 +254,10 @@ class OpStats:
     build_rows: int = 0
     #: probe lookups performed (HashJoin)
     probes: int = 0
+    #: on-disk partitions/runs this operator spilled into (0 = in memory)
+    spill_partitions: int = 0
+    #: bytes written to spill files (build + probe / runs / partitions)
+    spill_bytes: int = 0
 
     def reset(self) -> None:
         self.opens = 0
@@ -237,6 +266,8 @@ class OpStats:
         self.builds = 0
         self.build_rows = 0
         self.probes = 0
+        self.spill_partitions = 0
+        self.spill_bytes = 0
 
 
 # ---------------------------------------------------------------------------
@@ -366,7 +397,10 @@ class PlanOp:
         :meth:`_pull`, amortized to one increment per batch)."""
         child_stats = child.stats
         stats = self.stats
+        governor = ctx.governor
         for batch in child.batches(ctx, env, size):
+            if governor is not None:
+                governor.check_timeout("batch")
             n = len(batch)
             child_stats.rows_out += n
             stats.rows_in += n
@@ -944,6 +978,26 @@ class NestedLoopJoin(PlanOp):
             yield pending
 
 
+class _SpilledBuild:
+    """A hash-join build side that overflowed its memory budget.
+
+    Holds the Grace partitions (``SpillFile`` of ``(key, member)``
+    records, routed by ``partition_hash(key)``); the probe phase
+    partitions its own input the same way and joins partition by
+    partition. One-shot: the files are consumed by the probe that
+    triggered the build and never memoized on the plan.
+    """
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: list) -> None:
+        self.parts = parts
+
+    def close(self) -> None:
+        for part in self.parts:
+            part.close()
+
+
 class HashJoin(PlanOp):
     """Equi-join: build a hash table over the build subtree once, probe
     it per outer row.
@@ -954,6 +1008,15 @@ class HashJoin(PlanOp):
     version moves — any append/delete/replace/set invalidates it.  Null
     keys follow 3VL: ``=`` drops them on both sides; ``is`` keeps them
     (``null is null`` is true).
+
+    Under an active ``memory_budget`` the build accounts each loaded
+    member against the statement's governor; a refused reservation
+    switches to a Grace-style spilled build (see :class:`_SpilledBuild`)
+    whose probe phase reproduces the in-memory output byte for byte:
+    probe rows are tagged with their input position, partitions join
+    independently, and a final stable sort by position restores the
+    probe-driven output order (member order within a position is the
+    build-side insertion order either way).
     """
 
     label = "HashJoin"
@@ -989,7 +1052,10 @@ class HashJoin(PlanOp):
         return [("outer", self.children[0]), ("build", self.children[1])]
 
     def extra_counters(self) -> str:
-        return f" builds={self.stats.builds} probes={self.stats.probes}"
+        return (
+            f" builds={self.stats.builds} probes={self.stats.probes}"
+            f"{_spill_note(self.stats)}"
+        )
 
     def invalidate(self) -> None:
         """Drop the memoized build table (tests / explicit flushes)."""
@@ -1007,25 +1073,33 @@ class HashJoin(PlanOp):
     def compiled_note(self) -> Optional[str]:
         return compiled_label(self._compiled_keys()[2])
 
-    def _table_for(self, ctx: PlanContext) -> dict:
+    def _table_for(self, ctx: PlanContext) -> Any:
+        governor = ctx.governor
+        budgeted = governor is not None and governor.memory_budget > 0
         stamp = (ctx.db.data_version, ctx.session_stamp)
         memo = self._memo  # single read: thread-consistent pair
-        if memo is not None and memo[0] == stamp:
+        if not budgeted and memo is not None and memo[0] == stamp:
             return memo[1]
         table = self._build(ctx)
+        if budgeted or isinstance(table, _SpilledBuild):
+            # spilled partitions are consumed by this probe, and a
+            # budgeted statement must account every build it uses — a
+            # memoized table is exactly the unbounded cross-statement
+            # memory a budget forbids, so neither is ever memoized
+            return table
         self._memo = (stamp, table)
         return table
 
-    def _build(self, ctx: PlanContext) -> dict:
-        self.stats.builds += 1
-        table: dict[Any, list] = {}
+    def _build_entries(self, ctx: PlanContext) -> Iterator[tuple]:
+        """Stream the build side as ``(key, member)`` pairs, counting
+        build stats exactly as the in-memory build always did."""
         build = self.children[1]
         build_stats = build.stats
         build_fn = self._compiled_keys()[0] if ctx.compiled else None
+        stats = self.stats
         if ctx.exec_mode != "row":
             # batch-at-a-time build: the pipeline breaker consumes the
             # build subtree's batches (which may themselves run fused)
-            stats = self.stats
             for batch in build.batches(ctx, {}, ctx.batch_size):
                 build_stats.rows_out += len(batch)
                 stats.build_rows += len(batch)
@@ -1037,15 +1111,15 @@ class HashJoin(PlanOp):
                     key = join_key(value, self.join_op)
                     if key is None:
                         continue
-                    table.setdefault(key, []).append(row[self.var])
-            return table
+                    yield key, row[self.var]
+            return
         env: Env = {}
         build.open(ctx, env)
         build_iter = build._iters[-1]
         try:
             for _ in build_iter:
                 build_stats.rows_out += 1
-                self.stats.build_rows += 1
+                stats.build_rows += 1
                 if build_fn is not None:
                     value = build_fn(env, ctx)
                 else:
@@ -1053,13 +1127,113 @@ class HashJoin(PlanOp):
                 key = join_key(value, self.join_op)
                 if key is None:
                     continue
-                table.setdefault(key, []).append(env[self.var])
+                yield key, env[self.var]
         finally:
             build.close()
+
+    def _build(self, ctx: PlanContext) -> Any:
+        self.stats.builds += 1
+        table: dict[Any, list] = {}
+        governor = ctx.governor
+        budgeted = governor is not None and governor.memory_budget > 0
+        entries = self._build_entries(ctx)
+        reserved = 0
+        for key, member in entries:
+            if budgeted:
+                cost = row_footprint(member)
+                if not governor.reserve(cost):
+                    governor.release(reserved)
+                    governor.spilled()
+                    return self._spill_build(table, [(key, member)], entries)
+                reserved += cost
+            table.setdefault(key, []).append(member)
         return table
+
+    def _spill_build(
+        self, table: dict, head: list, entries: Iterator[tuple]
+    ) -> _SpilledBuild:
+        """Partition the partial in-memory ``table`` plus the rest of the
+        build stream into Grace spill files.
+
+        Per-key member order is preserved: every member of a key lands in
+        the same partition file, prefix members (from ``table``) before
+        the rest, both in build order.
+        """
+        parts = [SpillFile() for _ in range(SPILL_PARTITIONS)]
+        for key, members in table.items():
+            part = parts[partition_hash(key) % SPILL_PARTITIONS]
+            for member in members:
+                part.append((key, member))
+        for key, member in chain(head, entries):
+            parts[partition_hash(key) % SPILL_PARTITIONS].append((key, member))
+        stats = self.stats
+        stats.spill_partitions = SPILL_PARTITIONS
+        stats.spill_bytes = sum(part.bytes_written for part in parts)
+        return _SpilledBuild(parts)
+
+    def _grace_batches(
+        self, spill: _SpilledBuild, ctx: PlanContext, env: Env, size: int
+    ) -> Iterator[list]:
+        """Probe a spilled build: partition the probe input the same way
+        (remembering each row's position), join partition by partition,
+        then restore probe order with a stable sort on position."""
+        stats = self.stats
+        var = self.var
+        join_op = self.join_op
+        probe_fn = self._compiled_keys()[1] if ctx.compiled else None
+        evaluate = ctx.eval
+        probe_key = self.probe_key
+        dop = len(spill.parts)
+        probes = [SpillFile() for _ in range(dop)]
+        try:
+            pos = 0
+            for batch in self._pull_batches(self.children[0], ctx, env, size):
+                for row in batch:
+                    stats.probes += 1
+                    if probe_fn is not None:
+                        value = probe_fn(row, ctx)
+                    else:
+                        value = evaluate(probe_key, row)
+                    key = join_key(value, join_op)
+                    if key is not None:
+                        probes[partition_hash(key) % dop].append(
+                            (pos, key, row)
+                        )
+                    pos += 1
+            tagged: list = []
+            for part in range(dop):
+                table: dict[Any, list] = {}
+                for key, member in spill.parts[part]:
+                    table.setdefault(key, []).append(member)
+                for ppos, key, row in probes[part]:
+                    members = table.get(key)
+                    if not members:
+                        continue
+                    if len(members) == 1:
+                        row[var] = members[0]
+                        tagged.append((ppos, row))
+                    else:
+                        for member in members:
+                            match = dict(row)
+                            match[var] = member
+                            tagged.append((ppos, match))
+            # stable: rows of one position keep build insertion order
+            tagged.sort(key=lambda entry: entry[0])
+            stats.spill_bytes += sum(f.bytes_written for f in probes)
+            pending = [row for _pos, row in tagged]
+            for start in range(0, len(pending), size):
+                yield pending[start : start + size]
+        finally:
+            spill.close()
+            for f in probes:
+                f.close()
 
     def _run(self, ctx: PlanContext, env: Env) -> Iterator[Env]:
         table = self._table_for(ctx)
+        if isinstance(table, _SpilledBuild):
+            for batch in self._grace_batches(table, ctx, env, ctx.batch_size):
+                yield from batch
+            return
         saved = env.get(self.var, _MISSING)
         probe_fn = self._compiled_keys()[1] if ctx.compiled else None
         try:
@@ -1084,6 +1258,9 @@ class HashJoin(PlanOp):
     def run_batches(self, ctx: PlanContext, env: Env, size: int) -> Iterator[list]:
         self.stats.opens += 1
         table = self._table_for(ctx)
+        if isinstance(table, _SpilledBuild):
+            yield from self._grace_batches(table, ctx, env, size)
+            return
         stats = self.stats
         var = self.var
         join_op = self.join_op
@@ -1239,10 +1416,15 @@ class Aggregate(PlanOp):
             self.__dict__["_compiled"] = cached
         return compiled_label(cached[1])
 
+    def extra_counters(self) -> str:
+        return _spill_note(self.stats)
+
     def open(self, ctx: PlanContext, env: Env) -> None:
         # tables must be filled before any downstream next() — eagerly,
         # not inside the lazy generator
-        ctx.evaluator._precompute_aggregates(self.query, env, ctx.tables)
+        ctx.evaluator._precompute_aggregates(
+            self.query, env, ctx.tables, stats=self.stats
+        )
         super().open(ctx, env)
 
     def _run(self, ctx: PlanContext, env: Env) -> Iterator[Env]:
@@ -1252,7 +1434,9 @@ class Aggregate(PlanOp):
         # pipeline breaker: aggregate tables must exist before any
         # downstream evaluation, exactly as in the row-mode open()
         self.stats.opens += 1
-        ctx.evaluator._precompute_aggregates(self.query, env, ctx.tables)
+        ctx.evaluator._precompute_aggregates(
+            self.query, env, ctx.tables, stats=self.stats
+        )
         yield from self._pull_batches(self.children[0], ctx, env, size)
 
 
@@ -1415,7 +1599,14 @@ class Sort(PlanOp):
         )
         return f"Sort [{keys}]"
 
+    def extra_counters(self) -> str:
+        return _spill_note(self.stats)
+
     def _run(self, ctx: PlanContext, env: Env) -> Iterator[tuple]:
+        governor = ctx.governor
+        if governor is not None and governor.memory_budget > 0:
+            yield from self._external_sort(ctx, env, ctx.batch_size, governor)
+            return
         pairs = list(self._pull(self.children[0], ctx, env))
         yield from sort_rows(pairs, self.order)
 
@@ -1423,12 +1614,90 @@ class Sort(PlanOp):
         # pipeline breaker: materialize every input batch, sort once,
         # re-emit in batch-sized slices
         self.stats.opens += 1
-        pairs: list = []
-        for batch in self._pull_batches(self.children[0], ctx, env, size):
-            pairs.extend(batch)
-        rows = sort_rows(pairs, self.order)
+        governor = ctx.governor
+        if governor is not None and governor.memory_budget > 0:
+            rows = self._external_sort(ctx, env, size, governor)
+        else:
+            pairs: list = []
+            for batch in self._pull_batches(self.children[0], ctx, env, size):
+                pairs.extend(batch)
+            rows = sort_rows(pairs, self.order)
         for start in range(0, len(rows), size):
             yield rows[start : start + size]
+
+    def _flush_run(self, pending: list, order: list) -> SpillFile:
+        """Sort one in-memory run and spill it as ``(seq, keys, row)``."""
+        run = SpillFile()
+        for (row, seq), keys in sort_pairs(pending, order):
+            run.append((seq, keys, row))
+        return run
+
+    def _external_sort(
+        self, ctx: PlanContext, env: Env, size: int, governor: Any
+    ) -> list:
+        """Budget-accounted sort: accumulate ``(row, keys)`` pairs until
+        a reservation is refused, spill the sorted run, and merge all
+        runs under :class:`_OrderKey` — which reproduces the in-memory
+        order (and, via the fallback below, its error behaviour).
+        """
+        order = self.order
+        descs = [descending for _expr, descending in order]
+        runs: list[SpillFile] = []
+        #: [((row, seq), keys)] — seq is the global input position, the
+        #: stability tiebreak the merge needs across runs
+        pending: list = []
+        reserved = 0
+        seq = 0
+        try:
+            for batch in self._pull_batches(self.children[0], ctx, env, size):
+                for row, keys in batch:
+                    cost = row_footprint(row) + row_footprint(keys)
+                    if not governor.reserve(cost):
+                        if pending:
+                            runs.append(self._flush_run(pending, order))
+                            pending = []
+                            governor.release(reserved)
+                            reserved = 0
+                            governor.spilled()
+                        if governor.reserve(cost):
+                            reserved += cost
+                        # else: a single row over budget — hold it anyway
+                    else:
+                        reserved += cost
+                    pending.append(((row, seq), keys))
+                    seq += 1
+            if not runs:  # everything fit: identical to the serial path
+                return [entry[0][0] for entry in sort_pairs(pending, order)]
+            tail = [
+                (entry[0][1], entry[1], entry[0][0])
+                for entry in sort_pairs(pending, order)
+            ]
+            self.stats.spill_partitions = len(runs)
+            self.stats.spill_bytes = sum(run.bytes_written for run in runs)
+            streams = [iter(run) for run in runs]
+            if tail:
+                streams.append(iter(tail))
+            merged = heapq.merge(
+                *streams,
+                key=lambda rec: _OrderKey(rec[1], rec[0], descs),
+            )
+            try:
+                return [rec[2] for rec in merged]
+            except TypeError:
+                # incomparable keys: redo the sort in memory over the
+                # input order so the error (or result) is byte-identical
+                # to the serial path's
+                everything: list = []
+                for run in runs:
+                    everything.extend(run)
+                everything.extend(tail)
+                everything.sort(key=lambda rec: rec[0])
+                return sort_rows(
+                    [(rec[2], rec[1]) for rec in everything], order
+                )
+        finally:
+            for run in runs:
+                run.close()
 
 
 class StoreInto(PlanOp):
@@ -1765,9 +2034,10 @@ def join_key(value: Any, op: str) -> Optional[Any]:
     return canonical_key(value)
 
 
-def sort_rows(pairs: list[tuple[tuple, tuple]], order: list) -> list[tuple]:
+def sort_pairs(pairs: list, order: list) -> list:
     """Stable multi-key sort of ``(row, keys)`` pairs; nulls sort last
-    regardless of direction.
+    regardless of direction. Returns the sorted pairs (keys kept — the
+    external run-merge needs them for merging).
 
     Sorting is applied key by key, least significant first: Python's
     sort is stable (including under ``reverse=True``), so each more
@@ -1795,7 +2065,60 @@ def sort_rows(pairs: list[tuple[tuple, tuple]], order: list) -> list[tuple]:
                 f"sort keys are not mutually comparable: {exc}"
             ) from exc
         decorated = rest + nulls
-    return [row for row, _keys in decorated]
+    return decorated
+
+
+def sort_rows(pairs: list[tuple[tuple, tuple]], order: list) -> list[tuple]:
+    """:func:`sort_pairs`, undecorated to just the rows."""
+    return [row for row, _keys in sort_pairs(pairs, order)]
+
+
+def _merge_key_value(value: Any) -> Any:
+    """The comparison image of one sort-key value (``key_of`` above)."""
+    if isinstance(value, Ref):
+        return value.oid
+    if isinstance(value, bool):
+        return int(value)
+    return value
+
+
+class _OrderKey:
+    """Total-order wrapper over ``(keys, seq)`` for merging sorted runs.
+
+    Implements most-significant-key-first comparison with exactly the
+    semantics :func:`sort_pairs` realizes through its stable
+    least-significant-first passes — per position: nulls after every
+    non-null in both directions, ``Ref`` by oid, bool as int, direction
+    by reversal — with the global input sequence number as the final
+    tiebreak, which is precisely what stability gives the in-memory
+    sort. Merging runs under this order therefore reproduces the
+    in-memory order row for row.
+    """
+
+    __slots__ = ("keys", "seq", "descs")
+
+    def __init__(self, keys: tuple, seq: int, descs: list) -> None:
+        self.keys = keys
+        self.seq = seq
+        self.descs = descs
+
+    def __lt__(self, other: "_OrderKey") -> bool:
+        for position, descending in enumerate(self.descs):
+            a = self.keys[position]
+            b = other.keys[position]
+            a_null = a is NULL
+            b_null = b is NULL
+            if a_null or b_null:
+                if a_null and b_null:
+                    continue
+                return b_null  # the non-null side sorts first
+            a = _merge_key_value(a)
+            b = _merge_key_value(b)
+            if a == b:
+                continue
+            less = a < b  # may raise TypeError: caller falls back
+            return (not less) if descending else less
+        return self.seq < other.seq
 
 
 # ---------------------------------------------------------------------------

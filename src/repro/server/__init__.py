@@ -19,7 +19,7 @@ JSON messages, documented in ``docs/LANGUAGE.md``.
   regular :class:`~repro.excess.result.Result`.
 """
 
-from repro.server.client import Client, RemoteError
+from repro.server.client import Client, RemoteError, RetryPolicy
 from repro.server.protocol import MAX_MESSAGE, PROTOCOL_VERSION
 from repro.server.server import ExcessServer, ServerThread, main
 
@@ -29,6 +29,7 @@ __all__ = [
     "MAX_MESSAGE",
     "PROTOCOL_VERSION",
     "RemoteError",
+    "RetryPolicy",
     "ServerThread",
     "main",
 ]

@@ -8,6 +8,12 @@ by its byte length as a big-endian ``u32``::
 Requests carry an ``op`` field; responses carry ``ok`` (and either the
 op's payload or an ``error`` object). The first request on a connection
 must be ``hello``, which names the user and creates the session.
+
+The ``error`` object carries ``type`` (the server-side exception class
+name), ``message``, ``serialization`` (True for snapshot-isolation
+commit conflicts), and ``retryable`` (True for any transient failure —
+conflicts, statement timeouts, admission refusals — that a client may
+retry verbatim, e.g. via ``Client.with_retries``).
 """
 
 from __future__ import annotations

@@ -21,17 +21,32 @@ Request ops (full wire reference in ``docs/LANGUAGE.md``):
 ``status``     server + session diagnostics
 ``bye``        close the session and the connection
 =============  =========================================================
+
+Error payloads carry ``error.retryable = true`` for transient failures
+(commit conflicts, statement timeouts, admission refusals) so clients
+can retry verbatim. Admission control bounds concurrent connections
+(``max_connections``) and the statement queue (``max_pending``);
+refusals are :class:`~repro.errors.ServerOverloadedError`. SIGTERM and
+SIGINT trigger a graceful drain: in-flight statements finish, open
+transactions abort, durable state checkpoints, and the listener closes.
 """
 
 from __future__ import annotations
 
 import asyncio
+import os
 import socket
 import threading
 from typing import Any, Optional
 
 from repro.core.database import Database
-from repro.errors import ExcessError, ExtraError, SerializationError
+from repro.errors import (
+    ExcessError,
+    ExtraError,
+    SerializationError,
+    ServerOverloadedError,
+    StatementTimeout,
+)
 from repro.excess.result import Result, render_value
 from repro.server.protocol import (
     PROTOCOL_VERSION,
@@ -49,7 +64,32 @@ _FLAG_VALUES: dict[str, Any] = {
     "compile_mode": ("closure", "off"),
     "exec_mode": ("fused", "batch", "row"),
     "batch_size": None,  # validated as a positive integer below
+    "statement_timeout_ms": None,  # validated as a non-negative integer
+    "memory_budget": None,  # validated as a non-negative integer (bytes)
 }
+
+
+#: every live listening socket, so forked children (parallel query
+#: workers, benchmark client processes) can close their inherited
+#: copies — a child holding a duplicated LISTEN fd keeps the port bound
+#: after the parent drains, and a restart on the same port would fail
+#: with EADDRINUSE (SO_REUSEADDR does not cover live listeners)
+_LISTENERS: set = set()
+
+
+def _close_listeners_after_fork() -> None:
+    for sock in list(_LISTENERS):
+        try:
+            # asyncio exposes TransportSocket wrappers (no .close());
+            # in the child only the raw fd matters
+            os.close(sock.fileno())
+        except (OSError, ValueError):  # pragma: no cover - already closed
+            pass
+    _LISTENERS.clear()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch
+    os.register_at_fork(after_in_child=_close_listeners_after_fork)
 
 
 def _validate_flag(flag: str, value: Any) -> Any:
@@ -62,6 +102,12 @@ def _validate_flag(flag: str, value: Any) -> Any:
         if isinstance(value, bool) or not isinstance(value, int) or value < 1:
             raise ExcessError(
                 f"batch_size must be a positive integer, got {value!r}"
+            )
+        return value
+    if flag in ("statement_timeout_ms", "memory_budget"):
+        if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+            raise ExcessError(
+                f"{flag} must be a non-negative integer, got {value!r}"
             )
         return value
     allowed = _FLAG_VALUES[flag]
@@ -101,6 +147,12 @@ def _error_payload(exc: Exception) -> dict:
             "type": type(exc).__name__,
             "message": str(exc),
             "serialization": isinstance(exc, SerializationError),
+            # transient failures a client may retry verbatim: commit
+            # conflicts, statement timeouts, and admission refusals
+            "retryable": isinstance(
+                exc,
+                (SerializationError, StatementTimeout, ServerOverloadedError),
+            ),
         },
     }
 
@@ -113,12 +165,23 @@ class ExcessServer:
         database: Optional[Database] = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        max_connections: int = 64,
+        max_pending: int = 32,
     ):
         self.db = database if database is not None else Database()
         self.host = host
         self.port = port
         self.address: Optional[tuple[str, int]] = None
         self.connections = 0
+        self.max_connections = max_connections
+        #: statements allowed to queue on the engine lock at once; beyond
+        #: this the server answers overload instead of growing the queue
+        self.max_pending = max_pending
+        self.pending = 0
+        self.overloaded_refusals = 0
+        self.draining = False
+        self._sessions: set = set()
+        self._writers: set = set()
         self._server: Optional[asyncio.AbstractServer] = None
         self._lock: Optional[asyncio.Lock] = None
 
@@ -130,15 +193,49 @@ class ExcessServer:
         self._server = await asyncio.start_server(
             self._handle, self.host, self.port
         )
+        for sock in self._server.sockets:
+            _LISTENERS.add(sock)
         bound = self._server.sockets[0].getsockname()
         self.address = (bound[0], bound[1])
         return self.address
 
-    async def stop(self) -> None:
+    async def drain(self) -> None:
+        """Graceful shutdown: refuse new connections, finish what is in
+        flight, abort any transactions left open, checkpoint durable
+        state, and close every connection."""
+        if self.draining:
+            return
+        self.draining = True
         if self._server is not None:
+            for sock in self._server.sockets:
+                _LISTENERS.discard(sock)
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        # waiting on the lock lets every in-flight statement finish (the
+        # engine serializes through it); the short sleep lets handlers
+        # flush the acks of those statements before their connections
+        # are cut (a cut ack is retried by clients, so this only
+        # narrows the duplicate-retry window, it need not close it)
+        if self._lock is not None:
+            async with self._lock:
+                pass
+            await asyncio.sleep(0.05)
+            async with self._lock:
+                for session in list(self._sessions):
+                    session.close()
+                self._sessions.clear()
+        for writer in list(self._writers):
+            writer.close()
+        self._writers.clear()
+        if self.db.durability is not None:
+            try:
+                self.db.checkpoint()
+            except Exception:  # pragma: no cover - best effort on the way out
+                pass
+
+    async def stop(self) -> None:
+        await self.drain()
 
     async def serve_forever(self) -> None:
         assert self._server is not None, "call start() first"
@@ -151,7 +248,28 @@ class ExcessServer:
         if sock is not None:
             # each message is one small frame; never batch them
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        if self.draining or self.connections >= self.max_connections:
+            self.overloaded_refusals += 1
+            reason = (
+                "server is draining"
+                if self.draining
+                else f"connection limit reached ({self.max_connections})"
+            )
+            try:
+                writer.write(
+                    encode_message(_error_payload(ServerOverloadedError(reason)))
+                )
+                await writer.drain()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+            return
         self.connections += 1
+        self._writers.add(writer)
         session = None
         try:
             while True:
@@ -167,13 +285,18 @@ class ExcessServer:
                 if session is None and response.get("ok") and \
                         request.get("op") == "hello":
                     session = response.pop("_session")
+                    self._sessions.add(session)
                 writer.write(encode_message(response))
                 await writer.drain()
                 if done:
                     break
         finally:
             self.connections -= 1
-            if session is not None:
+            self._writers.discard(writer)
+            if session is not None and session in self._sessions:
+                # close under the lock even when the client vanished
+                # mid-transaction — never leave the abort to the GC
+                self._sessions.discard(session)
                 async with self._lock:
                     session.close()
             writer.close()
@@ -194,6 +317,22 @@ class ExcessServer:
                 ),
                 True,
             )
+        if self.draining:
+            return (
+                _error_payload(ServerOverloadedError("server is draining")),
+                True,
+            )
+        if self.pending >= self.max_pending:
+            self.overloaded_refusals += 1
+            return (
+                _error_payload(
+                    ServerOverloadedError(
+                        f"statement queue full ({self.max_pending} pending)"
+                    )
+                ),
+                False,
+            )
+        self.pending += 1
         try:
             async with self._lock:
                 return self._dispatch(session, op, request)
@@ -201,6 +340,8 @@ class ExcessServer:
             return _error_payload(exc), False
         except Exception as exc:  # engine bug: report, keep serving
             return _error_payload(exc), False
+        finally:
+            self.pending -= 1
 
     def _dispatch(self, session: Any, op: Any, request: dict) -> tuple[dict, bool]:
         if op == "hello":
@@ -249,6 +390,10 @@ class ExcessServer:
                     "user": session.user,
                     "in_transaction": session.in_transaction,
                     "connections": self.connections,
+                    "max_connections": self.max_connections,
+                    "pending": self.pending,
+                    "draining": self.draining,
+                    "overloaded_refusals": self.overloaded_refusals,
                     "isolation_mode": self.db.isolation_mode,
                     "open_transactions": sum(
                         1
@@ -319,6 +464,15 @@ class ServerThread:
 
     def stop(self) -> None:
         if self._loop is not None and self._loop.is_running():
+            # drain on the loop *before* stopping it: loop.stop() alone
+            # abandons handler coroutines mid-await, leaving sessions
+            # whose clients vanished mid-transaction to the GC
+            try:
+                asyncio.run_coroutine_threadsafe(
+                    self.server.drain(), self._loop
+                ).result(timeout=10.0)
+            except Exception:  # pragma: no cover - drain timed out/raced
+                pass
             self._loop.call_soon_threadsafe(self._loop.stop)
         if self._thread is not None:
             self._thread.join(timeout=10.0)
@@ -344,6 +498,10 @@ def main(argv: Optional[list] = None) -> int:  # pragma: no cover - CLI glue
         "--storage", choices=["memory", "paged"], default="memory",
         help="object store for a fresh in-memory database",
     )
+    parser.add_argument(
+        "--max-connections", type=int, default=64,
+        help="admission limit; further connects get a retryable refusal",
+    )
     options = parser.parse_args(argv)
 
     if options.open:
@@ -352,15 +510,35 @@ def main(argv: Optional[list] = None) -> int:  # pragma: no cover - CLI glue
         db = Database(storage=options.storage)
 
     async def serve() -> None:
-        server = ExcessServer(db, host=options.host, port=options.port)
+        import signal
+
+        server = ExcessServer(
+            db,
+            host=options.host,
+            port=options.port,
+            max_connections=options.max_connections,
+        )
         host, port = await server.start()
         print(f"extra-excess server listening on {host}:{port}")
+        loop = asyncio.get_running_loop()
+        stopping = asyncio.Event()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stopping.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        forever = asyncio.ensure_future(server.serve_forever())
+        waiter = asyncio.ensure_future(stopping.wait())
         try:
-            await server.serve_forever()
-        except asyncio.CancelledError:  # pragma: no cover
-            pass
+            await asyncio.wait(
+                {forever, waiter}, return_when=asyncio.FIRST_COMPLETED
+            )
         finally:
-            await server.stop()
+            for task in (forever, waiter):
+                task.cancel()
+            # graceful: finish in-flight statements, abort open
+            # transactions, checkpoint durable state, close connections
+            await server.drain()
 
     try:
         asyncio.run(serve())

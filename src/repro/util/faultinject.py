@@ -47,6 +47,7 @@ __all__ = [
     "arm",
     "reset",
     "hits",
+    "should_fire",
 ]
 
 
@@ -95,6 +96,22 @@ def crash_point(name: str) -> None:
     point.hits += 1
     if point.trigger is not None and point.hits == point.trigger:
         raise SimulatedCrash(name, point.hits)
+
+
+def should_fire(name: str) -> bool:
+    """Count a hit; return True when armed for it.
+
+    Like :func:`crash_point` but the *caller* owns the failure: the
+    resource governor uses this to raise
+    :class:`~repro.errors.StatementTimeout` (an ordinary engine error
+    with clean unwind semantics) at a named injection point, rather
+    than the kill-like :class:`SimulatedCrash`.
+    """
+    point = _points.get(name)
+    if point is None:
+        return False
+    point.hits += 1
+    return point.trigger is not None and point.hits == point.trigger
 
 
 def torn_cut(name: str, size: int) -> Optional[int]:

@@ -1,0 +1,211 @@
+"""A fault-injecting TCP proxy for chaos-testing the wire protocol.
+
+:class:`ChaosProxy` sits between a client and an
+:class:`~repro.server.server.ExcessServer`, relaying the
+length-prefixed JSON frames of :mod:`repro.server.protocol` in both
+directions while injecting one configured fault:
+
+=====================  ==================================================
+``truncate_frame``     forward only part of the Nth frame, then close
+                       both sides (models a crash mid-send)
+``disconnect``         close both sides just *before* relaying the Nth
+                       frame (a clean-cut connection drop)
+``delay``              hold the Nth frame for ``delay_s`` seconds before
+                       forwarding it (models a stall; lets clients
+                       exercise read timeouts)
+``duplicate``          forward the Nth frame twice (models a confused
+                       middlebox replaying a request — e.g. a second
+                       ``hello`` on an established session)
+=====================  ==================================================
+
+Faults count frames per *direction*: ``direction="c2s"`` injects on the
+client→server stream, ``"s2c"`` on server→client. The proxy parses
+frame boundaries so a fault always lands on a protocol-meaningful unit
+(except ``truncate_frame``, whose entire point is to cut one apart).
+
+The contract chaos tests assert: every fault must leave the *server*
+healthy — the victim connection's session is closed and its transaction
+aborted (no leaked parked workspace, no stuck version-log entry), and
+subsequent connections work normally. The *client* must see either a
+correct result or a clean, retryable error — never a hang.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+from typing import Optional
+
+__all__ = ["ChaosProxy", "FAULTS"]
+
+_HEADER = struct.Struct(">I")
+
+FAULTS = ("truncate_frame", "disconnect", "delay", "duplicate")
+
+
+class ChaosProxy:
+    """A single-fault TCP proxy in front of ``(host, port)``.
+
+    ``fault=None`` relays transparently. ``on_frame`` is 1-based: the
+    fault fires on that frame of the configured ``direction``. One
+    proxy accepts many connections; the frame counter is per-connection
+    so every victim connection sees the same fault.
+    """
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        fault: Optional[str] = None,
+        on_frame: int = 1,
+        direction: str = "c2s",
+        delay_s: float = 0.5,
+        truncate_at: int = 2,
+        max_fires: Optional[int] = None,
+    ):
+        if fault is not None and fault not in FAULTS:
+            raise ValueError(f"unknown fault {fault!r} (expected {FAULTS})")
+        if direction not in ("c2s", "s2c"):
+            raise ValueError(f"direction must be 'c2s' or 's2c', not {direction!r}")
+        self.upstream = (upstream_host, upstream_port)
+        self.fault = fault
+        self.on_frame = on_frame
+        self.direction = direction
+        self.delay_s = delay_s
+        #: bytes of the doomed frame (header included) forwarded before
+        #: the cut; 2 leaves a torn length prefix on the wire
+        self.truncate_at = truncate_at
+        #: stop injecting after this many fires (None = every matching
+        #: frame on every connection) — lets retry tests recover
+        self.max_fires = max_fires
+        self.faults_fired = 0
+        self.address: Optional[tuple[str, int]] = None
+        self._listener: Optional[socket.socket] = None
+        self._threads: list[threading.Thread] = []
+        self._stopping = threading.Event()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> tuple[str, int]:
+        """Bind an ephemeral port and start accepting; returns it."""
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(16)
+        self._listener.settimeout(0.2)
+        self.address = self._listener.getsockname()
+        accept = threading.Thread(target=self._accept_loop, daemon=True)
+        accept.start()
+        self._threads.append(accept)
+        return self.address
+
+    def stop(self) -> None:
+        self._stopping.set()
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads.clear()
+
+    def __enter__(self) -> "ChaosProxy":
+        self.start()
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.stop()
+
+    # -- relay -------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                client, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            try:
+                server = socket.create_connection(self.upstream, timeout=5.0)
+            except OSError:
+                client.close()
+                continue
+            for sock in (client, server):
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            closer = threading.Lock()
+            pair = [client, server]
+            for src, dst, tag in ((client, server, "c2s"), (server, client, "s2c")):
+                thread = threading.Thread(
+                    target=self._pump, args=(src, dst, tag, pair, closer),
+                    daemon=True,
+                )
+                thread.start()
+                self._threads.append(thread)
+
+    def _pump(self, src: socket.socket, dst: socket.socket, tag: str,
+              pair: list, closer: threading.Lock) -> None:
+        """Relay framed messages src→dst, injecting this proxy's fault
+        when the counted frame passes in the configured direction."""
+        frames = 0
+        try:
+            while not self._stopping.is_set():
+                frame = self._read_frame(src)
+                if frame is None:
+                    break
+                frames += 1
+                if self.fault is not None and tag == self.direction \
+                        and frames == self.on_frame \
+                        and (self.max_fires is None
+                             or self.faults_fired < self.max_fires):
+                    self.faults_fired += 1
+                    if self.fault == "disconnect":
+                        break
+                    if self.fault == "truncate_frame":
+                        dst.sendall(frame[: self.truncate_at])
+                        break
+                    if self.fault == "delay":
+                        time.sleep(self.delay_s)
+                        dst.sendall(frame)
+                        continue
+                    if self.fault == "duplicate":
+                        dst.sendall(frame)
+                        dst.sendall(frame)
+                        continue
+                dst.sendall(frame)
+        except OSError:
+            pass
+        finally:
+            with closer:
+                for sock in pair:
+                    try:
+                        sock.shutdown(socket.SHUT_RDWR)
+                    except OSError:
+                        pass
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+
+    @staticmethod
+    def _read_frame(sock: socket.socket) -> Optional[bytes]:
+        """One complete wire frame (header + payload), or None on EOF."""
+        header = ChaosProxy._read_exact(sock, _HEADER.size)
+        if header is None:
+            return None
+        (length,) = _HEADER.unpack(header)
+        payload = ChaosProxy._read_exact(sock, length)
+        if payload is None:
+            return None
+        return header + payload
+
+    @staticmethod
+    def _read_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+        chunks = b""
+        while len(chunks) < count:
+            chunk = sock.recv(count - len(chunks))
+            if not chunk:
+                return None
+            chunks += chunk
+        return chunks

@@ -15,6 +15,8 @@ list into a fresh in-memory database and comparing canonical state
 dumps (OID-renumbered, so allocator drift cannot cause false alarms).
 """
 
+import os
+
 import pytest
 
 from repro.core.database import Database
@@ -48,6 +50,9 @@ WORKLOAD = [
              'from D in Depts'],
      "abort"),
     ("stmt", "analyze"),
+    # read-only, but under REPRO_SPILL_BUDGET it drives the governed
+    # (possibly spilling) sort path between durable statements
+    ("stmt", "retrieve (E.name, E.sal) from E in Emps sort by E.sal desc"),
     ("stmt", "grant select on Emps to alice"),
     ("checkpoint",),
     ("stmt", 'delete E from E in Emps where E.name = "ann"'),
@@ -64,6 +69,11 @@ def _run_workload(directory: str, fsync: bool):
     none was), and whether the armed point fired.
     """
     db = open_database(directory, fsync=fsync)
+    # CI's chaos-matrix step re-runs the sweep with spill enabled: a
+    # nonzero budget makes every statement run under the governor
+    budget = int(os.environ.get("REPRO_SPILL_BUDGET", "0") or "0")
+    if budget:
+        db.interpreter.memory_budget = budget
     acked: list[str] = []
     in_flight: list[str] = []
     try:
@@ -113,13 +123,21 @@ def _clean_faults():
 
 
 def _all_points() -> list[str]:
-    # importing the durability stack registers every point
+    # importing the durability stack registers every point; the
+    # governor's ``timeout.*`` points are *cancellation* points (clean
+    # StatementTimeout unwind, not a simulated kill) and are swept by
+    # the statement-timeout matrix in tests/integration/test_governor.py
+    # instead of the crash matrix
+    import repro.core.governor  # noqa: F401
     import repro.core.session  # noqa: F401
     import repro.storage.persistence  # noqa: F401
     import repro.storage.recovery  # noqa: F401
     import repro.storage.wal  # noqa: F401
 
-    return faultinject.registered_points()
+    return [
+        p for p in faultinject.registered_points()
+        if not p.startswith("timeout.")
+    ]
 
 
 def test_crash_matrix_is_complete():
@@ -128,6 +146,12 @@ def test_crash_matrix_is_complete():
     assert len(points) >= 15
     groups = {p.split(".")[0] for p in points}
     assert groups == {"wal", "snapshot", "commit", "checkpoint", "txn"}
+    # the cancellation points exist but belong to the timeout matrix
+    timeout_points = [
+        p for p in faultinject.registered_points()
+        if p.startswith("timeout.")
+    ]
+    assert len(timeout_points) >= 5
 
 
 @pytest.mark.parametrize("fsync", [True, False], ids=["fsync_on", "fsync_off"])

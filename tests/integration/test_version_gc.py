@@ -1,0 +1,149 @@
+"""Version-log garbage collection under long-lived snapshots.
+
+The version log retains each commit's swap records while any open
+snapshot might still rewind them (``TransactionManager._gc_versions``).
+These tests pin the lifecycle with exact entry counts: a pinned
+old-snapshot reader keeps entries alive commit after commit, closing
+the last old session releases everything, doomed transactions stop
+pinning (they can never rewind again), and a session whose client
+vanishes releases its pin through ``SessionContext.close()``.
+"""
+
+import pytest
+
+from repro.core.database import Database
+from repro.errors import SerializationError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("define type Dept as (dname: char(20), floor: int4)")
+    database.execute("create {own ref Dept} Depts")
+    database.execute('append to Depts (dname = "Toys", floor = 2)')
+    return database
+
+
+def names(session) -> set:
+    return {
+        row[0]
+        for row in session.execute(
+            "retrieve (D.dname) from D in Depts"
+        ).rows
+    }
+
+
+class TestVersionLogGC:
+    def test_pinned_snapshot_accumulates_entries(self, db):
+        reader = db.connect(user="bob")
+        writer = db.connect(user="alice")
+        reader.begin()
+        assert names(reader) == {"Toys"}
+        for index in range(3):
+            writer.execute(
+                f'append to Depts (dname = "W{index}", floor = {index + 1})'
+            )
+            # one version entry per commit, all pinned by the reader
+            assert len(db.transactions.versions) == index + 1
+        # the reader still sees its begin-time state through 3 rewinds
+        assert names(reader) == {"Toys"}
+        reader.commit()
+        assert len(db.transactions.versions) == 0
+        assert names(reader) == {"Toys", "W0", "W1", "W2"}
+
+    def test_closing_last_old_session_releases_entries(self, db):
+        old = db.connect(user="bob")
+        newer = db.connect(user="carol")
+        writer = db.connect(user="alice")
+        old.begin()
+        writer.execute('append to Depts (dname = "Mid", floor = 1)')
+        assert len(db.transactions.versions) == 1
+        # a *newer* snapshot does not pin the entry — only `old` does
+        newer.begin()
+        assert names(newer) == {"Toys", "Mid"}
+        newer.abort()
+        assert len(db.transactions.versions) == 1
+        # closing the session (not just the txn) is what releases it
+        old.close()
+        assert len(db.transactions.versions) == 0
+        snapshot = db.transactions.introspect()
+        assert snapshot["open_transactions"] == 0
+        assert snapshot["version_entries"] == 0
+
+    def test_horizon_is_the_minimum_open_snapshot(self, db):
+        first = db.connect(user="bob")
+        second = db.connect(user="carol")
+        writer = db.connect(user="alice")
+        first.begin()
+        writer.execute('append to Depts (dname = "A", floor = 1)')
+        second.begin()  # snapshot taken *after* the first commit
+        writer.execute('append to Depts (dname = "B", floor = 2)')
+        assert len(db.transactions.versions) == 2
+        # finishing the older snapshot advances the horizon past the
+        # first entry; the second stays pinned for `second`
+        first.abort()
+        assert len(db.transactions.versions) == 1
+        second.abort()
+        assert len(db.transactions.versions) == 0
+
+    def test_doomed_transaction_stops_pinning(self, db):
+        loser = db.connect(user="bob")
+        writer = db.connect(user="alice")
+        loser.begin()
+        loser.execute('replace D (floor = 9) from D in Depts '
+                      'where D.dname = "Toys"')
+        # the rival commits an overlapping write first: loser is doomed
+        writer.execute('replace D (floor = 5) from D in Depts '
+                       'where D.dname = "Toys"')
+        assert loser.txn is not None and loser.txn.doomed is not None
+        # a doomed snapshot can never rewind again, so it pins nothing
+        assert len(db.transactions.versions) == 0
+        with pytest.raises(SerializationError):
+            loser.commit()
+        assert loser.txn is None  # the failed commit aborted it
+        snapshot = db.transactions.introspect()
+        assert snapshot["open_transactions"] == 0
+        assert snapshot["version_entries"] == 0
+        assert snapshot["parked_workspaces"] == 0
+        # first-committer-wins: the rival's write survives
+        rows = db.execute(
+            'retrieve (D.floor) from D in Depts where D.dname = "Toys"'
+        ).rows
+        assert rows == [(5,)]
+
+    def test_vanished_session_close_releases_everything(self, db):
+        """The teardown path a server uses when a client disconnects
+        mid-transaction: SessionContext.close() aborts, forgets, and
+        triggers GC — no parked workspace or version entry survives."""
+        db.execute("create {own ref Dept} Aisles")
+        ghost = db.connect(user="bob")
+        writer = db.connect(user="alice")
+        ghost.begin()
+        # a disjoint container: the ghost is a pinned reader of Depts,
+        # not a doomed rival of the writer
+        ghost.execute('append to Aisles (dname = "Ghost", floor = 13)')
+        writer.execute('append to Depts (dname = "Live", floor = 1)')
+        assert len(db.transactions.versions) == 1
+        before = db.transactions.introspect()
+        assert before["open_transactions"] == 1
+        assert before["parked_workspaces"] == 1  # ghost parked by writer
+        ghost.close()  # what the server's finally does
+        after = db.transactions.introspect()
+        assert after["open_transactions"] == 0
+        assert after["parked_workspaces"] == 0
+        assert after["version_entries"] == 0
+        assert not after["applied"]
+        assert names(writer) == {"Toys", "Live"}
+
+    def test_introspect_counts_doomed(self, db):
+        loser = db.connect(user="bob")
+        writer = db.connect(user="alice")
+        loser.begin()
+        loser.execute('replace D (floor = 9) from D in Depts '
+                      'where D.dname = "Toys"')
+        writer.execute('replace D (floor = 5) from D in Depts '
+                       'where D.dname = "Toys"')
+        snapshot = db.transactions.introspect()
+        assert snapshot["doomed_transactions"] == 1
+        loser.close()
+        assert db.transactions.introspect()["doomed_transactions"] == 0
