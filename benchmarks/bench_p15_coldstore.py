@@ -1,0 +1,174 @@
+"""P15 — larger-than-RAM paged storage: bounded residency, graceful cold
+degradation, and a near-free warm path.
+
+The bounded live-object cache (``PagedObjectStore(cache_capacity=...)``)
+is what lets the engine work sets larger than RAM: cold objects are
+evicted (dirty ones re-serialized to their pages first) and fault back
+through the buffer pool on demand. This benchmark pins the three claims
+that make the cache usable:
+
+* running a working set **10x the cache budget** keeps the live-object
+  count bounded at the budget (asserted via ``CacheStats.peak_live``) —
+  residency is a knob, not a suggestion;
+* shrinking the budget degrades scan/lookup cost **gracefully** (a
+  measured curve, recorded per ratio — no cliff);
+* a working set that *fits* the cache pays ~nothing for the bounding
+  machinery: warm query-level lookups stay within **1.1x** of the
+  unbounded baseline.
+
+Acceptance measurements land in ``benchmarks/results/BENCH_p15.json``.
+"""
+
+import random
+import statistics
+import time
+
+from conftest import write_bench_json
+
+from repro.core.identity import StoredObject
+from repro.core.types import INT4, TEXT, TupleType, own
+from repro.core.values import TupleInstance
+from repro.storage.object_store import PagedObjectStore
+from repro.util.workload import CompanyWorkload, build_company_database
+
+CAPACITY = 128
+WORKING_SET = CAPACITY * 10  # objects: 10x the cache budget
+LOOKUPS = 400
+WARM_REPS = 7
+WARM_NAMES = 40
+MAX_WARM_OVERHEAD = 1.1
+
+_RECORD_TYPE = TupleType([("n", own(INT4)), ("s", own(TEXT))])
+
+
+def _record(oid: int) -> StoredObject:
+    return StoredObject(
+        oid=oid,
+        value=TupleInstance(_RECORD_TYPE, {"n": oid, "s": f"payload-{oid:06d}"}),
+    )
+
+
+def _build_store(capacity) -> PagedObjectStore:
+    store = PagedObjectStore(store_mode="file", cache_capacity=capacity)
+    for oid in range(1, WORKING_SET + 1):
+        store.insert(oid, _record(oid))
+    return store
+
+
+def _measure(store: PagedObjectStore) -> dict:
+    """Scan + random point lookups against a cold cache, timed."""
+    store.evict_live_cache()
+    store.cache_stats.reset()
+    start = time.perf_counter()
+    scanned = sum(1 for _ in store.scan_objects())
+    scan_ms = (time.perf_counter() - start) * 1000.0
+    assert scanned == WORKING_SET
+
+    rng = random.Random(1988)
+    oids = [rng.randint(1, WORKING_SET) for _ in range(LOOKUPS)]
+    start = time.perf_counter()
+    for oid in oids:
+        store.fetch(oid)
+    lookup_ms = (time.perf_counter() - start) * 1000.0
+    return {
+        "scan_ms": round(scan_ms, 3),
+        "lookup_ms": round(lookup_ms, 3),
+        "faults": store.cache_stats.faults,
+        "evictions": store.cache_stats.evictions,
+        "peak_live": store.cache_stats.peak_live,
+    }
+
+
+def test_cold_store_bounded_and_degrades_gracefully():
+    curve = {}
+    for label, capacity in [
+        ("unbounded", None),
+        ("1x", WORKING_SET),
+        ("1/2", WORKING_SET // 2),
+        ("1/4", WORKING_SET // 4),
+        ("1/10", CAPACITY),
+    ]:
+        store = _build_store(capacity)
+        point = _measure(store)
+        point["capacity"] = capacity
+        curve[label] = point
+        store.disk.close()
+
+    tight = curve["1/10"]
+    # the headline claim: a 10x working set never inflates residency
+    # past the budget (+1 for the scan iterator's pinned current object)
+    assert tight["peak_live"] <= CAPACITY + 1
+    assert tight["faults"] >= WORKING_SET  # cold scan faulted everything
+    # graceful, not cliff-like: the tightest budget stays within 100x of
+    # the unbounded scan (in practice ~5-20x; the bound catches cliffs)
+    assert tight["scan_ms"] <= max(curve["unbounded"]["scan_ms"], 0.5) * 100
+
+    payload = {
+        "working_set": WORKING_SET,
+        "cache_budget": CAPACITY,
+        "lookups": LOOKUPS,
+        "degradation_curve": curve,
+    }
+    write_bench_json("p15", _merged_payload(payload))
+
+
+def _merged_payload(update: dict) -> dict:
+    """Accumulate both tests' sections into one BENCH_p15.json."""
+    try:
+        import json
+
+        from conftest import RESULTS_DIR
+
+        existing = json.loads((RESULTS_DIR / "BENCH_p15.json").read_text())
+    except Exception:
+        existing = {}
+    existing.update(update)
+    return existing
+
+
+def _median_lookup_ms(db, names) -> float:
+    times = []
+    for _ in range(WARM_REPS):
+        start = time.perf_counter()
+        for name in names:
+            db.execute(
+                f'retrieve (E.salary) from E in Employees '
+                f'where E.name = "{name}"'
+            )
+        times.append((time.perf_counter() - start) * 1000.0)
+    return statistics.median(times)
+
+
+def test_warm_lookups_near_unbounded_baseline():
+    """A working set that fits the cache pays <= 1.1x for the bounding
+    machinery (LRU bookkeeping on hits) vs. the unbounded ablation."""
+    spec = CompanyWorkload(departments=6, employees=200, seed=1988,
+                           storage="paged")
+    unbounded = build_company_database(spec, store_mode="file")
+    bounded = build_company_database(spec, store_mode="file",
+                                     cache_capacity=4096)
+    names = [spec.name_of(i) for i in range(0, 200, 200 // WARM_NAMES)]
+
+    # warm both caches, then measure steady-state
+    _median_lookup_ms(unbounded, names)
+    _median_lookup_ms(bounded, names)
+    base_ms = _median_lookup_ms(unbounded, names)
+    bounded_ms = _median_lookup_ms(bounded, names)
+    assert bounded.store.cache_stats.faults == 0  # genuinely warm
+
+    ratio = bounded_ms / base_ms if base_ms else 1.0
+    assert ratio <= MAX_WARM_OVERHEAD, (
+        f"warm bounded lookups {bounded_ms:.2f}ms vs unbounded "
+        f"{base_ms:.2f}ms = {ratio:.3f}x (limit {MAX_WARM_OVERHEAD}x)"
+    )
+
+    write_bench_json("p15", _merged_payload({
+        "warm_lookup": {
+            "names": len(names),
+            "reps": WARM_REPS,
+            "unbounded_ms": round(base_ms, 3),
+            "bounded_ms": round(bounded_ms, 3),
+            "overhead_ratio": round(ratio, 4),
+            "limit": MAX_WARM_OVERHEAD,
+        }
+    }))

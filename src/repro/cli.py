@@ -20,6 +20,8 @@ start with a backslash:
 ``\\open DIR``   open a durable database (WAL + crash recovery) in DIR
 ``\\checkpoint`` snapshot durable state and truncate the WAL
 ``\\wal``        show write-ahead-log status (durable databases)
+``\\storage``    buffer-pool / disk / object-cache counters (paged stores)
+``\\vacuum``     compact the paged store (squeeze holes, free dead pages)
 ``\\connect HOST PORT [USER]``  attach to a network server (own session)
 ``\\disconnect`` detach from the server, back to the local database
 ``\\user NAME``  switch the session user (authorization applies)
@@ -205,6 +207,58 @@ class Shell:
                 self._write(
                     f"checkpointed {info['bytes']} bytes through "
                     f"LSN {info['wal_lsn']}"
+                )
+        elif command == "storage":
+            info = self.db.storage_stats()
+            if not info:
+                self._write(
+                    "storage: memory object store (no page substrate); "
+                    "start with --storage paged for counters"
+                )
+                return
+            self._write(
+                f"store: mode={info['store_mode']} pages={info['pages']}"
+            )
+            buffer = info["buffer"]
+            self._write(
+                f"buffer: capacity={buffer['capacity']} "
+                f"cached={buffer['cached']} hits={buffer['hits']} "
+                f"misses={buffer['misses']} "
+                f"hit_ratio={buffer['hit_ratio']:.3f} "
+                f"evictions={buffer['evictions']} "
+                f"dirty_writebacks={buffer['dirty_writebacks']}"
+            )
+            disk = info["disk"]
+            self._write(
+                f"disk: reads={disk['reads']} writes={disk['writes']} "
+                f"allocations={disk['allocations']} frees={disk['frees']} "
+                f"syncs={disk['syncs']}"
+            )
+            cache = info["object_cache"]
+            capacity = cache["capacity"]
+            self._write(
+                f"object cache: capacity="
+                f"{'unbounded' if capacity is None else capacity} "
+                f"live={cache['live']} pinned={cache['pinned']} "
+                f"dirty={cache['dirty']} hits={cache['hits']} "
+                f"faults={cache['faults']} evictions={cache['evictions']} "
+                f"writebacks={cache['writebacks']} "
+                f"peak_live={cache['peak_live']}"
+            )
+        elif command == "vacuum":
+            dangling = self.db.integrity.vacuum()
+            report = self.db.compact()
+            if report:
+                self._write(
+                    f"vacuum: {dangling} dangling ref(s) removed, "
+                    f"{report['records_moved']} record(s) migrated, "
+                    f"{report['pages_freed']} page(s) freed, "
+                    f"{report['slots_trimmed']} slot(s) trimmed"
+                )
+            else:
+                self._write(
+                    f"vacuum: {dangling} dangling ref(s) removed "
+                    "(memory store — no pages to compact)"
                 )
         elif command == "wal":
             if self.db.durability is None:

@@ -83,20 +83,37 @@ class Database:
         pool_capacity: int = 64,
         dba: str = "dba",
         authorization: bool = False,
+        store_mode: Optional[str] = None,
+        cache_capacity: Optional[int] = None,
+        store_path: Optional[str] = None,
     ):
         """Create an empty database.
 
         ``storage`` selects the object store: ``"memory"`` (default) or
         ``"paged"`` for the slotted-page store with buffer accounting.
-        ``authorization`` turns on privilege checking (off by default so
-        single-user scripts need no grants).
+        With ``storage="paged"``, ``store_mode`` picks the disk substrate
+        (``"sim"``, the default, or ``"file"`` — 4KB pages persisted at
+        ``store_path``, or an anonymous temp file when no path is given),
+        and ``cache_capacity`` bounds the live-object cache (``None`` =
+        unbounded, the ablation baseline). ``authorization`` turns on
+        privilege checking (off by default so single-user scripts need no
+        grants).
         """
         if storage == "memory":
+            if store_mode is not None or store_path is not None:
+                raise CatalogError(
+                    "store_mode/store_path require storage='paged'"
+                )
             self.store: Any = MemoryObjectStore()
         elif storage == "paged":
             from repro.storage.object_store import PagedObjectStore
 
-            self.store = PagedObjectStore(pool_capacity=pool_capacity)
+            self.store = PagedObjectStore(
+                pool_capacity=pool_capacity,
+                cache_capacity=cache_capacity,
+                store_mode=store_mode,
+                path=store_path,
+            )
         else:
             raise CatalogError(f"unknown storage kind {storage!r}")
         self.objects = ObjectTable(self.store)
@@ -563,14 +580,18 @@ class Database:
         dba: str = "dba",
         authorization: bool = False,
         pool_capacity: int = 64,
+        store_mode: Optional[str] = None,
+        cache_capacity: Optional[int] = None,
     ) -> "Database":
         """Open (or create) a *durable* database rooted at ``directory``.
 
         Recovery loads the latest checkpoint snapshot, repairs any torn
         tail on the write-ahead log, and replays the committed suffix;
         from then on every committed mutating statement is appended to
-        the log before the engine acknowledges it. See
-        :mod:`repro.storage.recovery`.
+        the log before the engine acknowledges it. With
+        ``storage="paged"`` the store defaults to ``store_mode="file"``:
+        pages live in ``<directory>/pages.data`` and checkpoints are
+        incremental. See :mod:`repro.storage.recovery`.
         """
         from repro.storage.recovery import open_database
 
@@ -581,6 +602,8 @@ class Database:
             dba=dba,
             authorization=authorization,
             pool_capacity=pool_capacity,
+            store_mode=store_mode,
+            cache_capacity=cache_capacity,
         )
 
     def checkpoint(self) -> dict[str, Any]:
@@ -602,8 +625,22 @@ class Database:
     # -- misc -------------------------------------------------------------------------------------------
 
     def vacuum(self) -> int:
-        """Scrub dangling references eagerly; returns count removed."""
-        return self.integrity.vacuum()
+        """Scrub dangling references eagerly; returns count removed.
+
+        On a paged store this also runs the storage compaction pass
+        (see :meth:`compact`)."""
+        removed = self.integrity.vacuum()
+        if hasattr(self.store, "vacuum"):
+            self.store.vacuum()
+        return removed
+
+    def compact(self) -> dict[str, Any]:
+        """Run the storage compaction pass explicitly: squeeze slot
+        holes, migrate records off mostly-dead pages, free empty pages.
+        Returns the store's report (empty for the memory store)."""
+        if hasattr(self.store, "vacuum"):
+            return self.store.vacuum()
+        return {}
 
     # -- optimizer statistics ----------------------------------------------------
 
@@ -712,7 +749,50 @@ class Database:
                 "hit_ratio": store.pool.stats.hit_ratio,
                 "pages": store.page_count,
             }
+            out["storage"] = self.storage_stats()
         return out
+
+    def storage_stats(self) -> dict[str, Any]:
+        """Storage counters for the CLI ``\\storage`` command and the
+        server ``status`` op: buffer-pool, physical-disk, and
+        live-object-cache behaviour. Empty for the memory store."""
+        store = self.store
+        if not hasattr(store, "pool"):
+            return {}
+        pool = store.pool.stats
+        disk = store.disk.stats
+        cache = store.cache_stats
+        return {
+            "store_mode": store.store_mode,
+            "pages": store.page_count,
+            "buffer": {
+                "capacity": store.pool.capacity,
+                "cached": len(store.pool),
+                "hits": pool.hits,
+                "misses": pool.misses,
+                "hit_ratio": pool.hit_ratio,
+                "evictions": pool.evictions,
+                "dirty_writebacks": pool.dirty_writebacks,
+            },
+            "disk": {
+                "reads": disk.reads,
+                "writes": disk.writes,
+                "allocations": disk.allocations,
+                "frees": disk.frees,
+                "syncs": disk.syncs,
+            },
+            "object_cache": {
+                "capacity": store.cache_capacity,
+                "live": store.live_count,
+                "pinned": store.pinned_count,
+                "dirty": store.dirty_count,
+                "hits": cache.hits,
+                "faults": cache.faults,
+                "evictions": cache.evictions,
+                "writebacks": cache.writebacks,
+                "peak_live": cache.peak_live,
+            },
+        }
 
 
 class Session:

@@ -210,6 +210,22 @@ class ObjectTable:
     def __len__(self) -> int:
         return sum(1 for _ in self._store.oids())
 
+    # -- residency (paged stores) --------------------------------------------
+
+    def pin(self, oid: Oid) -> None:
+        """Exempt ``oid`` from live-cache eviction while a transaction's
+        undo log or a parked workspace references it (no-op for stores
+        without an evicting cache)."""
+        pin = getattr(self._store, "pin", None)
+        if pin is not None:
+            pin(oid)
+
+    def unpin(self, oid: Oid) -> None:
+        """Release one residency pin on ``oid``."""
+        unpin = getattr(self._store, "unpin", None)
+        if unpin is not None:
+            unpin(oid)
+
     # -- mutation -----------------------------------------------------------
 
     def mark_dirty(self, oid: Oid) -> None:

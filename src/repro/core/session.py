@@ -389,6 +389,13 @@ class TransactionManager:
                     "pickle transaction_mode supports one open transaction; "
                     "use the default undo mode for multi-session work"
                 )
+            if getattr(self.db.store, "store_mode", None) == "file":
+                # pickle-mode abort restores an old extent table whose
+                # shadow blocks may since have been rewritten in place
+                raise IntegrityError(
+                    "pickle transaction_mode is incompatible with the "
+                    "file-backed page store; use the default undo mode"
+                )
             import pickle
 
             session.txn = Transaction(
@@ -496,16 +503,22 @@ class TransactionManager:
             t for t in self._others_with_open_txn(session)
             if t.mode == "undo" and t.doomed is None
         ]
+        retained = False
         if readers and undo.records:
             if undo.resumable:
                 self.versions.append(
                     _VersionEntry(commit_ts, txn.txn_id, frozenset(write_set), undo)
                 )
+                retained = True
             else:  # pragma: no cover - every mutation site records a redo
                 for other in readers:
                     other.doomed = (
                         "a non-resumable commit could not be versioned"
                     )
+        if not retained:
+            # the log dies here; an evicting object cache may release
+            # the residency pins its closures held
+            undo.release_pins()
         faultinject.crash_point("txn.commit.publish")
         # Other sessions' caches (plans, memoized hash builds) may hold
         # state computed against the pre-commit database: move the data
@@ -544,7 +557,7 @@ class TransactionManager:
         elif txn.undo.parked or txn.doomed is not None:
             # the workspace is swapped out of live state (or stale):
             # discarding the log *is* the abort
-            pass
+            txn.undo.release_pins()
         else:
             # isolation_mode "none": the log may be attached without
             # parking bookkeeping
@@ -596,8 +609,16 @@ class TransactionManager:
             if s.txn is not None and s.txn.mode == "undo" and s.txn.doomed is None
         ]
         if not snapshots:
+            for entry in self.versions:
+                entry.undo.release_pins()
             self.versions.clear()
             return
         horizon = min(snapshots)
         if self.versions and self.versions[0].commit_ts <= horizon:
-            self.versions = [e for e in self.versions if e.commit_ts > horizon]
+            kept = []
+            for entry in self.versions:
+                if entry.commit_ts > horizon:
+                    kept.append(entry)
+                else:
+                    entry.undo.release_pins()
+            self.versions = kept

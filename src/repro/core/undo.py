@@ -88,6 +88,9 @@ class UndoLog:
         #: OIDs whose live instances were touched (re-serialized on every
         #: workspace swap so paged stores pick the restored slots up)
         self._dirty_oids: set[int] = set()
+        #: OIDs pinned against live-cache eviction while this log (or the
+        #: version entry grown from it) references their instances
+        self._pinned: set[int] = set()
         #: total records, for diagnostics
         self.records = 0
         #: False once a record without a redo closure is added; such a
@@ -144,6 +147,24 @@ class UndoLog:
 
         self._add(swap, key)
 
+    def _pin(self, oid: Optional[int]) -> None:
+        """Pin ``oid``'s live instance for the lifetime of this log: undo
+        closures mutate the instance in place, so an evicting object
+        cache must not let it fall out from under them."""
+        if oid is None or oid in self._pinned:
+            return
+        self._pinned.add(oid)
+        self.db.objects.pin(oid)
+
+    def release_pins(self) -> None:
+        """Release every residency pin (the log is being discarded)."""
+        if not self._pinned:
+            return
+        objects = self.db.objects
+        for oid in self._pinned:
+            objects.unpin(oid)
+        self._pinned.clear()
+
     def _first_touch(self, key: tuple, container: Any, data: bool = True) -> bool:
         if key in self._seen:
             return False
@@ -163,6 +184,7 @@ class UndoLog:
         stored = [dict(instance._slots)]
         if instance.oid is not None:
             self._dirty_oids.add(instance.oid)
+            self._pin(instance.oid)
 
         def swap() -> None:
             current = dict(instance._slots)
@@ -219,6 +241,7 @@ class UndoLog:
         whose owner lives in a paged store)."""
         if oid is not None:
             self._dirty_oids.add(oid)
+            self._pin(oid)
 
     def save_named_binding(self, named: Any) -> None:
         """Snapshot a named object's ``value`` binding (``set Name = …``
@@ -298,6 +321,7 @@ class UndoLog:
         key = ("oid", oid)
         if self.on_first_touch is not None:
             self.on_first_touch(key)
+        self._pin(oid)
         stashed: list = [None]
 
         def swap() -> None:
@@ -319,6 +343,7 @@ class UndoLog:
         resurrection.
         """
         self._dirty_oids.add(record.oid)
+        self._pin(record.oid)
         stashed = [record]
 
         def swap() -> None:
@@ -338,6 +363,7 @@ class UndoLog:
     ) -> None:
         """Ownership is about to change: swap the prior owner back in."""
         self._dirty_oids.add(oid)
+        self._pin(oid)
         stored = [(owner, owner_name)]
 
         def swap() -> None:
@@ -395,6 +421,7 @@ class UndoLog:
         for record in reversed(self._records):
             record.swap()
         self._mark_dirty()
+        self.release_pins()
 
     def park(self) -> None:
         """Swap this transaction's uncommitted workspace *out* of the

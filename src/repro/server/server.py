@@ -383,26 +383,27 @@ class ExcessServer:
             session.overrides[flag] = value
             return {"ok": True, "flag": flag, "value": value}, False
         if op == "status":
-            return (
-                {
-                    "ok": True,
-                    "session": session.name,
-                    "user": session.user,
-                    "in_transaction": session.in_transaction,
-                    "connections": self.connections,
-                    "max_connections": self.max_connections,
-                    "pending": self.pending,
-                    "draining": self.draining,
-                    "overloaded_refusals": self.overloaded_refusals,
-                    "isolation_mode": self.db.isolation_mode,
-                    "open_transactions": sum(
-                        1
-                        for s in self.db.transactions.sessions.values()
-                        if s.txn is not None
-                    ),
-                },
-                False,
-            )
+            payload = {
+                "ok": True,
+                "session": session.name,
+                "user": session.user,
+                "in_transaction": session.in_transaction,
+                "connections": self.connections,
+                "max_connections": self.max_connections,
+                "pending": self.pending,
+                "draining": self.draining,
+                "overloaded_refusals": self.overloaded_refusals,
+                "isolation_mode": self.db.isolation_mode,
+                "open_transactions": sum(
+                    1
+                    for s in self.db.transactions.sessions.values()
+                    if s.txn is not None
+                ),
+            }
+            storage = self.db.storage_stats()
+            if storage:
+                payload["storage"] = storage
+            return payload, False
         if op == "bye":
             return {"ok": True, "message": "goodbye"}, True
         raise ProtocolError(f"unknown op {op!r}")

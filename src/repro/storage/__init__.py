@@ -19,10 +19,10 @@ those abstractions in Python:
 """
 
 from repro.storage.buffer import BufferPool, BufferStats
-from repro.storage.disk import DiskManager
+from repro.storage.disk import DiskManager, DiskStats, FileDiskManager
 from repro.storage.heap import HeapFile
 from repro.storage.index import BTreeIndex, HashIndex
-from repro.storage.object_store import PagedObjectStore
+from repro.storage.object_store import CacheStats, PagedObjectStore
 from repro.storage.pages import PAGE_SIZE, Page, Rid
 
 __all__ = [
@@ -30,8 +30,11 @@ __all__ = [
     "Page",
     "Rid",
     "DiskManager",
+    "DiskStats",
+    "FileDiskManager",
     "BufferPool",
     "BufferStats",
+    "CacheStats",
     "HeapFile",
     "HashIndex",
     "BTreeIndex",

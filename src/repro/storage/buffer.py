@@ -91,10 +91,15 @@ class BufferPool:
         self._frames[page_no] = Frame(page=page, pin_count=1)
         return page
 
-    def new_page(self) -> Page:
-        """Allocate a fresh page on disk and cache it, pinned."""
+    def new_page(self, size: int | None = None) -> Page:
+        """Allocate a fresh page on disk and cache it, pinned.
+
+        ``size`` requests oversized geometry for large records; the
+        allocation still routes through the pool so the page reaches the
+        disk on eviction/flush like any other.
+        """
         self._make_room()
-        page = self.disk.allocate_page()
+        page = self.disk.allocate_page(size)
         self._frames[page.page_no] = Frame(page=page, pin_count=1)
         return page
 
@@ -142,7 +147,32 @@ class BufferPool:
                 raise StorageError("cannot clear buffer pool with pinned pages")
         self._frames.clear()
 
+    def discard(self, page_no: int) -> None:
+        """Drop a frame *without* write-back (the page is being freed)."""
+        frame = self._frames.get(page_no)
+        if frame is None:
+            return
+        if frame.pin_count:
+            raise StorageError(f"cannot discard pinned page {page_no}")
+        del self._frames[page_no]
+
+    # -- pickling ---------------------------------------------------------------
+
+    def __getstate__(self):
+        # Frames are a cache over the disk: flush dirty pages (so the
+        # disk — pickled alongside us — holds current bytes) and drop
+        # them; a loaded pool faults pages back on demand.
+        self.flush_all()
+        state = dict(self.__dict__)
+        state["_frames"] = OrderedDict()
+        return state
+
     # -- introspection -------------------------------------------------------------
+
+    def dirty_pages(self) -> list[int]:
+        """Page numbers of currently-dirty frames (incremental-checkpoint
+        candidates; everything evicted earlier is already on disk)."""
+        return [no for no, f in self._frames.items() if f.page.dirty]
 
     def cached_pages(self) -> list[int]:
         """Page numbers currently in the pool, LRU-first."""

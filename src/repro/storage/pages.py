@@ -10,6 +10,7 @@ compaction (slot numbers are never reassigned while occupied).
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
@@ -22,6 +23,12 @@ PAGE_SIZE = 4096
 
 #: Bookkeeping bytes charged per slot (simulates the slot directory entry).
 SLOT_OVERHEAD = 8
+
+#: On-disk page header: page_no, lsn, logical size, slot count.
+_PAGE_HEADER = struct.Struct("<QQQI")
+
+#: Per-slot length prefix; -1 marks an empty slot.
+_SLOT_LEN = struct.Struct("<q")
 
 
 @dataclass(frozen=True, order=True)
@@ -46,7 +53,7 @@ class Page:
     byte-exact implementation.
     """
 
-    __slots__ = ("page_no", "size", "_slots", "_used", "dirty")
+    __slots__ = ("page_no", "size", "_slots", "_used", "dirty", "lsn")
 
     def __init__(self, page_no: int, size: int = PAGE_SIZE):
         self.page_no = page_no
@@ -54,6 +61,24 @@ class Page:
         self._slots: list[Optional[bytes]] = []
         self._used = 0
         self.dirty = False
+        #: LSN of the last write that touched this page (stamped by the
+        #: disk manager on write-back; drives incremental checkpoints).
+        self.lsn = 0
+
+    def __getstate__(self):
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state):
+        # Tolerate pickles from before the ``lsn`` slot existed.
+        self.lsn = 0
+        if isinstance(state, tuple):
+            plain, slots = state
+            for mapping in (plain, slots):
+                for key, value in (mapping or {}).items():
+                    setattr(self, key, value)
+        else:
+            for key, value in state.items():
+                setattr(self, key, value)
 
     # -- capacity -------------------------------------------------------------
 
@@ -132,6 +157,48 @@ class Page:
         """Drop trailing empty slots (space accounting is already exact)."""
         while self._slots and self._slots[-1] is None:
             self._slots.pop()
+
+    # -- binary image (for the file-backed disk) ---------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize the page to its on-disk image.
+
+        The image is self-describing: a fixed header followed by a
+        length-prefixed entry per slot (``-1`` marks an empty slot), so
+        holes and slot numbers survive a round trip exactly.
+        """
+        parts = [
+            _PAGE_HEADER.pack(self.page_no, self.lsn, self.size, len(self._slots))
+        ]
+        for record in self._slots:
+            if record is None:
+                parts.append(_SLOT_LEN.pack(-1))
+            else:
+                parts.append(_SLOT_LEN.pack(len(record)))
+                parts.append(record)
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Page":
+        """Reconstruct a page from its on-disk image."""
+        page_no, lsn, size, nslots = _PAGE_HEADER.unpack_from(data, 0)
+        page = cls(page_no, size=size)
+        page.lsn = lsn
+        offset = _PAGE_HEADER.size
+        used = 0
+        slots: list[Optional[bytes]] = []
+        for _ in range(nslots):
+            (length,) = _SLOT_LEN.unpack_from(data, offset)
+            offset += _SLOT_LEN.size
+            if length < 0:
+                slots.append(None)
+            else:
+                slots.append(bytes(data[offset:offset + length]))
+                offset += length
+                used += length + SLOT_OVERHEAD
+        page._slots = slots
+        page._used = used
+        return page
 
     # -- iteration ---------------------------------------------------------------
 

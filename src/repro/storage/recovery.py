@@ -36,10 +36,17 @@ from repro.storage.persistence import read_snapshot, save_snapshot
 from repro.storage.wal import WriteAheadLog, read_wal, repair_torn_tail
 from repro.util import faultinject
 
-__all__ = ["DurabilityManager", "open_database", "SNAPSHOT_NAME", "WAL_NAME"]
+__all__ = [
+    "DurabilityManager",
+    "open_database",
+    "SNAPSHOT_NAME",
+    "WAL_NAME",
+    "PAGES_NAME",
+]
 
 SNAPSHOT_NAME = "snapshot.db"
 WAL_NAME = "wal.log"
+PAGES_NAME = "pages.data"
 
 faultinject.register("commit.before_log")
 faultinject.register("commit.after_log")
@@ -118,12 +125,32 @@ class DurabilityManager:
             raise StorageError("cannot checkpoint inside an open transaction")
         last_lsn = self.wal.next_lsn - 1
         snapshot_path = os.path.join(self.directory, SNAPSHOT_NAME)
+        store = self.db.store
+        # Incremental page flush: push dirty objects/pages down to the
+        # disk (only pages dirtied since the last checkpoint get written
+        # — shadow blocks, so the previous durable image stays intact)
+        # and fsync, *before* the snapshot that references them.
+        pages_written = None
+        prepare = getattr(store, "prepare_checkpoint", None)
+        if prepare is not None:
+            writes_before = store.disk.stats.writes
+            prepare()
+            pages_written = store.disk.stats.writes - writes_before
         faultinject.crash_point("checkpoint.before_snapshot")
         written = save_snapshot(self.db, snapshot_path, wal_lsn=last_lsn)
+        # The snapshot (carrying the extent table) is durably installed:
+        # promote it to the shadow allocator's protected image and
+        # recycle the blocks the previous image no longer references.
+        commit = getattr(store, "commit_checkpoint", None)
+        if commit is not None:
+            commit()
         faultinject.crash_point("checkpoint.before_rotate")
         self.wal.rotate()
         faultinject.crash_point("checkpoint.after_rotate")
-        return {"snapshot": snapshot_path, "bytes": written, "wal_lsn": last_lsn}
+        out = {"snapshot": snapshot_path, "bytes": written, "wal_lsn": last_lsn}
+        if pages_written is not None:
+            out["pages_written"] = pages_written
+        return out
 
     # -- diagnostics -------------------------------------------------------
 
@@ -148,6 +175,8 @@ def open_database(
     dba: str = "dba",
     authorization: bool = False,
     pool_capacity: int = 64,
+    store_mode: str | None = None,
+    cache_capacity: int | None = None,
 ) -> Any:
     """Open (creating if needed) a durable database rooted at ``directory``.
 
@@ -155,22 +184,43 @@ def open_database(
     empty), truncate any torn tail off the log, replay every record with
     an LSN above the snapshot's footer through the interpreter, then
     attach a :class:`DurabilityManager` continuing the LSN sequence.
+
+    With ``storage="paged"`` the store defaults to the file-backed disk
+    (``store_mode="file"``): pages persist in ``<directory>/pages.data``
+    and ``checkpoint()`` writes only pages dirtied since the last one.
+    The snapshot pickles the page *map* (extent table + OID directory),
+    not page payloads, so its size tracks the catalog, not the data.
     """
     from repro.core.database import Database
 
     os.makedirs(directory, exist_ok=True)
     snapshot_path = os.path.join(directory, SNAPSHOT_NAME)
     wal_path = os.path.join(directory, WAL_NAME)
+    pages_path = os.path.join(directory, PAGES_NAME)
+    if storage == "paged" and store_mode is None:
+        store_mode = "file"
 
     base_lsn = 0
     if os.path.exists(snapshot_path):
         db, base_lsn = read_snapshot(snapshot_path)
+        store = db.store
+        if getattr(store, "store_mode", None) == "file":
+            # rebind to the page file; frees shadow litter the loaded
+            # extent table does not reference
+            store.attach(pages_path)
     else:
+        if store_mode == "file" and os.path.exists(pages_path):
+            # no snapshot references this page file (a crash before the
+            # first checkpoint, or stale debris): start it fresh
+            os.unlink(pages_path)
         db = Database(
             storage=storage,
             pool_capacity=pool_capacity,
             dba=dba,
             authorization=authorization,
+            store_mode=store_mode,
+            cache_capacity=cache_capacity,
+            store_path=pages_path if store_mode == "file" else None,
         )
 
     next_lsn = base_lsn + 1
@@ -216,4 +266,11 @@ def open_database(
         wal_path, fsync=fsync, next_lsn=next_lsn, existing_records=on_disk
     )
     db.durability = DurabilityManager(db, directory, wal)
+    store = db.store
+    if cache_capacity is not None and hasattr(store, "cache_capacity"):
+        store.cache_capacity = cache_capacity
+    disk = getattr(store, "disk", None)
+    if disk is not None and hasattr(disk, "lsn_provider"):
+        # stamp written pages with the current durable WAL position
+        disk.lsn_provider = lambda: wal.next_lsn - 1
     return db

@@ -57,6 +57,7 @@ class CompanyWorkload:
 
 def build_company_database(
     workload: Optional[CompanyWorkload] = None,
+    **db_kwargs,
 ) -> Database:
     """Create and populate the paper's company schema.
 
@@ -73,7 +74,7 @@ def build_company_database(
     employee is the highest paid; TopTen holds the ten highest paid.
     """
     spec = workload if workload is not None else CompanyWorkload()
-    db = Database(storage=spec.storage)
+    db = Database(storage=spec.storage, **db_kwargs)
     db.execute(
         """
         define type Department as (dname: char(40), floor: int4, budget: float8)

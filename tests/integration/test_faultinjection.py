@@ -61,6 +61,22 @@ WORKLOAD = [
 ]
 
 
+def _open(directory: str, fsync: bool):
+    """Open the database under test, honouring ``REPRO_STORE``.
+
+    CI re-runs the sweep with ``REPRO_STORE=paged-file``: the paged
+    object store over the file-backed shadow-block disk, exercising the
+    incremental-checkpoint path through every crash point.
+    """
+    kwargs: dict = {}
+    variant = os.environ.get("REPRO_STORE", "")
+    if variant == "paged-file":
+        kwargs = {"storage": "paged", "store_mode": "file"}
+    elif variant == "paged":
+        kwargs = {"storage": "paged", "store_mode": "sim"}
+    return open_database(directory, fsync=fsync, **kwargs)
+
+
 def _run_workload(directory: str, fsync: bool):
     """Run the workload until completion or simulated crash.
 
@@ -68,7 +84,7 @@ def _run_workload(directory: str, fsync: bool):
     was acknowledged, the commit unit in flight at the crash (empty when
     none was), and whether the armed point fired.
     """
-    db = open_database(directory, fsync=fsync)
+    db = _open(directory, fsync=fsync)
     # CI's chaos-matrix step re-runs the sweep with spill enabled: a
     # nonzero budget makes every statement run under the governor
     budget = int(os.environ.get("REPRO_SPILL_BUDGET", "0") or "0")
@@ -163,7 +179,7 @@ def test_crash_and_recover_at_every_point(tmp_path, point, on_hit, fsync):
     acked, in_flight, crashed = _run_workload(directory, fsync=fsync)
     faultinject.reset()
 
-    recovered = open_database(directory, fsync=fsync)
+    recovered = _open(directory, fsync=fsync)
     actual = canonical_state(recovered)
     recovered.close()
 
@@ -215,7 +231,7 @@ def test_torn_write_leaves_repairable_log(tmp_path):
     records_before, valid = read_wal(wal_path)
     assert os.path.getsize(wal_path) > valid  # the torn bytes are there
 
-    db = open_database(directory, fsync=True)
+    db = _open(directory, fsync=True)
     assert os.path.getsize(wal_path) >= valid  # truncated, then reopened
     records_after, valid_after = read_wal(wal_path)
     assert [r.lsn for r in records_after[: len(records_before)]] == [
@@ -225,7 +241,7 @@ def test_torn_write_leaves_repairable_log(tmp_path):
     db.execute("create {own ref Dept} Late")
     db.execute('append to Late (dname = "Post", floor = 9)')
     db.close()
-    db2 = open_database(directory, fsync=True)
+    db2 = _open(directory, fsync=True)
     names = {row[0] for row in db2.execute(
         "retrieve (D.dname) from D in Late").rows}
     assert "Post" in names

@@ -185,3 +185,28 @@ class TestWireIsolation:
                     'where D.dname = "Toys"')
         first.close()
         second.close()
+
+
+class TestStatusStorageField:
+    def test_memory_store_omits_storage(self, client):
+        assert "storage" not in client.status()
+
+    def test_paged_store_reports_counters(self):
+        db = Database(storage="paged", store_mode="sim", cache_capacity=32)
+        db.execute("define type T as (x: int4)")
+        db.execute("create {own ref T} Ts")
+        db.execute("append to Ts (x = 1)")
+        thread = ServerThread(db)
+        thread.start()
+        try:
+            host, port = thread.server.address
+            with Client(host, port, user="tester") as client:
+                storage = client.status()["storage"]
+                assert storage["store_mode"] == "sim"
+                assert storage["object_cache"]["capacity"] == 32
+                assert storage["disk"]["writes"] >= 0
+                assert set(storage["buffer"]) >= {
+                    "capacity", "hits", "misses", "hit_ratio", "evictions",
+                }
+        finally:
+            thread.stop()

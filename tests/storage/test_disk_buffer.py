@@ -144,3 +144,101 @@ class TestBufferPool:
     def test_capacity_must_be_positive(self):
         with pytest.raises(StorageError):
             BufferPool(DiskManager(), capacity=0)
+
+
+class TestBufferPoolChurn:
+    def test_pin_churn_under_pressure(self):
+        """Repeatedly pin/unpin a hot page while colder pages stream
+        through a tiny pool: the hot page survives, counts stay sane."""
+        disk = DiskManager()
+        pool = BufferPool(disk, capacity=3)
+        hot = pool.new_page()  # stays pinned across the whole churn
+        cold = []
+        for i in range(30):
+            page = pool.new_page()
+            page.insert(bytes([i]) * 16)
+            pool.unpin(page.page_no, dirty=True)
+            cold.append(page.page_no)
+            # churn the hot page's pin alongside
+            pool.fetch_page(hot.page_no)
+            pool.unpin(hot.page_no)
+        assert hot.page_no in pool.cached_pages()
+        assert pool.pin_count(hot.page_no) == 1
+        pool.unpin(hot.page_no)
+        # every evicted dirty page reached the disk and reads back
+        for page_no in cold:
+            page = pool.fetch_page(page_no)
+            assert page.record_count() == 1
+            pool.unpin(page_no)
+
+    def test_discard_drops_without_writeback(self):
+        disk = DiskManager()
+        pool = BufferPool(disk, capacity=4)
+        page = pool.new_page()
+        page.insert(b"doomed")
+        pool.unpin(page.page_no, dirty=True)
+        writes = disk.stats.writes
+        pool.discard(page.page_no)
+        assert disk.stats.writes == writes  # no write-back
+        assert page.page_no not in pool.cached_pages()
+        pool.discard(page.page_no)  # idempotent for absent frames
+
+    def test_discard_pinned_rejected(self):
+        disk = DiskManager()
+        pool = BufferPool(disk, capacity=4)
+        page = pool.new_page()  # pinned
+        with pytest.raises(StorageError):
+            pool.discard(page.page_no)
+        pool.unpin(page.page_no)
+
+    def test_dirty_pages_listing(self):
+        disk = DiskManager()
+        pool = BufferPool(disk, capacity=4)
+        a = pool.new_page()
+        a.insert(b"x")
+        pool.unpin(a.page_no, dirty=True)
+        b = pool.new_page()
+        pool.unpin(b.page_no)
+        assert pool.dirty_pages() == [a.page_no]
+        pool.flush_all()
+        assert pool.dirty_pages() == []
+
+
+class TestBufferPoolOverFileDisk:
+    """The same pool contract must hold over the real file-backed disk,
+    where eviction write-back and fault-in pay serialization."""
+
+    def test_eviction_round_trips_through_file(self, tmp_path):
+        from repro.storage.disk import FileDiskManager
+
+        disk = FileDiskManager(str(tmp_path / "pages.data"))
+        pool = BufferPool(disk, capacity=2)
+        pages = []
+        for i in range(6):
+            page = pool.new_page()
+            page.insert(bytes([i + 1]) * 64)
+            pool.unpin(page.page_no, dirty=True)
+            pages.append(page.page_no)
+        assert disk.stats.writes >= 4  # evictions hit the file
+        for i, page_no in enumerate(pages):
+            page = pool.fetch_page(page_no)
+            assert page.read(0) == bytes([i + 1]) * 64
+            pool.unpin(page_no)
+
+    def test_clean_eviction_skips_write(self, tmp_path):
+        from repro.storage.disk import FileDiskManager
+
+        disk = FileDiskManager(str(tmp_path / "pages.data"))
+        pool = BufferPool(disk, capacity=1)
+        a = pool.new_page()
+        a.insert(b"v")
+        pool.unpin(a.page_no, dirty=True)
+        b = pool.new_page()  # evicts a (dirty: one write)
+        b.insert(b"w")
+        pool.unpin(b.page_no, dirty=True)
+        pool.fetch_page(a.page_no)  # faults a back, clean
+        pool.unpin(a.page_no)
+        writes = disk.stats.writes
+        pool.fetch_page(b.page_no)  # evicts clean a: no write
+        pool.unpin(b.page_no)
+        assert disk.stats.writes == writes
